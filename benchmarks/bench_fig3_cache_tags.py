@@ -1,0 +1,21 @@
+"""Fig. 3 — ChiselFlow's dependent-label CacheTags, type-checked.
+
+Benchmarks the static check of the module (the designer-facing cost of
+the methodology)."""
+
+from conftest import report
+
+from repro.eval.figures import fig3_cache_tags
+
+
+def test_fig3_typecheck(benchmark):
+    good, bad = benchmark.pedantic(fig3_cache_tags, iterations=1, rounds=3)
+    lines = [
+        f"faithful transcription: {'PASS' if good.ok() else 'FAIL'} "
+        f"({good.hypotheses_examined} cases examined)",
+        f"cross-way-write variant: {len(bad.errors)} label error(s):",
+    ]
+    lines += [f"  {e!r}" for e in bad.errors[:3]]
+    report("Fig. 3 — cache tags with dependent labels", "\n".join(lines))
+    assert good.ok()
+    assert not bad.ok()

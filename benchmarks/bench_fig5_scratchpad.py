@@ -1,0 +1,26 @@
+"""Fig. 5 — the tagged key scratchpad vs the buffer overrun.
+
+Benchmarks the full attack scenario (provision, overrun, victim
+encryption, attacker decryption attempt) on the protected design."""
+
+from conftest import report
+
+from repro.attacks.buffer_overflow import run_overflow_attack
+
+
+def test_fig5_overflow(benchmark):
+    protected = benchmark.pedantic(
+        run_overflow_attack, args=(True,), iterations=1, rounds=1
+    )
+    baseline = run_overflow_attack(False)
+    report(
+        "Fig. 5 — key scratchpad buffer overrun",
+        f"baseline : {baseline!r}\n"
+        f"protected: {protected!r}\n"
+        "paper    : any buffer overwrite or overread error causes an\n"
+        "           information flow violation and is prevented",
+    )
+    assert baseline.overwritten and baseline.eve_recovers_plaintext
+    assert not protected.overwritten
+    assert not protected.eve_recovers_plaintext
+    assert protected.blocked_count >= 2

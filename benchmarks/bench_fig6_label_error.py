@@ -1,0 +1,28 @@
+"""Fig. 6 — a label error reveals a timing channel.
+
+Benchmarks the static check of the (flawed) key-expansion unit — the
+design-time detection the figure illustrates — and prints the measured
+timing oracle for both units."""
+
+from conftest import report
+
+from repro.attacks.key_timing import distinguish_keys
+from repro.eval.figures import fig6_label_error
+
+
+def test_fig6_detection(benchmark):
+    flawed, fixed = benchmark.pedantic(fig6_label_error, iterations=1, rounds=1)
+    d_f, ca, cb = distinguish_keys(0, (1 << 128) - 1, protected=False)
+    d_p, pa, pb = distinguish_keys(0, (1 << 128) - 1, protected=True)
+    lines = [
+        f"flawed unit : {len(flawed.errors)} label errors "
+        f"(first: {flawed.errors[0]!r})" if flawed.errors else "none",
+        f"fixed unit  : {'clean' if fixed.ok() else 'FAIL'}",
+        f"timing oracle (flawed) : {ca} vs {cb} cycles "
+        f"(distinguishable={d_f})",
+        f"timing oracle (fixed)  : {pa} vs {pb} cycles "
+        f"(distinguishable={d_p})",
+    ]
+    report("Fig. 6 — information leakage leads to a label error", "\n".join(lines))
+    assert not flawed.ok() and fixed.ok()
+    assert d_f and not d_p

@@ -1,0 +1,81 @@
+"""§5 — the alternative enforcement path: information-flow *tracking*
+logic (GLIFT/RTLIFT) instead of a security-typed HDL.
+
+Bit-precise taint is seeded on Alice's key cells; the trace-buffer
+attack scenario then runs on both designs.  On the baseline, key-tainted
+bits reach the debug port the attacker reads (the tracking logic would
+raise the alarm at runtime); on the protected design the gated readout
+keeps the port taint-free.
+"""
+
+from conftest import report
+
+from repro.accel.baseline import AesAcceleratorBaseline
+from repro.accel.common import user_label
+from repro.accel.config_regs import CFG_FEATURES, FEATURE_DEBUG_EN, FEATURE_OUTBUF_EN
+from repro.accel.driver import AcceleratorDriver
+from repro.accel.protected import AesAcceleratorProtected
+from repro.ifc.glift import GliftTracker
+
+ALICE_KEY = 0x2B7E151628AED2A6ABF7158809CF4F3C
+FULL = (1 << 64) - 1
+
+
+def _run(protected: bool) -> int:
+    accel = AesAcceleratorProtected() if protected else AesAcceleratorBaseline()
+    drv = AcceleratorDriver(accel)
+    alice = user_label("p0").encode()
+    eve = user_label("p1").encode()
+    tracker = GliftTracker(drv.sim, {})
+
+    if protected:
+        drv.allocate_slot(1, alice)
+    drv.load_key(alice, 1, ALICE_KEY)
+    # seed taint on the loaded key: scratchpad cells and round keys
+    cells = drv.sim._resolve_mem(f"{drv.top}.scratchpad.cells")
+    tracker.mem_taint[cells][2] = FULL
+    tracker.mem_taint[cells][3] = FULL
+    for i in range(11):
+        rk = drv.sim._resolve_mem(f"{drv.top}.pipe.keyexp.rk_mem_1")
+        tracker.mem_taint[rk][i] = (1 << 128) - 1
+
+    # the attack: tracing on, Alice encrypts, Eve reads the trace
+    sup_or_eve = eve  # baseline lets Eve flip the switch herself
+    drv.write_config(sup_or_eve, CFG_FEATURES,
+                     FEATURE_OUTBUF_EN | FEATURE_DEBUG_EN)
+    if protected:
+        from repro.accel.common import supervisor_label
+
+        drv.write_config(supervisor_label().encode(), CFG_FEATURES,
+                         FEATURE_OUTBUF_EN | FEATURE_DEBUG_EN)
+    drv.set_reader(alice)
+    drv.encrypt_blocking(alice, 1, 0x00112233445566778899AABBCCDDEEFF,
+                         max_cycles=60)
+
+    drv.sim.poke(f"{drv.top}.rd_user", eve)
+    drv.sim.poke(f"{drv.top}.in_addr", 0)
+    tracker.refresh()
+    worst = 0
+    for entry in range(4):
+        drv.sim.poke(f"{drv.top}.in_addr", entry)
+        tracker.refresh()
+        worst = max(worst,
+                    bin(tracker.taint_of(f"{drv.top}.dbg_data")).count("1"))
+    return worst
+
+
+def test_glift_debug_port(benchmark):
+    tainted_bits = benchmark.pedantic(
+        lambda: {"baseline": _run(False), "protected": _run(True)},
+        iterations=1, rounds=1,
+    )
+    report(
+        "§5 — GLIFT tracking logic on the trace-buffer attack",
+        f"key-tainted bits visible on the debug port read by the attacker:\n"
+        f"  baseline : {tainted_bits['baseline']} / 128\n"
+        f"  protected: {tainted_bits['protected']} / 128\n"
+        "(runtime tracking raises the same alarm the static checker "
+        "raised at design time)",
+    )
+    assert tainted_bits["baseline"] > 100
+    assert tainted_bits["protected"] == 0

@@ -1,0 +1,23 @@
+"""§3.2.2 — nonmalleable declassification gates the master key."""
+
+from conftest import report
+
+from repro.attacks.key_misuse import run_key_misuse
+
+
+def test_master_key_misuse(benchmark):
+    protected = benchmark.pedantic(
+        run_key_misuse, args=(True,), iterations=1, rounds=1
+    )
+    baseline = run_key_misuse(False)
+    report(
+        "§3.2.2 — preventing inappropriate use of cryptographic keys",
+        f"baseline : {baseline!r}\n"
+        f"protected: {protected!r}\n"
+        "paper    : only the supervisor has high enough integrity to\n"
+        "           declassify encryption with the master key",
+    )
+    assert baseline.eve_succeeded
+    assert not protected.eve_succeeded
+    assert protected.supervisor_succeeded
+    assert protected.suppressed_count >= 1

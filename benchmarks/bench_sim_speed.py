@@ -1,0 +1,31 @@
+"""Infrastructure benchmark: cycles/second of the two simulator backends
+on the full protected accelerator (the compiled backend is what makes
+the cycle-accurate experiments practical)."""
+
+import pytest
+from conftest import report
+
+from repro.accel.common import CMD_ENCRYPT, user_label
+from repro.accel.protected import AesAcceleratorProtected
+from repro.hdl.sim import Simulator
+
+CYCLES = 200
+
+
+def _run(backend: str) -> None:
+    sim = Simulator(AesAcceleratorProtected(), backend=backend)
+    sim.poke("aes.in_valid", 1)
+    sim.poke("aes.in_cmd", CMD_ENCRYPT)
+    sim.poke("aes.in_user", user_label("p0").encode())
+    sim.poke("aes.in_slot", 1)
+    sim.poke("aes.in_data", 0x1234)
+    sim.poke("aes.out_ready", 1)
+    sim.step(CYCLES)
+
+
+@pytest.mark.parametrize("backend", ["compiled"])
+def test_simulation_speed(benchmark, backend):
+    benchmark.pedantic(_run, args=(backend,), iterations=1, rounds=2)
+    report("Simulator speed",
+           f"{CYCLES} cycles of the full protected accelerator "
+           f"({backend} backend); see the benchmark table for cycles/s.")

@@ -1,0 +1,24 @@
+"""Table 2 — area and frequency, baseline vs protected.
+
+The benchmarked quantity is the elaborate + estimate pipeline for both
+designs (what a user pays to regenerate the table)."""
+
+from conftest import report
+
+from repro.accel.baseline import AesAcceleratorBaseline
+from repro.accel.protected import AesAcceleratorProtected
+from repro.fpga.report import render_table2, table2_for_modules
+
+
+def _regenerate():
+    return table2_for_modules(AesAcceleratorBaseline(), AesAcceleratorProtected())
+
+
+def test_table2_rows(benchmark):
+    rows = benchmark.pedantic(_regenerate, iterations=1, rounds=2)
+    report("Table 2 — area and performance of the FPGA prototypes",
+           render_table2(rows))
+    assert 0 < rows["LUTs"].overhead < 15
+    assert rows["FFs"].overhead > 0
+    assert 0 < rows["BRAMs"].overhead <= 15
+    assert abs(rows["Frequency (MHz)"].overhead) < 0.01

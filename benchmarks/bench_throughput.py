@@ -1,0 +1,28 @@
+"""§4 performance — one block/cycle, 30-cycle latency, Gbps at the
+modelled clock (paper: 51.2 Gbps @ 400 MHz).
+
+Benchmarks the cycle-accurate streaming run itself, so the simulator's
+blocks-per-second rate shows up in the pytest-benchmark table.
+"""
+
+from conftest import report
+
+from repro.eval.table2 import measure_throughput
+
+
+def test_pipeline_throughput(benchmark):
+    result = benchmark.pedantic(
+        measure_throughput, kwargs={"protected": True, "blocks": 64},
+        iterations=1, rounds=2,
+    )
+    base = measure_throughput(protected=False, blocks=64)
+    report(
+        "§4 — pipeline performance",
+        f"protected: {result!r}\n"
+        f"baseline : {base!r}\n"
+        f"paper    : 1 block/cycle, 30-cycle latency, 51.2 Gbps @ 400 MHz",
+    )
+    assert result.all_correct and base.all_correct
+    assert result.blocks_per_cycle == 1.0
+    assert 30 <= result.latency <= 33
+    assert result.gbps > 35

@@ -1,0 +1,15 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+and prints the rows/series it reports, alongside the timing that
+pytest-benchmark collects for the regeneration itself.
+"""
+
+import pytest
+
+
+def report(title: str, body: str) -> None:
+    """Print a paper-artefact block (visible with `pytest -s` and in the
+    captured output section)."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

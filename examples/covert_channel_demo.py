@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""The §3.1 pipeline-stall covert channel, end to end.
+
+Alice's reader withholds output readiness to modulate the shared
+pipeline's timing; Eve times her own encryptions and decodes a secret
+message — on the baseline.  On the protected design the Fig. 8 meet
+check denies stalls that would touch Eve's blocks, and the channel's
+mutual information drops to zero.
+
+Run:  python examples/covert_channel_demo.py
+"""
+
+from repro.attacks.timing_channel import run_covert_channel
+
+MESSAGE = "HI"
+
+
+def to_bits(text: str):
+    bits = []
+    for ch in text.encode():
+        bits.extend((ch >> (7 - i)) & 1 for i in range(8))
+    return bits
+
+
+def from_bits(bits) -> str:
+    out = bytearray()
+    for i in range(0, len(bits) - 7, 8):
+        byte = 0
+        for b in bits[i:i + 8]:
+            byte = (byte << 1) | b
+        out.append(byte)
+    return out.decode(errors="replace")
+
+
+def main() -> None:
+    secret = to_bits(MESSAGE)
+    print(f"Alice wants to leak {MESSAGE!r} "
+          f"({len(secret)} bits) to Eve through the shared pipeline.\n")
+
+    for protected in (False, True):
+        name = "PROTECTED" if protected else "BASELINE"
+        print(f"--- {name} accelerator ---")
+        result = run_covert_channel(protected, secret, stall_cycles=16)
+        decoded = from_bits(result.decoded_bits)
+        lat0 = sum(result.latencies_zero) / len(result.latencies_zero)
+        lat1 = sum(result.latencies_one) / len(result.latencies_one)
+        print(f"  Eve's probe latency: 0-bits ~{lat0:.1f} cycles, "
+              f"1-bits ~{lat1:.1f} cycles")
+        print(f"  decoded: {decoded!r}  "
+              f"(accuracy {result.accuracy:.0%}, "
+              f"mutual information {result.mutual_information():.3f} bits/bit)")
+        print()
+
+    print("baseline leaks the message; the protected design's stall meet")
+    print("check (Fig. 8) silences the channel — Alice's unread blocks go")
+    print("to her own holding-buffer slot instead of freezing the pipe.")
+
+
+if __name__ == "__main__":
+    main()

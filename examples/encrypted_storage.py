@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Encrypted storage over the accelerator — multi-block CBC through the
+hardware pipeline.
+
+The paper's intro names "encrypted data storage" as a canonical SoC use
+of AES.  This example writes a "disk sector" through the accelerator in
+CBC mode (chaining done by the storage driver, block encryption by the
+hardware), reads it back through the decrypt path, and cross-checks the
+whole thing against the pure-software implementation.
+
+Run:  python examples/encrypted_storage.py
+"""
+
+from repro.accel import AcceleratorDriver, AesAcceleratorProtected, make_users
+from repro.aes import cbc_encrypt, pad_pkcs7, unpad_pkcs7
+from repro.soc.requests import blocks_to_message, message_blocks
+
+KEY = 0x8899AABBCCDDEEFF0011223344556677
+IV = 0x0F0E0D0C0B0A09080706050403020100
+SECTOR = (
+    b"-- journal sector 42 --\n"
+    b"user=alice balance=1048576 nonce=7f3a\n"
+    b"the quick brown fox jumps over the lazy accelerator\n"
+)
+
+
+class HardwareCbc:
+    """CBC chaining in the driver, block E/D in the hardware."""
+
+    def __init__(self, driver: AcceleratorDriver, user: int, slot: int):
+        self.driver = driver
+        self.user = user
+        self.slot = slot
+
+    def _block(self, op, data: int) -> int:
+        if op == "enc":
+            self.driver.encrypt(self.user, self.slot, data)
+        else:
+            self.driver.decrypt(self.user, self.slot, data)
+        for _ in range(60):
+            self.driver.step()
+            got = self.driver.take_responses()
+            if got:
+                return got[-1].data
+        raise TimeoutError("block never came back")
+
+    def encrypt(self, data: bytes, iv: int) -> bytes:
+        prev = iv
+        out = []
+        for block in message_blocks(pad_pkcs7(data)):
+            prev = self._block("enc", block ^ prev)
+            out.append(prev)
+        return blocks_to_message(out)
+
+    def decrypt(self, data: bytes, iv: int) -> bytes:
+        prev = iv
+        out = []
+        for block in message_blocks(data):
+            out.append(self._block("dec", block) ^ prev)
+            prev = block
+        return unpad_pkcs7(blocks_to_message(out))
+
+
+def main() -> None:
+    users = make_users()
+    alice = users["u0"]
+    print("provisioning the accelerator...")
+    driver = AcceleratorDriver(AesAcceleratorProtected())
+    driver.allocate_slot(1, alice)
+    driver.load_key(alice, 1, KEY)
+    driver.set_reader(alice)
+
+    cbc = HardwareCbc(driver, alice, 1)
+    print(f"writing a {len(SECTOR)}-byte sector through the hardware (CBC)...")
+    ciphertext = cbc.encrypt(SECTOR, IV)
+    print(f"  sector on disk: {ciphertext[:32].hex()}...")
+
+    software = cbc_encrypt(pad_pkcs7(SECTOR), KEY, IV)
+    assert ciphertext == software, "hardware CBC diverged from software!"
+    print("  matches the software CBC implementation.")
+
+    print("reading it back through the decrypt pipeline...")
+    recovered = cbc.decrypt(ciphertext, IV)
+    assert recovered == SECTOR
+    print(f"  recovered {len(recovered)} bytes, e.g. "
+          f"{recovered.splitlines()[1].decode()!r}")
+    print(f"cycles spent: {driver.sim.cycle}")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Export the accelerators as synthesizable Verilog.
+
+The whole design — both accelerators and every submodule — elaborates to
+a netlist that :mod:`repro.hdl.verilog` prints as flattened structural
+Verilog-2001, with security labels and downgrade points preserved as
+comments for review.  Hand the output to any standard FPGA/ASIC flow.
+
+Run:  python examples/export_rtl.py [output-dir]
+"""
+
+import os
+import sys
+
+from repro.accel import (
+    AesAcceleratorBaseline,
+    AesAcceleratorProtected,
+    AesEngineWide,
+)
+from repro.accel.scratchpad import KeyScratchpad
+from repro.hdl import elaborate, to_verilog
+
+
+def main() -> None:
+    outdir = sys.argv[1] if len(sys.argv) > 1 else "rtl_out"
+    os.makedirs(outdir, exist_ok=True)
+
+    targets = [
+        ("aes_baseline", AesAcceleratorBaseline(), "the unprotected design"),
+        ("aes_protected", AesAcceleratorProtected(),
+         "tags + checks + declassifier"),
+        ("aes256_wide", AesEngineWide(256), "42-stage AES-256 engine"),
+        ("key_scratchpad", KeyScratchpad(protected=True),
+         "the Fig. 5 tagged scratchpad alone"),
+    ]
+    for name, module, blurb in targets:
+        netlist = elaborate(module)
+        source = to_verilog(netlist, name)
+        path = os.path.join(outdir, f"{name}.v")
+        with open(path, "w") as f:
+            f.write(source)
+        stats = netlist.stats()
+        print(f"{path:32s} {source.count(chr(10)):6d} lines   "
+              f"({stats['regs']} regs, {stats['mems']} mems, "
+              f"{stats['nodes']} nodes)  — {blurb}")
+
+    print("\nsecurity annotations survive as comments, e.g.:")
+    sample = to_verilog(KeyScratchpad(protected=True))
+    for line in sample.splitlines():
+        if "label" in line or "downgrade" in line:
+            print(f"  {line.strip()}")
+            break
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

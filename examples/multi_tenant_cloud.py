@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Multi-tenant cloud scenario — the paper's motivating workload.
+
+"Multiple users in the cloud share the same AES accelerator to process
+encryption requests in the SSL protocol."  Three tenants with their own
+session keys stream interleaved encryption jobs through one shared,
+fine-grained-pipelined accelerator (Fig. 2 / Fig. 7):
+
+* blocks from different tenants coexist inside the pipeline, one issue
+  per cycle — no drain/refill between users;
+* every response routes back to its owner by security tag;
+* the run is compared against the coarse-grained sharing model the
+  paper's introduction criticises.
+
+Run:  python examples/multi_tenant_cloud.py
+"""
+
+from repro.aes import encrypt_block
+from repro.soc import SoCSystem, mixed_workload
+
+BLOCKS_PER_TENANT = 8
+
+
+def main() -> None:
+    print("bringing up the SoC (protected accelerator + 4 labelled users)...")
+    soc = SoCSystem(protected=True)
+    soc.provision_keys()
+    tenants = [("alice", 1), ("bob", 2), ("charlie", 3)]
+
+    print(f"submitting {BLOCKS_PER_TENANT} interleaved TLS-record blocks "
+          f"per tenant ({len(tenants)} tenants)...")
+    workload = mixed_workload(tenants, BLOCKS_PER_TENANT, seed=2026)
+    start = soc.driver.sim.cycle
+    soc.submit_all(workload)
+    soc.drain()
+    fine_cycles = soc.driver.sim.cycle - start
+
+    print("\nper-tenant results:")
+    all_ok = True
+    for name, _slot in tenants:
+        results = soc.results_for(name)
+        ok = all(
+            r.user == name
+            and r.result == encrypt_block(r.data, soc.principals[name].key)
+            for r in results
+        )
+        latencies = [r.latency for r in results]
+        print(f"  {name:8s} {len(results)} blocks, "
+              f"latency {min(latencies)}..{max(latencies)} cycles, "
+              f"routed+correct: {ok}")
+        all_ok &= ok
+
+    total = BLOCKS_PER_TENANT * len(tenants)
+    switches = total - 1  # interleaved arrival = switch on every block
+    coarse = total + switches * 30 + 30
+    print(f"\nfine-grained sharing : {fine_cycles} cycles for {total} blocks")
+    print(f"coarse-grained model : {coarse} cycles "
+          f"(drain 30-cycle pipeline per user switch)")
+    print(f"speedup              : {coarse / fine_cycles:.1f}x")
+    print(f"security counters    : {soc.counters()}")
+    assert all_ok
+    print("OK — isolation held while the pipeline stayed full.")
+
+
+if __name__ == "__main__":
+    main()

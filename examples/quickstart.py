@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: bring up the protected AES accelerator and encrypt a block.
+
+The flow a driver/OS would follow:
+
+1. build the accelerator (cycle-accurate simulation of the RTL);
+2. the supervisor allocates a key slot to a user (tagging its scratchpad
+   cells — Fig. 5);
+3. the user loads a key (two 64-bit cell writes; the engine expands it
+   into round keys);
+4. the user streams encrypt/decrypt requests through the 30-stage
+   pipeline and collects tagged responses.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.accel import (
+    AcceleratorDriver,
+    AesAcceleratorProtected,
+    make_users,
+)
+from repro.aes import encrypt_block
+
+KEY = 0x2B7E151628AED2A6ABF7158809CF4F3C
+PLAINTEXT = 0x3243F6A8885A308D313198A2E0370734
+
+
+def main() -> None:
+    users = make_users()
+    alice = users["u0"]
+
+    print("building the protected accelerator (30-stage pipeline)...")
+    driver = AcceleratorDriver(AesAcceleratorProtected())
+
+    print("supervisor: allocating key slot 1 to alice")
+    driver.allocate_slot(1, alice)
+
+    print(f"alice: loading key {KEY:#034x}")
+    driver.load_key(alice, 1, KEY)
+
+    print(f"alice: encrypting {PLAINTEXT:#034x}")
+    driver.set_reader(alice)
+    ciphertext, latency = driver.encrypt_blocking(alice, 1, PLAINTEXT)
+
+    expected = encrypt_block(PLAINTEXT, KEY)
+    print(f"  -> ciphertext {ciphertext:#034x} after {latency} cycles")
+    print(f"  reference     {expected:#034x}")
+    assert ciphertext == expected, "hardware/reference mismatch!"
+
+    print("alice: decrypting it back")
+    driver.decrypt(alice, 1, ciphertext)
+    driver.step(40)
+    recovered = driver.take_responses()[-1].data
+    print(f"  -> plaintext  {recovered:#034x}")
+    assert recovered == PLAINTEXT
+
+    counters = driver.counters()
+    print(f"security counters: {counters}")
+    print("OK — ciphertext matches FIPS-197 and the roundtrip closes.")
+
+
+if __name__ == "__main__":
+    main()

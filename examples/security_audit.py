@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Design-time security audit — the paper's core methodology, §3/§4.
+
+Three acts:
+
+1. **Policy checking.**  Every module of the protected accelerator is
+   verified against its information-flow labels, modularly (the way a
+   security-typed HDL scales to a 30-stage pipeline).
+2. **Flaw hunting.**  The same checker is pointed at deliberately flawed
+   variants — the Fig. 3 cross-way write, the Fig. 6 key-dependent
+   timing, and a data-leak hardware Trojan — and prints the label errors
+   that expose each one, with the exact runtime case that breaks.
+3. **The audit.**  The unprotected baseline is annotated with the
+   deployment's intended labels and checked flat: every §3.1
+   vulnerability class surfaces with no simulation and no attack
+   knowledge.
+
+Run:  python examples/security_audit.py
+"""
+
+from repro.accel.common import LATTICE
+from repro.accel.key_expand_unit import KeyExpandUnit
+from repro.accel.pipeline import AesPipeline
+from repro.accel.protected import AesAcceleratorProtected
+from repro.attacks.trojan import check_clean_stage, check_trojan_stage
+from repro.eval.audit import classify_errors, run_audit
+from repro.hdl import elaborate, elaborate_shallow
+from repro.ifc.checker import IfcChecker
+from repro.ifc.lattice import two_point
+from repro.soc.cache_tags import CacheTags
+
+
+def act1_verify_protected() -> None:
+    print("=" * 70)
+    print("Act 1 — verifying the protected design, module by module")
+    print("=" * 70)
+    jobs = [
+        ("AES pipeline (modular)", elaborate_shallow(AesPipeline(True))),
+        ("key expansion unit", elaborate(KeyExpandUnit(True))),
+        ("top-level wiring (modular)",
+         elaborate_shallow(AesAcceleratorProtected())),
+    ]
+    for name, netlist in jobs:
+        rep = IfcChecker(netlist, LATTICE, max_hypotheses=1 << 20).check()
+        print(f"  {name:28s} {'PASS' if rep.ok() else 'FAIL'} "
+              f"({rep.checked_sinks} sinks, {rep.hypotheses_examined} cases, "
+              f"{rep.downgrades_verified} downgrades reviewed)")
+
+
+def act2_hunt_flaws() -> None:
+    print()
+    print("=" * 70)
+    print("Act 2 — pointing the checker at planted flaws")
+    print("=" * 70)
+
+    lattice = two_point()
+    rep = IfcChecker(elaborate(CacheTags(lattice, broken=True)), lattice).check()
+    print("\n  Fig. 3 cache tags with a cross-way write:")
+    for e in rep.errors[:2]:
+        print(f"    {e!r}")
+
+    rep = IfcChecker(
+        elaborate(KeyExpandUnit(protected=True, timing_flaw=True)), LATTICE
+    ).check()
+    print("\n  Fig. 6 key-dependent expansion timing "
+          f"({len(rep.errors)} errors; first two):")
+    for e in rep.errors[:2]:
+        print(f"    {e!r}")
+
+    rep = check_trojan_stage()
+    clean = check_clean_stage()
+    print(f"\n  data-leak Trojan in a pipeline stage: "
+          f"{len(rep.errors)} errors (honest stage: "
+          f"{'clean' if clean.ok() else 'FAIL'}); first:")
+    print(f"    {rep.errors[0]!r}")
+
+
+def act3_audit_baseline() -> None:
+    print()
+    print("=" * 70)
+    print("Act 3 — auditing the unprotected baseline")
+    print("=" * 70)
+    report = run_audit()
+    classes = classify_errors(report)
+    print(f"  {len(report.errors)} label errors across "
+          f"{len(report.distinct_sinks())} sinks:")
+    for cls, errors in classes.items():
+        print(f"    {cls:22s} {len(errors)}")
+    print("\n  every §3.1 vulnerability class found statically — no "
+          "simulation, no attack knowledge.")
+
+
+def main() -> None:
+    act1_verify_protected()
+    act2_hunt_flaws()
+    act3_audit_baseline()
+
+
+if __name__ == "__main__":
+    main()

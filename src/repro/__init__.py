@@ -1,0 +1,25 @@
+"""repro — reproduction of the DAC'19 paper "Designing Secure Cryptographic
+Accelerators with Information Flow Enforcement: A Case Study on AES".
+
+Subpackages
+-----------
+``repro.hdl``
+    Security-typed hardware eDSL and cycle-accurate simulator.
+``repro.ifc``
+    Security lattices, labels, nonmalleable downgrading, the static IFC
+    checker, and the dynamic (RTLIFT-style) label tracker.
+``repro.aes``
+    Software reference AES (FIPS-197) used as the golden model.
+``repro.accel``
+    The baseline and protected pipelined AES accelerators, in the eDSL.
+``repro.soc``
+    Multi-user SoC harness around the accelerator (Fig. 2 of the paper).
+``repro.attacks``
+    Reproductions of the attacks the paper's methodology rules out.
+``repro.fpga``
+    Virtex-7-calibrated area/timing estimation (Table 2).
+``repro.eval``
+    Drivers that regenerate every table and figure of the evaluation.
+"""
+
+__version__ = "1.0.0"

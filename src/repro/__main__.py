@@ -1,0 +1,216 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments [out.md]``
+    Run every paper experiment and write the EXPERIMENTS report.
+``table1`` / ``table2``
+    Regenerate just that table on stdout.
+``check <module> [--json]``
+    Statically check one design (see ``--list`` for names) and print the
+    label report — the Fig. 6 designer experience from a shell.
+``verilog <module> [-o file.v]``
+    Export a design as synthesizable Verilog.
+``attack <name>``
+    Run one §2.1/§3.1 attack against both designs and print the outcome.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _designs():
+    from .accel.baseline import AesAcceleratorBaseline
+    from .accel.debug import DebugPeripheral
+    from .accel.declassifier import Declassifier
+    from .accel.key_expand_unit import KeyExpandUnit
+    from .accel.mini import MiniTaggedPipeline
+    from .accel.output_buffer import OutputBuffer
+    from .accel.pipeline import AesPipeline
+    from .accel.protected import AesAcceleratorProtected
+    from .accel.scratchpad import KeyScratchpad
+    from .accel.stall import StallController
+    from .accel.axi import AxiLiteFrontend
+    from .accel.wide import AesEngineWide
+    from .soc.cache_tags import CacheTags
+    from .soc.secure_cache import SecureCache
+
+    return {
+        "protected": (lambda: AesAcceleratorProtected(), "shallow"),
+        "baseline": (lambda: AesAcceleratorBaseline(), "flat"),
+        "pipeline": (lambda: AesPipeline(protected=True), "shallow"),
+        "scratchpad": (lambda: KeyScratchpad(protected=True), "flat"),
+        "keyexp": (lambda: KeyExpandUnit(protected=True), "flat"),
+        "keyexp-flawed": (
+            lambda: KeyExpandUnit(protected=True, timing_flaw=True), "flat"),
+        "outbuf": (lambda: OutputBuffer(protected=True), "flat"),
+        "stall": (lambda: StallController(30, protected=True), "flat"),
+        "declassifier": (lambda: Declassifier(protected=True), "flat"),
+        "debug": (lambda: DebugPeripheral(protected=True), "flat"),
+        "mini-guarded": (lambda: MiniTaggedPipeline(2, guarded=True), "flat"),
+        "mini-unguarded": (
+            lambda: MiniTaggedPipeline(2, guarded=False), "flat"),
+        "wide256": (lambda: AesEngineWide(256, protected=True), "shallow"),
+        "axi": (lambda: AxiLiteFrontend(), "shallow"),
+        "cache-tags": (lambda: CacheTags(), "flat"),
+        "cache-tags-broken": (lambda: CacheTags(broken=True), "flat"),
+        "secure-cache": (lambda: SecureCache(), "flat"),
+        "secure-cache-broken": (lambda: SecureCache(broken=True), "flat"),
+    }
+
+
+def cmd_experiments(args) -> int:
+    from .eval.runner import run_all
+
+    text = run_all(out=args.output)
+    if args.output:
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_table1(args) -> int:
+    from .eval.table1 import render_table1, run_table1
+
+    print("PROTECTED:")
+    print(render_table1(run_table1(True)))
+    print()
+    print("BASELINE:")
+    print(render_table1(run_table1(False)))
+    return 0
+
+
+def cmd_table2(args) -> int:
+    from .eval.table2 import render_report
+
+    print(render_report())
+    return 0
+
+
+def cmd_check(args) -> int:
+    designs = _designs()
+    if args.list or args.module is None:
+        for name in sorted(designs):
+            print(name)
+        return 0
+    if args.module not in designs:
+        print(f"unknown design {args.module!r}; try --list", file=sys.stderr)
+        return 2
+
+    from .accel.common import LATTICE
+    from .hdl.elaborate import elaborate, elaborate_shallow
+    from .ifc.checker import IfcChecker
+    from .ifc.lattice import two_point
+    from .soc.cache_tags import CacheTags
+    from .soc.secure_cache import SecureCache
+
+    build, mode = designs[args.module]
+    module = build()
+    lattice = (two_point() if isinstance(module, (CacheTags, SecureCache))
+               else LATTICE)
+    netlist = (elaborate_shallow(module) if mode == "shallow"
+               else elaborate(module))
+    report = IfcChecker(netlist, lattice, max_hypotheses=1 << 20).check()
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+    return 0 if report.ok() else 1
+
+
+def cmd_verilog(args) -> int:
+    designs = _designs()
+    if args.module not in designs:
+        print(f"unknown design {args.module!r}; try 'check --list'",
+              file=sys.stderr)
+        return 2
+    from .hdl.verilog import to_verilog
+
+    build, _mode = designs[args.module]
+    source = to_verilog(build(), args.module.replace("-", "_"))
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(source)
+        print(f"wrote {args.output} ({source.count(chr(10))} lines)")
+    else:
+        print(source)
+    return 0
+
+
+def cmd_attack(args) -> int:
+    from .attacks import (
+        run_covert_channel,
+        run_debug_leak,
+        run_key_misuse,
+        run_overflow_attack,
+    )
+
+    runners = {
+        "overflow": run_overflow_attack,
+        "debug-leak": run_debug_leak,
+        "master-key": run_key_misuse,
+    }
+    if args.name == "covert-channel":
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        for prot in (False, True):
+            res = run_covert_channel(prot, bits, stall_cycles=16)
+            print(f"{'protected' if prot else 'baseline '}: {res!r}")
+        return 0
+    if args.name not in runners:
+        print(f"attacks: {', '.join(sorted(runners))}, covert-channel",
+              file=sys.stderr)
+        return 2
+    for prot in (False, True):
+        res = runners[args.name](prot)
+        print(f"{'protected' if prot else 'baseline '}: {res!r}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DAC'19 secure AES accelerator reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    p = sub.add_parser("experiments", help="run all paper experiments")
+    p.add_argument("output", nargs="?", default=None)
+    p.set_defaults(fn=cmd_experiments)
+
+    p = sub.add_parser("table1", help="Table 1 policy enforcement")
+    p.set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser("table2", help="Table 2 area/performance")
+    p.set_defaults(fn=cmd_table2)
+
+    p = sub.add_parser("check", help="statically check a design")
+    p.add_argument("module", nargs="?")
+    p.add_argument("--list", action="store_true")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("verilog", help="export a design as Verilog")
+    p.add_argument("module")
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(fn=cmd_verilog)
+
+    p = sub.add_parser("attack", help="run an attack against both designs")
+    p.add_argument("name")
+    p.set_defaults(fn=cmd_attack)
+
+    args = parser.parse_args(argv)
+    if not getattr(args, "fn", None):
+        parser.print_help()
+        return 2
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # output truncated by a closed pipe (e.g. `| head`)
+        sys.exit(0)

@@ -1,0 +1,75 @@
+"""repro.accel — the baseline and protected AES accelerators (Fig. 4).
+
+Everything is written in the :mod:`repro.hdl` eDSL: the 30-stage
+pipelined E/D datapath with embedded key expansion, the tagged key
+scratchpad, stall controller, output buffer, declassifier, configuration
+registers, debug peripheral, and round-robin arbiter — plus the
+transaction-level :class:`~repro.accel.driver.AcceleratorDriver`.
+"""
+
+from .axi import AxiLiteFrontend
+from .baseline import AesAcceleratorBaseline
+from .common import (
+    CMD_CONFIG,
+    CMD_DECRYPT,
+    CMD_ENCRYPT,
+    CMD_LOAD_KEY,
+    FREE_TAG,
+    KEY_SLOTS,
+    LATTICE,
+    MASTER_SLOT,
+    OP_DEC,
+    OP_ENC,
+    PIPELINE_ROUNDS,
+    PIPELINE_STAGES,
+    SCRATCHPAD_CELLS,
+    TAG_WIDTH,
+    VALID_CELL_TAGS,
+    VALID_REQUEST_TAGS,
+    master_key_label,
+    public_label,
+    supervisor_label,
+    user_label,
+)
+from .driver import AcceleratorDriver, Response, make_users
+from .key_expand_unit import DEFAULT_MASTER_KEY, KeyExpandUnit
+from .mini import BUBBLE_TAG, MiniTaggedPipeline
+from .pipeline import AesPipeline
+from .protected import AesAcceleratorProtected
+from .wide import AesEngineWide, WordSerialKeyExpand
+
+__all__ = [
+    "AcceleratorDriver",
+    "AesAcceleratorBaseline",
+    "AesAcceleratorProtected",
+    "AxiLiteFrontend",
+    "AesEngineWide",
+    "AesPipeline",
+    "BUBBLE_TAG",
+    "CMD_CONFIG",
+    "CMD_DECRYPT",
+    "CMD_ENCRYPT",
+    "CMD_LOAD_KEY",
+    "DEFAULT_MASTER_KEY",
+    "FREE_TAG",
+    "KEY_SLOTS",
+    "KeyExpandUnit",
+    "LATTICE",
+    "MASTER_SLOT",
+    "MiniTaggedPipeline",
+    "OP_DEC",
+    "OP_ENC",
+    "PIPELINE_ROUNDS",
+    "PIPELINE_STAGES",
+    "Response",
+    "WordSerialKeyExpand",
+    "SCRATCHPAD_CELLS",
+    "TAG_WIDTH",
+    "VALID_CELL_TAGS",
+    "VALID_REQUEST_TAGS",
+    "make_users",
+    "master_key_label",
+    "public_label",
+    "supervisor_label",
+    "user_label",
+]

@@ -1,0 +1,108 @@
+"""Round-robin request arbiter (the "Arbiter" box of Fig. 4).
+
+Four request channels (one per principal slot) share the accelerator's
+single command port.  Arbitration metadata is public-trusted: the grant
+decision depends only on request presence, in round-robin order, so no
+user data influences who wins (checked statically like everything else).
+The arbiter stamps the granted channel's *tag* onto the forwarded
+request — this is the trusted-issue assumption of the §2.2 threat model:
+applications cannot forge their identity.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..hdl.module import Module, when
+from ..hdl.nodes import lit, mux_case
+from ..ifc.label import Label
+from .common import LATTICE, TAG_WIDTH, VALID_REQUEST_TAGS
+from .taglabels import data_label
+
+PUB_TRUSTED = Label(LATTICE, "public", "trusted")
+N_PORTS = 4
+
+
+class RequestArbiter(Module):
+    """4-way round-robin arbiter over full command bundles."""
+
+    def __init__(self, protected: bool, name: str = "arbiter"):
+        super().__init__(name)
+        ctrl = PUB_TRUSTED if protected else None
+
+        self.ready = self.input("ready", 1, label=ctrl)
+
+        self.req_valid: List = []
+        self.req_cmd: List = []
+        self.req_slot: List = []
+        self.req_word: List = []
+        self.req_addr: List = []
+        self.req_data: List = []
+        self.port_tag: List = []
+        for i in range(N_PORTS):
+            v = self.input(f"v{i}", 1, label=ctrl)
+            v.meta["enumerate"] = True
+            self.req_valid.append(v)
+            self.req_cmd.append(self.input(f"cmd{i}", 2, label=ctrl))
+            self.req_slot.append(self.input(f"slot{i}", 2, label=ctrl))
+            self.req_word.append(self.input(f"word{i}", 3, label=ctrl))
+            self.req_addr.append(self.input(f"addr{i}", 4, label=ctrl))
+            tag = self.input(f"tag{i}", TAG_WIDTH, label=ctrl)
+            tag.meta["enumerate"] = True
+            tag.meta["enum_domain"] = VALID_REQUEST_TAGS
+            self.port_tag.append(tag)
+            self.req_data.append(self.input(
+                f"data{i}", 128,
+                label=data_label(tag, domain=VALID_REQUEST_TAGS)
+                if protected else None,
+            ))
+
+        self.rr = self.reg("rr", 2, label=ctrl)
+        self.rr.meta["enumerate"] = True
+
+        # grant: first requesting port at or after the round-robin pointer
+        grant = self.wire("grant", 2, label=ctrl)
+        grant_valid = self.wire("grant_valid", 1, label=ctrl)
+        cases = []
+        for offset in range(N_PORTS):
+            # port index (rr + offset) mod 4 — select expression per offset
+            idx = (self.rr + lit(offset, 2)).trunc(2)
+            v = mux_case(lit(0, 1), [
+                (idx.eq(i), self.req_valid[i]) for i in range(N_PORTS)
+            ])
+            cases.append((v, idx))
+        grant <<= mux_case(lit(0, 2), cases)
+        grant_valid <<= mux_case(lit(0, 1), [(v, lit(1, 1)) for v, _ in cases])
+
+        self.grants = []
+        for i in range(N_PORTS):
+            g = self.output(f"grant{i}", 1, label=ctrl, default=0)
+            g <<= grant_valid & self.ready & grant.eq(i)
+            self.grants.append(g)
+
+        with when(grant_valid & self.ready):
+            self.rr <<= (grant + 1).trunc(2)
+
+        def pick(sources, width):
+            return mux_case(lit(0, width), [
+                (grant.eq(i), sources[i]) for i in range(N_PORTS)
+            ])
+
+        self.out_valid = self.output("out_valid", 1, label=ctrl)
+        self.out_valid <<= grant_valid
+        self.out_cmd = self.output("out_cmd", 2, label=ctrl)
+        self.out_cmd <<= pick(self.req_cmd, 2)
+        self.out_slot = self.output("out_slot", 2, label=ctrl)
+        self.out_slot <<= pick(self.req_slot, 2)
+        self.out_word = self.output("out_word", 3, label=ctrl)
+        self.out_word <<= pick(self.req_word, 3)
+        self.out_addr = self.output("out_addr", 4, label=ctrl)
+        self.out_addr <<= pick(self.req_addr, 4)
+        self.out_tag = self.output("out_tag", TAG_WIDTH, label=ctrl)
+        self.out_tag <<= pick(self.port_tag, TAG_WIDTH)
+        self.out_data = self.output(
+            "out_data", 128,
+            label=data_label(self.out_tag, domain=VALID_REQUEST_TAGS)
+            if protected else None,
+        )
+        self.out_data <<= pick(self.req_data, 128)

@@ -1,0 +1,198 @@
+"""AXI4-Lite host front-end — the "AXI/RoCC Interface" box of Fig. 4.
+
+Wraps the protected accelerator behind a standard memory-mapped slave:
+the host writes the 128-bit operand across four data registers, then a
+command register whose write fires the request; responses accumulate in
+a result mailbox read back over the AR/R channels.  Security tags ride
+on the (trusted-interconnect) ``awuser``/``aruser`` sideband signals —
+the Fig. 2 tagged-bus convention.
+
+Register map (word addresses)::
+
+    0x00..0x0C  W  DATA0..DATA3 (operand, DATA0 = most significant)
+    0x10        W  CMD: {addr[11:8], word[7:5], slot[4:3], cmd[2:1], go[0]}
+    0x14        R  STATUS: {resp_valid[1], in_ready[0]}
+    0x18..0x24  R  RESP0..RESP3 (latest routed response)
+    0x28        R  RESP_TAG
+    0x2C        R  COUNTERS: {dropped[23:16], blocked[15:8], suppressed[7:0]}
+
+The bridge is plain (⊥,⊤) control logic plus user-tagged data paths, so
+it verifies modularly like every other component.
+"""
+
+from __future__ import annotations
+
+from ..hdl.module import Module, otherwise, when
+from ..hdl.nodes import cat, lit, mux
+from ..ifc.label import Label
+from .common import LATTICE, TAG_WIDTH, VALID_REQUEST_TAGS
+from .protected import AesAcceleratorProtected
+from .taglabels import data_label
+
+PUB_TRUSTED = Label(LATTICE, "public", "trusted")
+
+# register word indices (byte address / 4)
+REG_DATA0, REG_DATA1, REG_DATA2, REG_DATA3 = 0, 1, 2, 3
+REG_CMD = 4
+REG_STATUS = 5
+REG_RESP0, REG_RESP1, REG_RESP2, REG_RESP3 = 6, 7, 8, 9
+REG_RESP_TAG = 10
+REG_COUNTERS = 11
+
+
+class AxiLiteFrontend(Module):
+    """AXI4-Lite slave wrapping the protected accelerator."""
+
+    def __init__(self, name: str = "axi"):
+        super().__init__(name)
+        ctrl = PUB_TRUSTED
+
+        # ---- AXI4-Lite slave ports (write address/data/resp, read) ----------
+        self.awvalid = self.input("awvalid", 1, label=ctrl)
+        self.awvalid.meta["enumerate"] = True
+        self.awaddr = self.input("awaddr", 6, label=ctrl)   # word-aligned
+        self.awuser = self.input("awuser", TAG_WIDTH, label=ctrl)
+        self.awuser.meta["enumerate"] = True
+        self.awuser.meta["enum_domain"] = VALID_REQUEST_TAGS
+        self.awready = self.output("awready", 1, label=ctrl)
+
+        self.wvalid = self.input("wvalid", 1, label=ctrl)
+        self.wvalid.meta["enumerate"] = True
+        self.wdata = self.input(
+            "wdata", 32,
+            label=data_label(self.awuser, domain=VALID_REQUEST_TAGS),
+        )
+        self.wready = self.output("wready", 1, label=ctrl)
+
+        self.bvalid = self.output("bvalid", 1, label=ctrl)
+        self.bready = self.input("bready", 1, label=ctrl)
+
+        self.arvalid = self.input("arvalid", 1, label=ctrl)
+        self.araddr = self.input("araddr", 6, label=ctrl)
+        self.aruser = self.input("aruser", TAG_WIDTH, label=ctrl)
+        self.aruser.meta["enumerate"] = True
+        self.aruser.meta["enum_domain"] = VALID_REQUEST_TAGS
+        self.arready = self.output("arready", 1, label=ctrl)
+
+        self.rvalid = self.output("rvalid", 1, label=ctrl)
+        self.rready = self.input("rready", 1, label=ctrl)
+
+        # ---- the accelerator --------------------------------------------------
+        self.accel = self.submodule(AesAcceleratorProtected())
+
+        # ---- write side: operand registers + command fire ----------------------
+        wr_fire = self.wire("wr_fire", 1, label=ctrl)
+        wr_fire <<= self.awvalid & self.wvalid
+        self.awready <<= self.wvalid
+        self.wready <<= self.awvalid
+
+        self.owner_tag = self.reg("owner_tag", TAG_WIDTH, label=ctrl)
+        self.data_regs = []
+        for i in range(4):
+            r = self.reg(
+                f"data{i}", 32,
+                label=data_label(self.owner_tag, domain=VALID_REQUEST_TAGS),
+            )
+            self.data_regs.append(r)
+
+        word = self.wire("word", 4, label=ctrl)
+        word.meta["enumerate"] = True
+        word <<= self.awaddr[5:2]
+        with when(wr_fire):
+            for i in range(4):
+                with when(word.eq(REG_DATA0 + i)):
+                    self.data_regs[i] <<= self.wdata
+                    self.owner_tag <<= self.awuser
+
+        # a data write by a different principal resets the mailbox: the
+        # operand registers never mix two users' fragments
+        mismatch = ~self.owner_tag.eq(self.awuser)
+        with when(wr_fire & mismatch):
+            for i in range(4):
+                self.data_regs[i] <<= mux(
+                    word.eq(REG_DATA0 + i), self.wdata, lit(0, 32)
+                )
+            self.owner_tag <<= self.awuser
+
+        # command fire.  The command word arrives over the *data* channel,
+        # so it carries the writer's label — but commands are request
+        # metadata, which the §2.2 threat model says the trusted
+        # interconnect vouches for.  The checker forces that assumption to
+        # be explicit: the command word is declassified by its owner (it is
+        # their own public value) and endorsed by the interconnect, at this
+        # one reviewed site.
+        from ..hdl.nodes import declassify, endorse
+
+        from .taglabels import authority_label, released_label
+
+        cmd_word = endorse(
+            declassify(
+                self.wdata,
+                released_label(self.awuser, domain=VALID_REQUEST_TAGS),
+                authority_label(self.awuser, domain=VALID_REQUEST_TAGS),
+            ),
+            PUB_TRUSTED, PUB_TRUSTED,
+        )
+        self.pending = self.reg("pending", 1, label=ctrl)
+        self.cmd_bits = self.reg("cmd_bits", 12, label=ctrl)
+        with when(wr_fire & word.eq(REG_CMD) & cmd_word[0]):
+            self.pending <<= 1
+            self.cmd_bits <<= cmd_word[12:1]
+
+        issue = self.wire("issue", 1, label=ctrl)
+        issue <<= self.pending & self.accel.in_ready
+        with when(issue):
+            self.pending <<= 0
+
+        operand = cat(*self.data_regs)
+        self.accel.in_valid <<= issue
+        self.accel.in_cmd <<= self.cmd_bits[1:0]
+        self.accel.in_slot <<= self.cmd_bits[3:2]
+        self.accel.in_word <<= self.cmd_bits[6:4]
+        self.accel.in_addr <<= self.cmd_bits[10:7]
+        self.accel.in_user <<= self.owner_tag
+        self.accel.in_data <<= operand
+
+        self.bvalid <<= wr_fire  # single-cycle write response
+
+        # ---- response mailbox ----------------------------------------------------
+        self.resp_valid = self.reg("resp_valid", 1, label=ctrl)
+        self.resp_tag = self.reg("resp_tag", TAG_WIDTH, label=ctrl)
+        self.resp_data = self.reg(
+            "resp_data", 128,
+            label=data_label(self.resp_tag, domain=None),
+        )
+        # reads poll with the reader's tag; the accelerator's routed output
+        # only presents blocks the reader may take
+        self.accel.rd_user <<= self.aruser
+        self.accel.out_ready <<= 1
+        with when(self.accel.out_valid):
+            self.resp_valid <<= 1
+            self.resp_tag <<= self.accel.out_tag
+            self.resp_data <<= self.accel.out_data
+
+        # ---- read side --------------------------------------------------------------
+        self.arready <<= 1
+        self.rvalid <<= self.arvalid
+        rword = self.araddr[5:2]
+        counters = cat(
+            self.accel.dropped_count,
+            self.accel.blocked_count[7:0],
+            self.accel.suppressed_count[7:0],
+        )
+        status = cat(lit(0, 30), self.resp_valid, self.accel.in_ready)
+
+        self.rdata = self.output(
+            "rdata", 32,
+            label=data_label(self.resp_tag, domain=None),
+            default=0,
+        )
+        with when(rword.eq(REG_STATUS)):
+            self.rdata <<= status
+        for i in range(4):
+            with when(rword.eq(REG_RESP0 + i)):
+                self.rdata <<= self.resp_data[127 - 32 * i:96 - 32 * i]
+        with when(rword.eq(REG_RESP_TAG)):
+            self.rdata <<= self.resp_tag.zext(32)
+        with when(rword.eq(REG_COUNTERS)):
+            self.rdata <<= counters.resize(32)

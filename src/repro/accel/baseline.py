@@ -1,0 +1,152 @@
+"""Baseline AES accelerator — high performance, no information-flow
+protection (§4: "we first built an AES accelerator baseline without
+information flow control").
+
+It is a realistic, heavily-optimised design with the paper's §2.1/§3.1
+vulnerability classes deliberately present:
+
+* **timing channel (pipeline)** — any output backpressure stalls the whole
+  pipeline, so one user's reader modulates every other user's latency;
+* **timing channel (key schedule)** — optional data-dependent key
+  expansion time (``keyexp_timing_flaw``), the Fig. 6 scenario;
+* **scratchpad overrun** — the key-load cell index is computed as
+  ``slot*2 + word`` with a 3-bit ``word`` and no bounds check, so a key
+  longer than the slot silently overwrites the neighbour's key (Fig. 5's
+  threat), including the master key in slot 0;
+* **debug disclosure** — the trace buffer snapshots round-1 state and is
+  readable by any user (the Huang–Mishra trace-buffer attack);
+* **configuration tampering** — any user can write the configuration
+  registers (e.g. switch the debug trace on);
+* **master-key misuse** — nothing stops a regular user from encrypting
+  with slot 0;
+* **plaintext disclosure** — outputs are not routed by security level, so
+  any reader can collect any user's decrypted plaintext.
+
+The audit experiment (:mod:`repro.eval.audit`) attaches labels to this
+design and shows the static checker flagging each class.
+"""
+
+from __future__ import annotations
+
+from ..hdl.module import Module, when
+from ..hdl.nodes import cat, lit, mux
+from .common import (
+    CMD_CONFIG,
+    CMD_DECRYPT,
+    CMD_ENCRYPT,
+    CMD_LOAD_KEY,
+    OP_DEC,
+    TAG_WIDTH,
+)
+from .config_regs import ConfigRegs
+from .debug import DebugPeripheral
+from .pipeline import AesPipeline
+from .scratchpad import KeyScratchpad
+
+
+class AesAcceleratorBaseline(Module):
+    """The unprotected accelerator (Fig. 4 without tags or checkers)."""
+
+    def __init__(self, keyexp_timing_flaw: bool = False, name: str = "aes"):
+        super().__init__(name)
+        self.protected = False
+
+        # ---- host interface -----------------------------------------------------
+        self.in_valid = self.input("in_valid", 1)
+        self.in_cmd = self.input("in_cmd", 2)
+        self.in_user = self.input("in_user", TAG_WIDTH)
+        self.in_slot = self.input("in_slot", 2)
+        self.in_word = self.input("in_word", 3)
+        self.in_addr = self.input("in_addr", 4)
+        self.in_data = self.input("in_data", 128)
+        self.out_ready = self.input("out_ready", 1)
+        self.rd_user = self.input("rd_user", TAG_WIDTH)
+
+        self.scratchpad = self.submodule(KeyScratchpad(protected=False))
+        self.pipe = self.submodule(
+            AesPipeline(protected=False, timing_flaw=keyexp_timing_flaw)
+        )
+        self.cfg = self.submodule(ConfigRegs(protected=False))
+        self.debug = self.submodule(DebugPeripheral(protected=False))
+
+        is_enc = self.in_valid & self.in_cmd.eq(CMD_ENCRYPT)
+        is_dec = self.in_valid & self.in_cmd.eq(CMD_DECRYPT)
+        is_load = self.in_valid & self.in_cmd.eq(CMD_LOAD_KEY)
+        is_cfg = self.in_valid & self.in_cmd.eq(CMD_CONFIG)
+
+        # ---- global stall: ANY backpressure freezes the pipe (the covert
+        # channel of §3.1) -----------------------------------------------------------
+        stall = self.wire("stall", 1)
+        stall <<= self.pipe.out_valid & ~self.out_ready
+        advance = self.wire("advance", 1)
+        advance <<= ~stall
+        self.pipe.advance <<= advance
+        self.in_ready = self.output("in_ready", 1)
+        self.in_ready <<= advance
+
+        # ---- key loads: unchecked cell arithmetic (overrun bug) ---------------------
+        # cell = slot*2 + word — `word` is 3 bits, so word > 1 walks into the
+        # next slot's cells with no bounds check
+        wcell = (cat(self.in_slot, lit(0, 1)) + self.in_word.zext(3)).trunc(3)
+        self.scratchpad.we <<= is_load & advance
+        self.scratchpad.wcell <<= wcell
+        self.scratchpad.wdata <<= self.in_data[63:0]
+        self.scratchpad.user_tag <<= self.in_user
+        self.scratchpad.set_tag <<= 0
+        self.scratchpad.set_cell <<= 0
+        self.scratchpad.set_value <<= 0
+        self.scratchpad.rcell <<= 0
+
+        # second half of a slot written -> expand next cycle
+        self.pending_exp = self.reg("pending_exp", 1)
+        self.pending_slot = self.reg("pending_slot", 2)
+        # expansion is (re)triggered by the second half of whichever slot
+        # the write actually landed in — i.e. by the computed cell index
+        with when(is_load & advance & wcell[0]):
+            self.pending_exp <<= 1
+            self.pending_slot <<= wcell[2:1]
+        self.kx_fire_r = self.reg("kx_fire_r", 1)
+        kx_fire = self.wire("kx_fire", 1)
+        kx_fire <<= self.pending_exp & ~self.pipe.kx_busy & ~self.kx_fire_r
+        self.kx_fire_r <<= kx_fire
+        with when(kx_fire):
+            self.pending_exp <<= 0
+        self.scratchpad.rslot <<= self.pending_slot
+        self.pipe.kx_start <<= kx_fire
+        self.pipe.kx_slot <<= self.pending_slot
+        self.pipe.kx_key <<= self.scratchpad.key128
+        self.pipe.kx_key_tag <<= self.scratchpad.key_tag
+
+        # ---- encrypt/decrypt issue ---------------------------------------------------
+        self.pipe.in_valid <<= (is_enc | is_dec) & advance
+        self.pipe.in_user <<= self.in_user
+        self.pipe.in_op <<= mux(is_dec, lit(OP_DEC, 1), lit(0, 1))
+        self.pipe.in_slot <<= self.in_slot
+        self.pipe.in_data <<= self.in_data
+
+        # ---- configuration: writable by anyone (§3.2.4 violation) ----------------------
+        self.cfg.we <<= is_cfg & self.in_addr[3].eq(0)
+        self.cfg.addr <<= self.in_addr[1:0]
+        self.cfg.wdata <<= self.in_data[31:0]
+        self.cfg.user_tag <<= self.in_user
+        self.cfg.raddr <<= self.in_addr[1:0]
+        self.cfg_rdata = self.output("cfg_rdata", 32)
+        self.cfg_rdata <<= self.cfg.rdata
+
+        # ---- debug trace: capture round-1 state, readable by anyone ----------------------
+        self.debug.enable <<= self.cfg.debug_en
+        self.debug.cap_valid <<= self.pipe.obs_valid
+        self.debug.cap_tag <<= self.pipe.obs_tag
+        self.debug.cap_data <<= self.pipe.obs_data
+        self.debug.raddr <<= self.in_addr
+        self.debug.reader_tag <<= self.rd_user
+        self.dbg_data = self.output("dbg_data", 128)
+        self.dbg_data <<= self.debug.rdata
+
+        # ---- outputs: no routing check, no declassification gate -------------------------
+        self.out_valid = self.output("out_valid", 1)
+        self.out_tag = self.output("out_tag", TAG_WIDTH)
+        self.out_data = self.output("out_data", 128)
+        self.out_valid <<= self.pipe.out_valid & self.out_ready
+        self.out_tag <<= self.pipe.out_tag
+        self.out_data <<= self.pipe.out_data

@@ -1,0 +1,136 @@
+"""Shared geometry, encodings, and security levels for the AES accelerator.
+
+The accelerator matches the paper's prototype (§3.1, §4):
+
+* deeply pipelined E/D datapath — 30 stages (10 rounds × 3 stages for
+  AES-128), accepting one 128-bit block per cycle;
+* a 512-bit key scratchpad of eight 64-bit cells (Fig. 5), i.e. four
+  128-bit key slots, with slot 0 reserved for the master key;
+* 8-bit security tags: 4 confidentiality bits + 4 integrity bits (§4),
+  which in our lattice means four principal slots;
+* configuration registers, a debug/trace peripheral, and an output
+  holding buffer.
+
+Command encoding on the host interface (post-arbitration):
+
+====  ===========  =====================================================
+code  name         meaning
+====  ===========  =====================================================
+0     ENCRYPT      encrypt ``in_data`` with the key in ``in_slot``
+1     DECRYPT      decrypt ``in_data`` with the key in ``in_slot``
+2     LOAD_KEY     write 64 bits of key material (``in_word`` selects the
+                   scratchpad cell offset within/beyond the slot)
+3     CONFIG       write a configuration register / scratchpad cell tag
+====  ===========  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..ifc.label import Label
+from ..ifc.lattice import SecurityLattice
+
+# ---------------------------------------------------------------- geometry
+PIPELINE_ROUNDS = 10          # AES-128
+PIPELINE_STAGES = 3 * PIPELINE_ROUNDS   # 30-cycle latency, 1 block/cycle
+SCRATCHPAD_CELLS = 8          # 8 x 64-bit = 512-bit scratchpad (Fig. 5)
+CELL_BITS = 64
+KEY_SLOTS = 4                 # 128-bit key slots (2 cells each)
+MASTER_SLOT = 0               # slot 0 holds the (⊤,⊤) master key
+ROUND_KEYS_PER_SLOT = PIPELINE_ROUNDS + 1
+RK_MEM_DEPTH = KEY_SLOTS * 16  # slot in addr[5:4], round in addr[3:0]
+CONFIG_REGS = 4
+CONFIG_WIDTH = 32
+OUTPUT_BUFFER_DEPTH = 4
+TRACE_DEPTH = 16              # debug trace buffer entries
+
+# ---------------------------------------------------------------- commands
+CMD_ENCRYPT = 0
+CMD_DECRYPT = 1
+CMD_LOAD_KEY = 2
+CMD_CONFIG = 3
+
+OP_ENC = 0
+OP_DEC = 1
+
+# config-space addresses for CMD_CONFIG
+CFG_REG_BASE = 0      # addrs 0..3: configuration registers
+CFG_CELL_TAG_BASE = 8  # addrs 8..15: set scratchpad cell tag (arbiter alloc)
+
+# ---------------------------------------------------------------- security levels
+#: The four principal slots of the 8-bit tag (§4).
+PRINCIPALS: Tuple[str, ...] = ("p0", "p1", "p2", "p3")
+
+#: The shared lattice instance for all accelerator designs.
+LATTICE = SecurityLattice(PRINCIPALS)
+
+TAG_WIDTH = LATTICE.tag_width  # 8 bits: conf[7:4], integ[3:0]
+
+
+def user_label(principal: str) -> Label:
+    """Label of an ordinary user: owns its own secrets, vouched only for
+    itself."""
+    return Label(LATTICE, (principal,), (principal,))
+
+
+def supervisor_label() -> Label:
+    """The supervisor reads everything and is fully trusted."""
+    return Label(LATTICE, "secret", "trusted")
+
+
+def public_label() -> Label:
+    return Label(LATTICE, "public", "trusted")
+
+
+def master_key_label() -> Label:
+    """(⊤, ⊤) in the paper's notation."""
+    return Label(LATTICE, "secret", "trusted")
+
+
+USER_LABELS: Dict[str, Label] = {p: user_label(p) for p in PRINCIPALS}
+
+#: Encoded tags the arbiter can legally issue on the request interface.
+VALID_REQUEST_TAGS: List[int] = sorted(
+    {user_label(p).encode() for p in PRINCIPALS} | {supervisor_label().encode()}
+)
+
+#: Tag values a scratchpad / pipeline cell can legally carry: any issued
+#: tag, the master-key tag, the free tag, or a join of a user and a key.
+FREE_TAG = public_label().encode()
+
+
+def joined_tags() -> List[int]:
+    """All tags a cell/stage/buffer can legally carry: request tags, the
+    free and master tags, pairwise joins, and the *released* forms the
+    declassifier emits (public confidentiality, the owner's vouch)."""
+    tags = set(VALID_REQUEST_TAGS) | {FREE_TAG, master_key_label().encode()}
+    for p in PRINCIPALS:
+        tags.add(Label(LATTICE, "public", (p,)).encode())
+    joined = set(tags)
+    for a in tags:
+        for b in tags:
+            la = Label.decode(LATTICE, a)
+            lb = Label.decode(LATTICE, b)
+            joined.add(la.join(lb).encode())
+    return sorted(joined)
+
+
+VALID_CELL_TAGS: List[int] = joined_tags()
+
+
+def tag_conf_bits(tag: int) -> int:
+    """Extract the confidentiality nibble of an encoded tag."""
+    n = len(PRINCIPALS)
+    return (tag >> n) & ((1 << n) - 1)
+
+
+def tag_integ_bits(tag: int) -> int:
+    """Extract the integrity (vouch) nibble of an encoded tag."""
+    n = len(PRINCIPALS)
+    return tag & ((1 << n) - 1)
+
+
+def make_tag(conf_bits: int, integ_bits: int) -> int:
+    n = len(PRINCIPALS)
+    return ((conf_bits & ((1 << n) - 1)) << n) | (integ_bits & ((1 << n) - 1))

@@ -1,0 +1,84 @@
+"""Configuration registers — requirement 6 of Table 1.
+
+Labelled ``(⊥, ⊤)``: public (any user may read) but maximally trusted
+(only the supervisor may write).  The protected variant enforces the
+write rule with a supervisor check on the requester's tag; the baseline
+lets any user write — the misconfiguration vector of §3.2.4 (e.g.
+enabling the debug peripheral).
+
+Register map: ``0`` feature flags (bit 0: output buffer enable, bit 1:
+debug trace enable), ``1`` arbitration policy, ``2`` interrupt mask,
+``3`` scratch.
+"""
+
+from __future__ import annotations
+
+from ..hdl.module import Module, when
+from ..ifc.label import Label
+from .common import CONFIG_REGS, CONFIG_WIDTH, LATTICE, TAG_WIDTH
+from .hwlabels import hw_is_supervisor
+
+PUB_TRUSTED = Label(LATTICE, "public", "trusted")
+
+CFG_FEATURES = 0
+CFG_ARBITER = 1
+CFG_IRQ_MASK = 2
+CFG_SCRATCH = 3
+
+FEATURE_OUTBUF_EN = 1 << 0
+FEATURE_DEBUG_EN = 1 << 1
+
+
+class ConfigRegs(Module):
+    """The accelerator's configuration register file."""
+
+    def __init__(self, protected: bool, name: str = "cfg"):
+        super().__init__(name)
+        self.protected = protected
+        ctrl = PUB_TRUSTED if protected else None
+
+        self.we = self.input("we", 1, label=ctrl)
+        self.addr = self.input("addr", 2, label=ctrl)
+        self.user_tag = self.input("user_tag", TAG_WIDTH, label=ctrl)
+        # the written value is public but only as trustworthy as its writer;
+        # the supervisor gate below is what lets it reach the (⊥,⊤) registers
+        from .common import VALID_REQUEST_TAGS
+        from .taglabels import authority_label
+
+        self.wdata = self.input(
+            "wdata", CONFIG_WIDTH,
+            label=authority_label(self.user_tag, domain=VALID_REQUEST_TAGS)
+            if protected else None,
+        )
+        self.raddr = self.input("raddr", 2, label=ctrl)
+
+        self.regs = []
+        for i in range(CONFIG_REGS):
+            init = FEATURE_OUTBUF_EN if i == CFG_FEATURES else 0
+            reg = self.reg(f"r{i}", CONFIG_WIDTH, init=init, label=ctrl)
+            self.regs.append(reg)
+
+        write_ok = self.we if not protected else (
+            self.we & hw_is_supervisor(self.user_tag)
+        )
+        ok_wire = self.wire("write_ok", 1, label=ctrl)
+        ok_wire <<= write_ok
+        self.wr_blocked = self.output("wr_blocked", 1, label=ctrl, default=0)
+        if protected:
+            self.wr_blocked <<= self.we & ~hw_is_supervisor(self.user_tag)
+
+        with when(ok_wire):
+            for i in range(CONFIG_REGS):
+                with when(self.addr.eq(i)):
+                    self.regs[i] <<= self.wdata
+
+        self.rdata = self.output("rdata", CONFIG_WIDTH, label=ctrl, default=0)
+        for i in range(CONFIG_REGS):
+            with when(self.raddr.eq(i)):
+                self.rdata <<= self.regs[i]
+
+        # decoded feature bits for the rest of the design
+        self.outbuf_en = self.output("outbuf_en", 1, label=ctrl)
+        self.outbuf_en <<= self.regs[CFG_FEATURES][0]
+        self.debug_en = self.output("debug_en", 1, label=ctrl)
+        self.debug_en <<= self.regs[CFG_FEATURES][1]

@@ -1,0 +1,93 @@
+"""Debug/trace peripheral — the attack surface of Huang & Mishra's
+trace-buffer attack (§2.1, [10]).
+
+The peripheral snapshots a mid-pipeline stage into a circular trace
+buffer whenever tracing is enabled.  In the **baseline** the buffer is
+readable by anyone through the debug port, which discloses intermediate
+round state — enough to reconstruct the AES key (see
+:mod:`repro.attacks.debug_leak`).
+
+The **protected** variant stores the security tag alongside each trace
+entry and releases an entry only to a reader whose label dominates it
+(in practice: the supervisor), turning the §2.1 attack into a blocked
+flow.  The static checker sees the guard fold and verifies the module.
+"""
+
+from __future__ import annotations
+
+from ..hdl.module import Module, when
+from ..hdl.nodes import lit, mux
+from ..ifc.label import Label
+from .common import FREE_TAG, LATTICE, TAG_WIDTH, TRACE_DEPTH
+from .taglabels import cell_tag_label, data_label, mark_tag_mem
+
+PUB_TRUSTED = Label(LATTICE, "public", "trusted")
+
+
+class DebugPeripheral(Module):
+    """Trace buffer over one observation point of the pipeline."""
+
+    def __init__(self, protected: bool, name: str = "debug"):
+        super().__init__(name)
+        self.protected = protected
+        ctrl = PUB_TRUSTED if protected else None
+        ptr_w = max(1, (TRACE_DEPTH - 1).bit_length())
+
+        self.enable = self.input("enable", 1, label=ctrl)
+        self.cap_valid = self.input("cap_valid", 1, label=ctrl)
+        self.cap_tag = self.input("cap_tag", TAG_WIDTH, label=ctrl)
+        self.cap_data = self.input(
+            "cap_data", 128,
+            label=data_label(self.cap_tag) if protected else None,
+        )
+        self.raddr = self.input("raddr", ptr_w, label=ctrl)
+        self.reader_tag = self.input("reader_tag", TAG_WIDTH, label=ctrl)
+
+        if protected:
+            self.trace_tags = self.mem("trace_tags", TRACE_DEPTH, TAG_WIDTH,
+                                       label=PUB_TRUSTED,
+                                       init=[FREE_TAG] * TRACE_DEPTH)
+            mark_tag_mem(self.trace_tags)
+            self.trace = self.mem("trace", TRACE_DEPTH, 128,
+                                  label=cell_tag_label(self.trace_tags))
+            # the tags are stored alongside the trace words (Table 2's
+            # "security tags stored with the on-chip data buffers")
+            self.trace_tags.meta["width_rider_of"] = self.trace
+        else:
+            self.trace_tags = None
+            self.trace = self.mem("trace", TRACE_DEPTH, 128)
+
+        self.wptr = self.reg("wptr", ptr_w, label=ctrl)
+        with when(self.enable & self.cap_valid):
+            if protected:
+                self.trace.write(self.wptr, self.cap_data, tag=self.cap_tag)
+                self.trace_tags.write(self.wptr, self.cap_tag)
+            else:
+                self.trace.write(self.wptr, self.cap_data)
+            self.wptr <<= self.wptr + 1
+
+        # readout protection is about *disclosure*: the gate checks the
+        # confidentiality dimension (requirement 1 of Table 1 is a C
+        # policy); the value handed out is labelled untrusted — reading a
+        # trace never endorses its contents
+        from .taglabels import readout_label
+
+        self.rdata = self.output(
+            "rdata", 128,
+            label=readout_label(self.reader_tag) if protected else None,
+            default=0,
+        )
+        self.rdenied = self.output("rdenied", 1, label=ctrl, default=0)
+        if protected:
+            from .hwlabels import conf_bits, hw_conf_leq
+
+            entry_tag = self.wire("entry_tag", TAG_WIDTH, label=ctrl)
+            entry_tag <<= self.trace_tags.read(self.raddr)
+            allowed = self.wire("rd_allowed", 1, label=ctrl)
+            allowed <<= hw_conf_leq(
+                conf_bits(entry_tag), conf_bits(self.reader_tag)
+            )
+            self.rdata <<= mux(allowed, self.trace.read(self.raddr), lit(0, 128))
+            self.rdenied <<= ~allowed
+        else:
+            self.rdata <<= self.trace.read(self.raddr)

@@ -1,0 +1,89 @@
+"""Pipeline-exit declassifier — §3.2.2 in hardware.
+
+Ciphertext leaving the last encryption round carries the label
+``(ck ⊔C cu, iu)``.  Releasing it to the public output is a
+*declassification*, legal under nonmalleable IFC only when
+``C(data) ⊑C ⊥ ⊔C r(I(user))`` — i.e. when the originating user's vouch
+set covers every key that touched the block.  For a user encrypting with
+their own key that holds; for a regular user encrypting with the master
+key (``ck = ⊤``) it does not, and the block is suppressed (the paper:
+"Only the supervisor has high enough integrity to declassify encryption
+with the master key").
+
+Decryption outputs are *not* declassified: recovered plaintext keeps the
+user's confidentiality and is routed only to readers whose label
+dominates it (requirement 4 of Table 1).
+
+The module contains the runtime tag comparison **and** the static
+:func:`~repro.hdl.nodes.declassify` marker, so the checker verifies the
+nonmalleable condition for every tag case that can reach the release.
+"""
+
+from __future__ import annotations
+
+from ..hdl.module import Module
+from ..hdl.nodes import declassify, lit, mux
+from ..ifc.label import Label
+from .common import LATTICE, OP_DEC, TAG_WIDTH, VALID_CELL_TAGS
+from .hwlabels import hw_declassify_ok, integ_bits, make_tag_expr
+from .taglabels import authority_label, data_label, released_label
+
+PUB_TRUSTED = Label(LATTICE, "public", "trusted")
+_N = len(LATTICE.principals)
+
+
+class Declassifier(Module):
+    """Gate between the pipeline exit and the output buffer / host."""
+
+    def __init__(self, protected: bool, name: str = "declass"):
+        super().__init__(name)
+        self.protected = protected
+        ctrl = PUB_TRUSTED if protected else None
+
+        self.in_valid = self.input("in_valid", 1, label=ctrl)
+        self.in_tag = self.input("in_tag", TAG_WIDTH, label=ctrl)
+        self.in_op = self.input("in_op", 1, label=ctrl)
+        self.in_op.meta["enumerate"] = True
+        self.in_data = self.input(
+            "in_data", 128,
+            label=data_label(self.in_tag) if protected else None,
+        )
+
+        self.out_valid = self.output("out_valid", 1, label=ctrl, default=0)
+        self.out_tag = self.output("out_tag", TAG_WIDTH, label=ctrl,
+                                   default=0)
+        self.suppressed = self.output("suppressed", 1, label=ctrl, default=0)
+
+        if not protected:
+            self.out_data = self.output("out_data", 128)
+            self.out_valid <<= self.in_valid
+            self.out_tag <<= self.in_tag
+            self.out_data <<= self.in_data
+            return
+
+        is_dec = self.in_op.eq(OP_DEC)
+        ok = self.wire("declass_ok", 1, label=ctrl)
+        ok <<= hw_declassify_ok(self.in_tag, self.in_tag)
+
+        # encrypt: release as public data vouched by the originating user;
+        # the static marker carries the nonmalleable obligation
+        released = declassify(
+            self.in_data,
+            target=released_label(self.in_tag, domain=VALID_CELL_TAGS),
+            authority=authority_label(self.in_tag, domain=VALID_CELL_TAGS),
+        )
+        public_tag = make_tag_expr(lit(0, _N), integ_bits(self.in_tag))
+
+        self.out_data = self.output(
+            "out_data", 128, label=data_label(self.out_tag),
+        )
+        # decrypt: plaintext keeps its label and tag (routed by the host
+        # interface); encrypt: released if the NM check passes, else dropped
+        self.out_valid <<= self.in_valid & (is_dec | ok)
+        self.out_tag <<= mux(is_dec, self.in_tag, public_tag)
+        self.out_data <<= mux(
+            is_dec,
+            self.in_data,
+            mux(ok, released, lit(0, 128)),
+        )
+        self.suppressed <<= self.in_valid & ~is_dec & ~ok

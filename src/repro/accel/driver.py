@@ -1,0 +1,191 @@
+"""Transaction-level driver for the accelerators.
+
+Wraps a :class:`~repro.hdl.sim.Simulator` of either accelerator top and
+provides the operations a software stack would issue: allocate key slots,
+load keys, submit encrypt/decrypt requests, collect responses — with
+cycle accounting so the experiments can measure latency and throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..hdl.sim import Simulator
+from .common import (
+    CMD_CONFIG,
+    CMD_DECRYPT,
+    CMD_ENCRYPT,
+    CMD_LOAD_KEY,
+    supervisor_label,
+    user_label,
+)
+
+
+class Response:
+    """One block leaving the accelerator."""
+
+    __slots__ = ("cycle", "tag", "data")
+
+    def __init__(self, cycle: int, tag: int, data: int):
+        self.cycle = cycle
+        self.tag = tag
+        self.data = data
+
+    def __repr__(self) -> str:
+        return f"Response(cycle={self.cycle}, tag={self.tag:#04x}, data={self.data:#x})"
+
+
+class AcceleratorDriver:
+    """Drives one accelerator instance through its host interface."""
+
+    def __init__(self, accel_module, backend: str = "compiled"):
+        self.module = accel_module
+        self.sim = Simulator(accel_module, backend=backend)
+        self.top = accel_module.name
+        self.responses: List[Response] = []
+        self.sim.poke(f"{self.top}.out_ready", 1)
+        self._idle_inputs()
+
+    # -- low level ------------------------------------------------------------
+    def _idle_inputs(self) -> None:
+        self.sim.poke(f"{self.top}.in_valid", 0)
+
+    def _poke_cmd(self, cmd: int, user_tag: int, slot: int = 0, word: int = 0,
+                  addr: int = 0, data: int = 0) -> None:
+        s = self.sim
+        s.poke(f"{self.top}.in_valid", 1)
+        s.poke(f"{self.top}.in_cmd", cmd)
+        s.poke(f"{self.top}.in_user", user_tag)
+        s.poke(f"{self.top}.in_slot", slot)
+        s.poke(f"{self.top}.in_word", word)
+        s.poke(f"{self.top}.in_addr", addr)
+        s.poke(f"{self.top}.in_data", data)
+
+    def set_reader(self, reader_tag: int, ready: bool = True) -> None:
+        self.sim.poke(f"{self.top}.rd_user", reader_tag)
+        self.sim.poke(f"{self.top}.out_ready", 1 if ready else 0)
+
+    def step(self, n: int = 1) -> None:
+        """Advance cycles, collecting any responses presented."""
+        for _ in range(n):
+            if self.sim.peek(f"{self.top}.out_valid"):
+                self.responses.append(
+                    Response(
+                        self.sim.cycle,
+                        self.sim.peek(f"{self.top}.out_tag"),
+                        self.sim.peek(f"{self.top}.out_data"),
+                    )
+                )
+            self.sim.step()
+
+    def issue(self, cmd: int, user_tag: int, **kwargs) -> None:
+        """Issue one command for exactly one accepted cycle."""
+        self._poke_cmd(cmd, user_tag, **kwargs)
+        waited = 0
+        while not self.sim.peek(f"{self.top}.in_ready"):
+            self.step()
+            waited += 1
+            if waited > 1000:
+                raise TimeoutError("accelerator never became ready")
+        self.step()
+        self._idle_inputs()
+
+    # -- operations ----------------------------------------------------------------
+    def allocate_slot(self, slot: int, owner_tag: int,
+                      supervisor_tag: Optional[int] = None) -> None:
+        """Supervisor assigns a key slot's two scratchpad cells to a user."""
+        sup = supervisor_tag if supervisor_tag is not None else (
+            supervisor_label().encode()
+        )
+        for cell in (2 * slot, 2 * slot + 1):
+            self.issue(CMD_CONFIG, sup, addr=8 + cell, data=owner_tag)
+
+    def load_key(self, user_tag: int, slot: int, key: int,
+                 wait: bool = True) -> None:
+        """Load a 128-bit key into ``slot`` (two 64-bit cell writes)."""
+        hi = key >> 64
+        lo = key & ((1 << 64) - 1)
+        self.issue(CMD_LOAD_KEY, user_tag, slot=slot, word=0, data=hi)
+        self.issue(CMD_LOAD_KEY, user_tag, slot=slot, word=1, data=lo)
+        if wait:
+            self.wait_key_ready()
+
+    def load_key_cell(self, user_tag: int, slot: int, word: int,
+                      data64: int) -> None:
+        """Raw cell write — ``word`` beyond 1 exercises the overrun path."""
+        self.issue(CMD_LOAD_KEY, user_tag, slot=slot, word=word, data=data64)
+
+    def wait_key_ready(self, max_cycles: int = 64) -> int:
+        """Wait until key expansion finishes; returns cycles waited."""
+        waited = 0
+        # expansion fires one cycle after the second half lands
+        self.step(2)
+        while self.sim.peek(f"{self.top}.pipe.kx_busy"):
+            self.step()
+            waited += 1
+            if waited > max_cycles:
+                raise TimeoutError("key expansion did not finish")
+        return waited + 2
+
+    def write_config(self, user_tag: int, reg: int, value: int) -> None:
+        self.issue(CMD_CONFIG, user_tag, addr=reg, data=value)
+
+    def read_config(self, reg: int) -> int:
+        self.sim.poke(f"{self.top}.in_addr", reg)
+        return self.sim.peek(f"{self.top}.cfg_rdata")
+
+    def read_debug(self, reader_tag: int, entry: int) -> int:
+        self.sim.poke(f"{self.top}.rd_user", reader_tag)
+        self.sim.poke(f"{self.top}.in_addr", entry)
+        return self.sim.peek(f"{self.top}.dbg_data")
+
+    def encrypt(self, user_tag: int, slot: int, plaintext: int) -> None:
+        self.issue(CMD_ENCRYPT, user_tag, slot=slot, data=plaintext)
+
+    def decrypt(self, user_tag: int, slot: int, ciphertext: int) -> None:
+        self.issue(CMD_DECRYPT, user_tag, slot=slot, data=ciphertext)
+
+    def run_collect(self, cycles: int) -> List[Response]:
+        """Run for ``cycles`` and return the responses gathered so far."""
+        self.step(cycles)
+        return self.responses
+
+    def take_responses(self) -> List[Response]:
+        out = self.responses
+        self.responses = []
+        return out
+
+    # -- measurements -------------------------------------------------------------
+    def encrypt_blocking(self, user_tag: int, slot: int, plaintext: int,
+                         max_cycles: int = 200) -> Tuple[Optional[int], int]:
+        """Encrypt one block and wait for its response.
+
+        Returns ``(ciphertext or None, latency_cycles)`` measured from
+        issue to response (None if suppressed/never released).
+        """
+        before = len(self.responses)
+        start = self.sim.cycle
+        self.encrypt(user_tag, slot, plaintext)
+        for _ in range(max_cycles):
+            if len(self.responses) > before:
+                resp = self.responses[-1]
+                return resp.data, resp.cycle - start
+            self.step()
+        return None, max_cycles
+
+    def counters(self) -> Dict[str, int]:
+        out = {}
+        for name in ("suppressed_count", "blocked_count", "dropped_count"):
+            try:
+                out[name] = self.sim.peek(f"{self.top}.{name}")
+            except KeyError:
+                pass
+        return out
+
+
+def make_users() -> Dict[str, int]:
+    """Convenience: encoded tags for the four users plus the supervisor."""
+    tags = {f"u{i}": user_label(p).encode()
+            for i, p in enumerate(("p0", "p1", "p2", "p3"))}
+    tags["supervisor"] = supervisor_label().encode()
+    return tags

@@ -1,0 +1,82 @@
+"""Security-tag operations as hardware expressions.
+
+The protected accelerator manipulates 8-bit tags (conf nibble above the
+integrity/vouch nibble — :mod:`repro.accel.common`) in real logic.  With
+the principal-set lattice every lattice operation is a bitwise subset
+computation, which is exactly why the paper's runtime enforcement is
+cheap (Table 2):
+
+* conf flow ``a ⊑C b``      → ``(a & ~b) == 0``
+* integ flow ``a ⊑I b``     → ``(b & ~a) == 0``  (vouch(a) ⊇ vouch(b))
+* conf join                 → ``a | b``; conf meet → ``a & b``
+* integ join                → ``a & b``  (fewer vouchers)
+* nonmalleable declassify ``C(data) ⊑C ⊥ ⊔C r(I(user))``
+                            → ``(conf(data) & ~vouch(user)) == 0``
+"""
+
+from __future__ import annotations
+
+from ..hdl.nodes import Node, cat
+from .common import LATTICE
+
+_N = len(LATTICE.principals)
+
+
+def conf_bits(tag: Node) -> Node:
+    """Confidentiality nibble of an encoded tag expression."""
+    return tag[2 * _N - 1:_N]
+
+
+def integ_bits(tag: Node) -> Node:
+    """Integrity (vouch) nibble of an encoded tag expression."""
+    return tag[_N - 1:0]
+
+
+def make_tag_expr(conf: Node, integ: Node) -> Node:
+    return cat(conf, integ)
+
+
+def hw_conf_leq(a_conf: Node, b_conf: Node) -> Node:
+    """``a ⊑C b`` as a 1-bit expression."""
+    return (a_conf & ~b_conf).is_zero()
+
+
+def hw_integ_leq(a_integ: Node, b_integ: Node) -> Node:
+    """``a ⊑I b`` (a at least as trusted as b) as a 1-bit expression."""
+    return (b_integ & ~a_integ).is_zero()
+
+
+def hw_flows_to(tag_a: Node, tag_b: Node) -> Node:
+    """Full label flow check between two encoded tags."""
+    return hw_conf_leq(conf_bits(tag_a), conf_bits(tag_b)) & hw_integ_leq(
+        integ_bits(tag_a), integ_bits(tag_b)
+    )
+
+
+def hw_join(tag_a: Node, tag_b: Node) -> Node:
+    """Join of two encoded tags (conf union, vouch intersection)."""
+    return make_tag_expr(
+        conf_bits(tag_a) | conf_bits(tag_b),
+        integ_bits(tag_a) & integ_bits(tag_b),
+    )
+
+
+def hw_conf_meet(a_conf: Node, b_conf: Node) -> Node:
+    """Meet of two confidentiality nibbles (Fig. 8's ⊓ over the pipeline)."""
+    return a_conf & b_conf
+
+
+def hw_declassify_ok(data_tag: Node, user_tag: Node) -> Node:
+    """Nonmalleable declassification guard for releasing to public:
+
+    ``C(data) ⊑C ⊥ ⊔C r(I(user))`` — with the principal lattice, the
+    reflection of the user's vouch set *is* a confidentiality element, so
+    the check is one subset test (§3.2.2's master-key argument in gates).
+    """
+    return hw_conf_leq(conf_bits(data_tag), integ_bits(user_tag))
+
+
+def hw_is_supervisor(user_tag: Node) -> Node:
+    """Fully-trusted check: the supervisor's vouch set is all-ones."""
+    full = (1 << _N) - 1
+    return integ_bits(user_tag).eq(full)

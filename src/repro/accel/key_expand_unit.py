@@ -1,0 +1,176 @@
+"""Key expansion unit: expands a loaded 128-bit key into round keys.
+
+On ``start`` the unit latches the key and its security tag, then produces
+one round key per cycle (11 total for AES-128) into a per-slot round-key
+RAM.  Each slot RAM carries a whole-memory dependent label selected by a
+per-slot tag register, so the IFC checker verifies that key material can
+only land in a RAM whose tag covers it; a runtime flow guard
+(`tag matches` comparison) makes the invariant structural, fail-secure.
+
+The **baseline** variant ships the paper's §2.1/Fig. 6 vulnerability: a
+"performance optimisation" that skips a cycle whenever the MSB of the
+evolving round key is set, making the unit's busy time depend on the key
+value (a Koeune–Quisquater-style timing channel).  With labels applied,
+the static checker flags the ``busy``/``ready`` signal exactly as in
+Fig. 6; the protected variant is constant-time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..aes.constants import RCON, SBOX
+from ..aes.key_schedule import expand_key, round_key_as_int
+from ..hdl.module import Module, when
+from ..hdl.nodes import Node, cat, mux
+from ..ifc.label import Label
+from .common import (
+    KEY_SLOTS,
+    LATTICE,
+    MASTER_SLOT,
+    PIPELINE_ROUNDS,
+    TAG_WIDTH,
+    FREE_TAG,
+    master_key_label,
+)
+from .hwlabels import hw_flows_to
+from .round_exprs import rot_word_expr, sub_word_expr
+from .taglabels import data_label
+
+PUB_TRUSTED = Label(LATTICE, "public", "trusted")
+
+#: Default master key baked into slot 0 at reset (the supervisor may
+#: replace it at runtime).  Value from the FIPS-197 example key.
+DEFAULT_MASTER_KEY = 0x2B7E151628AED2A6ABF7158809CF4F3C
+
+
+def _master_rk_init() -> List[int]:
+    """Initial contents of the slot-0 round-key RAM: the expanded master key."""
+    rks = expand_key(DEFAULT_MASTER_KEY, 128)
+    contents = [round_key_as_int(rk) for rk in rks]
+    return contents + [0] * (16 - len(contents))
+
+
+class KeyExpandUnit(Module):
+    """Expands keys into per-slot round-key RAMs with security tags."""
+
+    def __init__(self, protected: bool, timing_flaw: bool = False,
+                 name: str = "keyexp"):
+        super().__init__(name)
+        self.protected = protected
+        self.timing_flaw = timing_flaw
+        ctrl = PUB_TRUSTED if protected else None
+
+        self.start = self.input("start", 1, label=ctrl)
+        self.start.meta["enumerate"] = True
+        self.slot = self.input("slot", 2, label=ctrl)
+        self.slot.meta["enumerate"] = True
+        self.key_tag = self.input("key_tag", TAG_WIDTH, label=ctrl)
+        self.key = self.input(
+            "key", 128, label=data_label(self.key_tag) if protected else None
+        )
+        self.busy = self.output("busy", 1, label=ctrl)
+        self.ready = self.output("ready", 1, label=ctrl)
+
+        # per-slot tag registers and round-key RAMs
+        master_tag = master_key_label().encode()
+        self.slot_tags = []
+        self.rk_mems = []
+        for s in range(KEY_SLOTS):
+            init_tag = master_tag if s == MASTER_SLOT else FREE_TAG
+            tag_reg = self.reg(f"slot_tag_{s}", TAG_WIDTH, init=init_tag,
+                               label=ctrl)
+            self.slot_tags.append(tag_reg)
+            init = _master_rk_init() if s == MASTER_SLOT else None
+            mem = self.mem(
+                f"rk_mem_{s}", 16, 128, init=init,
+                label=data_label(tag_reg) if protected else None,
+            )
+            self.rk_mems.append(mem)
+
+        sbox = self.rom("ksbox", SBOX, 8)
+        rcon = self.rom("rcon", list(RCON) + [0] * (16 - len(RCON)), 8)
+
+        self.busy_r = self.reg("busy_r", 1, label=ctrl)
+        self.busy_r.meta["enumerate"] = True
+        self.round_r = self.reg("round_r", 4, label=ctrl)
+        self.cur_slot = self.reg("cur_slot", 2, label=ctrl)
+        self.cur_slot.meta["enumerate"] = True
+        self.cur_tag = self.reg("cur_tag", TAG_WIDTH, label=ctrl)
+        self.cur_rk = self.reg(
+            "cur_rk", 128, label=data_label(self.cur_tag) if protected else None
+        )
+
+        # one key-schedule step: w0..w3 -> next round key
+        w0 = self.cur_rk[127:96]
+        w1 = self.cur_rk[95:64]
+        w2 = self.cur_rk[63:32]
+        w3 = self.cur_rk[31:0]
+        from ..hdl.nodes import lit
+
+        rcon_word = cat(rcon.read(self.round_r), lit(0, 24))
+        temp = sub_word_expr(rot_word_expr(w3), sbox) ^ rcon_word
+        w0n = w0 ^ temp
+        w1n = w1 ^ w0n
+        w2n = w2 ^ w1n
+        w3n = w3 ^ w2n
+        next_rk = cat(w0n, w1n, w2n, w3n)
+
+        if timing_flaw:
+            # "optimisation": a second pipeline path for round keys with the
+            # MSB set takes an extra cycle — busy time now depends on the key
+            self.skip_r = self.reg("skip_r", 1, label=ctrl)
+            advance_round = ~self.cur_rk[127] | self.skip_r
+            with when(self.busy_r):
+                self.skip_r <<= ~advance_round
+        else:
+            advance_round = None
+
+        with when(self.start & ~self.busy_r):
+            self.busy_r <<= 1
+            self.round_r <<= 1
+            self.cur_slot <<= self.slot
+            self.cur_tag <<= self.key_tag
+            self.cur_rk <<= self.key
+            for s in range(KEY_SLOTS):
+                with when(self.slot.eq(s)):
+                    self.slot_tags[s] <<= self.key_tag
+                    self.rk_mems[s].write(0, self.key)
+
+        with when(self.busy_r):
+            for s in range(KEY_SLOTS):
+                # runtime flow guard: only write while the slot tag matches
+                # the tag of the key being expanded (fail-secure; also what
+                # lets the static check discharge without temporal reasoning)
+                guard = self.cur_slot.eq(s) & hw_flows_to(
+                    self.cur_tag, self.slot_tags[s]
+                )
+                if advance_round is not None:
+                    guard = guard & advance_round
+                with when(guard):
+                    self.rk_mems[s].write(self.round_r, next_rk)
+            step = advance_round if advance_round is not None else self.busy_r
+            with when(step):
+                self.cur_rk <<= next_rk
+                self.round_r <<= self.round_r + 1
+                with when(self.round_r.eq(PIPELINE_ROUNDS)):
+                    self.busy_r <<= 0
+
+        # registered-only busy view (keeps the parent's start logic free of
+        # combinational feedback); the parent covers the 1-cycle set delay
+        self.busy <<= self.busy_r
+        self.ready <<= ~self.busy_r
+
+    # -- read-side helpers used by the pipeline ---------------------------------
+    def read_round_key(self, slot: Node, index: Node) -> Node:
+        """Mux the round key ``index`` of ``slot`` out of the slot RAMs."""
+        value = self.rk_mems[0].read(index)
+        for s in range(1, KEY_SLOTS):
+            value = mux(slot.eq(s), self.rk_mems[s].read(index), value)
+        return value
+
+    def read_slot_tag(self, slot: Node) -> Node:
+        value: Node = self.slot_tags[0]
+        for s in range(1, KEY_SLOTS):
+            value = mux(slot.eq(s), self.slot_tags[s], value)
+        return value

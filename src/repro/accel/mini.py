@@ -1,0 +1,156 @@
+"""Reduced pipeline + stall composition — Fig. 8's static proof.
+
+The full 30-stage accelerator verifies the Fig. 8 mechanism *modularly*
+(with one reviewed downgrade at the ``advance`` wire) and *dynamically*
+(the covert-channel experiment).  This module closes the remaining gap
+for the paper's actual secrets: a chain of generic tagged stages where
+the stall request is typed **honestly** — it carries the reader's
+confidentiality — and every *data* register's hold path must prove that
+whatever controls its timing flows to the block's own level.  With the
+meet check in place the checker discharges those obligations with no
+downgrade at all; remove the check (``guarded=False``) and the §3.1
+covert channel appears as a label error at every data register.
+
+Two deliberate modelling choices, mirroring the paper:
+
+* **Bubbles are ⊤C.**  An empty stage carries the ⊤-confidentiality tag,
+  so the Fig. 8 meet is the bitwise AND of the stage conf nibbles — a
+  bubble is the identity ("the pipeline does not contain data with low
+  confidentiality" counts only real data).  The entering block counts as
+  a stage, since a granted stall delays its issue too.
+* **Tag values are public metadata.**  The grant inherently reveals
+  *which levels occupy the pipeline* (a stall succeeding tells the
+  requester nothing below the meet is in flight); like the paper, we
+  treat tag/valid state as public control plane, and the tag registers'
+  own update timing goes through the same explicit, reviewed downgrade
+  as the full design.  The secrets — the data registers — need no
+  downgrade.
+"""
+
+from __future__ import annotations
+
+from ..hdl.module import Module, when
+from ..hdl.nodes import declassify, endorse, lit, mux
+from ..ifc.dependent import DependentLabel
+from ..ifc.label import Label
+from .common import FREE_TAG, LATTICE, TAG_WIDTH, user_label
+from .hwlabels import conf_bits, hw_conf_leq
+from .taglabels import data_label
+
+PUB_TRUSTED = Label(LATTICE, "public", "trusted")
+_N = len(LATTICE.principals)
+
+#: Tag of an empty (bubble) stage: ⊤ confidentiality — the identity of
+#: the Fig. 8 meet and a label no real reader can match.
+BUBBLE_TAG = ((1 << _N) - 1) << _N | ((1 << _N) - 1)
+
+# Reduced-scale domains: two users (Alice/Eve of §3.1), their join, the
+# free tag, and the bubble.  The mechanism is identical at any scale; the
+# small domain keeps the exhaustive case analysis crisp.
+_ALICE = user_label("p0").encode()
+_EVE = user_label("p1").encode()
+_JOIN = Label.decode(LATTICE, _ALICE).join(Label.decode(LATTICE, _EVE)).encode()
+MINI_TAG_DOMAIN = sorted({FREE_TAG, _ALICE, _EVE, _JOIN, BUBBLE_TAG})
+MINI_REQUEST_DOMAIN = sorted({_ALICE, _EVE})
+
+
+def timing_label(tag_sig, domain) -> DependentLabel:
+    """Label of a signal allowed to control a block's timing: the block's
+    own confidentiality, trusted integrity (backpressure endorsed by the
+    interconnect)."""
+    def fn(value: int) -> Label:
+        decoded = Label.decode(LATTICE, value)
+        return Label(LATTICE, decoded.conf, "trusted")
+
+    return DependentLabel(tag_sig, fn, LATTICE, domain=domain)
+
+
+class MiniTaggedPipeline(Module):
+    """N generic tagged stages with honestly-typed stall control."""
+
+    def __init__(self, n_stages: int = 2, guarded: bool = True,
+                 name: str = "mini"):
+        super().__init__(name)
+        self.n_stages = n_stages
+        ctrl = PUB_TRUSTED
+
+        self.in_valid = self.input("in_valid", 1, label=ctrl)
+        self.in_valid.meta["enumerate"] = True
+        self.in_tag = self.input("in_tag", TAG_WIDTH, label=ctrl)
+        self.in_tag.meta["enumerate"] = True
+        self.in_tag.meta["enum_domain"] = MINI_TAG_DOMAIN
+        self.in_data = self.input(
+            "in_data", 8,
+            label=data_label(self.in_tag, domain=MINI_TAG_DOMAIN),
+        )
+
+        # reader-side stall request, carrying the reader's confidentiality
+        self.rd_tag = self.input("rd_tag", TAG_WIDTH, label=ctrl)
+        self.rd_tag.meta["enumerate"] = True
+        self.rd_tag.meta["enum_domain"] = MINI_REQUEST_DOMAIN
+        self.stall_req = self.input(
+            "stall_req", 1,
+            label=timing_label(self.rd_tag, MINI_REQUEST_DOMAIN),
+        )
+        self.stall_req.meta["enumerate"] = True
+
+        self.tags = []
+        self.datas = []
+        for i in range(n_stages):
+            t = self.reg(f"tag{i}", TAG_WIDTH, init=BUBBLE_TAG, label=ctrl)
+            t.meta["enumerate"] = True
+            t.meta["enum_domain"] = MINI_TAG_DOMAIN
+            d = self.reg(
+                f"data{i}", 8, label=data_label(t, domain=MINI_TAG_DOMAIN),
+            )
+            self.tags.append(t)
+            self.datas.append(d)
+
+        entry_tag = mux(self.in_valid, self.in_tag, lit(BUBBLE_TAG, TAG_WIDTH))
+        entry_data = mux(self.in_valid, self.in_data, lit(0, 8))
+
+        # Fig. 8 meet: AND over stage conf nibbles (bubbles are identity);
+        # the entering block counts too
+        meet = conf_bits(entry_tag)
+        for t in self.tags:
+            meet = meet & conf_bits(t)
+
+        if guarded:
+            allowed = hw_conf_leq(conf_bits(self.rd_tag), meet)
+            stall = self.stall_req & allowed
+        else:
+            stall = self.stall_req
+
+        # honest advance for the data path: its label is the requester's,
+        # and each data register's obligation discharges via the meet
+        advance = ~stall
+        # control-plane advance: same value, released through the explicit
+        # reviewed downgrade (identical to the full design's advance wire)
+        advance_meta = endorse(
+            declassify(advance, PUB_TRUSTED, PUB_TRUSTED),
+            PUB_TRUSTED, PUB_TRUSTED,
+        )
+
+        with when(advance_meta):
+            for i in range(n_stages):
+                if i == 0:
+                    self.tags[0] <<= entry_tag
+                else:
+                    self.tags[i] <<= self.tags[i - 1]
+        with when(advance):
+            for i in range(n_stages):
+                if i == 0:
+                    self.datas[0] <<= entry_data
+                else:
+                    self.datas[i] <<= self.datas[i - 1]
+
+        last = n_stages - 1
+        self.out_tag = self.output("out_tag", TAG_WIDTH, label=ctrl)
+        self.out_tag <<= self.tags[last]
+        self.out_valid = self.output("out_valid", 1, label=ctrl)
+        self.out_valid <<= ~self.tags[last].eq(BUBBLE_TAG)
+        self.out_data = self.output(
+            "out_data", 8,
+            label=data_label(self.out_tag, domain=MINI_TAG_DOMAIN),
+        )
+        self.out_data <<= self.datas[last]

@@ -1,0 +1,189 @@
+"""Output holding buffer — per-principal BRAM FIFOs, no cross-user blocking.
+
+The paper (§3.2.5, §4): "The AES accelerator includes an extra buffer to
+hold outputs when the pipeline cannot be stalled when the receiver is
+not ready to read the outputs", and Table 2's BRAM overhead comes from
+"the security tags stored with the on-chip data buffers" plus "the extra
+buffer holding confidential outputs".  This module is both of those: a
+memory-backed holding buffer whose entries carry their security tag.
+
+A naive *shared* FIFO here would itself be a covert channel:
+head-of-line blocking lets one user's reader delay another user's
+responses (our covert-channel experiment demonstrated exactly that on an
+early version of this design).  The buffer is therefore *partitioned by
+principal*: each of the four principal slots owns a four-entry FIFO
+region, selected by the lowest set bit of the response tag's vouch
+nibble.  A user who neither reads their output nor is allowed to stall
+only ever loses their *own* blocks (``dropped`` counts them) —
+availability, never confidentiality.
+
+The tag array is declared as a width-rider on the data array (the tags
+are "stored with" the buffer), which is how the FPGA model accounts the
+extra BRAM exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..hdl.module import Module, when
+from ..hdl.nodes import Node, any_of, cat, lit, mux
+from ..ifc.label import Label
+from .common import LATTICE, TAG_WIDTH, VALID_REQUEST_TAGS
+from .hwlabels import hw_flows_to, integ_bits
+from .taglabels import cell_tag_label, data_label, mark_tag_mem
+
+PUB_TRUSTED = Label(LATTICE, "public", "trusted")
+_N = len(LATTICE.principals)
+
+#: FIFO entries per principal slot
+PER_PRINCIPAL_DEPTH = 4
+
+
+def _slot_of(tag: Node) -> Node:
+    """Principal slot for a tag: lowest set bit of the vouch nibble."""
+    vouch = integ_bits(tag)
+    index: Node = lit(0, 2)
+    for i in reversed(range(_N)):
+        index = mux(vouch[i], lit(min(i, 3), 2), index)
+    return index
+
+
+class OutputBuffer(Module):
+    """Per-principal output holding FIFOs between pipeline and host."""
+
+    def __init__(self, protected: bool, name: str = "outbuf"):
+        super().__init__(name)
+        self.depth = _N * PER_PRINCIPAL_DEPTH
+        self.protected = protected
+        ctrl = PUB_TRUSTED if protected else None
+
+        self.push = self.input("push", 1, label=ctrl)
+        self.push.meta["enumerate"] = True
+        self.push_tag = self.input("push_tag", TAG_WIDTH, label=ctrl)
+        self.push_data = self.input(
+            "push_data", 128,
+            label=data_label(self.push_tag) if protected else None,
+        )
+        self.rd_tag = self.input("rd_tag", TAG_WIDTH, label=ctrl)
+        self.rd_tag.meta["enumerate"] = True
+        self.rd_tag.meta["enum_domain"] = VALID_REQUEST_TAGS
+        self.pop = self.input("pop", 1, label=ctrl)
+        self.pop.meta["enumerate"] = True
+
+        # storage: one data array with the tag array riding on its width
+        if protected:
+            self.tagq = self.mem("tagq", self.depth, TAG_WIDTH,
+                                 label=PUB_TRUSTED)
+            mark_tag_mem(self.tagq)
+            self.dataq = self.mem("dataq", self.depth, 128,
+                                  label=cell_tag_label(self.tagq))
+            self.tagq.meta["width_rider_of"] = self.dataq
+        else:
+            self.tagq = self.mem("tagq", self.depth, TAG_WIDTH)
+            self.dataq = self.mem("dataq", self.depth, 128)
+            self.tagq.meta["width_rider_of"] = self.dataq
+
+        # per-principal pointers and occupancy
+        ptr_w = max(1, (PER_PRINCIPAL_DEPTH - 1).bit_length())
+        self.wptrs: List = []
+        self.rptrs: List = []
+        self.counts: List = []
+        for s in range(_N):
+            self.wptrs.append(self.reg(f"wptr{s}", ptr_w, label=ctrl))
+            self.rptrs.append(self.reg(f"rptr{s}", ptr_w, label=ctrl))
+            c = self.reg(f"count{s}", ptr_w + 1, label=ctrl)
+            c.meta["enumerate"] = True
+            c.meta["enum_domain"] = range(PER_PRINCIPAL_DEPTH + 1)
+            self.counts.append(c)
+
+        wslot = self.wire("wslot", 2, label=ctrl)
+        wslot <<= _slot_of(self.push_tag)
+
+        occ = self.wire("occupied", 1, label=ctrl)
+        occ <<= any_of(*[
+            wslot.eq(s) & self.counts[s].eq(PER_PRINCIPAL_DEPTH)
+            for s in range(_N)
+        ])
+        self.push_blocked = self.output("push_blocked", 1, label=ctrl)
+        self.push_blocked <<= self.push & occ
+        self.full = self.output("full", 1, label=ctrl)
+        self.full <<= occ
+
+        self.dropped_r = self.reg("dropped_r", 8, label=ctrl)
+        with when(self.push & occ):
+            self.dropped_r <<= self.dropped_r + 1
+        self.dropped = self.output("dropped", 8, label=ctrl)
+        self.dropped <<= self.dropped_r
+
+        # shared write address signal (correlates the two arrays for the
+        # checker and the hardware alike)
+        waddr = self.wire("waddr", 4, label=ctrl)
+        wptr_sel = self.wire("wptr_sel", ptr_w, label=ctrl, default=0)
+        for s in range(_N):
+            with when(wslot.eq(s)):
+                wptr_sel <<= self.wptrs[s]
+        waddr <<= cat(wslot, wptr_sel)
+
+        do_push = self.push & ~occ
+        with when(do_push):
+            self.dataq.write(waddr, self.push_data, tag=self.push_tag)
+            self.tagq.write(waddr, self.push_tag)
+            for s in range(_N):
+                with when(wslot.eq(s)):
+                    self.wptrs[s] <<= self.wptrs[s] + 1
+
+        # read side: the polling reader drains its own slot's FIFO head
+        rslot = self.wire("rslot", 2, label=ctrl)
+        rslot <<= _slot_of(self.rd_tag)
+        rptr_sel = self.wire("rptr_sel", ptr_w, label=ctrl, default=0)
+        nonempty = self.wire("head_valid", 1, label=ctrl, default=0)
+        for s in range(_N):
+            with when(rslot.eq(s)):
+                rptr_sel <<= self.rptrs[s]
+                nonempty <<= ~self.counts[s].eq(0)
+        raddr = self.wire("raddr", 4, label=ctrl)
+        raddr <<= cat(rslot, rptr_sel)
+
+        head_tag = self.wire("head_tag", TAG_WIDTH, label=ctrl)
+        head_tag <<= self.tagq.read(raddr)
+        present = self.wire("present", 1, label=ctrl)
+        present <<= nonempty & hw_flows_to(head_tag, self.rd_tag)
+
+        self.out_valid = self.output("out_valid", 1, label=ctrl)
+        self.out_valid <<= present
+        self.out_tag = self.output("out_tag", TAG_WIDTH, label=ctrl, default=0)
+        with when(present):
+            self.out_tag <<= head_tag
+        self.out_data = self.output(
+            "out_data", 128,
+            label=data_label(self.out_tag) if protected else None,
+            default=0,
+        )
+        with when(present):
+            self.out_data <<= self.dataq.read(raddr)
+
+        do_pop = self.pop & present
+        with when(do_pop):
+            for s in range(_N):
+                with when(rslot.eq(s)):
+                    self.rptrs[s] <<= self.rptrs[s] + 1
+
+        # occupancy bookkeeping (push and pop may hit different slots)
+        for s in range(_N):
+            inc = do_push & wslot.eq(s)
+            dec = do_pop & rslot.eq(s)
+            with when(inc & ~dec):
+                self.counts[s] <<= self.counts[s] + 1
+            with when(dec & ~inc):
+                self.counts[s] <<= self.counts[s] - 1
+
+        self.empty = self.output("empty", 1, label=ctrl)
+        self.empty <<= all_zero(self.counts)
+
+
+def all_zero(counts) -> Node:
+    result: Node = counts[0].eq(0)
+    for c in counts[1:]:
+        result = result & c.eq(0)
+    return result

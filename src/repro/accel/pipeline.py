@@ -1,0 +1,180 @@
+"""The pipelined AES E/D engine — Fig. 7 of the paper.
+
+Thirty :class:`~repro.accel.round_stages.RoundStage` instances (three per
+round), fed by an entry stage that applies the initial AddRoundKey, with
+the :class:`~repro.accel.key_expand_unit.KeyExpandUnit` (and its per-slot
+round-key RAMs) embedded.  A block enters with a *joined* tag —
+``ℓ(user) ⊔ ℓ(key slot)`` — and block, tag, op, and slot travel the
+pipeline together, one stage per cycle: 30-cycle latency, one block per
+cycle throughput, matching §4's prototype.
+
+Runtime flow guards (`rk_guard`) zero the round key whenever the slot's
+current tag no longer flows to the in-flight block's tag (a slot re-keyed
+mid-flight), making key use *structurally* safe — this is one of the
+"runtime checkers" the paper's §4 counts among its ~70 changed lines.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..hdl.module import Module
+from ..hdl.nodes import Node, lit, mux
+from ..ifc.label import Label
+from .common import (
+    KEY_SLOTS,
+    LATTICE,
+    OP_DEC,
+    PIPELINE_ROUNDS,
+    TAG_WIDTH,
+)
+from .hwlabels import hw_flows_to, hw_join
+from .key_expand_unit import KeyExpandUnit
+from .round_stages import StageA, StageB, StageC
+from .taglabels import data_label, request_label
+
+PUB_TRUSTED = Label(LATTICE, "public", "trusted")
+
+
+class AesPipeline(Module):
+    """30-stage pipelined AES encrypt/decrypt datapath with key expansion."""
+
+    def __init__(self, protected: bool, timing_flaw: bool = False,
+                 name: str = "pipe"):
+        super().__init__(name)
+        self.protected = protected
+        ctrl = PUB_TRUSTED if protected else None
+
+        # ---- request side ----------------------------------------------------
+        self.advance = self.input("advance", 1, label=ctrl)
+        self.advance.meta["enumerate"] = True
+        self.in_valid = self.input("in_valid", 1, label=ctrl)
+        self.in_user = self.input("in_user", TAG_WIDTH, label=ctrl)
+        self.in_op = self.input("in_op", 1, label=ctrl)
+        self.in_op.meta["enumerate"] = True
+        self.in_slot = self.input("in_slot", 2, label=ctrl)
+        self.in_slot.meta["enumerate"] = True
+        self.in_data = self.input(
+            "in_data", 128,
+            label=request_label(self.in_user) if protected else None,
+        )
+
+        # ---- key-load side (to the embedded expansion unit) --------------------
+        self.kx_start = self.input("kx_start", 1, label=ctrl)
+        self.kx_slot = self.input("kx_slot", 2, label=ctrl)
+        self.kx_key_tag = self.input("kx_key_tag", TAG_WIDTH, label=ctrl)
+        self.kx_key = self.input(
+            "kx_key", 128,
+            label=data_label(self.kx_key_tag) if protected else None,
+        )
+
+        self.keyexp = self.submodule(
+            KeyExpandUnit(protected, timing_flaw=timing_flaw)
+        )
+        self.keyexp.start <<= self.kx_start
+        self.keyexp.slot <<= self.kx_slot
+        self.keyexp.key <<= self.kx_key
+        self.keyexp.key_tag <<= self.kx_key_tag
+        self.kx_busy = self.output("kx_busy", 1, label=ctrl)
+        self.kx_busy <<= self.keyexp.busy
+
+        # ---- entry: tag join and initial AddRoundKey ---------------------------
+        slot_tag = self._slot_tag_of(self.in_slot)
+        entry_tag = self.wire("entry_tag", TAG_WIDTH, label=ctrl)
+        if protected:
+            entry_tag <<= hw_join(self.in_user, slot_tag)
+        else:
+            entry_tag <<= self.in_user
+
+        init_idx = mux(self.in_op.eq(OP_DEC), lit(PIPELINE_ROUNDS, 4), lit(0, 4))
+        init_rk = self._round_key_of(self.in_slot, init_idx)
+        if protected:
+            rk_ok = hw_flows_to(slot_tag, entry_tag)
+            init_rk = mux(rk_ok, init_rk, lit(0, 128))
+        entry_data = self.in_data ^ init_rk
+
+        # ---- the 30 stages -----------------------------------------------------
+        self.stages: List = []
+        prev = None
+        for r in range(1, PIPELINE_ROUNDS + 1):
+            sa = self.submodule(StageA(r, protected))
+            sb = self.submodule(StageB(r, protected))
+            sc = self.submodule(StageC(r, protected))
+            self.stages.extend([sa, sb, sc])
+
+            if prev is None:
+                sa.valid_i <<= self.in_valid
+                sa.tag_i <<= entry_tag
+                sa.op_i <<= self.in_op
+                sa.slot_i <<= self.in_slot
+                sa.data_i <<= entry_data
+            else:
+                self._chain(prev, sa)
+            self._chain(sa, sb)
+            self._chain(sb, sc)
+
+            # AddRoundKey operand for this round (guarded)
+            rk_idx = mux(
+                sc.op_i.eq(OP_DEC),
+                lit(PIPELINE_ROUNDS - r, 4),
+                lit(r, 4),
+            )
+            rk = self._round_key_of(sb.slot_o, rk_idx)
+            if protected:
+                guard = hw_flows_to(self._slot_tag_of(sb.slot_o), sb.tag_o)
+                rk = mux(guard, rk, lit(0, 128))
+            sc.rk_i <<= rk
+            prev = sc
+
+        for stage in self.stages:
+            stage.advance <<= self.advance
+
+        # ---- observation point for the debug peripheral (after round 1 SubBytes)
+        first = self.stages[0]
+        self.obs_valid = self.output("obs_valid", 1, label=ctrl)
+        self.obs_tag = self.output("obs_tag", TAG_WIDTH, label=ctrl)
+        self.obs_data = self.output(
+            "obs_data", 128,
+            label=data_label(self.obs_tag) if protected else None,
+        )
+        self.obs_valid <<= first.valid_o
+        self.obs_tag <<= first.tag_o
+        self.obs_data <<= first.data_o
+
+        # ---- per-stage valid/conf views for the stall controller ----------------
+        self.stage_valids = [s.valid_o for s in self.stages]
+        self.stage_tags = [s.tag_o for s in self.stages]
+
+        # ---- exit ----------------------------------------------------------------
+        last = self.stages[-1]
+        self.out_valid = self.output("out_valid", 1, label=ctrl)
+        self.out_tag = self.output("out_tag", TAG_WIDTH, label=ctrl)
+        self.out_op = self.output("out_op", 1, label=ctrl)
+        self.out_data = self.output(
+            "out_data", 128,
+            label=data_label(self.out_tag) if protected else None,
+        )
+        self.out_valid <<= last.valid_o
+        self.out_tag <<= last.tag_o
+        self.out_op <<= last.op_o
+        self.out_data <<= last.data_o
+
+    # -- wiring helpers ------------------------------------------------------------
+    def _chain(self, src, dst) -> None:
+        dst.valid_i <<= src.valid_o
+        dst.tag_i <<= src.tag_o
+        dst.op_i <<= src.op_o
+        dst.slot_i <<= src.slot_o
+        dst.data_i <<= src.data_o
+
+    def _slot_tag_of(self, slot: Node) -> Node:
+        value: Node = self.keyexp.slot_tags[0]
+        for s in range(1, KEY_SLOTS):
+            value = mux(slot.eq(s), self.keyexp.slot_tags[s], value)
+        return value
+
+    def _round_key_of(self, slot: Node, index: Node) -> Node:
+        value: Node = self.keyexp.rk_mems[0].read(index)
+        for s in range(1, KEY_SLOTS):
+            value = mux(slot.eq(s), self.keyexp.rk_mems[s].read(index), value)
+        return value

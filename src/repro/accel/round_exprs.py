@@ -1,0 +1,121 @@
+"""AES round transformations as hardware expression trees.
+
+These builders take a 128-bit expression and return the transformed
+128-bit expression; they are the combinational bodies of the pipeline
+stage modules.  Byte order matches :mod:`repro.aes.rounds`: state byte
+``i`` occupies bits ``[127-8i : 120-8i]`` (``state[0]`` is the most
+significant byte, FIPS column-major order ``state[r + 4c]``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from ..hdl.memory import Mem
+from ..hdl.nodes import Const, Node, cat, mux
+
+
+def get_byte(data: Node, i: int) -> Node:
+    """State byte ``i`` (0 is most significant)."""
+    hi = 127 - 8 * i
+    return data[hi:hi - 7]
+
+
+def from_bytes(parts: List[Node]) -> Node:
+    """Assemble 16 byte expressions (state order) into a 128-bit value."""
+    if len(parts) != 16:
+        raise ValueError("need exactly 16 bytes")
+    return cat(*parts)
+
+
+def map_bytes(data: Node, fn: Callable[[Node], Node]) -> Node:
+    return from_bytes([fn(get_byte(data, i)) for i in range(16)])
+
+
+def sbox_lookup_expr(data: Node, rom: Mem) -> Node:
+    """SubBytes (or InvSubBytes) via 16 parallel ROM lookups."""
+    return map_bytes(data, rom.read)
+
+
+def shift_rows_expr(data: Node) -> Node:
+    """Row r rotates left by r: out[r+4c] = in[r + 4((c+r)%4)]."""
+    parts = [None] * 16
+    for r in range(4):
+        for c in range(4):
+            parts[r + 4 * c] = get_byte(data, r + 4 * ((c + r) % 4))
+    return from_bytes(parts)  # type: ignore[arg-type]
+
+
+def inv_shift_rows_expr(data: Node) -> Node:
+    """Row r rotates right by r: out[r + 4((c+r)%4)] = in[r+4c]."""
+    parts = [None] * 16
+    for r in range(4):
+        for c in range(4):
+            parts[r + 4 * ((c + r) % 4)] = get_byte(data, r + 4 * c)
+    return from_bytes(parts)  # type: ignore[arg-type]
+
+
+def xtime_expr(b: Node) -> Node:
+    """Multiply a byte by 2 in GF(2^8): shift left, conditional reduce."""
+    shifted = b << 1  # width stays 8; the MSB falls off
+    return shifted ^ mux(b[7], Const(0x1B, 8), Const(0, 8))
+
+
+def gf_mults(b: Node):
+    """Shared x2/x4/x8 ladder for one byte; returns (x1, x2, x4, x8)."""
+    x2 = xtime_expr(b)
+    x4 = xtime_expr(x2)
+    x8 = xtime_expr(x4)
+    return b, x2, x4, x8
+
+
+def mix_columns_expr(data: Node) -> Node:
+    """MixColumns: each column multiplied by the circulant (2 3 1 1)."""
+    out = [None] * 16
+    for c in range(4):
+        col = [get_byte(data, 4 * c + r) for r in range(4)]
+        m2 = [xtime_expr(b) for b in col]
+        m3 = [m2[r] ^ col[r] for r in range(4)]
+        out[4 * c + 0] = m2[0] ^ m3[1] ^ col[2] ^ col[3]
+        out[4 * c + 1] = col[0] ^ m2[1] ^ m3[2] ^ col[3]
+        out[4 * c + 2] = col[0] ^ col[1] ^ m2[2] ^ m3[3]
+        out[4 * c + 3] = m3[0] ^ col[1] ^ col[2] ^ m2[3]
+    return from_bytes(out)  # type: ignore[arg-type]
+
+
+def inv_mix_columns_expr(data: Node) -> Node:
+    """InvMixColumns: circulant (14 11 13 9), built from a shared x2/x4/x8
+    ladder per byte."""
+    out = [None] * 16
+    for c in range(4):
+        col = [get_byte(data, 4 * c + r) for r in range(4)]
+        lad = [gf_mults(b) for b in col]
+        # mul9 = x8^x1, mul11 = x8^x2^x1, mul13 = x8^x4^x1, mul14 = x8^x4^x2
+        m9 = [x8 ^ x1 for (x1, _x2, _x4, x8) in lad]
+        m11 = [x8 ^ x2 ^ x1 for (x1, x2, _x4, x8) in lad]
+        m13 = [x8 ^ x4 ^ x1 for (x1, _x2, x4, x8) in lad]
+        m14 = [x8 ^ x4 ^ x2 for (_x1, x2, x4, x8) in lad]
+        out[4 * c + 0] = m14[0] ^ m11[1] ^ m13[2] ^ m9[3]
+        out[4 * c + 1] = m9[0] ^ m14[1] ^ m11[2] ^ m13[3]
+        out[4 * c + 2] = m13[0] ^ m9[1] ^ m14[2] ^ m11[3]
+        out[4 * c + 3] = m11[0] ^ m13[1] ^ m9[2] ^ m14[3]
+    return from_bytes(out)  # type: ignore[arg-type]
+
+
+def add_round_key_expr(data: Node, round_key: Node) -> Node:
+    return data ^ round_key
+
+
+def rot_word_expr(word: Node) -> Node:
+    """Rotate a 32-bit word left by one byte (key schedule)."""
+    return cat(word[23:0], word[31:24])
+
+
+def sub_word_expr(word: Node, rom: Mem) -> Node:
+    """S-box each byte of a 32-bit word (key schedule)."""
+    return cat(
+        rom.read(word[31:24]),
+        rom.read(word[23:16]),
+        rom.read(word[15:8]),
+        rom.read(word[7:0]),
+    )

@@ -1,0 +1,170 @@
+"""Pipeline stage modules — three stages per AES round (Fig. 7).
+
+Each round ``r`` of the 30-stage datapath is split into:
+
+* **StageA** — SubBytes (encrypt) / InvShiftRows (decrypt);
+* **StageB** — ShiftRows + MixColumns (encrypt; MixColumns skipped in the
+  last round) / InvSubBytes (decrypt);
+* **StageC** — AddRoundKey, plus InvMixColumns for decrypt rounds before
+  the last (the straight inverse-cipher ordering of FIPS-197 §5.3).
+
+Every stage registers ``valid``/``tag``/``op``/``slot`` alongside the
+128-bit data, so a block and its security tag travel the pipeline in
+lockstep — the fine-grained sharing mechanism of the paper.  In the
+protected configuration the data register carries the dependent label
+``DL(tag)`` and the checker verifies each stage module once (modular
+verification); the baseline omits labels and checks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..aes.constants import INV_SBOX, SBOX
+from ..hdl.module import Module, when
+from ..hdl.nodes import Node, mux
+from ..ifc.label import Label
+from .common import LATTICE, OP_DEC, PIPELINE_ROUNDS, TAG_WIDTH
+from .round_exprs import (
+    add_round_key_expr,
+    inv_mix_columns_expr,
+    inv_shift_rows_expr,
+    mix_columns_expr,
+    sbox_lookup_expr,
+    shift_rows_expr,
+)
+from .taglabels import data_label
+
+PUB_TRUSTED = Label(LATTICE, "public", "trusted")
+
+
+class RoundStage(Module):
+    """Base class: the registered block-and-tag slice of the pipeline.
+
+    ``total_rounds`` defaults to the AES-128 depth; the wide engine passes
+    12 (AES-192) or 14 (AES-256).
+    """
+
+    def __init__(self, name: str, round_index: int, protected: bool,
+                 needs_round_key: bool = False,
+                 total_rounds: int = PIPELINE_ROUNDS):
+        super().__init__(name)
+        if not 1 <= round_index <= total_rounds:
+            raise ValueError(f"round index {round_index} out of range")
+        self.round_index = round_index
+        self.total_rounds = total_rounds
+        self.protected = protected
+
+        ctrl = PUB_TRUSTED if protected else None
+        self.advance = self.input("advance", 1, label=ctrl)
+        self.advance.meta["enumerate"] = True
+        self.valid_i = self.input("valid_i", 1, label=ctrl)
+        self.tag_i = self.input("tag_i", TAG_WIDTH, label=ctrl)
+        self.op_i = self.input("op_i", 1, label=ctrl)
+        self.slot_i = self.input("slot_i", 2, label=ctrl)
+        self.data_i = self.input(
+            "data_i", 128, label=data_label(self.tag_i) if protected else None
+        )
+        if needs_round_key:
+            # contract: the parent only feeds round-key bits already covered
+            # by the block's tag (enforced by the rk_guard in the pipeline)
+            self.rk_i = self.input(
+                "rk_i", 128, label=data_label(self.tag_i) if protected else None
+            )
+
+        self.valid_r = self.reg("valid_r", 1, label=ctrl)
+        self.tag_r = self.reg("tag_r", TAG_WIDTH, label=ctrl)
+        self.op_r = self.reg("op_r", 1, label=ctrl)
+        self.slot_r = self.reg("slot_r", 2, label=ctrl)
+        self.data_r = self.reg(
+            "data_r", 128, label=data_label(self.tag_r) if protected else None
+        )
+
+        with when(self.advance):
+            self.valid_r <<= self.valid_i
+            self.tag_r <<= self.tag_i
+            self.op_r <<= self.op_i
+            self.slot_r <<= self.slot_i
+            self.data_r <<= self.transform()
+
+        # port labels reference ports (tag_o, not the internal tag_r) so a
+        # parent's modular check can correlate data and tag across the
+        # module boundary
+        from .common import VALID_CELL_TAGS
+
+        self.valid_o = self.output("valid_o", 1, label=ctrl)
+        self.valid_o.meta["enumerate"] = True
+        self.tag_o = self.output("tag_o", TAG_WIDTH, label=ctrl)
+        self.tag_o.meta["enumerate"] = True
+        self.tag_o.meta["enum_domain"] = VALID_CELL_TAGS
+        self.op_o = self.output("op_o", 1, label=ctrl)
+        self.op_o.meta["enumerate"] = True
+        self.slot_o = self.output("slot_o", 2, label=ctrl)
+        self.slot_o.meta["enumerate"] = True
+        self.data_o = self.output(
+            "data_o", 128, label=data_label(self.tag_o) if protected else None
+        )
+        self.valid_o <<= self.valid_r
+        self.tag_o <<= self.tag_r
+        self.op_o <<= self.op_r
+        self.slot_o <<= self.slot_r
+        self.data_o <<= self.data_r
+
+    def transform(self) -> Node:
+        """The combinational body applied to ``data_i`` before the latch."""
+        raise NotImplementedError
+
+
+class StageA(RoundStage):
+    """SubBytes (enc) / InvShiftRows (dec)."""
+
+    def __init__(self, round_index: int, protected: bool,
+                 name: Optional[str] = None,
+                 total_rounds: int = PIPELINE_ROUNDS):
+        super().__init__(name or f"sa{round_index}", round_index, protected,
+                         total_rounds=total_rounds)
+
+    def transform(self) -> Node:
+        sbox = self.rom("sbox", SBOX, 8)
+        enc = sbox_lookup_expr(self.data_i, sbox)
+        dec = inv_shift_rows_expr(self.data_i)
+        return mux(self.op_i.eq(OP_DEC), dec, enc)
+
+
+class StageB(RoundStage):
+    """ShiftRows + MixColumns (enc; no MixColumns in the last round) /
+    InvSubBytes (dec)."""
+
+    def __init__(self, round_index: int, protected: bool,
+                 name: Optional[str] = None,
+                 total_rounds: int = PIPELINE_ROUNDS):
+        super().__init__(name or f"sb{round_index}", round_index, protected,
+                         total_rounds=total_rounds)
+
+    def transform(self) -> Node:
+        inv_sbox = self.rom("inv_sbox", INV_SBOX, 8)
+        shifted = shift_rows_expr(self.data_i)
+        if self.round_index < self.total_rounds:
+            enc = mix_columns_expr(shifted)
+        else:
+            enc = shifted
+        dec = sbox_lookup_expr(self.data_i, inv_sbox)
+        return mux(self.op_i.eq(OP_DEC), dec, enc)
+
+
+class StageC(RoundStage):
+    """AddRoundKey (enc) / AddRoundKey + InvMixColumns (dec, rounds < Nr)."""
+
+    def __init__(self, round_index: int, protected: bool,
+                 name: Optional[str] = None,
+                 total_rounds: int = PIPELINE_ROUNDS):
+        super().__init__(name or f"sc{round_index}", round_index, protected,
+                         needs_round_key=True, total_rounds=total_rounds)
+
+    def transform(self) -> Node:
+        keyed = add_round_key_expr(self.data_i, self.rk_i)
+        if self.round_index < self.total_rounds:
+            dec = inv_mix_columns_expr(keyed)
+        else:
+            dec = keyed
+        return mux(self.op_i.eq(OP_DEC), dec, keyed)

@@ -1,0 +1,153 @@
+"""The 512-bit key scratchpad — eight 64-bit cells (Fig. 5).
+
+The protected variant pairs the data cells with a tag array: every cell
+carries an 8-bit security tag, the write port checks
+``ℓ(writer) ⊑ ℓ(cell)`` before committing, and the read port exports the
+cell's tag with the data.  Buffer overruns or overreads across cells
+belonging to another principal become tag-check failures and are
+blocked — "any buffer overwrite or overread error will cause an
+information flow violation and will be prevented."
+
+The baseline variant has no tags and no checks: a host-interface bug that
+computes an out-of-range cell index (see ``AesAcceleratorBaseline``)
+silently overwrites the neighbouring key.
+"""
+
+from __future__ import annotations
+
+from ..hdl.module import Module, when
+from ..hdl.nodes import lit
+from ..ifc.label import Label
+from .common import (
+    CELL_BITS,
+    FREE_TAG,
+    LATTICE,
+    MASTER_SLOT,
+    SCRATCHPAD_CELLS,
+    TAG_WIDTH,
+    master_key_label,
+)
+from .hwlabels import hw_flows_to, hw_is_supervisor
+from .key_expand_unit import DEFAULT_MASTER_KEY
+from .taglabels import cell_tag_label, data_label, mark_tag_mem
+
+PUB_TRUSTED = Label(LATTICE, "public", "trusted")
+
+
+class KeyScratchpad(Module):
+    """Key storage with per-cell security tags and checked access."""
+
+    def __init__(self, protected: bool, name: str = "scratchpad"):
+        super().__init__(name)
+        self.protected = protected
+        ctrl = PUB_TRUSTED if protected else None
+
+        # write port (key material from the host interface)
+        self.we = self.input("we", 1, label=ctrl)
+        self.wcell = self.input("wcell", 3, label=ctrl)
+        self.user_tag = self.input("user_tag", TAG_WIDTH, label=ctrl)
+        self.wdata = self.input(
+            "wdata", CELL_BITS,
+            label=data_label(self.user_tag) if protected else None,
+        )
+
+        # tag-allocation port (driven by the arbiter / supervisor path);
+        # the new tag value is public but only as trusted as its writer —
+        # the supervisor gate is what admits it into the (⊥,⊤) tag array
+        from .common import VALID_REQUEST_TAGS
+        from .taglabels import authority_label
+
+        self.set_tag = self.input("set_tag", 1, label=ctrl)
+        self.set_cell = self.input("set_cell", 3, label=ctrl)
+        self.set_value = self.input(
+            "set_value", TAG_WIDTH,
+            label=authority_label(self.user_tag, domain=VALID_REQUEST_TAGS)
+            if protected else None,
+        )
+
+        # read port (towards the key-expansion unit)
+        self.rcell = self.input("rcell", 3, label=ctrl)
+
+        master_tag = master_key_label().encode()
+        tag_init = [
+            master_tag if c in (2 * MASTER_SLOT, 2 * MASTER_SLOT + 1) else FREE_TAG
+            for c in range(SCRATCHPAD_CELLS)
+        ]
+        cell_init = [0] * SCRATCHPAD_CELLS
+        cell_init[2 * MASTER_SLOT] = DEFAULT_MASTER_KEY >> 64
+        cell_init[2 * MASTER_SLOT + 1] = DEFAULT_MASTER_KEY & ((1 << 64) - 1)
+
+        if protected:
+            self.tags = self.mem("tags", SCRATCHPAD_CELLS, TAG_WIDTH,
+                                 init=tag_init, label=PUB_TRUSTED)
+            mark_tag_mem(self.tags)
+            self.cells = self.mem("cells", SCRATCHPAD_CELLS, CELL_BITS,
+                                  init=cell_init,
+                                  label=cell_tag_label(self.tags))
+        else:
+            self.tags = None
+            self.cells = self.mem("cells", SCRATCHPAD_CELLS, CELL_BITS,
+                                  init=cell_init)
+
+        # rdata's dependent label needs the rtag wire, so it is attached
+        # after the wire exists (protected branch below)
+        self.rdata = self.output("rdata", CELL_BITS)
+        self.rtag = self.output("rtag", TAG_WIDTH, label=ctrl, default=FREE_TAG)
+        self.wr_blocked = self.output("wr_blocked", 1, label=ctrl, default=0)
+
+        if protected:
+            # read side: data leaves together with its tag; the label
+            # references the rtag *port* so parents can correlate
+            rtag_wire = self.wire("rtag_w", TAG_WIDTH, label=ctrl)
+            rtag_wire <<= self.tags.read(self.rcell)
+            self.rtag <<= rtag_wire
+            self.rdata.label = data_label(self.rtag)
+            self.rdata <<= self.cells.read(self.rcell)
+
+            # write side: tag check before commit (Fig. 5)
+            wtag = self.wire("wtag_w", TAG_WIDTH, label=ctrl)
+            wtag <<= self.tags.read(self.wcell)
+            allowed = self.wire("wr_allowed", 1, label=ctrl)
+            allowed <<= hw_flows_to(self.user_tag, wtag)
+            with when(self.we):
+                with when(allowed):
+                    self.cells.write(self.wcell, self.wdata)
+                self.wr_blocked <<= ~allowed
+
+            # tag allocation: supervisor only (the arbiter's configure step)
+            with when(self.set_tag & hw_is_supervisor(self.user_tag)):
+                self.tags.write(self.set_cell, self.set_value)
+        else:
+            self.rdata <<= self.cells.read(self.rcell)
+            with when(self.we):
+                self.cells.write(self.wcell, self.wdata)
+
+        self._build_key_port(ctrl)
+
+    def _build_key_port(self, ctrl) -> None:
+        """128-bit key read port for the expansion unit.
+
+        The same address nodes feed the tag reads and the data reads, so
+        the checker correlates each data cell with its own tag and proves
+        ``key128 ⊑ DL(key_tag)`` where ``key_tag`` is the join of the two
+        cell tags.
+        """
+        from ..hdl.nodes import cat
+
+        self.rslot = self.input("rslot", 2, label=ctrl)
+        addr_hi = cat(self.rslot, lit(0, 1))
+        addr_lo = cat(self.rslot, lit(1, 1))
+
+        self.key_tag = self.output("key_tag", TAG_WIDTH, label=ctrl,
+                                   default=FREE_TAG)
+        if self.protected:
+            from .hwlabels import hw_join
+
+            tag_join = self.wire("key_tag_w", TAG_WIDTH, label=ctrl)
+            tag_join <<= hw_join(self.tags.read(addr_hi), self.tags.read(addr_lo))
+            self.key_tag <<= tag_join
+            self.key128 = self.output("key128", 128,
+                                      label=data_label(self.key_tag))
+        else:
+            self.key128 = self.output("key128", 128)
+        self.key128 <<= cat(self.cells.read(addr_hi), self.cells.read(addr_lo))

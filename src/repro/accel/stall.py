@@ -1,0 +1,85 @@
+"""Stall controller — the timing-channel fix of Fig. 8.
+
+Baseline: any output backpressure stalls the whole pipeline, so one
+user's (reader's) behaviour modulates every other user's latency — the
+covert channel of §3.1.
+
+Protected: the controller computes the **meet** (⊓C) of the
+confidentiality levels of all *valid* pipeline stages and grants the
+stall only when the requester's confidentiality flows to that meet:
+``C(ℓ(stall_req)) ⊑C C(ℓ(stall))``.  A stage without valid data
+contributes the identity of the meet (⊤C = all principals).  When the
+stall is denied, the output is captured by the holding buffer instead
+(:mod:`repro.accel.output_buffer`).
+
+The module is parameterised by stage count so the full mechanism can be
+statically verified at a small configuration (the 30-stage instance is
+exercised dynamically) — see DESIGN.md §5.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..hdl.module import Module
+from ..hdl.nodes import Node, lit, mux
+from ..ifc.label import Label
+from .common import LATTICE, TAG_WIDTH
+from .hwlabels import hw_conf_leq
+from .taglabels import request_label
+
+PUB_TRUSTED = Label(LATTICE, "public", "trusted")
+_N = len(LATTICE.principals)
+
+
+class StallController(Module):
+    """Grants or denies pipeline stalls based on the stage-label meet."""
+
+    def __init__(self, n_stages: int, protected: bool, name: str = "stallctl"):
+        super().__init__(name)
+        self.n_stages = n_stages
+        self.protected = protected
+        ctrl = PUB_TRUSTED if protected else None
+
+        self.req_tag = self.input("req_tag", TAG_WIDTH, label=ctrl)
+        self.stall_req = self.input(
+            "stall_req", 1,
+            label=request_label(self.req_tag) if protected else None,
+        )
+
+        self.stage_valid: List = []
+        self.stage_conf: List = []
+        for i in range(n_stages):
+            self.stage_valid.append(self.input(f"v{i}", 1, label=ctrl))
+            self.stage_conf.append(self.input(f"c{i}", _N, label=ctrl))
+
+        # Fig. 8: meet over the valid stages; empty stages are ⊤C.
+        # Reduced as a balanced AND tree so the grant logic adds only
+        # log2(stages) levels — off the AES critical path.
+        full = (1 << _N) - 1
+        contribs: List[Node] = [
+            mux(self.stage_valid[i], self.stage_conf[i], lit(full, _N))
+            for i in range(n_stages)
+        ]
+        while len(contribs) > 1:
+            nxt = []
+            for i in range(0, len(contribs) - 1, 2):
+                nxt.append(contribs[i] & contribs[i + 1])
+            if len(contribs) % 2:
+                nxt.append(contribs[-1])
+            contribs = nxt
+        meet = contribs[0]
+        self.meet_o = self.output("meet_o", _N, label=ctrl)
+        self.meet_o <<= meet
+
+        self.stall = self.output(
+            "stall", 1,
+            label=request_label(self.req_tag) if protected else None,
+        )
+        self.allowed = self.output("allowed", 1, label=ctrl, default=1)
+        if protected:
+            allowed = hw_conf_leq(self.req_tag[2 * _N - 1:_N], meet)
+            self.allowed <<= allowed
+            self.stall <<= self.stall_req & allowed
+        else:
+            self.stall <<= self.stall_req

@@ -1,0 +1,96 @@
+"""Dependent-label constructors shared by the accelerator modules.
+
+In the protected design every data path signal is labelled by the 8-bit
+tag that travels with it (Fig. 7); these helpers build the corresponding
+:class:`~repro.ifc.dependent.DependentLabel` objects with domains
+restricted to the tags the design can legally produce — which keeps the
+checker's case enumeration small (§3.2 of DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..hdl.nodes import Node
+from ..ifc.dependent import CellTagLabel, DependentLabel
+from ..ifc.label import Label
+from .common import LATTICE, VALID_CELL_TAGS, VALID_REQUEST_TAGS
+
+
+def decode_tag(value: int) -> Label:
+    return Label.decode(LATTICE, value)
+
+
+def data_label(tag_sig: Node,
+               domain: Optional[Iterable[int]] = None) -> DependentLabel:
+    """Full decoded label of the accompanying tag (pipeline data)."""
+    return DependentLabel(
+        tag_sig, decode_tag, LATTICE,
+        domain=list(domain) if domain is not None else VALID_CELL_TAGS,
+    )
+
+
+def request_label(tag_sig: Node) -> DependentLabel:
+    """Label of request-side user data (tags issued by the arbiter)."""
+    return DependentLabel(tag_sig, decode_tag, LATTICE,
+                          domain=VALID_REQUEST_TAGS)
+
+
+def authority_label(tag_sig: Node,
+                    domain: Optional[Iterable[int]] = None) -> DependentLabel:
+    """The *principal* behind a tag, for downgrade authority: public
+    confidentiality, the tag's vouch set as integrity."""
+    def fn(value: int) -> Label:
+        decoded = decode_tag(value)
+        return Label(LATTICE, "public", decoded.integ)
+
+    return DependentLabel(
+        tag_sig, fn, LATTICE,
+        domain=list(domain) if domain is not None else VALID_CELL_TAGS,
+    )
+
+
+def released_label(tag_sig: Node,
+                   domain: Optional[Iterable[int]] = None) -> DependentLabel:
+    """Label of declassified (released) data: public confidentiality with
+    the originating user's integrity."""
+    def fn(value: int) -> Label:
+        decoded = decode_tag(value)
+        return Label(LATTICE, "public", decoded.integ)
+
+    return DependentLabel(
+        tag_sig, fn, LATTICE,
+        domain=list(domain) if domain is not None else VALID_CELL_TAGS,
+    )
+
+
+def readout_label(tag_sig: Node,
+                  domain: Optional[Iterable[int]] = None) -> DependentLabel:
+    """Label of gated *readout* data (e.g. the debug port): at most the
+    reader's confidentiality, but never endorsed — reading does not make
+    data trustworthy."""
+    def fn(value: int) -> Label:
+        decoded = decode_tag(value)
+        return Label(LATTICE, decoded.conf, "untrusted")
+
+    return DependentLabel(
+        tag_sig, fn, LATTICE,
+        domain=list(domain) if domain is not None else VALID_REQUEST_TAGS,
+    )
+
+
+def cell_tag_label(tag_mem, domain: Optional[Iterable[int]] = None) -> CellTagLabel:
+    """Label of a tagged memory's data cells (Fig. 5)."""
+    return CellTagLabel(
+        tag_mem, LATTICE,
+        domain=list(domain) if domain is not None else VALID_CELL_TAGS,
+    )
+
+
+def mark_tag_mem(tag_mem, domain: Optional[Iterable[int]] = None) -> None:
+    """Mark a memory as holding security tags so the checker hypothesises
+    over its cells."""
+    tag_mem.meta["tag_role"] = True
+    tag_mem.meta["tag_domain"] = (
+        list(domain) if domain is not None else VALID_CELL_TAGS
+    )

@@ -1,0 +1,253 @@
+"""Multi-key-size AES engine — AES-128/192/256 in hardware (Fig. 1).
+
+The flagship accelerator fixes AES-128 (the paper's 30-cycle prototype);
+this module provides the general engine the paper's Fig. 1 describes:
+
+* :class:`WordSerialKeyExpand` — a word-serial key schedule producing one
+  32-bit word per cycle for any ``Nk ∈ {4, 6, 8}`` (FIPS-197 §5.2's
+  uniform recurrence, including the extra SubWord of AES-256);
+* :class:`AesEngineWide` — a ``3·Nr``-stage pipelined E/D datapath
+  (36 cycles for AES-192, 42 for AES-256), one block per cycle, built
+  from the same :class:`~repro.accel.round_stages.RoundStage` modules as
+  the flagship, with the same per-stage tags and guarded round keys when
+  ``protected=True``.
+
+Differential tests pin all three key sizes to the FIPS-197 reference.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..aes.constants import RCON, ROUNDS_BY_KEY_BITS, SBOX
+from ..hdl.module import Module, otherwise, when
+from ..hdl.nodes import Node, cat, lit, mux
+from ..ifc.label import Label
+from .common import LATTICE, OP_DEC, TAG_WIDTH
+from .hwlabels import hw_flows_to
+from .round_exprs import rot_word_expr, sub_word_expr
+from .round_stages import StageA, StageB, StageC
+from .taglabels import data_label, request_label
+
+PUB_TRUSTED = Label(LATTICE, "public", "trusted")
+
+
+class WordSerialKeyExpand(Module):
+    """FIPS-197 key expansion, one 32-bit word per cycle, any key size.
+
+    On ``start`` the unit latches the (up to 256-bit) key and streams
+    ``4·(Nr+1)`` words into its round-key RAM: the first ``Nk`` straight
+    from the key, the rest via the recurrence
+
+        temp = w[i-1]
+        if i mod Nk == 0:       temp = SubWord(RotWord(temp)) ^ Rcon[i/Nk]
+        elif Nk > 6, i mod 8==4: temp = SubWord(temp)
+        w[i] = w[i-Nk] ^ temp
+
+    The window of the last ``Nk`` words lives in a register file; a
+    ``k`` counter tracks ``i mod Nk`` without a hardware modulo.
+    """
+
+    def __init__(self, key_bits: int, protected: bool = False,
+                 name: str = "wkexp"):
+        super().__init__(name)
+        if key_bits not in ROUNDS_BY_KEY_BITS:
+            raise ValueError(f"unsupported key size {key_bits}")
+        self.key_bits = key_bits
+        self.nk = key_bits // 32
+        self.rounds = ROUNDS_BY_KEY_BITS[key_bits]
+        self.total_words = 4 * (self.rounds + 1)
+        ctrl = PUB_TRUSTED if protected else None
+
+        self.start = self.input("start", 1, label=ctrl)
+        self.start.meta["enumerate"] = True
+        self.key_tag = self.input("key_tag", TAG_WIDTH, label=ctrl)
+        self.key = self.input(
+            "key", key_bits,
+            label=data_label(self.key_tag) if protected else None,
+        )
+        self.busy = self.output("busy", 1, label=ctrl)
+        self.ready = self.output("ready", 1, label=ctrl)
+
+        self.cur_tag = self.reg("cur_tag", TAG_WIDTH, label=ctrl)
+        self.rk_mem = self.mem(
+            "rk_mem", 64, 32,
+            label=data_label(self.cur_tag) if protected else None,
+        )
+
+        sbox = self.rom("wsbox", SBOX, 8)
+        rcon = self.rom("wrcon", list(RCON) + [0] * (16 - len(RCON)), 8)
+
+        # sliding window of the last Nk words (window[nk-1] most recent)
+        self.window: List = []
+        for j in range(self.nk):
+            w = self.reg(f"w{j}", 32,
+                         label=data_label(self.cur_tag) if protected else None)
+            self.window.append(w)
+
+        self.busy_r = self.reg("busy_r", 1, label=ctrl)
+        self.busy_r.meta["enumerate"] = True
+        self.i_r = self.reg("i_r", 6, label=ctrl)          # word index
+        self.k_r = self.reg("k_r", 3, label=ctrl)          # i mod Nk
+        self.k_r.meta["enumerate"] = True
+        self.rcon_r = self.reg("rcon_r", 4, label=ctrl)    # i / Nk
+
+        latest = self.window[self.nk - 1]
+        oldest = self.window[0]
+
+        rcon_word = cat(rcon.read(self.rcon_r), lit(0, 24))
+        rotated = sub_word_expr(rot_word_expr(latest), sbox) ^ rcon_word
+        subbed = sub_word_expr(latest, sbox)
+
+        k_is_zero = self.k_r.eq(0)
+        if self.nk > 6:
+            temp = mux(k_is_zero, rotated, mux(self.k_r.eq(4), subbed, latest))
+        else:
+            temp = mux(k_is_zero, rotated, latest)
+        generated = oldest ^ temp
+
+        next_word = generated
+
+        # the whole key latches at start (a wide write, like the flagship
+        # unit): the checker caught both a stale-window transient and a
+        # key-input-changing-mid-load hazard in an earlier word-serial
+        # loading scheme, so the key is consumed in exactly one cycle
+        key_words = [
+            self.key[self.key_bits - 1 - 32 * j:self.key_bits - 32 - 32 * j]
+            for j in range(self.nk)
+        ]
+        with when(self.start & ~self.busy_r):
+            self.busy_r <<= 1
+            self.i_r <<= self.nk
+            self.k_r <<= 0
+            self.rcon_r <<= 1
+            self.cur_tag <<= self.key_tag
+            for j in range(self.nk):
+                self.window[j] <<= key_words[j]
+                self.rk_mem.write(lit(j, 6), key_words[j], tag=self.key_tag)
+
+        with when(self.busy_r):
+            self.rk_mem.write(self.i_r, next_word, tag=self.cur_tag)
+            for j in range(self.nk - 1):
+                self.window[j] <<= self.window[j + 1]
+            self.window[self.nk - 1] <<= next_word
+
+            self.i_r <<= self.i_r + 1
+            with when(self.k_r.eq(self.nk - 1)):
+                self.k_r <<= 0
+                self.rcon_r <<= self.rcon_r + 1
+            with otherwise():
+                self.k_r <<= self.k_r + 1
+            with when(self.i_r.eq(self.total_words - 1)):
+                self.busy_r <<= 0
+
+        self.busy <<= self.busy_r
+        self.ready <<= ~self.busy_r
+
+    def read_round_key(self, index: Node) -> Node:
+        """128-bit round key ``index`` as four word reads."""
+        base = cat(index, lit(0, 2))  # index * 4
+        words = [self.rk_mem.read((base + lit(j, 6)).trunc(6))
+                 for j in range(4)]
+        return cat(*words)
+
+
+class AesEngineWide(Module):
+    """Pipelined AES-128/192/256 E/D engine: ``3·Nr`` stages, one
+    block/cycle, single key context (re-keyed via the expansion unit)."""
+
+    def __init__(self, key_bits: int = 256, protected: bool = False,
+                 name: str = "wide"):
+        super().__init__(name)
+        self.key_bits = key_bits
+        self.rounds = ROUNDS_BY_KEY_BITS[key_bits]
+        self.latency = 3 * self.rounds
+        ctrl = PUB_TRUSTED if protected else None
+
+        self.advance = self.input("advance", 1, label=ctrl)
+        self.advance.meta["enumerate"] = True
+        self.in_valid = self.input("in_valid", 1, label=ctrl)
+        self.in_user = self.input("in_user", TAG_WIDTH, label=ctrl)
+        self.in_op = self.input("in_op", 1, label=ctrl)
+        self.in_op.meta["enumerate"] = True
+        self.in_data = self.input(
+            "in_data", 128,
+            label=request_label(self.in_user) if protected else None,
+        )
+
+        self.kx_start = self.input("kx_start", 1, label=ctrl)
+        self.kx_key_tag = self.input("kx_key_tag", TAG_WIDTH, label=ctrl)
+        self.kx_key = self.input(
+            "kx_key", key_bits,
+            label=data_label(self.kx_key_tag) if protected else None,
+        )
+
+        self.keyexp = self.submodule(WordSerialKeyExpand(key_bits, protected))
+        self.keyexp.start <<= self.kx_start
+        self.keyexp.key <<= self.kx_key
+        self.keyexp.key_tag <<= self.kx_key_tag
+        self.kx_busy = self.output("kx_busy", 1, label=ctrl)
+        self.kx_busy <<= self.keyexp.busy
+
+        def rk(index: Node, block_tag: Node) -> Node:
+            value = self.keyexp.read_round_key(index)
+            if protected:
+                # fail-secure round-key guard, as in the flagship pipeline
+                guard = hw_flows_to(self.keyexp.cur_tag, block_tag)
+                value = mux(guard, value, lit(0, 128))
+            return value
+
+        entry_tag = self.wire("entry_tag", TAG_WIDTH, label=ctrl)
+        if protected:
+            from .hwlabels import hw_join
+
+            entry_tag <<= hw_join(self.in_user, self.keyexp.cur_tag)
+        else:
+            entry_tag <<= self.in_user
+
+        init_idx = mux(self.in_op.eq(OP_DEC),
+                       lit(self.rounds, 4), lit(0, 4))
+        entry_data = self.in_data ^ rk(init_idx, entry_tag)
+
+        self.stages: List = []
+        prev = None
+        for r in range(1, self.rounds + 1):
+            sa = self.submodule(StageA(r, protected, total_rounds=self.rounds))
+            sb = self.submodule(StageB(r, protected, total_rounds=self.rounds))
+            sc = self.submodule(StageC(r, protected, total_rounds=self.rounds))
+            self.stages.extend([sa, sb, sc])
+            if prev is None:
+                sa.valid_i <<= self.in_valid
+                sa.tag_i <<= entry_tag
+                sa.op_i <<= self.in_op
+                sa.slot_i <<= 0
+                sa.data_i <<= entry_data
+            else:
+                self._chain(prev, sa)
+            self._chain(sa, sb)
+            self._chain(sb, sc)
+            rk_idx = mux(sc.op_i.eq(OP_DEC),
+                         lit(self.rounds - r, 4), lit(r, 4))
+            sc.rk_i <<= rk(rk_idx, sb.tag_o)
+            prev = sc
+
+        for stage in self.stages:
+            stage.advance <<= self.advance
+
+        last = self.stages[-1]
+        self.out_valid = self.output("out_valid", 1, label=ctrl)
+        self.out_tag = self.output("out_tag", TAG_WIDTH, label=ctrl)
+        self.out_data = self.output(
+            "out_data", 128,
+            label=data_label(self.out_tag) if protected else None,
+        )
+        self.out_valid <<= last.valid_o
+        self.out_tag <<= last.tag_o
+        self.out_data <<= last.data_o
+
+    def _chain(self, src, dst) -> None:
+        dst.valid_i <<= src.valid_o
+        dst.tag_i <<= src.tag_o
+        dst.op_i <<= src.op_o
+        dst.slot_i <<= src.slot_o
+        dst.data_i <<= src.data_o

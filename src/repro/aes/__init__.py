@@ -1,0 +1,70 @@
+"""repro.aes — software reference AES (FIPS-197), the golden model."""
+
+from .cipher import (
+    block_to_bytes,
+    bytes_to_block,
+    decrypt_block,
+    encrypt_block,
+    encrypt_round_states,
+)
+from .constants import BLOCK_BITS, BLOCK_BYTES, INV_SBOX, RCON, ROUNDS_BY_KEY_BITS, SBOX
+from .gf import ginv, gmul, gpow, sbox_from_first_principles, xtime
+from .key_schedule import expand_key, key_bytes_from_int, round_key_as_int
+from .modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_crypt,
+    ecb_decrypt,
+    ecb_encrypt,
+    pad_pkcs7,
+    unpad_pkcs7,
+)
+from .rounds import (
+    add_round_key,
+    block_to_state,
+    inv_mix_columns,
+    inv_shift_rows,
+    inv_sub_bytes,
+    mix_columns,
+    shift_rows,
+    state_to_block,
+    sub_bytes,
+)
+
+__all__ = [
+    "BLOCK_BITS",
+    "BLOCK_BYTES",
+    "INV_SBOX",
+    "RCON",
+    "ROUNDS_BY_KEY_BITS",
+    "SBOX",
+    "add_round_key",
+    "block_to_bytes",
+    "block_to_state",
+    "bytes_to_block",
+    "cbc_decrypt",
+    "cbc_encrypt",
+    "ctr_crypt",
+    "decrypt_block",
+    "ecb_decrypt",
+    "ecb_encrypt",
+    "encrypt_block",
+    "encrypt_round_states",
+    "expand_key",
+    "ginv",
+    "gmul",
+    "gpow",
+    "inv_mix_columns",
+    "inv_shift_rows",
+    "inv_sub_bytes",
+    "key_bytes_from_int",
+    "mix_columns",
+    "pad_pkcs7",
+    "round_key_as_int",
+    "sbox_from_first_principles",
+    "shift_rows",
+    "state_to_block",
+    "sub_bytes",
+    "unpad_pkcs7",
+    "xtime",
+]

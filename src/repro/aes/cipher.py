@@ -1,0 +1,103 @@
+"""AES block cipher (FIPS-197) — the golden reference model.
+
+Every hardware experiment differentially tests the accelerator pipeline
+against :func:`encrypt_block` / :func:`decrypt_block`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .constants import ROUNDS_BY_KEY_BITS
+from .key_schedule import expand_key
+from .rounds import (
+    add_round_key,
+    block_to_state,
+    inv_mix_columns,
+    inv_shift_rows,
+    inv_sub_bytes,
+    mix_columns,
+    shift_rows,
+    state_to_block,
+    sub_bytes,
+)
+
+
+def _rounds_for(key_bits: int) -> int:
+    if key_bits not in ROUNDS_BY_KEY_BITS:
+        raise ValueError(
+            f"key size must be one of {sorted(ROUNDS_BY_KEY_BITS)}, "
+            f"got {key_bits}"
+        )
+    return ROUNDS_BY_KEY_BITS[key_bits]
+
+
+def encrypt_block(plaintext: int, key: int, key_bits: int = 128) -> int:
+    """Encrypt one 128-bit block; ints are big-endian byte order."""
+    rounds = _rounds_for(key_bits)
+    round_keys = expand_key(key, key_bits)
+    state = add_round_key(block_to_state(plaintext), round_keys[0])
+    for r in range(1, rounds):
+        state = sub_bytes(state)
+        state = shift_rows(state)
+        state = mix_columns(state)
+        state = add_round_key(state, round_keys[r])
+    state = sub_bytes(state)
+    state = shift_rows(state)
+    state = add_round_key(state, round_keys[rounds])
+    return state_to_block(state)
+
+
+def decrypt_block(ciphertext: int, key: int, key_bits: int = 128) -> int:
+    """Decrypt one 128-bit block (straight inverse cipher, FIPS-197 §5.3)."""
+    rounds = _rounds_for(key_bits)
+    round_keys = expand_key(key, key_bits)
+    state = add_round_key(block_to_state(ciphertext), round_keys[rounds])
+    for r in range(rounds - 1, 0, -1):
+        state = inv_shift_rows(state)
+        state = inv_sub_bytes(state)
+        state = add_round_key(state, round_keys[r])
+        state = inv_mix_columns(state)
+    state = inv_shift_rows(state)
+    state = inv_sub_bytes(state)
+    state = add_round_key(state, round_keys[0])
+    return state_to_block(state)
+
+
+def encrypt_round_states(plaintext: int, key: int,
+                         key_bits: int = 128) -> List[int]:
+    """All intermediate states (after each round), as 128-bit ints.
+
+    Index 0 is the state after the initial AddRoundKey; index ``Nr`` is
+    the ciphertext.  Used by the debug-peripheral attack reproduction,
+    which recovers the key from a disclosed intermediate state.
+    """
+    rounds = _rounds_for(key_bits)
+    round_keys = expand_key(key, key_bits)
+    states: List[int] = []
+    state = add_round_key(block_to_state(plaintext), round_keys[0])
+    states.append(state_to_block(state))
+    for r in range(1, rounds):
+        state = sub_bytes(state)
+        state = shift_rows(state)
+        state = mix_columns(state)
+        state = add_round_key(state, round_keys[r])
+        states.append(state_to_block(state))
+    state = sub_bytes(state)
+    state = shift_rows(state)
+    state = add_round_key(state, round_keys[rounds])
+    states.append(state_to_block(state))
+    return states
+
+
+def bytes_to_block(data: Sequence[int]) -> int:
+    if len(data) != 16:
+        raise ValueError("block must be 16 bytes")
+    value = 0
+    for b in data:
+        value = (value << 8) | (b & 0xFF)
+    return value
+
+
+def block_to_bytes(block: int) -> List[int]:
+    return [(block >> (8 * (15 - i))) & 0xFF for i in range(16)]

@@ -1,0 +1,73 @@
+"""GF(2^8) arithmetic with the AES reduction polynomial x^8+x^4+x^3+x+1.
+
+These primitives are used three ways: by the software reference cipher,
+by the S-box self-derivation test, and by the hardware round-stage
+generators in :mod:`repro.accel`, which build the same constant
+multiplications as xor/shift expression trees.
+"""
+
+from __future__ import annotations
+
+AES_POLY = 0x11B  # x^8 + x^4 + x^3 + x + 1
+
+
+def xtime(a: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8)."""
+    a <<= 1
+    if a & 0x100:
+        a ^= AES_POLY
+    return a & 0xFF
+
+
+def gmul(a: int, b: int) -> int:
+    """General multiplication in GF(2^8) (peasant's algorithm)."""
+    result = 0
+    a &= 0xFF
+    b &= 0xFF
+    while b:
+        if b & 1:
+            result ^= a
+        a = xtime(a)
+        b >>= 1
+    return result
+
+
+def gpow(a: int, n: int) -> int:
+    """Exponentiation in GF(2^8)."""
+    result = 1
+    base = a & 0xFF
+    while n:
+        if n & 1:
+            result = gmul(result, base)
+        base = gmul(base, base)
+        n >>= 1
+    return result
+
+
+def ginv(a: int) -> int:
+    """Multiplicative inverse in GF(2^8); inv(0) is defined as 0 (AES)."""
+    if a == 0:
+        return 0
+    # The multiplicative group has order 255, so a^254 = a^-1.
+    return gpow(a, 254)
+
+
+def affine_transform(a: int) -> int:
+    """The AES S-box affine map over GF(2): b ^ rot1 ^ rot2 ^ rot3 ^ rot4 ^ 0x63."""
+    result = 0
+    for i in range(8):
+        bit = (
+            (a >> i)
+            ^ (a >> ((i + 4) % 8))
+            ^ (a >> ((i + 5) % 8))
+            ^ (a >> ((i + 6) % 8))
+            ^ (a >> ((i + 7) % 8))
+            ^ (0x63 >> i)
+        ) & 1
+        result |= bit << i
+    return result
+
+
+def sbox_from_first_principles(a: int) -> int:
+    """S-box entry computed as affine(inverse(a)) — used to validate tables."""
+    return affine_transform(ginv(a))

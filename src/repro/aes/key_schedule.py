@@ -1,0 +1,62 @@
+"""AES key expansion (FIPS-197 §5.2) for 128/192/256-bit keys."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .constants import RCON, ROUNDS_BY_KEY_BITS, SBOX
+
+Word = List[int]  # four bytes
+
+
+def _sub_word(word: Sequence[int]) -> Word:
+    return [SBOX[b] for b in word]
+
+
+def _rot_word(word: Sequence[int]) -> Word:
+    return list(word[1:]) + [word[0]]
+
+
+def _xor_words(a: Sequence[int], b: Sequence[int]) -> Word:
+    return [x ^ y for x, y in zip(a, b)]
+
+
+def key_bytes_from_int(key: int, key_bits: int) -> List[int]:
+    if key_bits not in ROUNDS_BY_KEY_BITS:
+        raise ValueError(f"key size must be one of {sorted(ROUNDS_BY_KEY_BITS)}")
+    if not 0 <= key < (1 << key_bits):
+        raise ValueError(f"key does not fit in {key_bits} bits")
+    n = key_bits // 8
+    return [(key >> (8 * (n - 1 - i))) & 0xFF for i in range(n)]
+
+
+def expand_key(key: int, key_bits: int = 128) -> List[List[int]]:
+    """Expand ``key`` into ``Nr + 1`` round keys of 16 bytes each."""
+    rounds = ROUNDS_BY_KEY_BITS[key_bits]
+    nk = key_bits // 32
+    key_bytes = key_bytes_from_int(key, key_bits)
+
+    words: List[Word] = [key_bytes[4 * i:4 * i + 4] for i in range(nk)]
+    total_words = 4 * (rounds + 1)
+    for i in range(nk, total_words):
+        temp = list(words[i - 1])
+        if i % nk == 0:
+            temp = _xor_words(_sub_word(_rot_word(temp)), [RCON[i // nk], 0, 0, 0])
+        elif nk > 6 and i % nk == 4:
+            temp = _sub_word(temp)
+        words.append(_xor_words(words[i - nk], temp))
+
+    round_keys: List[List[int]] = []
+    for r in range(rounds + 1):
+        rk: List[int] = []
+        for w in words[4 * r:4 * r + 4]:
+            rk.extend(w)
+        round_keys.append(rk)
+    return round_keys
+
+
+def round_key_as_int(round_key: Sequence[int]) -> int:
+    value = 0
+    for b in round_key:
+        value = (value << 8) | (b & 0xFF)
+    return value

@@ -1,0 +1,90 @@
+"""Block-cipher modes (ECB/CBC/CTR) over the reference cipher.
+
+Used by the example applications to process realistic multi-block
+messages (SP 800-38A semantics; CTR uses a 128-bit big-endian counter).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from .cipher import decrypt_block, encrypt_block
+
+BlockFn = Callable[[int], int]
+
+
+def _chunk_blocks(data: bytes) -> List[int]:
+    if len(data) % 16 != 0:
+        raise ValueError("data length must be a multiple of 16 bytes "
+                         "(apply padding first)")
+    return [int.from_bytes(data[i:i + 16], "big") for i in range(0, len(data), 16)]
+
+
+def _join_blocks(blocks: Sequence[int]) -> bytes:
+    return b"".join(b.to_bytes(16, "big") for b in blocks)
+
+
+def pad_pkcs7(data: bytes) -> bytes:
+    pad = 16 - (len(data) % 16)
+    return data + bytes([pad]) * pad
+
+
+def unpad_pkcs7(data: bytes) -> bytes:
+    if not data or len(data) % 16 != 0:
+        raise ValueError("invalid padded data")
+    pad = data[-1]
+    if not 1 <= pad <= 16 or data[-pad:] != bytes([pad]) * pad:
+        raise ValueError("invalid PKCS#7 padding")
+    return data[:-pad]
+
+
+def ecb_encrypt(data: bytes, key: int, key_bits: int = 128) -> bytes:
+    return _join_blocks(encrypt_block(b, key, key_bits) for b in _chunk_blocks(data))
+
+
+def ecb_decrypt(data: bytes, key: int, key_bits: int = 128) -> bytes:
+    return _join_blocks(decrypt_block(b, key, key_bits) for b in _chunk_blocks(data))
+
+
+def cbc_encrypt(data: bytes, key: int, iv: int, key_bits: int = 128) -> bytes:
+    out: List[int] = []
+    prev = iv
+    for block in _chunk_blocks(data):
+        prev = encrypt_block(block ^ prev, key, key_bits)
+        out.append(prev)
+    return _join_blocks(out)
+
+
+def cbc_decrypt(data: bytes, key: int, iv: int, key_bits: int = 128) -> bytes:
+    out: List[int] = []
+    prev = iv
+    for block in _chunk_blocks(data):
+        out.append(decrypt_block(block, key, key_bits) ^ prev)
+        prev = block
+    return _join_blocks(out)
+
+
+def ctr_keystream(key: int, nonce: int, blocks: int, key_bits: int = 128) -> List[int]:
+    return [
+        encrypt_block((nonce + i) & ((1 << 128) - 1), key, key_bits)
+        for i in range(blocks)
+    ]
+
+
+def ctr_crypt(data: bytes, key: int, nonce: int, key_bits: int = 128) -> bytes:
+    """CTR mode; encryption and decryption are the same operation.
+
+    Unlike ECB/CBC, partial final blocks are allowed.
+    """
+    full = len(data) // 16
+    rem = len(data) % 16
+    stream = ctr_keystream(key, nonce, full + (1 if rem else 0), key_bits)
+    out = bytearray()
+    for i in range(full):
+        block = int.from_bytes(data[16 * i:16 * i + 16], "big") ^ stream[i]
+        out += block.to_bytes(16, "big")
+    if rem:
+        ks = stream[full].to_bytes(16, "big")[:rem]
+        tail = bytes(a ^ b for a, b in zip(data[16 * full:], ks))
+        out += tail
+    return bytes(out)

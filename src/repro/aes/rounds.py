@@ -1,0 +1,99 @@
+"""AES round transformations (FIPS-197 §5) and their inverses.
+
+State representation: a list of 16 byte values in FIPS column-major
+order — ``state[r + 4*c]`` is row ``r``, column ``c``.  A 128-bit block
+``b0 b1 ... b15`` (``b0`` first on the wire) maps to ``state[i] = b_i``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .constants import BLOCK_BYTES, INV_SBOX, SBOX
+from .gf import gmul
+
+State = List[int]
+
+
+def _check_state(state: Sequence[int]) -> None:
+    if len(state) != BLOCK_BYTES:
+        raise ValueError(f"state must have {BLOCK_BYTES} bytes")
+
+
+def sub_bytes(state: Sequence[int]) -> State:
+    _check_state(state)
+    return [SBOX[b] for b in state]
+
+
+def inv_sub_bytes(state: Sequence[int]) -> State:
+    _check_state(state)
+    return [INV_SBOX[b] for b in state]
+
+
+def shift_rows(state: Sequence[int]) -> State:
+    """Row r rotates left by r positions."""
+    _check_state(state)
+    out = [0] * BLOCK_BYTES
+    for r in range(4):
+        for c in range(4):
+            out[r + 4 * c] = state[r + 4 * ((c + r) % 4)]
+    return out
+
+
+def inv_shift_rows(state: Sequence[int]) -> State:
+    """Row r rotates right by r positions."""
+    _check_state(state)
+    out = [0] * BLOCK_BYTES
+    for r in range(4):
+        for c in range(4):
+            out[r + 4 * ((c + r) % 4)] = state[r + 4 * c]
+    return out
+
+
+def mix_columns(state: Sequence[int]) -> State:
+    _check_state(state)
+    out = [0] * BLOCK_BYTES
+    for c in range(4):
+        col = state[4 * c:4 * c + 4]
+        out[4 * c + 0] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3]
+        out[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3]
+        out[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3)
+        out[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2)
+    return out
+
+
+def inv_mix_columns(state: Sequence[int]) -> State:
+    _check_state(state)
+    out = [0] * BLOCK_BYTES
+    for c in range(4):
+        col = state[4 * c:4 * c + 4]
+        out[4 * c + 0] = (gmul(col[0], 14) ^ gmul(col[1], 11)
+                          ^ gmul(col[2], 13) ^ gmul(col[3], 9))
+        out[4 * c + 1] = (gmul(col[0], 9) ^ gmul(col[1], 14)
+                          ^ gmul(col[2], 11) ^ gmul(col[3], 13))
+        out[4 * c + 2] = (gmul(col[0], 13) ^ gmul(col[1], 9)
+                          ^ gmul(col[2], 14) ^ gmul(col[3], 11))
+        out[4 * c + 3] = (gmul(col[0], 11) ^ gmul(col[1], 13)
+                          ^ gmul(col[2], 9) ^ gmul(col[3], 14))
+    return out
+
+
+def add_round_key(state: Sequence[int], round_key: Sequence[int]) -> State:
+    _check_state(state)
+    _check_state(round_key)
+    return [s ^ k for s, k in zip(state, round_key)]
+
+
+def block_to_state(block: int) -> State:
+    """128-bit int (big-endian byte order) → 16-byte state list."""
+    if not 0 <= block < (1 << 128):
+        raise ValueError("block must be a 128-bit value")
+    return [(block >> (8 * (15 - i))) & 0xFF for i in range(16)]
+
+
+def state_to_block(state: Sequence[int]) -> int:
+    _check_state(state)
+    block = 0
+    for b in state:
+        block = (block << 8) | (b & 0xFF)
+    return block

@@ -1,0 +1,44 @@
+"""repro.attacks — reproductions of the attacks the paper rules out.
+
+Each module stages one §2.1/§3.1 vulnerability against the baseline
+accelerator (where it succeeds) and against the protected accelerator
+(where it is blocked, suppressed, or statically rejected):
+
+* :mod:`~repro.attacks.timing_channel` — pipeline-stall covert channel;
+* :mod:`~repro.attacks.key_timing` — key-dependent key-schedule timing;
+* :mod:`~repro.attacks.buffer_overflow` — scratchpad overrun (Fig. 5);
+* :mod:`~repro.attacks.debug_leak` — trace-buffer key recovery;
+* :mod:`~repro.attacks.key_misuse` — master-key use by regular users;
+* :mod:`~repro.attacks.trojan` — data-leak Trojan caught statically.
+"""
+
+from .buffer_overflow import OverflowResult, run_overflow_attack
+from .debug_leak import DebugLeakResult, invert_round1_trace, run_debug_leak
+from .key_misuse import MisuseResult, run_key_misuse
+from .key_timing import (
+    distinguish_keys,
+    expansion_cycles,
+    predicted_extra_cycles,
+    timing_profile,
+)
+from .timing_channel import CovertChannelResult, run_covert_channel
+from .trojan import TrojanStageC, check_clean_stage, check_trojan_stage
+
+__all__ = [
+    "CovertChannelResult",
+    "DebugLeakResult",
+    "MisuseResult",
+    "OverflowResult",
+    "TrojanStageC",
+    "check_clean_stage",
+    "check_trojan_stage",
+    "distinguish_keys",
+    "expansion_cycles",
+    "invert_round1_trace",
+    "predicted_extra_cycles",
+    "run_covert_channel",
+    "run_debug_leak",
+    "run_key_misuse",
+    "run_overflow_attack",
+    "timing_profile",
+]

@@ -1,0 +1,91 @@
+"""Trace-buffer key recovery (Huang & Mishra [10], §2.1/§3.1).
+
+The debug peripheral snapshots the round-1 SubBytes output,
+``SubBytes(pt ⊕ k)``.  With a known plaintext that inverts directly:
+
+    k  =  pt ⊕ InvSubBytes(trace_entry)
+
+On the baseline, Eve (an unprivileged user) first *enables* tracing by
+writing the configuration register — which nothing stops — then waits
+for Alice's encryption and reads the trace through the debug port: full
+128-bit key recovery from one entry.
+
+On the protected design both steps fail independently: the config write
+is supervisor-gated, and even with tracing enabled (by the supervisor)
+the readout is label-checked, so Eve reads zeros and the ``blocked``
+counter ticks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..accel.baseline import AesAcceleratorBaseline
+from ..accel.common import user_label
+from ..accel.config_regs import CFG_FEATURES, FEATURE_DEBUG_EN, FEATURE_OUTBUF_EN
+from ..accel.driver import AcceleratorDriver
+from ..accel.protected import AesAcceleratorProtected
+from ..aes import block_to_state, inv_sub_bytes, state_to_block
+
+ALICE_KEY = 0x2B7E151628AED2A6ABF7158809CF4F3C
+KNOWN_PLAINTEXT = 0x00112233445566778899AABBCCDDEEFF
+
+
+class DebugLeakResult:
+    def __init__(self, trace_entry: int, recovered_key: Optional[int],
+                 cfg_after: int, blocked_count: int):
+        self.trace_entry = trace_entry
+        self.recovered_key = recovered_key
+        self.cfg_after = cfg_after
+        self.blocked_count = blocked_count
+
+    @property
+    def key_recovered(self) -> bool:
+        return self.recovered_key == ALICE_KEY
+
+    def __repr__(self) -> str:
+        return (f"DebugLeakResult(key_recovered={self.key_recovered}, "
+                f"blocked={self.blocked_count})")
+
+
+def invert_round1_trace(trace_entry: int, plaintext: int) -> int:
+    """Recover the key from a round-1 SubBytes snapshot."""
+    state = block_to_state(trace_entry)
+    pre_sub = state_to_block(inv_sub_bytes(state))
+    return pre_sub ^ plaintext
+
+
+def run_debug_leak(protected: bool) -> DebugLeakResult:
+    """Eve enables tracing, Alice encrypts, Eve reads the trace."""
+    accel = AesAcceleratorProtected() if protected else AesAcceleratorBaseline()
+    drv = AcceleratorDriver(accel)
+    alice = user_label("p0").encode()
+    eve = user_label("p1").encode()
+
+    if protected:
+        drv.allocate_slot(1, alice)
+    drv.load_key(alice, 1, ALICE_KEY)
+
+    # step 1: Eve switches the debug trace on via the config register
+    drv.write_config(eve, CFG_FEATURES, FEATURE_OUTBUF_EN | FEATURE_DEBUG_EN)
+    cfg_after = drv.read_config(CFG_FEATURES)
+
+    # step 2: Alice encrypts a block Eve knows (e.g. a protocol header)
+    drv.set_reader(alice)
+    drv.encrypt_blocking(alice, 1, KNOWN_PLAINTEXT, max_cycles=60)
+
+    # step 3: Eve reads the freshest trace entries and inverts round 1
+    recovered = None
+    trace_seen = 0
+    for entry in range(16):
+        word = drv.read_debug(eve, entry)
+        if word == 0:
+            continue
+        trace_seen = word
+        candidate = invert_round1_trace(word, KNOWN_PLAINTEXT)
+        if candidate == ALICE_KEY:
+            recovered = candidate
+            break
+
+    blocked = drv.counters().get("blocked_count", 0)
+    return DebugLeakResult(trace_seen, recovered, cfg_after, blocked)

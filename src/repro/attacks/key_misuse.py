@@ -1,0 +1,67 @@
+"""Inappropriate use of the master key (§3.2.2).
+
+The master key lives in slot 0 with label ``(⊤,⊤)``.  A regular user who
+can aim the engine at slot 0 obtains valid master-key ciphertext — a
+building block for forging supervisor-encrypted data or for chosen-
+plaintext analysis of supervisor traffic.
+
+Baseline: nothing intervenes; Eve gets ``AES_masterkey(pt)``.
+Protected: the block's tag joins the master key's ⊤ confidentiality, the
+exit declassification fails the nonmalleable check
+(``⊤ ⋢C r(ℓ(eve))``), and the block is suppressed (counted); the same
+request issued by the supervisor succeeds, because only the supervisor
+"has high enough integrity to declassify encryption with the master
+key."
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..accel.baseline import AesAcceleratorBaseline
+from ..accel.common import MASTER_SLOT, supervisor_label, user_label
+from ..accel.driver import AcceleratorDriver
+from ..accel.key_expand_unit import DEFAULT_MASTER_KEY
+from ..accel.protected import AesAcceleratorProtected
+from ..aes import encrypt_block
+
+PROBE_PT = 0x0123456789ABCDEF0123456789ABCDEF
+
+
+class MisuseResult:
+    def __init__(self, eve_ciphertext: Optional[int],
+                 supervisor_ciphertext: Optional[int],
+                 suppressed_count: int):
+        self.eve_ciphertext = eve_ciphertext
+        self.supervisor_ciphertext = supervisor_ciphertext
+        self.suppressed_count = suppressed_count
+
+    @property
+    def eve_succeeded(self) -> bool:
+        return self.eve_ciphertext == encrypt_block(PROBE_PT, DEFAULT_MASTER_KEY)
+
+    @property
+    def supervisor_succeeded(self) -> bool:
+        return (self.supervisor_ciphertext
+                == encrypt_block(PROBE_PT, DEFAULT_MASTER_KEY))
+
+    def __repr__(self) -> str:
+        return (f"MisuseResult(eve={self.eve_succeeded}, "
+                f"supervisor={self.supervisor_succeeded}, "
+                f"suppressed={self.suppressed_count})")
+
+
+def run_key_misuse(protected: bool) -> MisuseResult:
+    accel = AesAcceleratorProtected() if protected else AesAcceleratorBaseline()
+    drv = AcceleratorDriver(accel)
+    eve = user_label("p1").encode()
+    sup = supervisor_label().encode()
+
+    drv.set_reader(eve)
+    eve_ct, _ = drv.encrypt_blocking(eve, MASTER_SLOT, PROBE_PT, max_cycles=80)
+
+    drv.set_reader(sup)
+    sup_ct, _ = drv.encrypt_blocking(sup, MASTER_SLOT, PROBE_PT, max_cycles=80)
+
+    return MisuseResult(eve_ct, sup_ct,
+                        drv.counters().get("suppressed_count", 0))

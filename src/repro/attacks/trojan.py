@@ -1,0 +1,52 @@
+"""Data-leak hardware Trojan (Reece & Robinson [16]) caught at design time.
+
+A malicious StageC variant watches for a trigger plaintext pattern; when
+it fires, the stage *clears the block's security tag to public* while
+splicing round-key bits into the data — the classic exfiltration Trojan:
+downstream, the declassifier sees an innocently-tagged block and releases
+it, key material included.
+
+Because the trigger condition is computed from (tagged) user data and
+flows into the public-trusted tag register — and because the data
+register's label can no longer cover the key bits — the static IFC
+checker flags the Trojan from the netlist alone, with no simulation and
+no trigger knowledge: the GLIFT/RTLIFT Trojan-detection story (§5, [9])
+on our ChiselFlow-style types.
+"""
+
+from __future__ import annotations
+
+from ..accel.common import FREE_TAG, LATTICE
+from ..accel.round_stages import StageC
+from ..hdl.elaborate import elaborate
+from ..hdl.module import when
+from ..ifc.checker import IfcChecker
+from ..ifc.errors import CheckReport
+
+#: The Trojan's trigger: a magic value in the low 32 bits of the state.
+TRIGGER = 0xDEADBEEF
+
+
+class TrojanStageC(StageC):
+    """StageC with an exfiltration Trojan wired in."""
+
+    def __init__(self, round_index: int = 5, protected: bool = True):
+        super().__init__(round_index, protected, name=f"sc{round_index}_trojan")
+        trigger = self.data_i[31:0].eq(TRIGGER)
+        with when(self.advance & trigger):
+            # clear the tag so the exit declassifier waves the block through
+            self.tag_r <<= FREE_TAG
+            # splice the round key into the outgoing data
+            self.data_r <<= self.rk_i
+
+
+def check_trojan_stage(round_index: int = 5) -> CheckReport:
+    """Statically check the Trojan stage; returns the (failing) report."""
+    return IfcChecker(elaborate(TrojanStageC(round_index)), LATTICE).check()
+
+
+def check_clean_stage(round_index: int = 5) -> CheckReport:
+    """The honest stage checks clean — the baseline for comparison."""
+    return IfcChecker(
+        elaborate(StageC(round_index, protected=True)), LATTICE
+    ).check()

@@ -1,0 +1,39 @@
+"""repro.eval — drivers that regenerate every table and figure."""
+
+from .audit import annotate_baseline, classify_errors, protection_effort, run_audit
+from .figures import (
+    SharingResult,
+    fig3_cache_tags,
+    fig5_scratchpad,
+    fig6_label_error,
+    fig7_sharing,
+    fig8_dynamic,
+    fig8_static,
+)
+from .table1 import render_table1, run_table1
+from .table2 import ThroughputResult, measure_throughput, run_table2
+from .runner import run_all
+from .sweeps import ContentionPoint, contention_sweep, covert_bandwidth
+
+__all__ = [
+    "SharingResult",
+    "ThroughputResult",
+    "ContentionPoint",
+    "annotate_baseline",
+    "classify_errors",
+    "fig3_cache_tags",
+    "fig5_scratchpad",
+    "fig6_label_error",
+    "fig7_sharing",
+    "fig8_dynamic",
+    "fig8_static",
+    "measure_throughput",
+    "protection_effort",
+    "render_table1",
+    "run_all",
+    "run_audit",
+    "run_table1",
+    "run_table2",
+    "contention_sweep",
+    "covert_bandwidth",
+]

@@ -1,0 +1,49 @@
+"""The canonical list of protected modules and their check modes —
+shared by the verification-cost benchmark, the EXPERIMENTS runner, and
+the consolidated test."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from ..accel.axi import AxiLiteFrontend
+from ..accel.common import LATTICE
+from ..accel.config_regs import ConfigRegs
+from ..accel.debug import DebugPeripheral
+from ..accel.declassifier import Declassifier
+from ..accel.key_expand_unit import KeyExpandUnit
+from ..accel.output_buffer import OutputBuffer
+from ..accel.pipeline import AesPipeline
+from ..accel.protected import AesAcceleratorProtected
+from ..accel.round_stages import StageA, StageB, StageC
+from ..accel.scratchpad import KeyScratchpad
+from ..accel.stall import StallController
+from ..hdl.elaborate import elaborate, elaborate_shallow
+from ..ifc.checker import IfcChecker
+from ..ifc.errors import CheckReport
+
+MODULES: List[Tuple[str, Callable, Callable]] = [
+    ("StageA", lambda: StageA(1, True), elaborate),
+    ("StageB", lambda: StageB(10, True), elaborate),
+    ("StageC", lambda: StageC(5, True), elaborate),
+    ("KeyExpandUnit", lambda: KeyExpandUnit(True), elaborate),
+    ("KeyScratchpad", lambda: KeyScratchpad(True), elaborate),
+    ("OutputBuffer", lambda: OutputBuffer(True), elaborate),
+    ("ConfigRegs", lambda: ConfigRegs(True), elaborate),
+    ("DebugPeripheral", lambda: DebugPeripheral(True), elaborate),
+    ("Declassifier", lambda: Declassifier(True), elaborate),
+    ("StallController", lambda: StallController(30, True), elaborate),
+    ("AesPipeline (modular)", lambda: AesPipeline(True), elaborate_shallow),
+    ("Top (modular)", AesAcceleratorProtected, elaborate_shallow),
+    ("AXI bridge (modular)", AxiLiteFrontend, elaborate_shallow),
+]
+
+
+def check_all() -> List[Tuple[str, CheckReport]]:
+    """Check every module; returns (name, report) pairs."""
+    results = []
+    for name, build, elab in MODULES:
+        report = IfcChecker(elab(build()), LATTICE,
+                            max_hypotheses=1 << 20).check()
+        results.append((name, report))
+    return results

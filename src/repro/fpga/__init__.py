@@ -1,0 +1,21 @@
+"""repro.fpga — Virtex-7-calibrated area/timing estimation (Table 2)."""
+
+from .report import PAPER_TABLE2, Table2Row, render_table2, table2, table2_for_modules
+from .resources import ResourceEstimate, estimate_resources, overhead_percent
+from .timing import (critical_path_endpoint, critical_path_levels,
+                     fmax_mhz, timing_summary)
+
+__all__ = [
+    "PAPER_TABLE2",
+    "ResourceEstimate",
+    "Table2Row",
+    "critical_path_endpoint",
+    "critical_path_levels",
+    "estimate_resources",
+    "fmax_mhz",
+    "overhead_percent",
+    "render_table2",
+    "table2",
+    "table2_for_modules",
+    "timing_summary",
+]

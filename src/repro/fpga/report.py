@@ -1,0 +1,69 @@
+"""Table-2-style reporting: baseline vs protected resources and Fmax."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..hdl.elaborate import elaborate
+from ..hdl.module import Module
+from ..hdl.netlist import Netlist
+from .resources import estimate_resources, overhead_percent
+from .timing import fmax_mhz
+
+#: The paper's Table 2, for side-by-side reporting.
+PAPER_TABLE2 = {
+    "LUTs": (13275, 14021, 5.6),
+    "FFs": (14645, 15605, 6.6),
+    "BRAMs": (40, 44, 10.0),
+    "Frequency (MHz)": (400, 400, 0.0),
+}
+
+
+class Table2Row:
+    def __init__(self, name: str, baseline: float, protected: float):
+        self.name = name
+        self.baseline = baseline
+        self.protected = protected
+
+    @property
+    def overhead(self) -> float:
+        return overhead_percent(self.baseline, self.protected)
+
+    def __repr__(self) -> str:
+        return (f"{self.name}: {self.baseline:.0f} -> {self.protected:.0f} "
+                f"({self.overhead:+.1f}%)")
+
+
+def table2(baseline: Netlist, protected: Netlist) -> Dict[str, Table2Row]:
+    """Compute the four Table 2 rows for a pair of elaborated designs."""
+    eb = estimate_resources(baseline)
+    ep = estimate_resources(protected)
+    return {
+        "LUTs": Table2Row("LUTs", eb.total_luts, ep.total_luts),
+        "FFs": Table2Row("FFs", eb.ffs, ep.ffs),
+        "BRAMs": Table2Row("BRAMs", eb.brams, ep.brams),
+        "Frequency (MHz)": Table2Row(
+            "Frequency (MHz)", fmax_mhz(baseline), fmax_mhz(protected)
+        ),
+    }
+
+
+def table2_for_modules(baseline: Module, protected: Module) -> Dict[str, Table2Row]:
+    return table2(elaborate(baseline), elaborate(protected))
+
+
+def render_table2(rows: Dict[str, Table2Row],
+                  include_paper: bool = True) -> str:
+    """Render the measured table next to the paper's numbers."""
+    lines = []
+    header = f"{'':22s}{'Baseline':>12s}{'Protected':>14s}{'Overhead':>10s}"
+    if include_paper:
+        header += f"{'Paper Δ':>10s}"
+    lines.append(header)
+    for name, row in rows.items():
+        line = (f"{name:22s}{row.baseline:12.0f}{row.protected:14.0f}"
+                f"{row.overhead:+9.1f}%")
+        if include_paper and name in PAPER_TABLE2:
+            line += f"{PAPER_TABLE2[name][2]:+9.1f}%"
+        lines.append(line)
+    return "\n".join(lines)

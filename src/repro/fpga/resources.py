@@ -1,0 +1,177 @@
+"""FPGA resource estimation — LUTs, FFs, BRAMs over an elaborated netlist.
+
+A deliberately simple, *uniformly applied* cost model calibrated to
+Xilinx 7-series (Virtex-7) characteristics, the paper's target:
+
+* **FFs** — one per register bit.
+* **LUTs** — word-level operators decompose into 2-input gate
+  equivalents; 6-input LUTs absorb ~2.5 gate equivalents each (typical
+  packing).  Adders map to one LUT per bit (carry chains), wide muxes to
+  half a LUT per bit, comparisons to a compressor tree.
+* **ROMs** — read-only memories synthesize to LUT logic (the way
+  high-frequency AES S-boxes are actually built): about
+  ``width × ceil(depth/64)`` LUTs plus a small select tree per read
+  port.  This matches the known ~32–40 LUTs for a logic S-box.
+* **RAMs** — writable memories of ≥1 Kb map to 18 Kb block RAMs
+  (512 × 36 geometry), replicated for read ports beyond the two a BRAM
+  provides; smaller writable arrays become distributed LUTRAM.
+
+Absolute numbers are indicative; the experiment (Table 2) reports the
+*relative* protected/baseline overheads, which is what the paper's
+evaluation claims are about.  The same model is applied to both designs
+with no per-design tuning.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from ..hdl.memory import Mem
+from ..hdl.netlist import Netlist
+from ..hdl.nodes import Node
+
+#: gate-equivalents absorbed per 6-input LUT
+PACKING = 2.5
+#: writable arrays at least this large go to block RAM
+BRAM_THRESHOLD_BITS = 2048
+#: 18 Kb BRAM geometry (36-bit word incl. parity; 32 usable for data)
+BRAM_DEPTH, BRAM_WIDTH = 512, 32
+#: read/write ports per BRAM
+BRAM_PORTS = 2
+
+
+class ResourceEstimate:
+    """Aggregate resource usage of one design."""
+
+    def __init__(self):
+        self.luts = 0.0
+        self.ffs = 0
+        self.brams = 0
+        self.lutram_luts = 0.0
+        self.rom_luts = 0.0
+        self.logic_luts = 0.0
+        self.by_category: Dict[str, float] = {}
+
+    @property
+    def total_luts(self) -> int:
+        return int(round(self.luts))
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "LUTs": self.total_luts,
+            "FFs": self.ffs,
+            "BRAMs": self.brams,
+        }
+
+    def __repr__(self) -> str:
+        return (f"ResourceEstimate(LUTs={self.total_luts}, FFs={self.ffs}, "
+                f"BRAMs={self.brams})")
+
+
+def _gate_equivalents(node: Node) -> float:
+    """2-input gate equivalents of one expression node."""
+    kind = node.kind
+    w = node.width
+    if kind in ("const", "signal", "slice", "concat", "downgrade", "memread"):
+        return 0.0
+    if kind == "unary":
+        if node.op == "not":
+            return 0.0  # folds into downstream LUTs
+        return node.a.width - 1  # reduction tree
+    if kind == "binary":
+        op = node.op
+        if op in ("and", "or", "xor"):
+            return float(w)
+        if op in ("add", "sub"):
+            return 2.5 * w  # carry chain, ~1 LUT/bit at PACKING 2.5
+        if op == "mul":
+            return 6.0 * w * w / 8
+        if op in ("eq", "ne"):
+            return max(node.a.width, node.b.width) * 1.3
+        if op in ("lt", "le", "gt", "ge"):
+            return max(node.a.width, node.b.width) * 2.0
+        if op in ("shl", "shr"):
+            if node.b.kind == "const":
+                return 0.0  # static shift is wiring
+            return w * math.ceil(max(1, node.b.width)) * 1.5  # barrel
+        raise AssertionError(op)
+    if kind == "mux":
+        return 1.25 * w  # 2:1 mux, 2 bits per LUT at PACKING
+    raise AssertionError(kind)
+
+
+def _rom_luts(mem: Mem, read_ports: int) -> float:
+    """LUT cost of a ROM implemented as logic, per read port."""
+    addr_bits = max(1, (mem.depth - 1).bit_length())
+    per_bit = math.ceil(mem.depth / 64)
+    select_tree = max(0, per_bit - 1) / 3.0
+    per_port = mem.width * (per_bit + select_tree)
+    return per_port * read_ports
+
+
+def _ram_cost(mem: Mem, read_ports: int, est: ResourceEstimate,
+              extra_width: int = 0) -> None:
+    width = mem.width + extra_width
+    bits = mem.depth * width
+    if bits >= BRAM_THRESHOLD_BITS and mem.meta.get("style") != "distributed":
+        base = math.ceil(width / BRAM_WIDTH) * math.ceil(mem.depth / BRAM_DEPTH)
+        replicas = max(1, math.ceil((read_ports + 1) / BRAM_PORTS))
+        est.brams += base * replicas
+    else:
+        # distributed RAM: 64 bits per LUT, one copy per read port
+        lutram = bits / 64.0 * max(1, read_ports)
+        est.lutram_luts += lutram
+        est.luts += lutram
+
+
+def estimate_resources(netlist: Netlist) -> ResourceEstimate:
+    """Estimate LUT/FF/BRAM usage for an elaborated netlist."""
+    est = ResourceEstimate()
+
+    est.ffs = sum(r.width for r in netlist.regs)
+
+    # logic: every distinct node counts once (the netlist shares subtrees)
+    gates = 0.0
+    read_ports: Dict[int, int] = {}
+    mem_by_id: Dict[int, Mem] = {id(m): m for m in netlist.mems}
+    for node in netlist.all_nodes():
+        gates += _gate_equivalents(node)
+        if node.kind == "memread":
+            read_ports[id(node.mem)] = read_ports.get(id(node.mem), 0) + 1
+    est.logic_luts = gates / PACKING
+    est.luts += est.logic_luts
+
+    # width riders: a sidecar array (e.g. security tags) stored with its
+    # base memory widens the base memory's words instead of costing its own
+    extra_width: Dict[int, int] = {}
+    riders = set()
+    for mem in netlist.mems:
+        base = mem.meta.get("width_rider_of")
+        if base is not None:
+            extra_width[id(base)] = extra_width.get(id(base), 0) + mem.width
+            riders.add(id(mem))
+
+    for mem in netlist.mems:
+        if id(mem) in riders:
+            continue
+        ports = read_ports.get(id(mem), 0)
+        if mem.is_rom() and not netlist.mem_writes.get(mem):
+            rom = _rom_luts(mem, ports)
+            est.rom_luts += rom
+            est.luts += rom
+        else:
+            _ram_cost(mem, ports, est, extra_width.get(id(mem), 0))
+
+    est.by_category = {
+        "logic": est.logic_luts,
+        "rom": est.rom_luts,
+        "lutram": est.lutram_luts,
+    }
+    return est
+
+
+def overhead_percent(baseline: float, protected: float) -> float:
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (protected - baseline) / baseline

@@ -1,0 +1,112 @@
+"""Critical-path depth and Fmax estimation.
+
+Computes the longest register-to-register combinational path in LUT
+levels (a standard pre-synthesis estimate) and converts to a clock
+frequency with 7-series-calibrated delays.  The interesting output for
+Table 2 is *relative*: the protection's tag checks sit in parallel with
+the AES datapath (an 8-bit compare next to a 128-bit SubBytes→
+MixColumns cone), so the critical path — and hence Fmax — is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..hdl.netlist import Netlist
+from ..hdl.nodes import Node, walk
+
+#: per-LUT-level delay including average routing (ns), 7-series-ish
+T_LEVEL_NS = 0.5
+#: clock-to-out plus setup (ns)
+T_REG_NS = 0.6
+#: synthesis flattens xor/mux expression trees into wide LUT functions;
+#: expression-tree depth overestimates post-synthesis LUT levels by
+#: roughly this factor (single calibration constant, applied uniformly)
+FLATTENING = 0.3
+
+
+def _level_cost(node: Node) -> int:
+    kind = node.kind
+    if kind in ("const", "signal", "slice", "concat", "downgrade"):
+        return 0
+    if kind == "unary":
+        if node.op == "not":
+            return 0
+        return max(1, (node.a.width - 1).bit_length() // 2)  # reduction tree
+    if kind == "binary":
+        op = node.op
+        if op in ("and", "or", "xor"):
+            return 1
+        if op in ("add", "sub"):
+            return 2  # carry chain counts ~2 levels at these widths
+        if op in ("eq", "ne", "lt", "le", "gt", "ge"):
+            return 2
+        if op in ("shl", "shr"):
+            return 0 if node.b.kind == "const" else 3
+        if op == "mul":
+            return 6
+        raise AssertionError(op)
+    if kind == "mux":
+        return 1
+    if kind == "memread":
+        # ROM-as-logic lookup: ~3 levels for a 256-deep table; BRAM access
+        # is registered in real designs but our stages read combinationally,
+        # so charge it as logic depth
+        return max(2, (node.mem.depth - 1).bit_length() - 5)
+    raise AssertionError(kind)
+
+
+def critical_path_levels(netlist: Netlist) -> int:
+    """Longest input/register → register/output path, in LUT levels."""
+    depth: Dict[int, int] = {}
+    best = 0
+    for node in walk(netlist.all_roots()):
+        if node.kind in ("const", "signal"):
+            depth[id(node)] = 0
+            continue
+        operand_depth = max(
+            (depth[id(op)] for op in node.operands()), default=0
+        )
+        d = operand_depth + _level_cost(node)
+        depth[id(node)] = d
+        if d > best:
+            best = d
+    return best
+
+
+def critical_path_endpoint(netlist: Netlist) -> Tuple[int, str]:
+    """(levels, endpoint name) of the deepest register/output cone —
+    the 'which path limits Fmax' view a timing report gives."""
+    depth: Dict[int, int] = {}
+    for node in walk(netlist.all_roots()):
+        if node.kind in ("const", "signal"):
+            depth[id(node)] = 0
+            continue
+        operand_depth = max(
+            (depth[id(op)] for op in node.operands()), default=0
+        )
+        depth[id(node)] = operand_depth + _level_cost(node)
+
+    best, name = 0, "<none>"
+    for sig, driver in netlist.drivers.items():
+        if depth.get(id(driver), 0) > best:
+            best, name = depth[id(driver)], sig.path
+    for reg, nxt in netlist.reg_next.items():
+        if depth.get(id(nxt), 0) > best:
+            best, name = depth[id(nxt)], f"{reg.path} (reg)"
+    return best, name
+
+
+def fmax_mhz(netlist: Netlist) -> float:
+    levels = critical_path_levels(netlist)
+    period_ns = T_REG_NS + T_LEVEL_NS * FLATTENING * levels
+    return 1000.0 / period_ns
+
+
+def timing_summary(netlist: Netlist) -> Dict[str, float]:
+    levels = critical_path_levels(netlist)
+    return {
+        "levels": levels,
+        "period_ns": T_REG_NS + T_LEVEL_NS * FLATTENING * levels,
+        "fmax_mhz": fmax_mhz(netlist),
+    }

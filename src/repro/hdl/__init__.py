@@ -1,0 +1,80 @@
+"""repro.hdl — a small security-typed hardware eDSL with a cycle simulator.
+
+This package is the substrate the DAC'19 AES case study is built on: a
+Chisel-like construction API (modules, signals, registers, memories,
+``when`` blocks), elaboration into a netlist IR, and two simulation
+backends.  Security labels attach to signals and memories and are
+consumed by :mod:`repro.ifc`.
+"""
+
+from .elaborate import elaborate, elaborate_shallow
+from .memory import Mem
+from .module import Module, elsewhen, otherwise, when
+from .netlist import CombLoopError, Netlist
+from .nodes import (
+    BinaryOp,
+    Concat,
+    Const,
+    Downgrade,
+    HdlError,
+    MemRead,
+    Mux,
+    Node,
+    Slice,
+    UnaryOp,
+    WidthError,
+    all_of,
+    any_of,
+    cat,
+    declassify,
+    endorse,
+    lit,
+    mux,
+    mux_case,
+    walk,
+)
+from .signal import Signal, SignalKind
+from .sim import Simulator
+from .types import Bool, UInt, bit_length_for, mask_for
+from .verilog import VerilogWriter, to_verilog
+
+__all__ = [
+    "BinaryOp",
+    "Bool",
+    "CombLoopError",
+    "Concat",
+    "Const",
+    "Downgrade",
+    "HdlError",
+    "Mem",
+    "MemRead",
+    "Module",
+    "Mux",
+    "Netlist",
+    "Node",
+    "Signal",
+    "SignalKind",
+    "Simulator",
+    "Slice",
+    "UInt",
+    "UnaryOp",
+    "VerilogWriter",
+    "WidthError",
+    "all_of",
+    "any_of",
+    "bit_length_for",
+    "cat",
+    "declassify",
+    "elaborate",
+    "elaborate_shallow",
+    "elsewhen",
+    "endorse",
+    "lit",
+    "mask_for",
+    "mux",
+    "mux_case",
+    "otherwise",
+    "to_verilog",
+    "walk",
+    "when",
+]

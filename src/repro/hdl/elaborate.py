@@ -1,0 +1,160 @@
+"""Elaboration: folding conditional drivers and flattening the hierarchy.
+
+Two entry points:
+
+* :func:`elaborate` — flatten a whole module subtree into one
+  :class:`~repro.hdl.netlist.Netlist` (what the simulator runs);
+* :func:`elaborate_shallow` — elaborate one module with its direct
+  children treated as opaque, labelled black boxes (what the IFC checker
+  uses for *modular* verification: child input ports become checked
+  sinks, child output ports become free sources).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from .memory import Mem
+from .module import Module
+from .netlist import MemWrite, Netlist, topo_sort_comb
+from .nodes import HdlError, Mux, Node, all_of
+from .signal import Signal, SignalKind
+
+
+def fold_drivers(sig: Signal) -> Optional[Node]:
+    """Fold a signal's recorded conditional drivers into one expression.
+
+    Later assignments take priority (Chisel "last connect" semantics).
+    Registers implicitly hold their current value; wires and outputs must
+    either have an unconditional base assignment or a declared default.
+    """
+    if sig.kind_ is SignalKind.REG:
+        result: Optional[Node] = sig
+    else:
+        result = sig.default
+
+    for conds, expr in sig.drivers:
+        if not conds:
+            result = expr
+        else:
+            if result is None:
+                raise HdlError(
+                    f"signal {sig.path} is only conditionally driven and has "
+                    f"no default; add an unconditional assignment or default"
+                )
+            result = Mux(all_of(*conds), expr, result)
+    return result
+
+
+def fold_mem_writes(mem: Mem) -> List[MemWrite]:
+    """Fold each recorded write's condition tuple into a single condition."""
+    folded = []
+    for conds, addr, data, tag in mem.writes:
+        cond = all_of(*conds) if conds else None
+        folded.append(MemWrite(cond, addr, data, tag))
+    return folded
+
+
+def _build_netlist(
+    root: Module,
+    signals: Iterable[Signal],
+    mems: Iterable[Mem],
+    free: Iterable[Signal],
+    ignore_free_drivers: bool = False,
+    read_only_mems: Iterable[Mem] = (),
+) -> Netlist:
+    nl = Netlist(root)
+    free_set = set(free)
+    signals = list(signals)
+    nl.signals = signals
+    read_only = list(read_only_mems)
+    nl.mems = list(mems) + read_only
+    read_only_set = set(id(m) for m in read_only)
+
+    for sig in signals:
+        if sig in free_set:
+            nl.inputs.append(sig)
+            if sig.drivers and not ignore_free_drivers:
+                raise HdlError(f"free signal {sig.path} must not have drivers")
+            continue
+        if sig.kind_ is SignalKind.REG:
+            nl.regs.append(sig)
+            folded = fold_drivers(sig)
+            assert folded is not None
+            nl.reg_next[sig] = folded
+        else:
+            folded = fold_drivers(sig)
+            if folded is None:
+                raise HdlError(f"signal {sig.path} has no driver")
+            nl.drivers[sig] = folded
+            nl.comb.append(sig)
+
+    for mem in nl.mems:
+        if id(mem) in read_only_set:
+            nl.mem_writes[mem] = []
+        else:
+            nl.mem_writes[mem] = fold_mem_writes(mem)
+
+    state = set(nl.regs) | set(nl.inputs)
+    nl.comb = topo_sort_comb(nl.comb, nl.drivers, state)
+
+    _check_mem_reachability(nl)
+    return nl
+
+
+def _check_mem_reachability(nl: Netlist) -> None:
+    """Every memory referenced by an expression must be part of the netlist."""
+    known = set(id(m) for m in nl.mems)
+    for node in nl.all_nodes():
+        if node.kind == "memread" and id(node.mem) not in known:
+            raise HdlError(
+                f"expression reads memory {node.mem.path} which is outside "
+                f"the elaborated scope"
+            )
+
+
+def elaborate(root: Module) -> Netlist:
+    """Flatten ``root`` and all its descendants into a netlist."""
+    modules = root.all_modules()
+    signals: List[Signal] = []
+    mems: List[Mem] = []
+    for mod in modules:
+        signals.extend(mod.signals)
+        mems.extend(mod.mems)
+
+    free = [
+        s for s in root.signals
+        if s.kind_ is SignalKind.INPUT
+    ]
+    return _build_netlist(root, signals, mems, free)
+
+
+def elaborate_shallow(module: Module) -> Netlist:
+    """Elaborate ``module`` treating direct children as opaque boxes.
+
+    The returned netlist contains: the module's own signals and memories,
+    plus each direct child's ports.  Child *outputs* are free sources
+    (their internals are not inspected); child *inputs* are ordinary
+    driven signals whose declared labels act as flow sinks.  This is the
+    modular-checking view: verifying each module once against its port
+    labels composes into whole-design security, which is how the
+    security-typed-HDL approach scales to the 30-stage pipeline.
+    """
+    signals: List[Signal] = list(module.signals)
+    mems: List[Mem] = list(module.mems)
+
+    free = [s for s in module.signals if s.kind_ is SignalKind.INPUT]
+    read_only: List[Mem] = []
+    for child in module.children:
+        for sig in child.signals:
+            if sig.kind_ is SignalKind.INPUT:
+                signals.append(sig)
+            elif sig.kind_ is SignalKind.OUTPUT:
+                signals.append(sig)
+                free.append(sig)
+        # descendant memories are visible read-only: their writes belong to
+        # (and are checked in) the owning module's own shallow elaboration
+        for desc in child.all_modules():
+            read_only.extend(desc.mems)
+    return _build_netlist(module, signals, mems, free, ignore_free_drivers=True,
+                          read_only_mems=read_only)

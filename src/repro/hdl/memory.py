@@ -1,0 +1,130 @@
+"""Synchronous memories (BRAM-style) for the eDSL.
+
+A :class:`Mem` is an array of ``depth`` cells, each ``width`` bits wide.
+Reads are combinational (:class:`~repro.hdl.nodes.MemRead`); a registered
+read is obtained by latching the read value into a register.  Writes are
+synchronous: all writes recorded during a cycle commit at the clock edge,
+in program order (last write to the same address wins).
+
+For information-flow purposes a memory may carry:
+
+* ``label`` — one label covering every cell (possibly a dependent label);
+* ``cell_labels`` — a per-cell static label list (the statically
+  partitioned style of Fig. 3 of the paper);
+* ``tag_for`` — a reference to a sibling :class:`Mem` holding the runtime
+  security tag of each cell (the tagged-scratchpad style of Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from . import module as _module_ctx
+from .nodes import HdlError, MemRead, Node, _coerce
+from .types import bit_length_for, check_width, mask_for
+
+
+class Mem:
+    """A synchronous memory array."""
+
+    __slots__ = (
+        "name",
+        "depth",
+        "width",
+        "owner",
+        "init",
+        "label",
+        "cell_labels",
+        "tag_for",
+        "writes",
+        "meta",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        depth: int,
+        width: int,
+        owner,
+        init: Optional[Sequence[int]] = None,
+        label=None,
+        cell_labels=None,
+    ):
+        if depth <= 0:
+            raise ValueError(f"memory depth must be positive, got {depth}")
+        self.name = name
+        self.depth = depth
+        self.width = check_width(width)
+        self.owner = owner
+        if init is None:
+            self.init: List[int] = [0] * depth
+        else:
+            init = list(init)
+            if len(init) != depth:
+                raise HdlError(
+                    f"memory {name}: init has {len(init)} entries, expected {depth}"
+                )
+            for v in init:
+                if not 0 <= v <= mask_for(width):
+                    raise HdlError(f"memory {name}: init value {v} does not fit")
+            self.init = init
+        self.label = label
+        if cell_labels is not None and len(cell_labels) != depth:
+            raise HdlError(f"memory {name}: cell_labels length mismatch")
+        self.cell_labels = list(cell_labels) if cell_labels is not None else None
+        self.tag_for = None
+        # each write: (conditions, addr node, data node)
+        self.writes: List[Tuple[Tuple[Node, ...], Node, Node]] = []
+        self.meta = {}
+
+    @property
+    def path(self) -> str:
+        if self.owner is None:
+            return self.name
+        return f"{self.owner.path}.{self.name}"
+
+    @property
+    def addr_width(self) -> int:
+        return bit_length_for(self.depth)
+
+    def read(self, addr) -> MemRead:
+        """Combinational read at ``addr``."""
+        addr = _coerce(addr, self.addr_width)
+        return MemRead(self, addr)
+
+    def write(self, addr, data, conditions: Optional[Tuple[Node, ...]] = None,
+              tag=None) -> None:
+        """Record a synchronous write, honouring active ``when`` conditions.
+
+        ``tag`` (optional) is the security-tag expression that describes the
+        label the written cell will carry *after* this cycle — used when the
+        cell's tag is written in the same cycle (tagged FIFOs) or kept (the
+        checked scratchpad).  It is metadata for the IFC checker/tracker;
+        the value semantics of the memory are unaffected.
+        """
+        addr = _coerce(addr, self.addr_width)
+        data = _coerce(data, self.width)
+        if data.width > self.width:
+            raise HdlError(
+                f"write data width {data.width} exceeds memory width {self.width} "
+                f"for {self.path}"
+            )
+        if data.width < self.width:
+            data = data.zext(self.width)
+        if conditions is None:
+            conditions = _module_ctx.current_conditions()
+        if tag is not None:
+            tag = _coerce(tag)
+        self.writes.append((conditions, addr, data, tag))
+
+    def is_rom(self) -> bool:
+        """True if the memory is never written (a lookup table)."""
+        return not self.writes
+
+    def __repr__(self) -> str:
+        return f"Mem({self.path}, {self.depth}x{self.width})"
+
+
+def rom(name: str, owner, contents: Sequence[int], width: int) -> Mem:
+    """Build a read-only memory from ``contents``."""
+    return Mem(name, len(contents), width, owner, init=contents)

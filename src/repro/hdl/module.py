@@ -1,0 +1,219 @@
+"""Module base class and the ``when``/``elsewhen``/``otherwise`` builder.
+
+Hardware construction is single-threaded and sequential, so the active
+conditional context is kept in a module-level stack (the same approach the
+Chisel builder takes).  Every recorded assignment captures the condition
+stack active at that point; elaboration later folds each signal's driver
+list into one mux tree.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import List, Optional, Tuple
+
+from .nodes import HdlError, Node, UnaryOp, _coerce, all_of
+
+# -- global conditional-assignment context ------------------------------------
+
+_ACTIVE_CONDS: List[Node] = []
+# _CHAINS[d] holds the conditions already consumed by the when/elsewhen chain
+# that most recently completed at nesting depth d.
+_CHAINS: List[List[Node]] = []
+
+
+def current_conditions() -> Tuple[Node, ...]:
+    """The tuple of ``when`` conditions guarding the current statement."""
+    return tuple(_ACTIVE_CONDS)
+
+
+def reset_conditional_context() -> None:
+    """Clear any lingering when/elsewhen chain state.
+
+    Called when a new top-level module starts construction so that a
+    previous module's chains can never leak into this one's
+    ``otherwise`` blocks.
+    """
+    if _ACTIVE_CONDS:
+        raise HdlError(
+            "module constructed inside a when() block; construct modules "
+            "at statement level"
+        )
+    _CHAINS.clear()
+
+
+def _push_cond(cond: Node) -> None:
+    _ACTIVE_CONDS.append(cond)
+
+
+def _pop_cond() -> None:
+    _ACTIVE_CONDS.pop()
+
+
+@contextlib.contextmanager
+def when(cond):
+    """Open a conditional region; starts a new when/elsewhen chain."""
+    cond = _coerce(cond)
+    if cond.width != 1:
+        cond = cond.red_or()
+    depth = len(_ACTIVE_CONDS)
+    del _CHAINS[depth:]
+    _CHAINS.append([cond])
+    _push_cond(cond)
+    try:
+        yield
+    finally:
+        _pop_cond()
+
+
+@contextlib.contextmanager
+def elsewhen(cond):
+    """Continue the most recent when-chain at this nesting depth."""
+    cond = _coerce(cond)
+    if cond.width != 1:
+        cond = cond.red_or()
+    depth = len(_ACTIVE_CONDS)
+    if len(_CHAINS) <= depth or not _CHAINS[depth]:
+        raise HdlError("elsewhen without a preceding when at this nesting level")
+    priors = list(_CHAINS[depth])
+    _CHAINS[depth].append(cond)
+    combined = all_of(*[UnaryOp("not", p) for p in priors], cond)
+    _push_cond(combined)
+    try:
+        yield
+    finally:
+        _pop_cond()
+
+
+@contextlib.contextmanager
+def otherwise():
+    """The final arm of the most recent when-chain at this nesting depth."""
+    depth = len(_ACTIVE_CONDS)
+    if len(_CHAINS) <= depth or not _CHAINS[depth]:
+        raise HdlError("otherwise without a preceding when at this nesting level")
+    priors = list(_CHAINS[depth])
+    combined = all_of(*[UnaryOp("not", p) for p in priors])
+    _push_cond(combined)
+    try:
+        yield
+    finally:
+        _pop_cond()
+
+
+class Module:
+    """Base class for hardware modules.
+
+    Subclasses declare ports, state, and logic in ``__init__`` (after
+    calling ``super().__init__(name)``), using :meth:`input`,
+    :meth:`output`, :meth:`wire`, :meth:`reg`, :meth:`mem`, and the
+    ``when`` builders.  Submodules are attached with :meth:`submodule`.
+    """
+
+    def __init__(self, name: str):
+        reset_conditional_context()
+        self.name = name
+        self.inst_name = name
+        self.parent: Optional[Module] = None
+        self.children: List[Module] = []
+        self.signals: List = []
+        self.mems: List = []
+        self._names = set()
+        self.meta = {}
+
+    # -- hierarchy ----------------------------------------------------------
+    @property
+    def path(self) -> str:
+        if self.parent is None:
+            return self.inst_name
+        return f"{self.parent.path}.{self.inst_name}"
+
+    def submodule(self, child: "Module", name: Optional[str] = None) -> "Module":
+        """Attach ``child`` as a submodule instance and return it."""
+        if child.parent is not None:
+            raise HdlError(f"module {child.name} already has a parent")
+        inst = name or child.name
+        base, n = inst, 1
+        while inst in self._names:
+            inst = f"{base}_{n}"
+            n += 1
+        self._names.add(inst)
+        child.inst_name = inst
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    # -- declarations ---------------------------------------------------------
+    def _check_name(self, name: str) -> str:
+        if name in self._names:
+            raise HdlError(f"duplicate name {name!r} in module {self.path}")
+        self._names.add(name)
+        return name
+
+    def input(self, name: str, width: int, label=None):
+        from .signal import Signal, SignalKind
+
+        sig = Signal(self._check_name(name), width, SignalKind.INPUT, self, label=label)
+        self.signals.append(sig)
+        return sig
+
+    def output(self, name: str, width: int, label=None, default=None):
+        from .signal import Signal, SignalKind
+
+        sig = Signal(
+            self._check_name(name), width, SignalKind.OUTPUT, self,
+            label=label, default=default,
+        )
+        self.signals.append(sig)
+        return sig
+
+    def wire(self, name: str, width: int, label=None, default=None):
+        from .signal import Signal, SignalKind
+
+        sig = Signal(
+            self._check_name(name), width, SignalKind.WIRE, self,
+            label=label, default=default,
+        )
+        self.signals.append(sig)
+        return sig
+
+    def reg(self, name: str, width: int, init: int = 0, label=None):
+        from .signal import Signal, SignalKind
+
+        sig = Signal(
+            self._check_name(name), width, SignalKind.REG, self,
+            label=label, init=init,
+        )
+        self.signals.append(sig)
+        return sig
+
+    def mem(self, name: str, depth: int, width: int, init=None, label=None,
+            cell_labels=None):
+        from .memory import Mem
+
+        m = Mem(self._check_name(name), depth, width, self, init=init,
+                label=label, cell_labels=cell_labels)
+        self.mems.append(m)
+        return m
+
+    def rom(self, name: str, contents, width: int, label=None):
+        m = self.mem(name, len(contents), width, init=list(contents), label=label)
+        return m
+
+    # -- queries ----------------------------------------------------------------
+    def all_modules(self) -> List["Module"]:
+        """This module and all descendants, preorder."""
+        out = [self]
+        for child in self.children:
+            out.extend(child.all_modules())
+        return out
+
+    def find_signal(self, path: str):
+        """Look up a signal by hierarchical path relative to this module."""
+        for mod in self.all_modules():
+            for sig in mod.signals:
+                if sig.path == f"{self.path}.{path}" or sig.path == path:
+                    return sig
+        raise KeyError(f"no signal {path!r} under {self.path}")
+
+    def __repr__(self) -> str:
+        return f"<Module {self.path}>"

@@ -1,0 +1,175 @@
+"""Netlist: the elaborated, flattened form of a module hierarchy.
+
+A netlist is what both the simulator backends and the IFC checker consume:
+
+* ``inputs`` — free signals driven by the testbench (the root's inputs,
+  plus — for *shallow* elaborations used in modular IFC checking — the
+  outputs of opaque child instances);
+* ``regs`` — registers, with ``reg_next[r]`` the folded next-value
+  expression (registers implicitly hold their value when unassigned);
+* ``comb`` — driven combinational signals in dependency order, with
+  ``drivers[s]`` the folded driver expression;
+* ``mems`` — memories with their folded write operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .memory import Mem
+from .nodes import HdlError, Node, walk
+from .signal import Signal
+
+
+class CombLoopError(HdlError):
+    """Raised when combinational logic forms a cycle."""
+
+    def __init__(self, cycle: List[Signal]):
+        self.cycle = cycle
+        names = " -> ".join(s.path for s in cycle)
+        super().__init__(f"combinational loop: {names}")
+
+
+class MemWrite:
+    """A folded memory write: ``if cond: mem[addr] = data``.
+
+    ``tag`` is checker metadata: the security-tag expression the written
+    cell carries after this cycle (see ``Mem.write``); it does not affect
+    simulation.
+    """
+
+    __slots__ = ("cond", "addr", "data", "tag")
+
+    def __init__(self, cond: Optional[Node], addr: Node, data: Node,
+                 tag: Optional[Node] = None):
+        self.cond = cond
+        self.addr = addr
+        self.data = data
+        self.tag = tag
+
+
+class Netlist:
+    """Elaborated design, ready for simulation and checking."""
+
+    def __init__(self, root):
+        self.root = root
+        self.inputs: List[Signal] = []
+        self.regs: List[Signal] = []
+        self.comb: List[Signal] = []          # dependency (evaluation) order
+        self.drivers: Dict[Signal, Node] = {}
+        self.reg_next: Dict[Signal, Node] = {}
+        self.mems: List[Mem] = []
+        self.mem_writes: Dict[Mem, List[MemWrite]] = {}
+        self.signals: List[Signal] = []
+
+    # -- queries --------------------------------------------------------------
+    def signal_by_path(self, path: str) -> Signal:
+        for s in self.signals:
+            if s.path == path:
+                return s
+        raise KeyError(f"no signal {path!r} in netlist")
+
+    def driver_of(self, sig: Signal) -> Optional[Node]:
+        if sig in self.drivers:
+            return self.drivers[sig]
+        if sig in self.reg_next:
+            return self.reg_next[sig]
+        return None
+
+    def all_roots(self) -> List[Node]:
+        """Every expression root in the design (drivers, reg-nexts, writes)."""
+        roots: List[Node] = list(self.drivers.values())
+        roots.extend(self.reg_next.values())
+        for writes in self.mem_writes.values():
+            for w in writes:
+                if w.cond is not None:
+                    roots.append(w.cond)
+                roots.append(w.addr)
+                roots.append(w.data)
+                if w.tag is not None:
+                    roots.append(w.tag)
+        return roots
+
+    def all_nodes(self) -> List[Node]:
+        return walk(self.all_roots())
+
+    def stats(self) -> Dict[str, int]:
+        """Structural statistics (used by the FPGA resource model)."""
+        nodes = self.all_nodes()
+        kind_counts: Dict[str, int] = {}
+        for n in nodes:
+            kind_counts[n.kind] = kind_counts.get(n.kind, 0) + 1
+        return {
+            "signals": len(self.signals),
+            "regs": len(self.regs),
+            "reg_bits": sum(r.width for r in self.regs),
+            "comb_signals": len(self.comb),
+            "mems": len(self.mems),
+            "mem_bits": sum(m.depth * m.width for m in self.mems),
+            "nodes": len(nodes),
+            **{f"op_{k}": v for k, v in sorted(kind_counts.items())},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<Netlist {self.root.path}: {len(self.inputs)} in, "
+            f"{len(self.regs)} regs, {len(self.comb)} comb, {len(self.mems)} mems>"
+        )
+
+
+def comb_dependencies(expr: Node, state_signals) -> List[Signal]:
+    """Combinational signals that ``expr`` reads (excluding state)."""
+    deps = []
+    for node in walk([expr]):
+        if node.kind == "signal" and node not in state_signals:
+            deps.append(node)
+    return deps
+
+
+def topo_sort_comb(
+    comb_signals: List[Signal],
+    drivers: Dict[Signal, Node],
+    state_signals,
+) -> List[Signal]:
+    """Order combinational signals so dependencies evaluate first."""
+    dep_map: Dict[Signal, List[Signal]] = {}
+    comb_set = set(comb_signals)
+    for sig in comb_signals:
+        deps = [
+            d
+            for d in comb_dependencies(drivers[sig], state_signals)
+            if d in comb_set
+        ]
+        dep_map[sig] = deps
+
+    order: List[Signal] = []
+    mark: Dict[Signal, int] = {}  # 0=unvisited,1=in-progress,2=done
+
+    for start in comb_signals:
+        if mark.get(start, 0) == 2:
+            continue
+        stack: List[Tuple[Signal, int]] = [(start, 0)]
+        while stack:
+            sig, idx = stack.pop()
+            if idx == 0:
+                if mark.get(sig, 0) == 2:
+                    continue
+                mark[sig] = 1
+            deps = dep_map[sig]
+            advanced = False
+            for i in range(idx, len(deps)):
+                d = deps[i]
+                st = mark.get(d, 0)
+                if st == 1:
+                    # reconstruct an approximate cycle for the error message
+                    cycle = [d, sig]
+                    raise CombLoopError(cycle)
+                if st == 0:
+                    stack.append((sig, i + 1))
+                    stack.append((d, 0))
+                    advanced = True
+                    break
+            if not advanced:
+                mark[sig] = 2
+                order.append(sig)
+    return order

@@ -1,0 +1,550 @@
+"""Expression IR for the security-typed hardware eDSL.
+
+Expressions form a DAG of :class:`Node` objects.  Leaves are constants
+(:class:`Const`) and signal references (:class:`SignalRef`); interior nodes
+are bit-vector operators, multiplexers, slices, concatenations, memory
+reads, and explicit downgrade (declassify/endorse) markers.
+
+Design notes
+------------
+* All values are unsigned bit vectors; every node has a fixed ``width``.
+* Operator overloading covers the bitwise/arithmetic operators that do not
+  interfere with Python object semantics (``&``, ``|``, ``^``, ``~``,
+  ``+``, ``-``, ``<<``, ``>>``).  Comparisons are explicit methods
+  (``a.eq(b)``, ``a.lt(b)``, ...) so that Python ``==`` keeps its normal
+  identity meaning on IR objects — important because nodes are stored in
+  dicts and sets throughout the elaborator and checker.
+* Nodes never evaluate themselves recursively; the simulator supplies
+  operand values.  This keeps evaluation strategies (interpreted,
+  compiled) out of the IR.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .types import check_width, mask_for
+
+
+class HdlError(Exception):
+    """Base class for errors raised while constructing or elaborating HDL."""
+
+
+class WidthError(HdlError):
+    """Raised when operand widths are inconsistent."""
+
+
+def _coerce(value, width_hint: Optional[int] = None) -> "Node":
+    """Coerce a Python int (or Node) into a :class:`Node`."""
+    if isinstance(value, Node):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value), 1)
+    if isinstance(value, int):
+        if value < 0:
+            raise ValueError(f"negative literal {value} not representable")
+        width = width_hint if width_hint is not None else max(1, value.bit_length())
+        if value > mask_for(width):
+            raise WidthError(f"literal {value} does not fit in {width} bits")
+        return Const(value, width)
+    raise TypeError(f"cannot use {type(value).__name__} as a hardware value")
+
+
+class Value:
+    """Mixin giving HDL expressions their operator sugar.
+
+    Subclasses must provide a ``width`` attribute.
+    """
+
+    width: int
+
+    # -- bitwise -----------------------------------------------------------
+    def __and__(self, other):
+        return BinaryOp("and", self, _coerce(other, self.width))
+
+    def __rand__(self, other):
+        return BinaryOp("and", _coerce(other, self.width), self)
+
+    def __or__(self, other):
+        return BinaryOp("or", self, _coerce(other, self.width))
+
+    def __ror__(self, other):
+        return BinaryOp("or", _coerce(other, self.width), self)
+
+    def __xor__(self, other):
+        return BinaryOp("xor", self, _coerce(other, self.width))
+
+    def __rxor__(self, other):
+        return BinaryOp("xor", _coerce(other, self.width), self)
+
+    def __invert__(self):
+        return UnaryOp("not", self)
+
+    # -- arithmetic --------------------------------------------------------
+    def __add__(self, other):
+        return BinaryOp("add", self, _coerce(other, self.width))
+
+    def __radd__(self, other):
+        return BinaryOp("add", _coerce(other, self.width), self)
+
+    def __sub__(self, other):
+        return BinaryOp("sub", self, _coerce(other, self.width))
+
+    def __rsub__(self, other):
+        return BinaryOp("sub", _coerce(other, self.width), self)
+
+    def __lshift__(self, amount):
+        return BinaryOp("shl", self, _coerce(amount))
+
+    def __rshift__(self, amount):
+        return BinaryOp("shr", self, _coerce(amount))
+
+    # -- comparisons (explicit methods; see module docstring) ---------------
+    def eq(self, other) -> "BinaryOp":
+        return BinaryOp("eq", self, _coerce(other, self.width))
+
+    def ne(self, other) -> "BinaryOp":
+        return BinaryOp("ne", self, _coerce(other, self.width))
+
+    def lt(self, other) -> "BinaryOp":
+        return BinaryOp("lt", self, _coerce(other, self.width))
+
+    def le(self, other) -> "BinaryOp":
+        return BinaryOp("le", self, _coerce(other, self.width))
+
+    def gt(self, other) -> "BinaryOp":
+        return BinaryOp("gt", self, _coerce(other, self.width))
+
+    def ge(self, other) -> "BinaryOp":
+        return BinaryOp("ge", self, _coerce(other, self.width))
+
+    # -- structure ----------------------------------------------------------
+    def __getitem__(self, idx) -> "Node":
+        """Verilog-style bit select ``x[i]`` and part select ``x[hi:lo]``."""
+        if isinstance(idx, slice):
+            if idx.step is not None:
+                raise ValueError("bit slices do not support a step")
+            hi, lo = idx.start, idx.stop
+            if hi is None:
+                hi = self.width - 1
+            if lo is None:
+                lo = 0
+            return Slice(self, hi, lo)
+        if isinstance(idx, int):
+            return Slice(self, idx, idx)
+        raise TypeError(f"invalid bit index {idx!r}")
+
+    def bit(self, i: int) -> "Node":
+        return Slice(self, i, i)
+
+    def bits(self, hi: int, lo: int) -> "Node":
+        return Slice(self, hi, lo)
+
+    def zext(self, width: int) -> "Node":
+        """Zero-extend to ``width`` bits (no-op if already that wide)."""
+        if width < self.width:
+            raise WidthError(f"zext target {width} narrower than {self.width}")
+        if width == self.width:
+            return self  # type: ignore[return-value]
+        return Concat([Const(0, width - self.width), self])
+
+    def trunc(self, width: int) -> "Node":
+        """Truncate to the low ``width`` bits."""
+        if width > self.width:
+            raise WidthError(f"trunc target {width} wider than {self.width}")
+        if width == self.width:
+            return self  # type: ignore[return-value]
+        return Slice(self, width - 1, 0)
+
+    def resize(self, width: int) -> "Node":
+        if width >= self.width:
+            return self.zext(width)
+        return self.trunc(width)
+
+    def red_or(self) -> "Node":
+        return UnaryOp("redor", self)
+
+    def red_and(self) -> "Node":
+        return UnaryOp("redand", self)
+
+    def red_xor(self) -> "Node":
+        return UnaryOp("redxor", self)
+
+    def is_zero(self) -> "Node":
+        return UnaryOp("not", UnaryOp("redor", self))
+
+    def __bool__(self):
+        raise TypeError(
+            "hardware values have no Python truth value; use .eq()/.ne() and "
+            "mux()/when() for hardware conditionals"
+        )
+
+
+class Node(Value):
+    """Base class of all expression IR nodes."""
+
+    __slots__ = ("width",)
+    kind = "node"
+
+    def operands(self) -> Tuple["Node", ...]:
+        return ()
+
+    def eval_op(self, vals: Sequence[int]) -> int:
+        """Evaluate this node given already-evaluated operand values."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} w={self.width}>"
+
+
+class Const(Node):
+    """A literal bit-vector value."""
+
+    __slots__ = ("value",)
+    kind = "const"
+
+    def __init__(self, value: int, width: int):
+        self.width = check_width(width)
+        if not 0 <= value <= mask_for(width):
+            raise WidthError(f"constant {value} does not fit in {width} bits")
+        self.value = value
+
+    def eval_op(self, vals: Sequence[int]) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Const({self.value}, w={self.width})"
+
+
+class SignalRef(Node):
+    """Reference to a declared signal (leaf of the expression DAG)."""
+
+    __slots__ = ("signal",)
+    kind = "ref"
+
+    def __init__(self, signal):
+        self.signal = signal
+        self.width = signal.width
+
+    def eval_op(self, vals: Sequence[int]) -> int:  # pragma: no cover - sim reads env
+        raise RuntimeError("SignalRef is resolved by the simulator environment")
+
+    def __repr__(self) -> str:
+        return f"Ref({self.signal.name})"
+
+
+class UnaryOp(Node):
+    __slots__ = ("op", "a")
+    kind = "unary"
+
+    _RESULT_WIDTH = {"not": None, "redor": 1, "redand": 1, "redxor": 1}
+
+    def __init__(self, op: str, a):
+        if op not in self._RESULT_WIDTH:
+            raise ValueError(f"unknown unary op {op!r}")
+        self.op = op
+        self.a = _coerce(a)
+        rw = self._RESULT_WIDTH[op]
+        self.width = self.a.width if rw is None else rw
+
+    def operands(self):
+        return (self.a,)
+
+    def eval_op(self, vals: Sequence[int]) -> int:
+        a = vals[0]
+        if self.op == "not":
+            return (~a) & mask_for(self.width)
+        if self.op == "redor":
+            return 1 if a != 0 else 0
+        if self.op == "redand":
+            return 1 if a == mask_for(self.a.width) else 0
+        if self.op == "redxor":
+            return bin(a).count("1") & 1
+        raise AssertionError(self.op)
+
+    def __repr__(self) -> str:
+        return f"UnaryOp({self.op}, {self.a!r})"
+
+
+class BinaryOp(Node):
+    __slots__ = ("op", "a", "b")
+    kind = "binary"
+
+    _CMP = {"eq", "ne", "lt", "le", "gt", "ge"}
+    _BITWISE = {"and", "or", "xor"}
+    _ARITH = {"add", "sub", "mul"}
+    _SHIFT = {"shl", "shr"}
+
+    def __init__(self, op: str, a, b):
+        known = self._CMP | self._BITWISE | self._ARITH | self._SHIFT
+        if op not in known:
+            raise ValueError(f"unknown binary op {op!r}")
+        self.op = op
+        self.a = _coerce(a)
+        self.b = _coerce(b)
+        if op in self._CMP:
+            self.width = 1
+        elif op in self._SHIFT:
+            self.width = self.a.width
+        else:
+            self.width = max(self.a.width, self.b.width)
+
+    def operands(self):
+        return (self.a, self.b)
+
+    def eval_op(self, vals: Sequence[int]) -> int:
+        a, b = vals
+        op = self.op
+        if op == "and":
+            return a & b
+        if op == "or":
+            return a | b
+        if op == "xor":
+            return a ^ b
+        if op == "add":
+            return (a + b) & mask_for(self.width)
+        if op == "sub":
+            return (a - b) & mask_for(self.width)
+        if op == "mul":
+            return (a * b) & mask_for(self.width)
+        if op == "eq":
+            return 1 if a == b else 0
+        if op == "ne":
+            return 1 if a != b else 0
+        if op == "lt":
+            return 1 if a < b else 0
+        if op == "le":
+            return 1 if a <= b else 0
+        if op == "gt":
+            return 1 if a > b else 0
+        if op == "ge":
+            return 1 if a >= b else 0
+        if op == "shl":
+            return (a << b) & mask_for(self.width)
+        if op == "shr":
+            return a >> b
+        raise AssertionError(op)
+
+    def __repr__(self) -> str:
+        return f"BinaryOp({self.op}, {self.a!r}, {self.b!r})"
+
+
+class Mux(Node):
+    """``sel ? if_true : if_false`` (sel is 1-bit; nonzero selects true)."""
+
+    __slots__ = ("sel", "if_true", "if_false")
+    kind = "mux"
+
+    def __init__(self, sel, if_true, if_false):
+        self.sel = _coerce(sel)
+        t = _coerce(if_true)
+        f = _coerce(if_false)
+        width = max(t.width, f.width)
+        self.if_true = t.zext(width) if t.width < width else t
+        self.if_false = f.zext(width) if f.width < width else f
+        self.width = width
+
+    def operands(self):
+        return (self.sel, self.if_true, self.if_false)
+
+    def eval_op(self, vals: Sequence[int]) -> int:
+        return vals[1] if vals[0] != 0 else vals[2]
+
+    def __repr__(self) -> str:
+        return f"Mux({self.sel!r}, {self.if_true!r}, {self.if_false!r})"
+
+
+class Slice(Node):
+    """Bit slice ``a[hi:lo]`` (inclusive bounds, Verilog convention)."""
+
+    __slots__ = ("a", "hi", "lo")
+    kind = "slice"
+
+    def __init__(self, a, hi: int, lo: int):
+        self.a = _coerce(a)
+        if not (0 <= lo <= hi < self.a.width):
+            raise WidthError(
+                f"slice [{hi}:{lo}] out of range for width {self.a.width}"
+            )
+        self.hi = hi
+        self.lo = lo
+        self.width = hi - lo + 1
+
+    def operands(self):
+        return (self.a,)
+
+    def eval_op(self, vals: Sequence[int]) -> int:
+        return (vals[0] >> self.lo) & mask_for(self.width)
+
+    def __repr__(self) -> str:
+        return f"Slice({self.a!r}, {self.hi}, {self.lo})"
+
+
+class Concat(Node):
+    """Concatenation; ``parts[0]`` is the most significant."""
+
+    __slots__ = ("parts",)
+    kind = "concat"
+
+    def __init__(self, parts: Iterable):
+        self.parts: Tuple[Node, ...] = tuple(_coerce(p) for p in parts)
+        if not self.parts:
+            raise ValueError("Concat needs at least one part")
+        self.width = sum(p.width for p in self.parts)
+
+    def operands(self):
+        return self.parts
+
+    def eval_op(self, vals: Sequence[int]) -> int:
+        acc = 0
+        for part, v in zip(self.parts, vals):
+            acc = (acc << part.width) | v
+        return acc
+
+    def __repr__(self) -> str:
+        return f"Concat({list(self.parts)!r})"
+
+
+class MemRead(Node):
+    """Combinational (asynchronous) read of a memory at ``addr``."""
+
+    __slots__ = ("mem", "addr")
+    kind = "memread"
+
+    def __init__(self, mem, addr):
+        self.mem = mem
+        self.addr = _coerce(addr)
+        self.width = mem.width
+
+    def operands(self):
+        return (self.addr,)
+
+    def eval_op(self, vals: Sequence[int]) -> int:  # pragma: no cover
+        raise RuntimeError("MemRead is resolved by the simulator environment")
+
+    def __repr__(self) -> str:
+        return f"MemRead({self.mem.name}, {self.addr!r})"
+
+
+class Downgrade(Node):
+    """Explicit downgrade marker (declassification or endorsement).
+
+    Semantically the identity on its operand; the IFC checker treats it as
+    the *only* legal way to weaken a label, validating the nonmalleable
+    downgrading conditions (Eq. (1) of the paper) at the marker.
+
+    ``kind_`` is ``"declassify"`` (confidentiality) or ``"endorse"``
+    (integrity).  ``target`` is the label after downgrading and
+    ``authority`` the label of the principal performing it.
+    """
+
+    __slots__ = ("a", "kind_", "target", "authority")
+    kind = "downgrade"
+
+    def __init__(self, a, kind_: str, target, authority):
+        if kind_ not in ("declassify", "endorse"):
+            raise ValueError(f"unknown downgrade kind {kind_!r}")
+        self.a = _coerce(a)
+        self.kind_ = kind_
+        self.target = target
+        self.authority = authority
+        self.width = self.a.width
+
+    def operands(self):
+        return (self.a,)
+
+    def eval_op(self, vals: Sequence[int]) -> int:
+        return vals[0]
+
+    def __repr__(self) -> str:
+        return f"Downgrade({self.kind_}, {self.a!r})"
+
+
+# -- convenience constructors -------------------------------------------------
+
+def mux(sel, if_true, if_false) -> Mux:
+    """Functional mux constructor."""
+    return Mux(sel, if_true, if_false)
+
+
+def cat(*parts) -> Node:
+    """Concatenate values, most-significant first."""
+    if len(parts) == 1:
+        return _coerce(parts[0])
+    return Concat(parts)
+
+
+def lit(value: int, width: int) -> Const:
+    """Width-annotated literal."""
+    return Const(value, width)
+
+
+def declassify(value, target, authority) -> Downgrade:
+    """Declassify ``value`` to confidentiality of ``target`` under ``authority``."""
+    return Downgrade(value, "declassify", target, authority)
+
+
+def endorse(value, target, authority) -> Downgrade:
+    """Endorse ``value`` to integrity of ``target`` under ``authority``."""
+    return Downgrade(value, "endorse", target, authority)
+
+
+def mux_case(default, cases) -> Node:
+    """Priority mux from a list of ``(condition, value)`` pairs.
+
+    Earlier entries take priority, matching a ``when/elsewhen`` chain.
+    """
+    result = _coerce(default)
+    for cond, value in reversed(list(cases)):
+        result = Mux(cond, value, result)
+    return result
+
+
+def _balanced_reduce(op: str, items: List[Node]) -> Node:
+    """Reduce as a balanced tree (logarithmic logic depth)."""
+    while len(items) > 1:
+        nxt = []
+        for i in range(0, len(items) - 1, 2):
+            nxt.append(BinaryOp(op, items[i], items[i + 1]))
+        if len(items) % 2:
+            nxt.append(items[-1])
+        items = nxt
+    return items[0]
+
+
+def all_of(*conds) -> Node:
+    """AND-reduce conditions as a balanced tree (empty list is constant 1)."""
+    items = [_coerce(c) for c in conds]
+    if not items:
+        return Const(1, 1)
+    return _balanced_reduce("and", items)
+
+
+def any_of(*conds) -> Node:
+    """OR-reduce conditions as a balanced tree (empty list is constant 0)."""
+    items = [_coerce(c) for c in conds]
+    if not items:
+        return Const(0, 1)
+    return _balanced_reduce("or", items)
+
+
+def walk(roots: Iterable[Node]) -> List[Node]:
+    """Return all nodes reachable from ``roots`` in reverse-topological
+    (operands-first) order, each exactly once."""
+    order: List[Node] = []
+    seen = set()
+    stack: List[Tuple[Node, bool]] = [(r, False) for r in roots]
+    while stack:
+        node, expanded = stack.pop()
+        nid = id(node)
+        if expanded:
+            order.append(node)
+            continue
+        if nid in seen:
+            continue
+        seen.add(nid)
+        stack.append((node, True))
+        for op in node.operands():
+            if id(op) not in seen:
+                stack.append((op, False))
+    return order

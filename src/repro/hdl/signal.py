@@ -1,0 +1,104 @@
+"""Signals: the named, stateful leaves of a hardware design.
+
+A :class:`Signal` is itself an expression :class:`~repro.hdl.nodes.Node`
+(kind ``"signal"``), so signals can be used directly inside expressions.
+
+Assignment is recorded, not executed: ``sig <<= expr`` appends a
+*conditional driver* ``(conditions, expr)`` where ``conditions`` is the
+tuple of ``when`` conditions active at the point of assignment.  During
+elaboration the driver list folds into a single mux tree (last assignment
+wins, as in Chisel).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+from . import module as _module_ctx
+from .nodes import HdlError, Node, _coerce
+from .types import check_width, mask_for
+
+
+class SignalKind(enum.Enum):
+    INPUT = "input"
+    OUTPUT = "output"
+    WIRE = "wire"
+    REG = "reg"
+
+
+class Signal(Node):
+    """A named hardware signal (port, wire, or register)."""
+
+    __slots__ = (
+        "name",
+        "kind_",
+        "owner",
+        "label",
+        "init",
+        "drivers",
+        "default",
+        "meta",
+    )
+    kind = "signal"
+
+    def __init__(
+        self,
+        name: str,
+        width: int,
+        kind_: SignalKind,
+        owner,
+        label=None,
+        init: int = 0,
+        default=None,
+    ):
+        self.name = name
+        self.width = check_width(width)
+        self.kind_ = kind_
+        self.owner = owner
+        self.label = label
+        if not 0 <= init <= mask_for(width):
+            raise HdlError(f"init value {init} does not fit in {width} bits")
+        self.init = init
+        self.drivers: List[Tuple[Tuple[Node, ...], Node]] = []
+        self.default = None if default is None else _coerce(default, width)
+        self.meta = {}
+
+    # -- naming -------------------------------------------------------------
+    @property
+    def path(self) -> str:
+        """Hierarchical name, e.g. ``top.pipe.stage3.data``."""
+        if self.owner is None:
+            return self.name
+        return f"{self.owner.path}.{self.name}"
+
+    # -- assignment recording -------------------------------------------------
+    def assign(self, expr, conditions: Optional[Tuple[Node, ...]] = None) -> None:
+        """Record a (possibly conditional) driver for this signal."""
+        if self.kind_ is SignalKind.INPUT and self.owner is not None and self.owner.parent is None:
+            raise HdlError(f"cannot assign top-level input {self.path}")
+        expr = _coerce(expr, self.width)
+        if expr.width > self.width:
+            raise HdlError(
+                f"driver width {expr.width} exceeds signal width {self.width} "
+                f"for {self.path}"
+            )
+        if expr.width < self.width:
+            expr = expr.zext(self.width)
+        if conditions is None:
+            conditions = _module_ctx.current_conditions()
+        self.drivers.append((conditions, expr))
+
+    def __ilshift__(self, expr):
+        self.assign(expr)
+        return self
+
+    # -- expression protocol ----------------------------------------------------
+    def operands(self):
+        return ()
+
+    def eval_op(self, vals):  # pragma: no cover - resolved via simulator env
+        raise RuntimeError("Signal value is resolved by the simulator environment")
+
+    def __repr__(self) -> str:
+        return f"Signal({self.path}, w={self.width}, {self.kind_.value})"

@@ -1,0 +1,5 @@
+"""Cycle-accurate simulation of elaborated netlists."""
+
+from .engine import Simulator
+
+__all__ = ["Simulator"]

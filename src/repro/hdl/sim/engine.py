@@ -1,0 +1,176 @@
+"""Simulator driver: poke/peek/step over an elaborated netlist.
+
+The engine wraps one of two backends (interpreter or compiled) behind a
+uniform testbench API:
+
+>>> sim = Simulator(my_module)          # elaborates + compiles
+>>> sim.poke("top.in_valid", 1)
+>>> sim.step()
+>>> sim.peek("top.out_data")
+
+Combinational values are (re)computed lazily: any poke invalidates the
+current evaluation, and ``peek`` / ``step`` recompute as needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..elaborate import elaborate
+from ..memory import Mem
+from ..module import Module
+from ..netlist import Netlist
+from ..nodes import HdlError
+from ..signal import Signal
+from ..types import mask_for
+from .compiler import CompiledBackend
+from .interp import InterpBackend
+
+SignalLike = Union[Signal, str]
+
+
+class Simulator:
+    """Cycle-accurate simulator over a netlist or module."""
+
+    def __init__(self, design: Union[Module, Netlist], backend: str = "compiled"):
+        if isinstance(design, Module):
+            self.netlist = elaborate(design)
+        else:
+            self.netlist = design
+        self.backend_name = backend
+        self.cycle = 0
+        self._watchers = []
+
+        if backend == "compiled":
+            self._be = CompiledBackend(self.netlist)
+            self._state: List[int] = self._be.new_state()
+            self._mems: List[List[int]] = self._be.new_mems()
+            self._env: List[int] = self._be.new_env()
+        elif backend == "interp":
+            self._ibe = InterpBackend(self.netlist)
+            self._istate: Dict[Signal, int] = {}
+            for sig in self.netlist.inputs:
+                self._istate[sig] = 0
+            for reg in self.netlist.regs:
+                self._istate[reg] = reg.init
+            self._imems: Dict[Mem, List[int]] = {
+                m: list(m.init) for m in self.netlist.mems
+            }
+            self._ienv: Optional[Dict[Signal, int]] = None
+        else:
+            raise ValueError(f"unknown backend {backend!r}")
+        self._dirty = True
+
+    # -- signal resolution -----------------------------------------------------
+    def _resolve(self, sig: SignalLike) -> Signal:
+        if isinstance(sig, Signal):
+            return sig
+        return self.netlist.signal_by_path(sig)
+
+    def _resolve_mem(self, mem: Union[Mem, str]) -> Mem:
+        if isinstance(mem, Mem):
+            return mem
+        for m in self.netlist.mems:
+            if m.path == mem:
+                return m
+        raise KeyError(f"no memory {mem!r}")
+
+    # -- testbench API ------------------------------------------------------------
+    def poke(self, sig: SignalLike, value: int) -> None:
+        """Drive a free (input) signal."""
+        sig = self._resolve(sig)
+        if not 0 <= value <= mask_for(sig.width):
+            raise ValueError(
+                f"value {value} does not fit {sig.width}-bit signal {sig.path}"
+            )
+        if sig not in set(self.netlist.inputs):
+            raise HdlError(f"{sig.path} is not a free input of this netlist")
+        if self.backend_name == "compiled":
+            self._state[self._be.state_index[sig]] = value
+        else:
+            self._istate[sig] = value
+        self._dirty = True
+
+    def peek(self, sig: SignalLike) -> int:
+        """Read any signal's current (combinationally settled) value."""
+        sig = self._resolve(sig)
+        self._settle()
+        if self.backend_name == "compiled":
+            if sig in self._be.state_index:
+                return self._state[self._be.state_index[sig]]
+            return self._env[self._be.comb_index[sig]]
+        env = self._ienv
+        assert env is not None
+        return env[sig]
+
+    def peek_mem(self, mem: Union[Mem, str], addr: int) -> int:
+        mem = self._resolve_mem(mem)
+        if self.backend_name == "compiled":
+            return self._mems[self._be.mem_index[mem]][addr]
+        return self._imems[mem][addr]
+
+    def poke_mem(self, mem: Union[Mem, str], addr: int, value: int) -> None:
+        """Testbench backdoor write into a memory."""
+        mem = self._resolve_mem(mem)
+        if not 0 <= value <= mask_for(mem.width):
+            raise ValueError(f"value {value} does not fit memory {mem.path}")
+        if self.backend_name == "compiled":
+            self._mems[self._be.mem_index[mem]][addr] = value
+        else:
+            self._imems[mem][addr] = value
+        self._dirty = True
+
+    def _settle(self) -> None:
+        if not self._dirty:
+            return
+        if self.backend_name == "compiled":
+            self._be.eval_comb(self._state, self._mems, self._env)
+        else:
+            self._ienv = self._ibe.eval_comb(self._istate, self._imems)
+        self._dirty = False
+
+    def step(self, n: int = 1) -> None:
+        """Advance ``n`` clock cycles."""
+        for _ in range(n):
+            if self._watchers:
+                self._settle()
+                for w in self._watchers:
+                    w(self)
+            if self.backend_name == "compiled":
+                self._be.step(self._state, self._mems, self._env)
+            else:
+                self._ibe.step(self._istate, self._imems)
+            self.cycle += 1
+            self._dirty = True
+
+    def reset(self) -> None:
+        """Reset registers to init values and memories to initial contents."""
+        if self.backend_name == "compiled":
+            self._state = self._be.new_state()
+            self._mems = self._be.new_mems()
+        else:
+            for sig in self.netlist.inputs:
+                self._istate[sig] = 0
+            for reg in self.netlist.regs:
+                self._istate[reg] = reg.init
+            self._imems = {m: list(m.init) for m in self.netlist.mems}
+        self.cycle = 0
+        self._dirty = True
+
+    def add_watcher(self, fn) -> None:
+        """Register a callable invoked (with the simulator) before each step."""
+        self._watchers.append(fn)
+
+    def run_until(self, sig: SignalLike, value: int = 1, max_cycles: int = 10000) -> int:
+        """Step until ``sig == value``; returns cycles waited.
+
+        Raises ``TimeoutError`` after ``max_cycles``.
+        """
+        sig = self._resolve(sig)
+        for waited in range(max_cycles):
+            if self.peek(sig) == value:
+                return waited
+            self.step()
+        raise TimeoutError(
+            f"{sig.path} did not reach {value} within {max_cycles} cycles"
+        )

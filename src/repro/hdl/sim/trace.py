@@ -1,0 +1,72 @@
+"""Waveform capture: record signal values per cycle, optionally as VCD.
+
+Used by the attack reproductions to produce concrete evidence traces
+(e.g. the latency samples of the covert-channel experiment) and for
+debugging the pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+from ..signal import Signal
+
+
+class Trace:
+    """Tabular recording of selected signals over simulation cycles."""
+
+    def __init__(self, sim, signals: Sequence[Union[Signal, str]]):
+        self.sim = sim
+        self.signals: List[Signal] = [sim._resolve(s) for s in signals]
+        self.rows: List[List[int]] = []
+        self.cycles: List[int] = []
+        sim.add_watcher(self._capture)
+
+    def _capture(self, sim) -> None:
+        self.cycles.append(sim.cycle)
+        self.rows.append([sim.peek(s) for s in self.signals])
+
+    def column(self, sig: Union[Signal, str]) -> List[int]:
+        sig = self.sim._resolve(sig)
+        idx = self.signals.index(sig)
+        return [row[idx] for row in self.rows]
+
+    def at(self, cycle: int) -> Dict[str, int]:
+        i = self.cycles.index(cycle)
+        return {s.path: v for s, v in zip(self.signals, self.rows[i])}
+
+    def write_vcd(self, path: str, timescale: str = "1ns") -> None:
+        """Dump the recorded trace as a minimal VCD file."""
+        idents = {}
+        for i, sig in enumerate(self.signals):
+            # VCD identifier characters: printable ASCII 33..126
+            ident = ""
+            n = i
+            while True:
+                ident += chr(33 + (n % 94))
+                n //= 94
+                if n == 0:
+                    break
+            idents[sig] = ident
+
+        with open(path, "w") as f:
+            f.write(f"$timescale {timescale} $end\n")
+            f.write(f"$scope module {self.sim.netlist.root.name} $end\n")
+            for sig in self.signals:
+                name = sig.path.replace(".", "_")
+                f.write(f"$var wire {sig.width} {idents[sig]} {name} $end\n")
+            f.write("$upscope $end\n$enddefinitions $end\n")
+            prev: Dict[Signal, int] = {}
+            for cycle, row in zip(self.cycles, self.rows):
+                f.write(f"#{cycle}\n")
+                for sig, value in zip(self.signals, row):
+                    if prev.get(sig) == value:
+                        continue
+                    prev[sig] = value
+                    if sig.width == 1:
+                        f.write(f"{value}{idents[sig]}\n")
+                    else:
+                        f.write(f"b{value:b} {idents[sig]}\n")
+
+    def __len__(self) -> int:
+        return len(self.rows)

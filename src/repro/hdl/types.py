@@ -1,0 +1,60 @@
+"""Hardware value types for the security-typed eDSL.
+
+The eDSL is deliberately small: every signal is an unsigned bit vector
+(``UInt``) of a fixed width.  ``Bool`` is a one-bit ``UInt``.  This mirrors
+the subset of Chisel that the DAC'19 AES accelerator uses.
+"""
+
+from __future__ import annotations
+
+
+def mask_for(width: int) -> int:
+    """Return the bit mask ``2**width - 1`` for a ``width``-bit value."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return (1 << width) - 1
+
+
+def fits(value: int, width: int) -> bool:
+    """Return True if ``value`` is representable in ``width`` unsigned bits."""
+    return 0 <= value <= mask_for(width)
+
+
+def check_width(width: int) -> int:
+    """Validate a signal width and return it."""
+    if not isinstance(width, int) or isinstance(width, bool):
+        raise TypeError(f"width must be an int, got {type(width).__name__}")
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    return width
+
+
+def bit_length_for(n_values: int) -> int:
+    """Width needed to index ``n_values`` distinct values (at least 1 bit)."""
+    if n_values <= 0:
+        raise ValueError("n_values must be positive")
+    return max(1, (n_values - 1).bit_length())
+
+
+class UInt:
+    """A width-annotated unsigned integer *type* descriptor.
+
+    Instances are used purely as type tags (``UInt(8)``); the simulator
+    represents runtime values as plain Python ints.
+    """
+
+    __slots__ = ("width",)
+
+    def __init__(self, width: int):
+        self.width = check_width(width)
+
+    def __repr__(self) -> str:
+        return f"UInt({self.width})"
+
+    def mask(self) -> int:
+        return mask_for(self.width)
+
+
+def Bool() -> UInt:
+    """One-bit unsigned type."""
+    return UInt(1)

@@ -1,0 +1,229 @@
+"""Verilog-2001 export of elaborated netlists.
+
+Emits a flattened, synthesizable module from a
+:class:`~repro.hdl.netlist.Netlist`: every expression node becomes an
+SSA-style ``wire`` assignment (so arbitrary sub-expressions stay legal
+Verilog), registers become one ``always @(posedge clk)`` block with a
+synchronous reset to their init values, and memories become ``reg``
+arrays with write processes (ROMs get ``initial`` blocks).
+
+Security metadata survives as comments: labelled signals carry their
+label, and ``Downgrade`` markers annotate the declassification /
+endorsement points — the reviewable-downgrade story of §3.2.6 remains
+visible in the RTL hand-off.
+
+This is deliberately plain structural Verilog: the goal is a clean
+bridge from the Python model to standard FPGA/ASIC flows, not a
+performance-tuned netlist.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Union
+
+from .elaborate import elaborate
+from .memory import Mem
+from .module import Module
+from .netlist import Netlist
+from .nodes import Node, walk
+from .signal import Signal
+
+
+def _ident(path: str) -> str:
+    """Sanitise a hierarchical path into a Verilog identifier."""
+    name = re.sub(r"[^A-Za-z0-9_]", "_", path)
+    if re.match(r"^[0-9]", name):
+        name = "_" + name
+    return name
+
+
+class VerilogWriter:
+    """Emit one flattened Verilog module for a netlist."""
+
+    def __init__(self, design: Union[Module, Netlist],
+                 module_name: str = None):
+        self.netlist = design if isinstance(design, Netlist) else elaborate(design)
+        self.module_name = _ident(module_name or self.netlist.root.name)
+        self._names: Dict[int, str] = {}
+        self._counter = 0
+        self._lines: List[str] = []
+
+    # -- naming ------------------------------------------------------------
+    def _signal_name(self, sig: Signal) -> str:
+        root = self.netlist.root.path + "."
+        path = sig.path
+        if path.startswith(root):
+            path = path[len(root):]
+        return _ident(path)
+
+    def _mem_name(self, mem: Mem) -> str:
+        root = self.netlist.root.path + "."
+        path = mem.path
+        if path.startswith(root):
+            path = path[len(root):]
+        return _ident(path)
+
+    def _node_name(self, node: Node) -> str:
+        name = self._names.get(id(node))
+        if name is None:
+            self._counter += 1
+            name = f"n{self._counter}"
+            self._names[id(node)] = name
+        return name
+
+    # -- expression emission ----------------------------------------------------
+    def _emit_nodes(self, roots: List[Node], out: List[str]) -> None:
+        for node in walk(roots):
+            nid = id(node)
+            if nid in self._names:
+                continue
+            kind = node.kind
+            if kind == "const":
+                self._names[nid] = f"{node.width}'h{node.value:x}"
+                continue
+            if kind == "signal":
+                self._names[nid] = self._signal_name(node)
+                continue
+            expr = self._render(node)
+            name = self._node_name(node)
+            out.append(f"  wire [{node.width - 1}:0] {name} = {expr};")
+
+    def _ref(self, node: Node) -> str:
+        return self._names[id(node)]
+
+    def _render(self, node: Node) -> str:
+        kind = node.kind
+        if kind == "unary":
+            a = self._ref(node.a)
+            return {
+                "not": f"~{a}",
+                "redor": f"|{a}",
+                "redand": f"&{a}",
+                "redxor": f"^{a}",
+            }[node.op]
+        if kind == "binary":
+            a, b = self._ref(node.a), self._ref(node.b)
+            sym = {
+                "and": "&", "or": "|", "xor": "^",
+                "add": "+", "sub": "-", "mul": "*",
+                "eq": "==", "ne": "!=", "lt": "<", "le": "<=",
+                "gt": ">", "ge": ">=", "shl": "<<", "shr": ">>",
+            }[node.op]
+            return f"{a} {sym} {b}"
+        if kind == "mux":
+            return (f"{self._ref(node.sel)} ? {self._ref(node.if_true)} : "
+                    f"{self._ref(node.if_false)}")
+        if kind == "slice":
+            if node.a.kind == "const":
+                # part-select of a literal is illegal Verilog; fold it
+                value = (node.a.value >> node.lo) & ((1 << node.width) - 1)
+                return f"{node.width}'h{value:x}"
+            if node.lo == node.hi:
+                return f"{self._ref(node.a)}[{node.lo}]"
+            return f"{self._ref(node.a)}[{node.hi}:{node.lo}]"
+        if kind == "concat":
+            parts = ", ".join(self._ref(p) for p in node.parts)
+            return f"{{{parts}}}"
+        if kind == "memread":
+            return f"{self._mem_name(node.mem)}[{self._ref(node.addr)}]"
+        if kind == "downgrade":
+            return (f"{self._ref(node.a)} /* {node.kind_} "
+                    f"(reviewed downgrade) */")
+        raise AssertionError(kind)
+
+    # -- module emission -----------------------------------------------------------
+    def emit(self) -> str:
+        nl = self.netlist
+        ports = ["input wire clk", "input wire rst"]
+        for sig in nl.inputs:
+            decl = f"input wire [{sig.width - 1}:0] {self._signal_name(sig)}"
+            if sig.label is not None:
+                decl = f"/* label: {sig.label!r} */ {decl}"
+            ports.append(decl)
+        from .signal import SignalKind
+
+        out_sigs = [s for s in nl.comb if s.kind_ is SignalKind.OUTPUT
+                    and s.owner is nl.root]
+        for sig in out_sigs:
+            ports.append(f"output wire [{sig.width - 1}:0] "
+                         f"{self._signal_name(sig)}")
+
+        body: List[str] = []
+
+        # registers
+        for reg in nl.regs:
+            label = f"  // label: {reg.label!r}" if reg.label is not None else ""
+            body.append(f"  reg [{reg.width - 1}:0] "
+                        f"{self._signal_name(reg)};{label}")
+        # memories
+        for mem in nl.mems:
+            label = f"  // label: {mem.label!r}" if mem.label is not None else ""
+            body.append(f"  reg [{mem.width - 1}:0] {self._mem_name(mem)} "
+                        f"[0:{mem.depth - 1}];{label}")
+
+        # combinational SSA wires + named signal assigns
+        roots = nl.all_roots()
+        expr_lines: List[str] = []
+        self._emit_nodes(roots, expr_lines)
+        body.extend(expr_lines)
+        for sig in nl.comb:
+            if sig in set(nl.inputs):
+                continue
+            driver = nl.drivers[sig]
+            name = self._signal_name(sig)
+            if sig in out_sigs:
+                body.append(f"  assign {name} = {self._ref(driver)};")
+            else:
+                body.append(f"  wire [{sig.width - 1}:0] {name} = "
+                            f"{self._ref(driver)};")
+
+        # sequential block
+        seq: List[str] = ["  always @(posedge clk) begin",
+                          "    if (rst) begin"]
+        for reg in nl.regs:
+            seq.append(f"      {self._signal_name(reg)} <= "
+                       f"{reg.width}'h{reg.init:x};")
+        seq.append("    end else begin")
+        for reg in nl.regs:
+            seq.append(f"      {self._signal_name(reg)} <= "
+                       f"{self._ref(nl.reg_next[reg])};")
+        for mem, writes in nl.mem_writes.items():
+            for w in writes:
+                guard = (f"if ({self._ref(w.cond)}) "
+                         if w.cond is not None else "")
+                seq.append(f"      {guard}{self._mem_name(mem)}"
+                           f"[{self._ref(w.addr)}] <= {self._ref(w.data)};")
+        seq.append("    end")
+        seq.append("  end")
+
+        # ROM / memory initial contents
+        init: List[str] = []
+        for mem in nl.mems:
+            if any(mem.init):
+                init.append("  initial begin")
+                for i, v in enumerate(mem.init):
+                    if v:
+                        init.append(f"    {self._mem_name(mem)}[{i}] = "
+                                    f"{mem.width}'h{v:x};")
+                init.append("  end")
+
+        # comb wires appear before use: _emit_nodes handles node order, but a
+        # named comb wire may be referenced by nodes emitted earlier; Verilog
+        # wires are order-insensitive, so this is fine.
+        header = [
+            f"// Generated by repro.hdl.verilog from {nl.root.path}",
+            f"// {len(nl.regs)} registers, {len(nl.mems)} memories, "
+            f"{len(nl.comb)} combinational signals",
+            f"module {self.module_name} (",
+            ",\n".join(f"  {p}" for p in ports),
+            ");",
+        ]
+        footer = ["endmodule", ""]
+        return "\n".join(header + body + seq + init + footer)
+
+
+def to_verilog(design: Union[Module, Netlist],
+               module_name: str = None) -> str:
+    """Convenience: emit Verilog source for a module or netlist."""
+    return VerilogWriter(design, module_name).emit()

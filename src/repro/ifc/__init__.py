@@ -1,0 +1,66 @@
+"""repro.ifc — hardware-level information-flow control.
+
+Implements the security machinery of the paper: the two-dimensional
+(confidentiality, integrity) label lattice, dependent labels, the
+nonmalleable downgrading rules (Eq. 1), the static checker that plays
+ChiselFlow's role, and a dynamic RTLIFT-style tracker.
+"""
+
+from .checker import IfcChecker, check_design, check_module_shallow
+from .dependent import CellTagLabel, DependentLabel, resolve_label, tag_label
+from .errors import CheckReport, LabelError
+from .glift import GliftTracker, TaintViolation
+from .label import (
+    Label,
+    bottom,
+    join_all,
+    meet_all,
+    public_trusted,
+    public_untrusted,
+    secret_trusted,
+    top,
+)
+from .lattice import SecurityLattice, two_point
+from .nonmalleable import (
+    check_downgrade,
+    declassified,
+    endorsed,
+    may_declassify,
+    may_endorse,
+)
+from .policy import TABLE1_POLICIES, FlowPolicy, PolicyCheckResult
+from .tracker import LabelTracker, TrackViolation
+
+__all__ = [
+    "CellTagLabel",
+    "CheckReport",
+    "DependentLabel",
+    "FlowPolicy",
+    "GliftTracker",
+    "IfcChecker",
+    "Label",
+    "LabelError",
+    "LabelTracker",
+    "PolicyCheckResult",
+    "SecurityLattice",
+    "TABLE1_POLICIES",
+    "TaintViolation",
+    "TrackViolation",
+    "bottom",
+    "check_design",
+    "check_downgrade",
+    "check_module_shallow",
+    "declassified",
+    "endorsed",
+    "join_all",
+    "may_declassify",
+    "may_endorse",
+    "meet_all",
+    "public_trusted",
+    "public_untrusted",
+    "resolve_label",
+    "secret_trusted",
+    "tag_label",
+    "top",
+    "two_point",
+]

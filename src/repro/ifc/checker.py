@@ -1,0 +1,778 @@
+"""Static information-flow checker over elaborated netlists.
+
+This module plays the role ChiselFlow's type checker plays in the paper:
+given a netlist whose signals and memories carry security labels
+(:class:`~repro.ifc.label.Label`, :class:`~repro.ifc.dependent.DependentLabel`,
+or :class:`~repro.ifc.dependent.CellTagLabel`), it verifies that **every
+flow** — explicit dataflow, implicit flow through conditions, and the
+timing of register updates — respects the lattice, and that every
+downgrade marker satisfies the nonmalleable conditions of Eq. (1).
+
+How it works
+------------
+1.  *Inference.*  Unlabelled intermediate signals get labels by a join
+    fixpoint over the netlist (dependent labels contribute their
+    domain-wide upper bound, which is sound).
+
+2.  *Obligations.*  Every declared-label signal and every memory write is
+    an obligation: the label of the folded driver expression (which
+    includes the ``when`` conditions — that is where implicit flows and
+    timing channels surface, exactly as for the ``valid`` signal in
+    Fig. 6) must flow to the declared label.
+
+3.  *Hypothesis enumeration.*  Dependent labels are checked per selector
+    value, SecVerilog-style: the checker collects the dependent selectors
+    (and any designer-marked ``enumerate`` control signals) in the cone
+    of the obligation, enumerates their joint values, *partially
+    evaluates* the expression under each hypothesis — pruning mux
+    branches and folding guards — and checks the flow in each case.
+    A tag-guarded write whose guard folds to 0 under a hypothesis is
+    vacuously safe in that case: this is how the checker proves the
+    runtime tag checks of Figs. 5, 7, and 8 sufficient.
+
+4.  *Register sinks with dependent labels* compare against the label at
+    the selector's **next** value (data and tag move through a pipeline
+    stage together, so the invariant is "next data ⊑ label(next tag)").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..hdl.memory import Mem
+from ..hdl.netlist import Netlist
+from ..hdl.nodes import Node, walk
+from ..hdl.signal import Signal
+from .dependent import CellTagLabel, DependentLabel
+from .errors import CheckReport, LabelError
+from .label import Label, bottom, join_all, meet_all
+from .lattice import SecurityLattice
+from .nonmalleable import check_downgrade, downgraded_label
+
+# Hypothesis tokens: ("sig", id) for signals, ("cell", memid, addrkey) for
+# tag-memory cells addressed through a shared address expression.
+HypToken = Tuple
+Hypothesis = Dict[HypToken, int]
+
+MAX_ENUM_WIDTH = 10  # widest signal the checker will exhaustively enumerate
+
+
+def _sig_token(sig: Signal) -> HypToken:
+    return ("sig", id(sig))
+
+
+def _addr_key(addr: Node):
+    """Structural key for address-expression correlation."""
+    if addr.kind == "signal":
+        return ("sig", id(addr))
+    if addr.kind == "const":
+        return ("const", addr.value, addr.width)
+    return ("node", id(addr))
+
+
+def _cell_token(mem: Mem, addr: Node) -> HypToken:
+    return ("cell", id(mem), _addr_key(addr))
+
+
+class _HypVar:
+    """One enumerable unknown: a signal value or a tag-memory cell value."""
+
+    __slots__ = ("token", "name", "domain")
+
+    def __init__(self, token: HypToken, name: str, domain: Iterable[int]):
+        self.token = token
+        self.name = name
+        self.domain = list(domain)
+
+
+class IfcChecker:
+    """Checks one netlist against its declared labels."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        lattice: SecurityLattice,
+        max_hypotheses: int = 1 << 16,
+        default_source_label: Optional[Label] = None,
+    ):
+        self.netlist = netlist
+        self.lattice = lattice
+        self.max_hypotheses = max_hypotheses
+        self.default_source_label = default_source_label or bottom(lattice)
+        self.inferred: Dict[Signal, Label] = {}
+        self.inferred_mem: Dict[Mem, Label] = {}
+        self.report = CheckReport(netlist.root.path)
+        self._downgrade_errors_seen = set()
+        self._comb_set = set(netlist.comb)
+        self._reg_set = set(netlist.regs)
+        self._input_set = set(netlist.inputs)
+        self._context = "<inference>"
+        self._recording = True
+        self._wanted = set()          # hyp tokens consulted but unassigned
+        self._local_errors: List[LabelError] = []
+        # deep designs fold through long combinational chains
+        import sys
+
+        target = 10000 + 40 * len(netlist.signals)
+        if sys.getrecursionlimit() < target:
+            sys.setrecursionlimit(target)
+
+    # ------------------------------------------------------------------ checking
+    def check(self) -> CheckReport:
+        """Run inference then discharge every obligation; returns the report."""
+        self._warn_unlabelled_sources()
+        self._infer()
+        for sig in self.netlist.comb:
+            if sig.label is not None:
+                self._check_signal(sig, self.netlist.drivers[sig], is_reg=False)
+        for reg in self.netlist.regs:
+            if reg.label is not None:
+                self._check_signal(reg, self.netlist.reg_next[reg], is_reg=True)
+        for mem, writes in self.netlist.mem_writes.items():
+            if mem.label is not None or mem.cell_labels is not None:
+                for i, w in enumerate(writes):
+                    self._check_mem_write(mem, w, i)
+        return self.report
+
+    # ------------------------------------------------------------------ sources
+    def _warn_unlabelled_sources(self) -> None:
+        for sig in self.netlist.inputs:
+            if sig.label is None:
+                self.report.add_warning(
+                    f"free input {sig.path} has no label; "
+                    f"assuming {self.default_source_label!r}"
+                )
+
+    # ------------------------------------------------------------------ inference
+    def _label_upper(self, label) -> Label:
+        if isinstance(label, (DependentLabel, CellTagLabel)):
+            return label.upper_bound()
+        return label
+
+    def _infer(self) -> None:
+        """Fixpoint label inference for unlabelled signals and memories."""
+        nl = self.netlist
+        for sig in nl.signals:
+            if sig.label is None:
+                self.inferred[sig] = (
+                    self.default_source_label
+                    if sig in self._input_set
+                    else bottom(self.lattice)
+                )
+        for mem in nl.mems:
+            if mem.label is None and mem.cell_labels is None:
+                self.inferred_mem[mem] = bottom(self.lattice)
+
+        self._recording = False
+        try:
+            bound = 4 * (len(nl.signals) + len(nl.mems)) + 8
+            for _ in range(bound):
+                changed = False
+                memo: Dict[int, Tuple[Optional[int], Label]] = {}
+                for sig in nl.comb:
+                    if sig.label is not None or sig in self._input_set:
+                        continue
+                    new = self._eval(nl.drivers[sig], {}, memo)[1]
+                    if not new.flows_to(self.inferred[sig]):
+                        self.inferred[sig] = self.inferred[sig].join(new)
+                        changed = True
+                for reg in nl.regs:
+                    if reg.label is not None:
+                        continue
+                    new = self._eval(nl.reg_next[reg], {}, memo)[1]
+                    if not new.flows_to(self.inferred[reg]):
+                        self.inferred[reg] = self.inferred[reg].join(new)
+                        changed = True
+                for mem, writes in nl.mem_writes.items():
+                    if mem not in self.inferred_mem:
+                        continue
+                    acc = self.inferred_mem[mem]
+                    for w in writes:
+                        acc = acc.join(self._eval(w.data, {}, memo)[1])
+                        acc = acc.join(self._eval(w.addr, {}, memo)[1])
+                        if w.cond is not None:
+                            acc = acc.join(self._eval(w.cond, {}, memo)[1])
+                    if acc != self.inferred_mem[mem]:
+                        self.inferred_mem[mem] = acc
+                        changed = True
+                if not changed:
+                    return
+            self.report.add_warning("label inference did not reach a fixpoint")
+        finally:
+            self._recording = True
+
+    # ------------------------------------------------------------------ label lookup
+    def _signal_label(self, sig: Signal, hyp: Hypothesis,
+                      memo: Dict) -> Label:
+        if sig.label is None:
+            return self.inferred.get(sig, self.default_source_label)
+        if isinstance(sig.label, DependentLabel):
+            if sig.label.selector is sig:
+                # self-referential label (e.g. a tag register whose timing
+                # carries its own block's level): resolve at the signal's
+                # own hypothesised value
+                value = hyp.get(_sig_token(sig))
+                if value is None:
+                    self._wanted.add(_sig_token(sig))
+            else:
+                value = self._resolve_value(sig.label.selector, hyp, memo)
+            if value is None:
+                return sig.label.upper_bound()
+            return sig.label.resolve(value)
+        return sig.label
+
+    def _resolve_value(self, node: Node, hyp: Hypothesis, memo: Dict) -> Optional[int]:
+        """Best-effort constant value of ``node`` under the hypothesis."""
+        return self._eval(node, hyp, memo)[0]
+
+    # ------------------------------------------------------------------ evaluation
+    def _eval(self, node: Node, hyp: Hypothesis,
+              memo: Dict) -> Tuple[Optional[int], Label]:
+        """Partial-evaluate ``node`` under ``hyp``; returns (value?, label).
+
+        The label accounts for every signal that can influence the value
+        *given* the hypothesis: taken mux branches only, short-circuited
+        operands dropped.  This is the precision that lets guarded
+        (tag-checked) logic verify.
+        """
+        nid = id(node)
+        cached = memo.get(nid)
+        if cached is not None:
+            return cached
+        result = self._eval_uncached(node, hyp, memo)
+        memo[nid] = result
+        return result
+
+    def _eval_uncached(self, node: Node, hyp: Hypothesis, memo: Dict):
+        kind = node.kind
+        lat = self.lattice
+
+        if kind == "const":
+            return node.value, bottom(lat)
+
+        if kind == "signal":
+            if node in self._comb_set:
+                # fold-first: when logic *forces* a value under this
+                # hypothesis, use the folded label — this is what makes
+                # tag-guarded designs (Figs. 5/7/8) verify precisely
+                fv, fl = self._eval(self.netlist.drivers[node], hyp, memo)
+                if fv is not None:
+                    return fv, fl
+            token = _sig_token(node)
+            value = hyp.get(token)
+            if value is None:
+                self._wanted.add(token)
+            label = self._signal_label(node, hyp, memo)
+            return value, label
+
+        if kind == "unary":
+            av, al = self._eval(node.a, hyp, memo)
+            value = node.eval_op([av]) if av is not None else None
+            return value, al
+
+        if kind == "binary":
+            av, al = self._eval(node.a, hyp, memo)
+            bv, bl = self._eval(node.b, hyp, memo)
+            # short-circuit precision: a constant-0 AND side (or saturated
+            # OR side) fully determines the result
+            if node.op == "and":
+                if av == 0 and bv == 0:
+                    # either side suffices to force the result; attribute it
+                    # to the less restrictive one
+                    return 0, (al if al.flows_to(bl) else bl)
+                if av == 0:
+                    return 0, al
+                if bv == 0:
+                    return 0, bl
+            if node.op == "or":
+                full = (1 << node.width) - 1
+                if av is not None and av == full and node.a.width == node.width:
+                    return full, al
+                if bv is not None and bv == full and node.b.width == node.width:
+                    return full, bl
+            if av is not None and bv is not None:
+                return node.eval_op([av, bv]), al.join(bl)
+            return None, al.join(bl)
+
+        if kind == "mux":
+            sv, sl = self._eval(node.sel, hyp, memo)
+            if sv is not None:
+                branch = node.if_true if sv != 0 else node.if_false
+                bv, bl = self._eval(branch, hyp, memo)
+                return bv, sl.join(bl)
+            tv, tl = self._eval(node.if_true, hyp, memo)
+            fv, fl = self._eval(node.if_false, hyp, memo)
+            if tv is not None and fv == tv:
+                # both branches force the same value: the selector conveys
+                # nothing through this mux
+                return tv, tl.join(fl)
+            return None, sl.join(tl).join(fl)
+
+        if kind == "slice":
+            av, al = self._eval(node.a, hyp, memo)
+            value = node.eval_op([av]) if av is not None else None
+            return value, al
+
+        if kind == "concat":
+            vals, labels = [], []
+            for p in node.parts:
+                pv, pl = self._eval(p, hyp, memo)
+                vals.append(pv)
+                labels.append(pl)
+            if all(v is not None for v in vals):
+                value = node.eval_op(vals)
+            else:
+                value = None
+            return value, join_all(labels, lat)
+
+        if kind == "memread":
+            return self._eval_memread(node, hyp, memo)
+
+        if kind == "downgrade":
+            return self._eval_downgrade(node, hyp, memo)
+
+        raise AssertionError(f"unknown node kind {kind}")
+
+    def _mem_label(self, mem: Mem) -> Optional[Label]:
+        if isinstance(mem.label, Label):
+            return mem.label
+        if mem.label is None and mem.cell_labels is None:
+            return self.inferred_mem.get(mem, bottom(self.lattice))
+        return None
+
+    def _eval_memread(self, node, hyp: Hypothesis, memo: Dict):
+        mem = node.mem
+        av, al = self._eval(node.addr, hyp, memo)
+
+        # value: hypothesised cell (tag memories), or a folded ROM lookup
+        value = None
+        own_token = _cell_token(mem, node.addr)
+        cell_value = hyp.get(own_token)
+        if cell_value is not None:
+            value = cell_value
+        elif mem.is_rom() and av is not None and av < mem.depth:
+            value = mem.init[av]
+        elif mem.meta.get("tag_role"):
+            self._wanted.add(own_token)
+
+        # label of the cell contents
+        if isinstance(mem.label, CellTagLabel):
+            # data memory tagged by a sibling tag memory: the label is the
+            # decoded tag of the correlated cell
+            tag_token = _cell_token(mem.label.tag_mem, node.addr)
+            tag_value = hyp.get(tag_token)
+            if tag_value is not None:
+                cell_label = mem.label.resolve(tag_value)
+            else:
+                self._wanted.add(tag_token)
+                cell_label = mem.label.upper_bound()
+        elif isinstance(mem.label, DependentLabel):
+            # whole-memory label selected by a tag register (per-slot RAMs)
+            sel_value = self._resolve_value(mem.label.selector, hyp, memo)
+            if sel_value is not None:
+                cell_label = mem.label.resolve(sel_value)
+            else:
+                cell_label = mem.label.upper_bound()
+        elif mem.cell_labels is not None:
+            if av is not None:
+                cell_label = mem.cell_labels[av] if av < mem.depth else bottom(self.lattice)
+            else:
+                cell_label = join_all(mem.cell_labels, self.lattice)
+        else:
+            static = self._mem_label(mem)
+            assert static is not None
+            cell_label = static
+
+        return value, al.join(cell_label)
+
+    def _eval_downgrade(self, node, hyp: Hypothesis, memo: Dict):
+        av, al = self._eval(node.a, hyp, memo)
+        target = self._resolve_labelish(node.target, hyp, memo)
+        authority = self._resolve_labelish(node.authority, hyp, memo)
+        msg = check_downgrade(node.kind_, al, target, authority)
+        if self._recording:
+            self.report.downgrades_verified += 1
+        if msg is not None and self._recording:
+            # collected locally: a conservative failure triggers hypothesis
+            # refinement rather than an immediate report
+            self._local_errors.append(
+                LabelError(
+                    sink=f"{node.kind_} in {self._context}",
+                    inferred=repr(al),
+                    declared=repr(target),
+                    kind="downgrade",
+                    hypothesis=self._hyp_names(hyp),
+                    detail=msg,
+                )
+            )
+            # continue with the *requested* label so one failure does not
+            # cascade into unrelated flow errors
+        return av, downgraded_label(node.kind_, al, target)
+
+    def _resolve_labelish(self, label, hyp: Hypothesis, memo: Dict) -> Label:
+        if isinstance(label, DependentLabel):
+            value = self._resolve_value(label.selector, hyp, memo)
+            if value is None:
+                return label.upper_bound()
+            return label.resolve(value)
+        if isinstance(label, Label):
+            return label
+        raise TypeError(f"expected Label or DependentLabel, got {type(label)}")
+
+    # ------------------------------------------------------------------ hypotheses
+    def _collect_hyp_vars(self, roots: List[Node],
+                          extra_signals: Iterable = ()) -> List[_HypVar]:
+        """Find the enumerable unknowns in the cone of ``roots``.
+
+        ``extra_signals`` entries are ``(signal, domain-or-None)`` pairs.
+        """
+        variables: Dict[HypToken, _HypVar] = {}
+        pending: List[Node] = list(roots)
+        visited = set()
+
+        def add_signal_var(sig: Signal, domain=None):
+            token = _sig_token(sig)
+            if token in variables:
+                return
+            if domain is None:
+                domain = sig.meta.get("enum_domain")
+            if domain is None:
+                if sig.width > MAX_ENUM_WIDTH:
+                    self.report.add_warning(
+                        f"selector {sig.path} too wide to enumerate "
+                        f"({sig.width} bits); using conservative bound"
+                    )
+                    return
+                domain = range(1 << sig.width)
+            variables[token] = _HypVar(token, sig.path, domain)
+            # resolving this signal may require folding its driver
+            if sig in self._comb_set:
+                pending.append(self.netlist.drivers[sig])
+
+        for sig, domain in extra_signals:
+            add_signal_var(sig, domain)
+
+        while pending:
+            root = pending.pop()
+            for node in walk([root]):
+                if id(node) in visited:
+                    continue
+                visited.add(id(node))
+                if node.kind == "signal":
+                    if isinstance(node.label, DependentLabel):
+                        sel = node.label.selector
+                        if sel.kind == "signal":
+                            add_signal_var(sel, node.label.domain)
+                        if sel in self._comb_set:
+                            pending.append(self.netlist.drivers[sel])
+                    if node.meta.get("enumerate"):
+                        add_signal_var(node)
+                    if node in self._comb_set:
+                        pending.append(self.netlist.drivers[node])
+                elif node.kind == "memread":
+                    mem = node.mem
+                    if isinstance(mem.label, DependentLabel):
+                        sel = mem.label.selector
+                        if sel.kind == "signal":
+                            add_signal_var(sel, mem.label.domain)
+                            if sel in self._comb_set:
+                                pending.append(self.netlist.drivers[sel])
+                    if isinstance(mem.label, CellTagLabel):
+                        # the correlated tag cell becomes an unknown
+                        token = _cell_token(mem.label.tag_mem, node.addr)
+                        if token not in variables:
+                            variables[token] = _HypVar(
+                                token,
+                                f"{mem.label.tag_mem.path}[{_describe_addr(node.addr)}]",
+                                mem.label.domain,
+                            )
+                    if mem.meta.get("tag_role") and isinstance(
+                        mem.meta.get("tag_domain"), (list, range)
+                    ):
+                        token = _cell_token(mem, node.addr)
+                        if token not in variables:
+                            variables[token] = _HypVar(
+                                token,
+                                f"{mem.path}[{_describe_addr(node.addr)}]",
+                                mem.meta["tag_domain"],
+                            )
+                elif node.kind == "downgrade":
+                    for lbl in (node.target, node.authority):
+                        if isinstance(lbl, DependentLabel) and lbl.selector.kind == "signal":
+                            add_signal_var(lbl.selector, lbl.domain)
+                            if lbl.selector in self._comb_set:
+                                pending.append(self.netlist.drivers[lbl.selector])
+        return list(variables.values())
+
+    def _refine(self, sink: str, variables: List[_HypVar], evaluate) -> None:
+        """Demand-driven case analysis.
+
+        ``evaluate(hyp)`` returns the list of label errors found under the
+        (possibly partial) hypothesis, with unknowns treated conservatively;
+        it also fills ``self._wanted`` with the hypothesis tokens whose
+        values were consulted but unassigned.  A clean conservative pass
+        needs no case split; a failure is refined only along *consulted*
+        unknowns, so irrelevant variables never multiply the search.
+        """
+        by_token = {v.token: v for v in variables}
+        potential = 1
+        for v in variables:
+            potential *= max(1, len(v.domain))
+        self.report.hypotheses_potential += min(potential, 1 << 62)
+        budget = [self.max_hypotheses]
+
+        def recurse(hyp: Hypothesis) -> None:
+            if budget[0] <= 0:
+                return
+            budget[0] -= 1
+            self.report.hypotheses_examined += 1
+            errors = evaluate(hyp)
+            if not errors:
+                return
+            candidates = [
+                t for t in self._wanted if t in by_token and t not in hyp
+            ]
+            if not candidates:
+                for e in errors:
+                    key = (e.sink, e.kind, e.detail, e.inferred, e.declared)
+                    if key in self._downgrade_errors_seen:
+                        continue
+                    self._downgrade_errors_seen.add(key)
+                    self.report.add_error(e)
+                return
+            # split on the consulted unknown with the smallest domain
+            tok = min(candidates, key=lambda t: len(by_token[t].domain))
+            for value in by_token[tok].domain:
+                hyp2 = dict(hyp)
+                hyp2[tok] = value
+                recurse(hyp2)
+
+        recurse({})
+        if budget[0] <= 0:
+            self.report.add_error(
+                LabelError(
+                    sink=sink,
+                    inferred="?",
+                    declared="?",
+                    kind="structure",
+                    detail=(
+                        f"hypothesis refinement budget exhausted "
+                        f"(> {self.max_hypotheses} cases); restrict "
+                        f"dependent-label domains or split the module"
+                    ),
+                )
+            )
+
+    def _hyp_names(self, hyp: Hypothesis) -> Dict[str, int]:
+        """Human-readable hypothesis for error messages."""
+        named = {}
+        for token, value in hyp.items():
+            named[self._token_name(token)] = value
+        return named
+
+    def _token_name(self, token: HypToken) -> str:
+        if token[0] == "sig":
+            for sig in self.netlist.signals:
+                if id(sig) == token[1]:
+                    return sig.path
+        if token[0] == "cell":
+            for mem in self.netlist.mems:
+                if id(mem) == token[1]:
+                    return f"{mem.path}[·]"
+        return str(token)
+
+    # ------------------------------------------------------------------ obligations
+    def _check_signal(self, sig: Signal, driver: Node, is_reg: bool) -> None:
+        self.report.checked_sinks += 1
+        self._context = sig.path
+        roots = [driver]
+
+        selector_next = None
+        dep = sig.label if isinstance(sig.label, DependentLabel) else None
+        extra: List[Tuple[Signal, Optional[List[int]]]] = []
+        if dep is not None:
+            sel = dep.selector
+            if is_reg and sel.kind == "signal" and sel in self._reg_set:
+                selector_next = self.netlist.reg_next[sel]
+                roots.append(selector_next)
+                extra.append((sel, dep.domain))
+            elif sel.kind == "signal" and (
+                sel in self._reg_set or sel in self._input_set
+            ):
+                extra.append((sel, dep.domain))
+            elif sel.kind == "signal" and sel in self._comb_set:
+                roots.append(self.netlist.drivers[sel])
+
+        variables = self._collect_hyp_vars(roots, extra)
+
+        def evaluate(hyp: Hypothesis) -> List[LabelError]:
+            self._wanted = set()
+            self._local_errors = []
+            self._context = sig.path
+            memo: Dict = {}
+            value, label = self._eval(driver, hyp, memo)
+
+            if dep is None:
+                declared = sig.label
+                assert isinstance(declared, Label)
+            else:
+                if selector_next is not None:
+                    sel_value = self._eval(selector_next, hyp, memo)[0]
+                else:
+                    sel_value = self._resolve_value(dep.selector, hyp, memo)
+                if sel_value is None:
+                    # sink position: unresolved selector must use the meet
+                    # (strictest) so unproven correlations force refinement
+                    declared = dep.lower_bound()
+                else:
+                    declared = dep.resolve(sel_value)
+
+            errors = list(self._local_errors)
+            if not label.flows_to(declared):
+                errors.append(
+                    LabelError(
+                        sink=sig.path,
+                        inferred=repr(label),
+                        declared=repr(declared),
+                        kind="flow",
+                        hypothesis=self._hyp_names(hyp),
+                    )
+                )
+            return errors
+
+        self._refine(sig.path, variables, evaluate)
+
+    def _check_mem_write(self, mem: Mem, write, index: int) -> None:
+        self.report.checked_sinks += 1
+        sink_name = f"{mem.path}[write {index}]"
+        self._context = sink_name
+        roots = [write.addr, write.data]
+        if write.cond is not None:
+            roots.append(write.cond)
+        if write.tag is not None:
+            roots.append(write.tag)
+
+        # whole-memory dependent label: the write lands next cycle, when the
+        # selector (a tag register updated in the same cycle) has its *next*
+        # value — mirror the register-sink rule
+        dep_label = mem.label if isinstance(mem.label, DependentLabel) else None
+        dep_selector_next = None
+        extra: List[Tuple[Signal, Optional[List[int]]]] = []
+        if dep_label is not None:
+            sel = dep_label.selector
+            if sel.kind == "signal" and sel in self._reg_set:
+                dep_selector_next = self.netlist.reg_next[sel]
+                roots.append(dep_selector_next)
+                extra.append((sel, dep_label.domain))
+            elif sel.kind == "signal" and sel in self._input_set:
+                extra.append((sel, dep_label.domain))
+            elif sel.kind == "signal" and sel in self._comb_set:
+                roots.append(self.netlist.drivers[sel])
+        variables = self._collect_hyp_vars(roots, extra)
+
+        # writing into a tagged memory: the destination cell's tag is an
+        # additional unknown, correlated through the write address
+        cell_label_spec = mem.label if isinstance(mem.label, CellTagLabel) else None
+        if cell_label_spec is not None:
+            token = _cell_token(cell_label_spec.tag_mem, write.addr)
+            if token not in [v.token for v in variables]:
+                variables.append(
+                    _HypVar(
+                        token,
+                        f"{cell_label_spec.tag_mem.path}[waddr]",
+                        cell_label_spec.domain,
+                    )
+                )
+
+        def evaluate(hyp: Hypothesis) -> List[LabelError]:
+            self._wanted = set()
+            self._local_errors = []
+            self._context = sink_name
+            memo: Dict = {}
+            if write.cond is not None:
+                cv, cl = self._eval(write.cond, hyp, memo)
+                if cv == 0:
+                    return []  # write provably suppressed in this case
+            else:
+                cl = bottom(self.lattice)
+            av, al = self._eval(write.addr, hyp, memo)
+            dv, dl = self._eval(write.data, hyp, memo)
+            flow = cl.join(al).join(dl)
+
+            if cell_label_spec is not None:
+                if write.tag is not None:
+                    # the write explicitly names the tag the cell will carry
+                    tag_value = self._eval(write.tag, hyp, memo)[0]
+                    if tag_value is not None:
+                        declared = cell_label_spec.resolve(tag_value)
+                    else:
+                        declared = cell_label_spec.lower_bound()
+                else:
+                    token = _cell_token(cell_label_spec.tag_mem, write.addr)
+                    tag_value = hyp.get(token)
+                    if tag_value is not None:
+                        declared = cell_label_spec.resolve(tag_value)
+                    else:
+                        self._wanted.add(token)
+                        declared = cell_label_spec.lower_bound()
+            elif dep_label is not None:
+                if dep_selector_next is not None:
+                    sel_value = self._eval(dep_selector_next, hyp, memo)[0]
+                else:
+                    sel_value = self._resolve_value(dep_label.selector, hyp, memo)
+                if sel_value is not None:
+                    declared = dep_label.resolve(sel_value)
+                else:
+                    declared = dep_label.lower_bound()
+            elif mem.cell_labels is not None:
+                if av is not None and av < mem.depth:
+                    declared = mem.cell_labels[av]
+                else:
+                    declared = meet_all(mem.cell_labels, self.lattice)
+            else:
+                declared = mem.label
+                assert isinstance(declared, Label)
+
+            errors = list(self._local_errors)
+            if not flow.flows_to(declared):
+                errors.append(
+                    LabelError(
+                        sink=sink_name,
+                        inferred=repr(flow),
+                        declared=repr(declared),
+                        kind="flow",
+                        hypothesis=self._hyp_names(hyp),
+                    )
+                )
+            return errors
+
+        self._refine(sink_name, variables, evaluate)
+
+
+def _describe_addr(addr: Node) -> str:
+    if addr.kind == "signal":
+        return addr.path
+    if addr.kind == "const":
+        return str(addr.value)
+    return "addr"
+
+
+def check_design(netlist_or_module, lattice: SecurityLattice,
+                 **kwargs) -> CheckReport:
+    """Convenience wrapper: elaborate if needed, check, return the report."""
+    from ..hdl.elaborate import elaborate
+    from ..hdl.module import Module
+
+    nl = elaborate(netlist_or_module) if isinstance(netlist_or_module, Module) \
+        else netlist_or_module
+    return IfcChecker(nl, lattice, **kwargs).check()
+
+
+def check_module_shallow(module, lattice: SecurityLattice,
+                         **kwargs) -> CheckReport:
+    """Modular check: verify one module against its (and its children's)
+    port labels, treating child instances as opaque."""
+    from ..hdl.elaborate import elaborate_shallow
+
+    nl = elaborate_shallow(module)
+    return IfcChecker(nl, lattice, **kwargs).check()

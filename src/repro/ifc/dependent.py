@@ -1,0 +1,146 @@
+"""Dependent (dynamic) labels — ``Label(public, DL(way))`` in Fig. 3.
+
+A :class:`DependentLabel` defers to a runtime value: the *selector*
+(usually a tag register or an input such as ``way``) picks the concrete
+:class:`~repro.ifc.label.Label` through a value→label mapping.  The static
+checker verifies flows for every selector value (case enumeration); the
+simulator's dynamic tracker resolves selectors against live values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from ..hdl.nodes import Node
+from .label import Label, join_all, meet_all
+from .lattice import SecurityLattice
+
+
+class DependentLabel:
+    """A label that depends on the runtime value of a selector expression.
+
+    Parameters
+    ----------
+    selector:
+        The HDL signal (or expression) whose value picks the label.
+    mapping:
+        Either a dict ``{value: Label}`` or a callable ``value -> Label``.
+    domain:
+        The selector values to enumerate during static checking.  Required
+        when ``mapping`` is a callable; defaults to the dict's keys.
+    lattice:
+        The security lattice all produced labels live in.
+    """
+
+    def __init__(
+        self,
+        selector: Node,
+        mapping: Union[Dict[int, Label], Callable[[int], Label]],
+        lattice: SecurityLattice,
+        domain: Optional[Iterable[int]] = None,
+    ):
+        self.selector = selector
+        self.lattice = lattice
+        if callable(mapping) and not isinstance(mapping, dict):
+            if domain is None:
+                raise ValueError("callable mapping requires an explicit domain")
+            self._fn = mapping
+            self.domain: List[int] = list(domain)
+        else:
+            assert isinstance(mapping, dict)
+            self._fn = None
+            self._map = dict(mapping)
+            self.domain = list(domain) if domain is not None else sorted(self._map)
+        if not self.domain:
+            raise ValueError("dependent label needs a non-empty domain")
+
+    def resolve(self, value: int) -> Label:
+        """The concrete label when the selector has ``value``."""
+        if self._fn is not None:
+            return self._fn(value)
+        if value not in self._map:
+            raise KeyError(
+                f"selector value {value} outside dependent-label mapping"
+            )
+        return self._map[value]
+
+    def upper_bound(self) -> Label:
+        """Join over the domain — sound approximation at *source* positions."""
+        return join_all((self.resolve(v) for v in self.domain), self.lattice)
+
+    def lower_bound(self) -> Label:
+        """Meet over the domain — sound approximation at *sink* positions."""
+        return meet_all((self.resolve(v) for v in self.domain), self.lattice)
+
+    def __repr__(self) -> str:
+        sel = getattr(self.selector, "path", None) or repr(self.selector)
+        return f"DL({sel})"
+
+
+class CellTagLabel:
+    """Per-cell dependent label for a *tagged* memory (Fig. 5 of the paper).
+
+    The data memory's cell at address ``a`` carries the label decoded from
+    the sibling tag memory's cell at the same address.  The static checker
+    correlates accesses through a shared address expression: the runtime
+    tag check and the guarded data access must address both memories with
+    the same signal (which is how the hardware is built anyway).
+
+    ``domain`` restricts the tag values enumerated during static checking
+    to those the design can legally install (e.g. the tags the arbiter
+    issues); it defaults to the full tag space.
+    """
+
+    def __init__(self, tag_mem, lattice: SecurityLattice,
+                 domain: Optional[Iterable[int]] = None):
+        self.tag_mem = tag_mem
+        self.lattice = lattice
+        if domain is None:
+            self.domain: List[int] = list(range(1 << (2 * len(lattice.principals))))
+        else:
+            self.domain = list(domain)
+        if not self.domain:
+            raise ValueError("tagged-memory label needs a non-empty tag domain")
+
+    def resolve(self, tag_value: int) -> Label:
+        return Label.decode(self.lattice, tag_value)
+
+    def upper_bound(self) -> Label:
+        return join_all((self.resolve(v) for v in self.domain), self.lattice)
+
+    def lower_bound(self) -> Label:
+        return meet_all((self.resolve(v) for v in self.domain), self.lattice)
+
+    def __repr__(self) -> str:
+        return f"CellTag({self.tag_mem.name})"
+
+
+LabelLike = Union[Label, DependentLabel]
+
+
+def tag_label(tag_signal: Node, lattice: SecurityLattice) -> DependentLabel:
+    """Dependent label decoding a hardware security tag (§4's 8-bit tags).
+
+    The tag encodes ``(conf bits, integ bits)``; every tag value maps to
+    the decoded label, so the domain is the full tag space.
+    """
+    width = 2 * len(lattice.principals)
+    if tag_signal.width < width:
+        raise ValueError(
+            f"tag signal is {tag_signal.width} bits; lattice needs {width}"
+        )
+    return DependentLabel(
+        tag_signal,
+        lambda v: Label.decode(lattice, v),
+        lattice,
+        domain=range(1 << width),
+    )
+
+
+def resolve_label(label: LabelLike, value: Optional[int] = None) -> Label:
+    """Resolve a possibly-dependent label given the selector value."""
+    if isinstance(label, DependentLabel):
+        if value is None:
+            return label.upper_bound()
+        return label.resolve(value)
+    return label

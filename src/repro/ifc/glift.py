@@ -1,0 +1,327 @@
+"""Gate-level information flow tracking (GLIFT) — the paper's §5
+alternative to security-typed HDLs.
+
+Where :class:`~repro.ifc.tracker.LabelTracker` propagates *labels* at
+word granularity, GLIFT shadows every signal with a per-bit **taint
+mask** and propagates it with value-aware gate rules (Tiwari et al.,
+ASPLOS'09): an output bit is tainted exactly when some tainted input bit
+*can affect it* given the untainted inputs' values.  The classic
+precision example: ``a AND 0`` is untainted even if ``a`` is tainted.
+
+This implementation works on the same netlist IR at word level, applying
+the gate rules bitwise over whole vectors:
+
+====================  =====================================================
+node                  taint rule (t = taint mask, v = value)
+====================  =====================================================
+``a & b``             ``(ta & tb) | (ta & vb) | (tb & va)``
+``a | b``             ``(ta & tb) | (ta & ~vb) | (tb & ~va)``
+``a ^ b``, ``~a``     ``ta | tb``
+``mux(s, a, b)``      untainted s: taken branch; tainted s:
+                      ``ta | tb | (va ^ vb)``
+``a == b``            0 if untainted bits already differ, else any-taint
+``a + b``             taint ripples upward from the lowest tainted bit
+shifts                shifted mask (constant amount); saturate if the
+                      amount is tainted
+memories              per-cell masks; tainted addresses taint everything
+====================  =====================================================
+
+``Downgrade`` markers clear taint when ``honor_downgrades`` is set —
+that is exactly how a GLIFT deployment realises the paper's
+declassification points; with it off, the tracker demonstrates why raw
+noninterference is unusable for crypto (the ciphertext is 100 % tainted).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..hdl.memory import Mem
+from ..hdl.netlist import Netlist
+from ..hdl.nodes import Node
+from ..hdl.signal import Signal
+from ..hdl.types import mask_for
+
+
+def _ripple_up(mask: int, width: int) -> int:
+    """All bits at or above the lowest set bit (carry propagation)."""
+    if mask == 0:
+        return 0
+    lowest = mask & -mask
+    return mask_for(width) & ~(lowest - 1)
+
+
+class TaintViolation:
+    """Tainted bits reached a clean-declared sink."""
+
+    def __init__(self, cycle: int, sink: str, taint_mask: int):
+        self.cycle = cycle
+        self.sink = sink
+        self.taint_mask = taint_mask
+
+    def __repr__(self) -> str:
+        return (f"cycle {self.cycle}: taint {self.taint_mask:#x} "
+                f"reached {self.sink}")
+
+
+class GliftTracker:
+    """Bit-precise taint tracking alongside a simulation.
+
+    Parameters
+    ----------
+    sim:
+        A running :class:`~repro.hdl.sim.Simulator`.
+    sources:
+        ``{signal-or-path: taint mask}`` — which input/register bits are
+        tainted at every cycle (registers: initial taint only).
+    sinks:
+        signals that must stay taint-free; reaching taint is recorded as
+        a :class:`TaintViolation`.
+    honor_downgrades:
+        clear taint at ``Downgrade`` markers (the declassification
+        story); default False (pure noninterference).
+    """
+
+    def __init__(self, sim, sources: Dict[Union[Signal, str], int],
+                 sinks: Optional[List[Union[Signal, str]]] = None,
+                 honor_downgrades: bool = False):
+        self.sim = sim
+        self.netlist: Netlist = sim.netlist
+        self.honor_downgrades = honor_downgrades
+        self.violations: List[TaintViolation] = []
+
+        self.source_taint: Dict[Signal, int] = {}
+        for key, mask in sources.items():
+            sig = sim._resolve(key)
+            self.source_taint[sig] = mask & mask_for(sig.width)
+        self.sinks: List[Signal] = [sim._resolve(s) for s in (sinks or [])]
+
+        self.reg_taint: Dict[Signal, int] = {}
+        for reg in self.netlist.regs:
+            self.reg_taint[reg] = self.source_taint.get(reg, 0)
+        self.mem_taint: Dict[Mem, List[int]] = {
+            m: [0] * m.depth for m in self.netlist.mems
+        }
+        self._last_comb: Dict[Signal, int] = {}
+        sim.add_watcher(self._on_cycle)
+
+    # -- queries ------------------------------------------------------------
+    def taint_of(self, sig: Union[Signal, str]) -> int:
+        sig = self.sim._resolve(sig)
+        if sig in self.reg_taint:
+            return self.reg_taint[sig]
+        if sig in self._last_comb:
+            return self._last_comb[sig]
+        if sig in self.source_taint:
+            return self.source_taint[sig]
+        raise KeyError(f"no taint tracked yet for {sig.path}")
+
+    def mem_taint_of(self, mem: Union[Mem, str], addr: int) -> int:
+        mem = self.sim._resolve_mem(mem)
+        return self.mem_taint[mem][addr]
+
+    def ok(self) -> bool:
+        return not self.violations
+
+    def refresh(self) -> None:
+        """Recompute combinational taints for the *current* state.
+
+        The watcher fires just before each clock commit, so after
+        ``sim.step()`` the cached combinational taints describe the
+        previous cycle; call this before reading taints that must align
+        with fresh ``peek`` values.
+        """
+        nl = self.netlist
+        env: Dict = {}
+        for sig in nl.inputs:
+            env[id(sig)] = (self.sim.peek(sig), self.source_taint.get(sig, 0))
+        for reg in nl.regs:
+            env[id(reg)] = (self.sim.peek(reg), self.reg_taint[reg])
+        self._last_comb = {}
+        for sig in nl.comb:
+            value, taint = self._eval(nl.drivers[sig], env)
+            env[id(sig)] = (value, taint)
+            self._last_comb[sig] = taint
+
+    # -- propagation ---------------------------------------------------------
+    def _eval(self, node: Node, env: Dict) -> Tuple[int, int]:
+        """(value, taint mask) of a node under the current cycle."""
+        nid = id(node)
+        hit = env.get(nid)
+        if hit is not None:
+            return hit
+        result = self._eval_uncached(node, env)
+        env[nid] = result
+        return result
+
+    def _eval_uncached(self, node: Node, env: Dict) -> Tuple[int, int]:
+        kind = node.kind
+        if kind == "const":
+            return node.value, 0
+        if kind == "signal":
+            raise AssertionError(f"unseeded signal {node.path}")
+
+        if kind == "unary":
+            av, at = self._eval(node.a, env)
+            value = node.eval_op([av])
+            if node.op == "not":
+                return value, at
+            # reductions: tainted iff a tainted bit can flip the result
+            if at == 0:
+                return value, 0
+            if node.op == "redor":
+                # an untainted 1 fixes the output at 1
+                if av & ~at:
+                    return value, 0
+                return value, 1
+            if node.op == "redand":
+                # an untainted 0 fixes the output at 0
+                untainted_zero = (~av) & (~at) & mask_for(node.a.width)
+                if untainted_zero:
+                    return value, 0
+                return value, 1
+            return value, 1  # redxor: any taint flips parity
+
+        if kind == "binary":
+            av, at = self._eval(node.a, env)
+            bv, bt = self._eval(node.b, env)
+            value = node.eval_op([av, bv])
+            op = node.op
+            w = node.width
+            if op == "and":
+                taint = (at & bt) | (at & bv) | (bt & av)
+                return value, taint & mask_for(w)
+            if op == "or":
+                taint = (at & bt) | (at & ~bv) | (bt & ~av)
+                return value, taint & mask_for(w)
+            if op == "xor":
+                return value, (at | bt) & mask_for(w)
+            if op in ("add", "sub", "mul"):
+                return value, _ripple_up(at | bt, w)
+            if op in ("eq", "ne"):
+                both_clean = ~(at | bt)
+                if (av ^ bv) & both_clean & mask_for(node.a.width):
+                    return value, 0  # untainted disagreement decides it
+                return value, 1 if (at | bt) else 0
+            if op in ("lt", "le", "gt", "ge"):
+                return value, 1 if (at | bt) else 0
+            if op == "shl":
+                if bt:
+                    return value, mask_for(w)
+                return value, (at << bv) & mask_for(w)
+            if op == "shr":
+                if bt:
+                    return value, mask_for(w)
+                return value, at >> bv
+            raise AssertionError(op)
+
+        if kind == "mux":
+            sv, st = self._eval(node.sel, env)
+            tv, tt = self._eval(node.if_true, env)
+            fv, ft = self._eval(node.if_false, env)
+            value = tv if sv else fv
+            if st == 0:
+                return value, tt if sv else ft
+            return value, (tt | ft | (tv ^ fv)) & mask_for(node.width)
+
+        if kind == "slice":
+            av, at = self._eval(node.a, env)
+            value = node.eval_op([av])
+            return value, (at >> node.lo) & mask_for(node.width)
+
+        if kind == "concat":
+            value, taint, shift = 0, 0, 0
+            for part in reversed(node.parts):
+                pv, pt = self._eval(part, env)
+                value |= pv << shift
+                taint |= pt << shift
+                shift += part.width
+            return value, taint
+
+        if kind == "memread":
+            av, at = self._eval(node.addr, env)
+            mem = node.mem
+            if at:
+                # a tainted address can reach any cell: the result carries
+                # every cell's taint, plus full taint wherever the cells'
+                # contents differ (the address choice is visible there)
+                value = (self.sim.peek_mem(mem, av)
+                         if av < mem.depth else 0)
+                taint = 0
+                for t in self.mem_taint[mem]:
+                    taint |= t
+                if self._cells_differ(mem):
+                    taint = mask_for(node.width)
+                return value, taint
+            if av < mem.depth:
+                return self.sim.peek_mem(mem, av), self.mem_taint[mem][av]
+            return 0, 0
+
+        if kind == "downgrade":
+            av, at = self._eval(node.a, env)
+            if self.honor_downgrades:
+                return av, 0
+            return av, at
+
+        raise AssertionError(kind)
+
+    def _cells_differ(self, mem: Mem) -> bool:
+        first = self.sim.peek_mem(mem, 0)
+        return any(self.sim.peek_mem(mem, i) != first
+                   for i in range(1, mem.depth))
+
+    def _on_cycle(self, sim) -> None:
+        nl = self.netlist
+        env: Dict = {}
+        for sig in nl.inputs:
+            env[id(sig)] = (sim.peek(sig), self.source_taint.get(sig, 0))
+        for reg in nl.regs:
+            env[id(reg)] = (sim.peek(reg), self.reg_taint[reg])
+
+        self._last_comb = {}
+        for sig in nl.comb:
+            value, taint = self._eval(nl.drivers[sig], env)
+            env[id(sig)] = (value, taint)
+            self._last_comb[sig] = taint
+
+        for sink in self.sinks:
+            taint = (self._last_comb.get(sink)
+                     if sink in self._last_comb else self.reg_taint.get(sink))
+            if taint:
+                self.violations.append(
+                    TaintViolation(sim.cycle, sink.path, taint)
+                )
+
+        next_taint = {}
+        for reg, nxt in nl.reg_next.items():
+            next_taint[reg] = self._eval(nxt, env)[1]
+
+        pending = []
+        for mem, writes in nl.mem_writes.items():
+            for w in writes:
+                if w.cond is not None:
+                    cv, ct = self._eval(w.cond, env)
+                    if cv == 0 and ct == 0:
+                        continue
+                else:
+                    cv, ct = 1, 0
+                av, at_ = self._eval(w.addr, env)
+                dv, dt = self._eval(w.data, env)
+                if at_:
+                    # tainted address: every cell may have been written
+                    for i in range(mem.depth):
+                        pending.append((mem, i,
+                                        self.mem_taint[mem][i] | dt
+                                        | mask_for(mem.width)))
+                elif cv or ct:
+                    extra = mask_for(mem.width) if ct else 0
+                    if cv:
+                        pending.append((mem, av, dt | extra))
+                    else:
+                        pending.append(
+                            (mem, av, self.mem_taint[mem][av] | extra)
+                        )
+        for mem, addr, taint in pending:
+            if addr < mem.depth:
+                self.mem_taint[mem][addr] = taint
+        self.reg_taint = next_taint

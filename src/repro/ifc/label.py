@@ -1,0 +1,150 @@
+"""Security labels ``ℓ = (c, i)`` and their algebra.
+
+A :class:`Label` pairs a confidentiality element with an integrity
+element from one :class:`~repro.ifc.lattice.SecurityLattice`.  The flow
+relation is pointwise: ``ℓ flows_to ℓ′`` iff ``C(ℓ) ⊑C C(ℓ′)`` and
+``I(ℓ) ⊑I I(ℓ′)`` — a signal may only influence signals at least as
+confidential and at most as trusted.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from .lattice import SecurityLattice
+
+
+class Label:
+    """An immutable (confidentiality, integrity) pair."""
+
+    __slots__ = ("lattice", "conf", "integ")
+
+    def __init__(self, lattice: SecurityLattice, conf, integ):
+        self.lattice = lattice
+        self.conf: FrozenSet[str] = lattice.conf(conf)
+        self.integ: FrozenSet[str] = lattice.integ(integ)
+
+    # -- flow relation -------------------------------------------------------
+    def _require_same_lattice(self, other: "Label") -> None:
+        if self.lattice != other.lattice:
+            raise ValueError("labels from different lattices are incomparable")
+
+    def conf_flows_to(self, other: "Label") -> bool:
+        """``self ⊑C other``."""
+        self._require_same_lattice(other)
+        return self.lattice.conf_leq(self.conf, other.conf)
+
+    def integ_flows_to(self, other: "Label") -> bool:
+        """``self ⊑I other`` (self at least as trusted as other)."""
+        self._require_same_lattice(other)
+        return self.lattice.integ_leq(self.integ, other.integ)
+
+    def flows_to(self, other: "Label") -> bool:
+        return self.conf_flows_to(other) and self.integ_flows_to(other)
+
+    # -- algebra ---------------------------------------------------------------
+    def join(self, other: "Label") -> "Label":
+        """Least upper bound in the flow order (⊔C on conf, ⊔I on integ)."""
+        self._require_same_lattice(other)
+        lat = self.lattice
+        return Label(
+            lat,
+            lat.conf_join(self.conf, other.conf),
+            lat.integ_join(self.integ, other.integ),
+        )
+
+    def meet(self, other: "Label") -> "Label":
+        self._require_same_lattice(other)
+        lat = self.lattice
+        return Label(
+            lat,
+            lat.conf_meet(self.conf, other.conf),
+            lat.integ_meet(self.integ, other.integ),
+        )
+
+    # -- reflection -----------------------------------------------------------
+    def reflect_integ_to_conf(self):
+        """``r(I(ℓ))`` as a confidentiality element."""
+        return self.lattice.reflect_ic(self.integ)
+
+    def reflect_conf_to_integ(self):
+        """``r(C(ℓ))`` as an integrity element."""
+        return self.lattice.reflect_ci(self.conf)
+
+    # -- substitution helpers ---------------------------------------------------
+    def with_conf(self, conf) -> "Label":
+        return Label(self.lattice, conf, self.integ)
+
+    def with_integ(self, integ) -> "Label":
+        return Label(self.lattice, self.conf, integ)
+
+    # -- tag encoding -------------------------------------------------------------
+    def encode(self) -> int:
+        """Encode as a hardware tag: conf bits above integ bits."""
+        n = len(self.lattice.principals)
+        return (self.lattice.encode_conf(self.conf) << n) | self.lattice.encode_integ(
+            self.integ
+        )
+
+    @classmethod
+    def decode(cls, lattice: SecurityLattice, tag: int) -> "Label":
+        n = len(lattice.principals)
+        mask = (1 << n) - 1
+        return cls(
+            lattice,
+            lattice.decode_conf((tag >> n) & mask),
+            lattice.decode_integ(tag & mask),
+        )
+
+    # -- identity ---------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Label)
+            and self.lattice == other.lattice
+            and self.conf == other.conf
+            and self.integ == other.integ
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.lattice, self.conf, self.integ))
+
+    def __repr__(self) -> str:
+        lat = self.lattice
+        return f"({lat.conf_names(self.conf)}, {lat.integ_names(self.integ)})"
+
+
+def bottom(lattice: SecurityLattice) -> Label:
+    """(public, trusted) — the label of constants and unclassified wiring."""
+    return Label(lattice, lattice.conf_bottom, lattice.integ_bottom)
+
+
+def top(lattice: SecurityLattice) -> Label:
+    """(secret, untrusted) — the most restrictive label."""
+    return Label(lattice, lattice.conf_top, lattice.integ_top)
+
+
+def public_trusted(lattice: SecurityLattice) -> Label:
+    return bottom(lattice)
+
+
+def secret_trusted(lattice: SecurityLattice) -> Label:
+    """(⊤, ⊤) in the paper's notation — e.g. the master key."""
+    return Label(lattice, lattice.conf_top, lattice.integ_bottom)
+
+
+def public_untrusted(lattice: SecurityLattice) -> Label:
+    return Label(lattice, lattice.conf_bottom, lattice.integ_top)
+
+
+def join_all(labels: Iterable[Label], lattice: SecurityLattice) -> Label:
+    result = bottom(lattice)
+    for lbl in labels:
+        result = result.join(lbl)
+    return result
+
+
+def meet_all(labels: Iterable[Label], lattice: SecurityLattice) -> Label:
+    result = top(lattice)
+    for lbl in labels:
+        result = result.meet(lbl)
+    return result

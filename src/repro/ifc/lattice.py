@@ -1,0 +1,213 @@
+"""Security lattices for 2-tuple (confidentiality, integrity) labels.
+
+The paper (§2.3–§2.4) uses labels ``ℓ = (c, i)`` drawn from a product of a
+confidentiality lattice and an integrity lattice, with:
+
+* ``ℓ ⊑C ℓ′`` — ℓ′ has higher (more restrictive) confidentiality;
+* ``ℓ ⊑I ℓ′`` — ℓ has *higher integrity* (information may flow from more
+  trusted to less trusted);
+* a reflection operator ``r(·)`` between the two dimensions with
+  ``r(P) = U`` and ``r(U) = P`` (and dually ``r(S) = T``, ``r(T) = S``).
+
+We realise both dimensions over a set of *principals* (the "4 bits for
+confidentiality and 4 bits for integrity" tag encoding of §4 corresponds
+to four principal slots):
+
+* a confidentiality element is the set of principals whose secrets the
+  data may contain — ``∅`` is fully public (⊥), the full set is fully
+  secret (⊤);
+* an integrity element is the set of principals who *vouch* for the data
+  — the full set is fully trusted (the paper's integrity ⊤), ``∅`` is
+  completely untrusted (the paper's integrity ⊥).  Flow order is reversed
+  set inclusion: trusted data may flow anywhere, untrusted data may not
+  flow into trusted sinks.
+
+With this encoding the paper's reflection operator is literally the
+identity on the underlying principal set: ``r`` maps the confidentiality
+element ``c`` to the integrity element whose vouch set is ``c`` and vice
+versa, giving ``r(P)=r(∅)=U`` and ``r(S)=r(full)=T`` exactly as stated,
+and making the §3.2.2 master-key argument (``ck ⊑C r(iu)``) compute the
+natural thing: a user may declassify ciphertext produced with keys whose
+confidentiality is covered by the user's own vouch set.
+
+The one-principal instance is the paper's two-point lattice
+(P/S × U/T); the four-principal instance is the accelerator's 8-bit tag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple, Union
+
+ConfElem = FrozenSet[str]
+IntegElem = FrozenSet[str]
+
+
+class SecurityLattice:
+    """Product lattice of confidentiality and integrity over principals."""
+
+    def __init__(self, principals: Sequence[str]):
+        if not principals:
+            raise ValueError("need at least one principal")
+        if len(set(principals)) != len(principals):
+            raise ValueError("duplicate principal names")
+        self.principals: Tuple[str, ...] = tuple(principals)
+        self._index: Dict[str, int] = {p: i for i, p in enumerate(self.principals)}
+        self.full: FrozenSet[str] = frozenset(self.principals)
+        self.empty: FrozenSet[str] = frozenset()
+
+    # -- element construction ---------------------------------------------------
+    def conf(self, spec: Union[str, Iterable[str]]) -> ConfElem:
+        """Build a confidentiality element.
+
+        ``"public"`` → ∅, ``"secret"`` → all principals, a principal name
+        or iterable of names → that set.
+        """
+        return self._elem(spec, bottom_name="public", top_name="secret")
+
+    def integ(self, spec: Union[str, Iterable[str]]) -> IntegElem:
+        """Build an integrity element (a vouch set).
+
+        ``"trusted"`` → all principals vouch (the paper's ⊤),
+        ``"untrusted"`` → nobody vouches (the paper's ⊥), a principal
+        name or iterable → exactly those vouch.
+        """
+        return self._elem(spec, bottom_name="untrusted", top_name="trusted",
+                          bottom_is_empty=True, invert=False)
+
+    def _elem(self, spec, bottom_name: str, top_name: str,
+              bottom_is_empty: bool = True, invert: bool = False) -> FrozenSet[str]:
+        if isinstance(spec, frozenset):
+            unknown = spec - self.full
+            if unknown:
+                raise KeyError(f"unknown principals {sorted(unknown)}")
+            return spec
+        if isinstance(spec, str):
+            if spec == bottom_name:
+                return self.empty
+            if spec == top_name:
+                return self.full
+            if spec in self._index:
+                return frozenset((spec,))
+            raise KeyError(
+                f"unknown principal or level {spec!r} "
+                f"(principals: {list(self.principals)})"
+            )
+        members = frozenset(spec)
+        unknown = members - self.full
+        if unknown:
+            raise KeyError(f"unknown principals {sorted(unknown)}")
+        return members
+
+    # -- confidentiality dimension (flow order: subset ⇒ may flow) ---------------
+    def conf_leq(self, a: ConfElem, b: ConfElem) -> bool:
+        """``a ⊑C b`` — data at a may flow to a sink at b."""
+        return a <= b
+
+    def conf_join(self, a: ConfElem, b: ConfElem) -> ConfElem:
+        return a | b
+
+    def conf_meet(self, a: ConfElem, b: ConfElem) -> ConfElem:
+        return a & b
+
+    @property
+    def conf_bottom(self) -> ConfElem:  # public
+        return self.empty
+
+    @property
+    def conf_top(self) -> ConfElem:  # secret
+        return self.full
+
+    # -- integrity dimension (flow order: superset vouch ⇒ may flow) --------------
+    def integ_leq(self, a: IntegElem, b: IntegElem) -> bool:
+        """``a ⊑I b`` — a has at least b's integrity, so a may flow to b."""
+        return a >= b
+
+    def integ_join(self, a: IntegElem, b: IntegElem) -> IntegElem:
+        """Join in the flow order: combination is only as trusted as both."""
+        return a & b
+
+    def integ_meet(self, a: IntegElem, b: IntegElem) -> IntegElem:
+        return a | b
+
+    @property
+    def integ_bottom(self) -> IntegElem:  # fully trusted (paper's integrity ⊤)
+        return self.full
+
+    @property
+    def integ_top(self) -> IntegElem:  # completely untrusted (paper's ⊥)
+        return self.empty
+
+    # -- reflection r(·) between the dimensions (§2.4) ----------------------------
+    def reflect_ci(self, c: ConfElem) -> IntegElem:
+        """Project confidentiality to integrity: ``r(P)=U``, ``r(S)=T``."""
+        return c
+
+    def reflect_ic(self, i: IntegElem) -> ConfElem:
+        """Project integrity to confidentiality: ``r(U)=P``, ``r(T)=S``."""
+        return i
+
+    # -- hardware tag encoding (§4: 4+4-bit tags) ---------------------------------
+    @property
+    def tag_width(self) -> int:
+        """Bits in an encoded (conf, integ) tag: one bit per principal and
+        dimension."""
+        return 2 * len(self.principals)
+
+    def encode_conf(self, c: ConfElem) -> int:
+        bits = 0
+        for p in c:
+            bits |= 1 << self._index[p]
+        return bits
+
+    def decode_conf(self, bits: int) -> ConfElem:
+        return frozenset(
+            p for p, i in self._index.items() if bits & (1 << i)
+        )
+
+    def encode_integ(self, i: IntegElem) -> int:
+        return self.encode_conf(i)
+
+    def decode_integ(self, bits: int) -> IntegElem:
+        return self.decode_conf(bits)
+
+    def conf_names(self, c: ConfElem) -> str:
+        if c == self.empty:
+            return "public"
+        if c == self.full:
+            return "secret"
+        return "{" + ",".join(sorted(c)) + "}"
+
+    def integ_names(self, i: IntegElem) -> str:
+        if i == self.full:
+            return "trusted"
+        if i == self.empty:
+            return "untrusted"
+        return "vouch{" + ",".join(sorted(i)) + "}"
+
+    def all_conf(self) -> List[ConfElem]:
+        """All 2^n confidentiality elements (for exhaustive property tests)."""
+        out = []
+        n = len(self.principals)
+        for bits in range(1 << n):
+            out.append(self.decode_conf(bits))
+        return out
+
+    def all_integ(self) -> List[IntegElem]:
+        return self.all_conf()
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, SecurityLattice)
+            and other.principals == self.principals
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.principals)
+
+    def __repr__(self) -> str:
+        return f"SecurityLattice({list(self.principals)})"
+
+
+def two_point() -> SecurityLattice:
+    """The paper's two-level lattice: P/S confidentiality, U/T integrity."""
+    return SecurityLattice(("*",))

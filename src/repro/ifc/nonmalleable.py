@@ -1,0 +1,92 @@
+"""Nonmalleable downgrading (§2.4, Eq. (1) of the paper).
+
+Downgrading weakens noninterference on purpose: declassification lowers
+confidentiality (ciphertext release), endorsement raises integrity.
+Nonmalleable IFC (Cecchetti et al., CCS'17) bounds the damage:
+
+* **declassification** — ``C(ℓ) →p C(ℓ′)`` requires
+  ``C(ℓ) ⊑C C(ℓ′) ⊔C r(I(p))``: only a sufficiently *trusted* principal
+  may release secrets.  The paper's worked example: ``(S,U)`` cannot be
+  declassified to ``(P,U)`` by an untrusted principal because
+  ``S ⋢C P ⊔C r(U) = P``.
+* **endorsement** — ``I(ℓ) →p I(ℓ′)`` requires
+  ``I(ℓ) ⊑I I(ℓ′) ⊔I r(C(p))``: the dual condition, implemented verbatim
+  from Eq. (1) (the paper gives no worked endorsement example).
+
+These checks appear in two places in the reproduction: statically, at
+every :class:`~repro.hdl.nodes.Downgrade` marker the checker validates
+the rule for every hypothesis; dynamically, the protected accelerator's
+declassifier implements the same subset comparison over live tag bits
+(``(c_data & ~i_user) == 0``) — see §3.2.2's master-key argument.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .label import Label
+
+
+def may_declassify(data: Label, target: Label, authority: Label) -> bool:
+    """Eq. (1), confidentiality row: ``C(ℓ) ⊑C C(ℓ′) ⊔C r(I(p))``."""
+    lat = data.lattice
+    bound = lat.conf_join(target.conf, lat.reflect_ic(authority.integ))
+    return lat.conf_leq(data.conf, bound)
+
+
+def may_endorse(data: Label, target: Label, authority: Label) -> bool:
+    """Eq. (1), integrity row: ``I(ℓ) ⊑I I(ℓ′) ⊔I r(C(p))``."""
+    lat = data.lattice
+    bound = lat.integ_join(target.integ, lat.reflect_ci(authority.conf))
+    return lat.integ_leq(data.integ, bound)
+
+
+def declassified(data: Label, target: Label) -> Label:
+    """Result label of a declassification: target confidentiality, with the
+    data's integrity joined in (declassification never launders taint)."""
+    lat = data.lattice
+    return Label(lat, target.conf, lat.integ_join(data.integ, target.integ))
+
+
+def endorsed(data: Label, target: Label) -> Label:
+    """Result label of an endorsement: target integrity, confidentiality
+    joined (endorsement never hides secrets)."""
+    lat = data.lattice
+    return Label(lat, lat.conf_join(data.conf, target.conf), target.integ)
+
+
+def check_downgrade(
+    kind: str, data: Label, target: Label, authority: Label
+) -> Optional[str]:
+    """Validate one downgrade; returns an error message or None.
+
+    ``kind`` is ``"declassify"`` or ``"endorse"``.
+    """
+    lat = data.lattice
+    if kind == "declassify":
+        if not may_declassify(data, target, authority):
+            r = lat.conf_names(lat.reflect_ic(authority.integ))
+            return (
+                f"nonmalleable declassification rejected: "
+                f"C(data)={lat.conf_names(data.conf)} ⋢C "
+                f"C(target)={lat.conf_names(target.conf)} ⊔C r(I(p))={r}"
+            )
+        return None
+    if kind == "endorse":
+        if not may_endorse(data, target, authority):
+            r = lat.integ_names(lat.reflect_ci(authority.conf))
+            return (
+                f"nonmalleable endorsement rejected: "
+                f"I(data)={lat.integ_names(data.integ)} ⋢I "
+                f"I(target)={lat.integ_names(target.integ)} ⊔I r(C(p))={r}"
+            )
+        return None
+    raise ValueError(f"unknown downgrade kind {kind!r}")
+
+
+def downgraded_label(kind: str, data: Label, target: Label) -> Label:
+    if kind == "declassify":
+        return declassified(data, target)
+    if kind == "endorse":
+        return endorsed(data, target)
+    raise ValueError(f"unknown downgrade kind {kind!r}")

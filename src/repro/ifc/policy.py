@@ -1,0 +1,109 @@
+"""Declarative security policies — Table 1 of the paper as data.
+
+Each :class:`FlowPolicy` captures one row of Table 1: the security asset,
+the requirement, whether it is a confidentiality (C) or integrity (I)
+policy, the source/sink objects with their labels, and the restriction.
+The evaluation harness (:mod:`repro.eval.table1`) binds each policy to a
+concrete experiment on the protected accelerator: a flow that must be
+*allowed* and a flow that must be *rejected*.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class FlowPolicy:
+    """One security requirement expressed as an information-flow policy."""
+
+    def __init__(
+        self,
+        policy_id: str,
+        asset: str,
+        requirement: str,
+        kind: str,
+        source: str,
+        sink: str,
+        restriction: str,
+    ):
+        if kind not in ("C", "I"):
+            raise ValueError("policy kind must be 'C' or 'I'")
+        self.policy_id = policy_id
+        self.asset = asset
+        self.requirement = requirement
+        self.kind = kind
+        self.source = source
+        self.sink = sink
+        self.restriction = restriction
+
+    def __repr__(self) -> str:
+        return f"<Policy {self.policy_id} [{self.kind}] {self.asset}: {self.requirement}>"
+
+
+#: The six rows of Table 1, verbatim from the paper.
+TABLE1_POLICIES: List[FlowPolicy] = [
+    FlowPolicy(
+        "P1", "Keys",
+        "A classified key cannot be read out by a less confidential user.",
+        "C",
+        "Key registers ℓ(key)", "User registers/outputs ℓ(user)",
+        "key ↛ user if ℓ(key) ⋢C ℓ(user)",
+    ),
+    FlowPolicy(
+        "P2", "Keys",
+        "A protected key cannot be modified by a less trusted user.",
+        "I",
+        "User inputs ℓ(user)", "Key registers ℓ(key)",
+        "user ↛ key if ℓ(user) ⋢I ℓ(key)",
+    ),
+    FlowPolicy(
+        "P3", "Keys",
+        "A classified key cannot be used by a less trusted user.",
+        "C",
+        "Key registers ℓ(key)", "Ciphertext output ⊥",
+        "ciphertext ↛ output if ℓ(key) ⋢C r(ℓ(user))",
+    ),
+    FlowPolicy(
+        "P4", "Plaintext",
+        "A low confidential user cannot read plaintext from a higher "
+        "confidential user.",
+        "C",
+        "Plaintext buffer ℓ(pt)", "User registers/outputs ℓ(user)",
+        "plaintext ↛ user if ℓ(pt) ⋢C ℓ(user)",
+    ),
+    FlowPolicy(
+        "P5", "Plaintext",
+        "A less trusted user cannot modify data beyond its authority.",
+        "I",
+        "User inputs ℓ(user)", "Data buffers/register ℓ(data)",
+        "user ↛ data if ℓ(user) ⋢I ℓ(data)",
+    ),
+    FlowPolicy(
+        "P6", "Configs",
+        "Configuration registers can be read by any users, but only be "
+        "modified by the supervisor.",
+        "I",
+        "User inputs ℓ(user)", "Configuration registers ℓ(cr)",
+        "cr → user as ⊥ ⊑C ℓ(user); user ↛ cr as ℓ(user) ⋢I ⊤; "
+        "sup → cr as ℓ(sup) ⊑I ⊤",
+    ),
+]
+
+
+class PolicyCheckResult:
+    """Outcome of exercising one policy on a concrete design."""
+
+    def __init__(self, policy: FlowPolicy, allowed_ok: bool, rejected_ok: bool,
+                 notes: str = ""):
+        self.policy = policy
+        self.allowed_ok = allowed_ok      # the legitimate flow went through
+        self.rejected_ok = rejected_ok    # the forbidden flow was stopped
+        self.notes = notes
+
+    @property
+    def enforced(self) -> bool:
+        return self.allowed_ok and self.rejected_ok
+
+    def __repr__(self) -> str:
+        status = "ENFORCED" if self.enforced else "BROKEN"
+        return f"<{self.policy.policy_id} {status}>"

@@ -1,0 +1,342 @@
+"""Dynamic information-flow tracking alongside simulation (RTLIFT-style).
+
+The static checker (:mod:`repro.ifc.checker`) proves flow policies for
+*all* runs; the :class:`LabelTracker` verifies them on *concrete* runs by
+propagating labels through the simulated design cycle by cycle.  It is
+the reproduction of the "information-flow tracking logic" alternative
+the paper discusses (§2.3, §5 — GLIFT/RTLIFT), and it doubles as a
+validation oracle: on the full 30-stage accelerator, where joint static
+case enumeration would explode, the tracker confirms at runtime that the
+same invariants hold (and that planted vulnerabilities violate them).
+
+Precision matches the checker's partial evaluation: mux nodes take the
+label of the *taken* branch (plus the selector), constant-making operands
+short-circuit, and downgrade markers apply the nonmalleable rules with
+live labels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..hdl.memory import Mem
+from ..hdl.netlist import Netlist
+from ..hdl.nodes import Node
+from ..hdl.signal import Signal
+from .dependent import CellTagLabel, DependentLabel
+from .label import Label, bottom, join_all
+from .lattice import SecurityLattice
+
+
+class TrackViolation:
+    """A runtime flow or downgrade violation observed at a specific cycle."""
+
+    def __init__(self, cycle: int, sink: str, computed: str, declared: str,
+                 kind: str = "flow", detail: str = ""):
+        self.cycle = cycle
+        self.sink = sink
+        self.computed = computed
+        self.declared = declared
+        self.kind = kind
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        msg = (f"cycle {self.cycle}: {self.kind} violation at {self.sink}: "
+               f"{self.computed} ⋢ {self.declared}")
+        if self.detail:
+            msg += f" — {self.detail}"
+        return msg
+
+
+class LabelTracker:
+    """Track labels through a simulation and check declared sinks."""
+
+    def __init__(self, sim, lattice: SecurityLattice,
+                 check_downgrades: bool = True):
+        self.sim = sim
+        self.netlist: Netlist = sim.netlist
+        self.lattice = lattice
+        self.check_downgrades = check_downgrades
+        self.violations: List[TrackViolation] = []
+        self._bottom = bottom(lattice)
+
+        # label state: registers and memory cells
+        self.reg_labels: Dict[Signal, Label] = {
+            r: self._declared_static_or_bottom(r) for r in self.netlist.regs
+        }
+        self.mem_labels: Dict[Mem, List[Label]] = {}
+        for mem in self.netlist.mems:
+            if mem.cell_labels is not None:
+                self.mem_labels[mem] = list(mem.cell_labels)
+            elif isinstance(mem.label, Label):
+                self.mem_labels[mem] = [mem.label] * mem.depth
+            else:
+                self.mem_labels[mem] = [self._bottom] * mem.depth
+
+        # testbench-provided labels for free inputs (may be per-cycle fns)
+        self.source_labels: Dict[Signal, Union[Label, Callable[[], Label]]] = {}
+
+        sim.add_watcher(self._on_cycle)
+
+    # -- configuration -----------------------------------------------------------
+    def _declared_static_or_bottom(self, sig: Signal) -> Label:
+        if isinstance(sig.label, Label):
+            return sig.label
+        return self._bottom
+
+    def set_source_label(self, sig, label: Union[Label, Callable[[], Label]]):
+        """Attach a (possibly per-cycle) label to a free input."""
+        sig = self.sim._resolve(sig)
+        self.source_labels[sig] = label
+
+    def label_of(self, sig) -> Label:
+        """Current tracked label of a register (or last computed comb label)."""
+        sig = self.sim._resolve(sig)
+        if sig in self.reg_labels:
+            return self.reg_labels[sig]
+        if hasattr(self, "_last_env") and sig in self._last_env:
+            return self._last_env[sig][1]
+        raise KeyError(f"no tracked label for {sig.path} yet")
+
+    def mem_label_of(self, mem, addr: int) -> Label:
+        mem = self.sim._resolve_mem(mem)
+        return self.mem_labels[mem][addr]
+
+    def set_mem_label(self, mem, addr: int, label: Label) -> None:
+        mem = self.sim._resolve_mem(mem)
+        self.mem_labels[mem][addr] = label
+
+    # -- per-cycle propagation ------------------------------------------------------
+    def _source_label(self, sig: Signal, env) -> Label:
+        if sig in self.source_labels:
+            src = self.source_labels[sig]
+            return src() if callable(src) else src
+        if isinstance(sig.label, Label):
+            return sig.label
+        if isinstance(sig.label, DependentLabel):
+            sel_value = self._value_of(sig.label.selector, env)
+            return sig.label.resolve(sel_value)
+        return self._bottom
+
+    def _value_of(self, node: Node, env) -> int:
+        return self._eval(node, env)[0]
+
+    def _eval(self, node: Node, env: Dict) -> Tuple[int, Label]:
+        """(value, label) of a node; ``env`` memoises per cycle."""
+        nid = id(node)
+        hit = env.get(nid)
+        if hit is not None:
+            return hit
+        result = self._eval_uncached(node, env)
+        env[nid] = result
+        return result
+
+    def _eval_uncached(self, node: Node, env: Dict) -> Tuple[int, Label]:
+        kind = node.kind
+        if kind == "const":
+            return node.value, self._bottom
+        if kind == "signal":
+            # signals are pre-seeded into env by _on_cycle
+            raise AssertionError(f"unseeded signal {node.path}")
+        if kind == "unary":
+            av, al = self._eval(node.a, env)
+            return node.eval_op([av]), al
+        if kind == "binary":
+            av, al = self._eval(node.a, env)
+            bv, bl = self._eval(node.b, env)
+            if node.op == "and":
+                if av == 0:
+                    return 0, al
+                if bv == 0:
+                    return 0, bl
+            if node.op == "or":
+                full = (1 << node.width) - 1
+                if av == full and node.a.width == node.width:
+                    return full, al
+                if bv == full and node.b.width == node.width:
+                    return full, bl
+            return node.eval_op([av, bv]), al.join(bl)
+        if kind == "mux":
+            sv, sl = self._eval(node.sel, env)
+            branch = node.if_true if sv != 0 else node.if_false
+            bv, bl = self._eval(branch, env)
+            return bv, sl.join(bl)
+        if kind == "slice":
+            av, al = self._eval(node.a, env)
+            return node.eval_op([av]), al
+        if kind == "concat":
+            vals, labels = [], []
+            for p in node.parts:
+                pv, pl = self._eval(p, env)
+                vals.append(pv)
+                labels.append(pl)
+            return node.eval_op(vals), join_all(labels, self.lattice)
+        if kind == "memread":
+            av, al = self._eval(node.addr, env)
+            mem = node.mem
+            if av < mem.depth:
+                value = self.sim.peek_mem(mem, av)
+                cell_label = self.mem_labels[mem][av]
+            else:
+                value, cell_label = 0, self._bottom
+            return value, al.join(cell_label)
+        if kind == "downgrade":
+            return self._eval_downgrade(node, env)
+        raise AssertionError(kind)
+
+    def _eval_downgrade(self, node, env) -> Tuple[int, Label]:
+        from .nonmalleable import check_downgrade, downgraded_label
+
+        av, al = self._eval(node.a, env)
+        target = self._resolve_labelish(node.target, env)
+        authority = self._resolve_labelish(node.authority, env)
+        if self.check_downgrades:
+            msg = check_downgrade(node.kind_, al, target, authority)
+            if msg is not None:
+                self.violations.append(
+                    TrackViolation(
+                        cycle=self.sim.cycle,
+                        sink=f"{node.kind_} marker",
+                        computed=repr(al),
+                        declared=repr(target),
+                        kind="downgrade",
+                        detail=msg,
+                    )
+                )
+        return av, downgraded_label(node.kind_, al, target)
+
+    def _resolve_labelish(self, label, env) -> Label:
+        if isinstance(label, DependentLabel):
+            return label.resolve(self._value_of(label.selector, env))
+        return label
+
+    def _declared_cell_label(self, mem: Mem, addr: int, env,
+                             write_tag=None) -> Optional[Label]:
+        """Declared label of the cell a write is landing in (if any)."""
+        if isinstance(mem.label, Label):
+            return mem.label
+        if isinstance(mem.label, DependentLabel):
+            sel = mem.label.selector
+            # the write lands next cycle; use the selector's next value when
+            # the selector is a register updated in this same cycle
+            if sel in self.netlist.reg_next:
+                sel_value = self._value_of(self.netlist.reg_next[sel], env)
+            else:
+                sel_value = self._value_of(sel, env)
+            return mem.label.resolve(sel_value)
+        if isinstance(mem.label, CellTagLabel):
+            if write_tag is not None:
+                return mem.label.resolve(self._value_of(write_tag, env))
+            tag_value = self.sim.peek_mem(mem.label.tag_mem, addr)
+            return mem.label.resolve(tag_value)
+        if mem.cell_labels is not None:
+            return mem.cell_labels[addr]
+        return None
+
+    def _declared_now(self, sig: Signal, env) -> Optional[Label]:
+        if isinstance(sig.label, Label):
+            return sig.label
+        if isinstance(sig.label, DependentLabel):
+            return sig.label.resolve(self._value_of(sig.label.selector, env))
+        return None
+
+    def _on_cycle(self, sim) -> None:
+        nl = self.netlist
+        env: Dict = {}
+
+        # seed state: inputs and registers (values first so that dependent
+        # input labels can resolve selectors that are themselves inputs)
+        for sig in nl.inputs:
+            env[id(sig)] = (sim.peek(sig), self._bottom)
+        for reg in nl.regs:
+            env[id(reg)] = (sim.peek(reg), self.reg_labels[reg])
+        for sig in nl.inputs:
+            value = env[id(sig)][0]
+            env[id(sig)] = (value, self._source_label(sig, env))
+
+        # combinational labels in dependency order
+        comb_results: Dict[Signal, Tuple[int, Label]] = {}
+        for sig in nl.comb:
+            value, label = self._eval(nl.drivers[sig], env)
+            env[id(sig)] = (value, label)
+            comb_results[sig] = (value, label)
+
+        self._last_env = comb_results
+
+        # check declared sinks (comb and regs)
+        for sig in nl.comb:
+            declared = self._declared_now(sig, env)
+            if declared is None:
+                continue
+            computed = comb_results[sig][1]
+            if not computed.flows_to(declared):
+                self.violations.append(
+                    TrackViolation(
+                        cycle=sim.cycle,
+                        sink=sig.path,
+                        computed=repr(computed),
+                        declared=repr(declared),
+                    )
+                )
+        for reg in nl.regs:
+            declared = self._declared_now(reg, env)
+            if declared is None:
+                continue
+            current = self.reg_labels[reg]
+            if not current.flows_to(declared):
+                self.violations.append(
+                    TrackViolation(
+                        cycle=sim.cycle,
+                        sink=reg.path,
+                        computed=repr(current),
+                        declared=repr(declared),
+                    )
+                )
+
+        # commit: next register labels and memory-cell labels
+        next_labels: Dict[Signal, Label] = {}
+        for reg, nxt in nl.reg_next.items():
+            next_labels[reg] = self._eval(nxt, env)[1]
+
+        pending: List[Tuple[Mem, int, Label]] = []
+        for mem, writes in nl.mem_writes.items():
+            for w in writes:
+                if w.cond is not None:
+                    cv, cl = self._eval(w.cond, env)
+                    if cv == 0:
+                        continue
+                else:
+                    cl = self._bottom
+                av, al = self._eval(w.addr, env)
+                dv, dl = self._eval(w.data, env)
+                if av < mem.depth:
+                    computed = cl.join(al).join(dl)
+                    declared = self._declared_cell_label(mem, av, env, w.tag)
+                    if declared is not None and not computed.flows_to(declared):
+                        self.violations.append(
+                            TrackViolation(
+                                cycle=sim.cycle,
+                                sink=f"{mem.path}[{av}]",
+                                computed=repr(computed),
+                                declared=repr(declared),
+                            )
+                        )
+                    pending.append((mem, av, computed))
+        for mem, addr, label in pending:
+            self.mem_labels[mem][addr] = label
+        self.reg_labels = next_labels
+
+    # -- reporting -------------------------------------------------------------
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        lines = [
+            f"dynamic IFC tracking of {self.netlist.root.path}: "
+            f"{'CLEAN' if self.ok() else 'VIOLATIONS'} "
+            f"({len(self.violations)} violations over {self.sim.cycle} cycles)"
+        ]
+        lines.extend(f"  {v!r}" for v in self.violations[:20])
+        if len(self.violations) > 20:
+            lines.append(f"  ... and {len(self.violations) - 20} more")
+        return "\n".join(lines)

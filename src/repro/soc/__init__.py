@@ -1,0 +1,33 @@
+"""repro.soc — the multi-user SoC model around the accelerator (Fig. 2)."""
+
+from .cache_tags import CacheTags
+from .hw_system import ArbitratedAccelerator
+from .secure_cache import SecureCache
+from .requests import (
+    Request,
+    blocks_to_message,
+    decrypt_stream,
+    encrypt_stream,
+    message_blocks,
+    mixed_workload,
+    random_blocks,
+)
+from .system import SoCSystem
+from .users import Principal, default_principals, users_of
+
+__all__ = [
+    "ArbitratedAccelerator",
+    "CacheTags",
+    "Principal",
+    "Request",
+    "SecureCache",
+    "SoCSystem",
+    "blocks_to_message",
+    "decrypt_stream",
+    "default_principals",
+    "encrypt_stream",
+    "message_blocks",
+    "mixed_workload",
+    "random_blocks",
+    "users_of",
+]

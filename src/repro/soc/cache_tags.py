@@ -1,0 +1,64 @@
+"""The CacheTags worked example of Fig. 3, faithfully transcribed.
+
+The paper's ChiselFlow listing: a statically partitioned cache-tag store
+where ``tag_0`` holds trusted data, ``tag_1`` untrusted data, and the
+shared ``tag_i``/``tag_o`` ports carry the dependent label
+``(public, DL(way))`` — trusted when ``way == 0``, untrusted when
+``way == 1``.  The broken variant adds a cross-way write, which the
+checker rejects with a Fig. 3-style label error.
+"""
+
+from __future__ import annotations
+
+from ..hdl.module import Module, otherwise, when
+from ..ifc.dependent import DependentLabel
+from ..ifc.label import Label
+from ..ifc.lattice import SecurityLattice, two_point
+
+
+def _labels(lattice: SecurityLattice):
+    p_t = Label(lattice, "public", "trusted")
+    p_u = Label(lattice, "public", "untrusted")
+    return p_t, p_u
+
+
+class CacheTags(Module):
+    """Fig. 3: dependent-label cache tags over the two-point lattice."""
+
+    def __init__(self, lattice: SecurityLattice = None,
+                 broken: bool = False, name: str = "cache_tags"):
+        super().__init__(name)
+        self.lattice = lattice or two_point()
+        p_t, p_u = _labels(self.lattice)
+
+        self.we = self.input("we", 1, label=p_t)
+        self.way = self.input("way", 1, label=p_t)
+        way_dl = DependentLabel(self.way, {0: p_t, 1: p_u}, self.lattice)
+        self.tag_i = self.input("tag_i", 19, label=way_dl)
+        self.index = self.input("index", 8, label=p_t)
+        self.tag_o = self.output(
+            "tag_o", 19,
+            label=DependentLabel(self.way, {0: p_t, 1: p_u}, self.lattice),
+            default=0,
+        )
+
+        self.tag_0 = self.mem("tag_0", 256, 19, label=p_t)
+        self.tag_1 = self.mem("tag_1", 256, 19, label=p_u)
+
+        with when(self.we):
+            with when(self.way.eq(0)):
+                self.tag_0.write(self.index, self.tag_i)
+            with otherwise():
+                self.tag_1.write(self.index, self.tag_i)
+
+        if broken:
+            # implementation flaw: untrusted port data lands in the
+            # trusted way — the checker reports the integrity violation
+            with when(self.we & self.way.eq(1)):
+                self.tag_0.write(self.index, self.tag_i)
+
+        with when(~self.we):
+            with when(self.way.eq(0)):
+                self.tag_o <<= self.tag_0.read(self.index)
+            with otherwise():
+                self.tag_o <<= self.tag_1.read(self.index)

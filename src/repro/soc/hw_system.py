@@ -1,0 +1,67 @@
+"""Full-HDL SoC front end: four request ports → arbiter → accelerator.
+
+`repro.soc.system.SoCSystem` arbitrates in the harness (convenient for
+experiments); this module is the all-hardware composition of Fig. 4's
+front end — the :class:`~repro.accel.arbiter.RequestArbiter` and the
+protected accelerator inside one netlist, with per-port pins.  It is
+what you would actually tape out, and it passes the same modular static
+check as its parts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..accel.arbiter import N_PORTS, RequestArbiter
+from ..accel.protected import AesAcceleratorProtected
+from ..hdl.module import Module
+
+
+class ArbitratedAccelerator(Module):
+    """Four tagged request ports sharing one protected AES accelerator."""
+
+    def __init__(self, name: str = "sys"):
+        super().__init__(name)
+        self.arb = self.submodule(RequestArbiter(protected=True))
+        self.accel = self.submodule(AesAcceleratorProtected())
+
+        self.accel.in_valid <<= self.arb.out_valid
+        self.accel.in_cmd <<= self.arb.out_cmd
+        self.accel.in_user <<= self.arb.out_tag
+        self.accel.in_slot <<= self.arb.out_slot
+        self.accel.in_word <<= self.arb.out_word
+        self.accel.in_addr <<= self.arb.out_addr
+        self.accel.in_data <<= self.arb.out_data
+        self.arb.ready <<= self.accel.in_ready
+
+        self.port_valid: List = []
+        self.port_grant: List = []
+        for i in range(N_PORTS):
+            v = self.input(f"pv{i}", 1)
+            self.port_valid.append(v)
+            self.arb.req_valid[i] <<= v
+            self.arb.req_cmd[i] <<= self.input(f"pcmd{i}", 2)
+            self.arb.req_slot[i] <<= self.input(f"pslot{i}", 2)
+            self.arb.req_word[i] <<= self.input(f"pword{i}", 3)
+            self.arb.req_addr[i] <<= self.input(f"paddr{i}", 4)
+            self.arb.port_tag[i] <<= self.input(f"ptag{i}", 8)
+            self.arb.req_data[i] <<= self.input(f"pdata{i}", 128)
+            g = self.output(f"pgrant{i}", 1)
+            g <<= self.arb.grants[i]
+            self.port_grant.append(g)
+
+        self.rd_user_i = self.input("rd_user_i", 8)
+        self.out_ready_i = self.input("out_ready_i", 1)
+        self.accel.rd_user <<= self.rd_user_i
+        self.accel.out_ready <<= self.out_ready_i
+
+        self.out_valid_o = self.output("out_valid_o", 1)
+        self.out_valid_o <<= self.accel.out_valid
+        self.out_data_o = self.output("out_data_o", 128)
+        self.out_data_o <<= self.accel.out_data
+        self.out_tag_o = self.output("out_tag_o", 8)
+        self.out_tag_o <<= self.accel.out_tag
+        self.dbg_data_o = self.output("dbg_data_o", 128)
+        self.dbg_data_o <<= self.accel.dbg_data
+        self.cfg_rdata_o = self.output("cfg_rdata_o", 32)
+        self.cfg_rdata_o <<= self.accel.cfg_rdata

@@ -1,0 +1,81 @@
+"""Request records and workload generation for the SoC experiments."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..accel.common import CMD_DECRYPT, CMD_ENCRYPT
+
+
+class Request:
+    """One encrypt/decrypt request from a user application."""
+
+    __slots__ = ("user", "cmd", "slot", "data", "submitted_cycle",
+                 "issued_cycle", "completed_cycle", "result")
+
+    def __init__(self, user: str, cmd: int, slot: int, data: int):
+        self.user = user
+        self.cmd = cmd
+        self.slot = slot
+        self.data = data
+        self.submitted_cycle: Optional[int] = None
+        self.issued_cycle: Optional[int] = None
+        self.completed_cycle: Optional[int] = None
+        self.result: Optional[int] = None
+
+    @property
+    def latency(self) -> Optional[int]:
+        if self.issued_cycle is None or self.completed_cycle is None:
+            return None
+        return self.completed_cycle - self.issued_cycle
+
+    def __repr__(self) -> str:
+        op = "ENC" if self.cmd == CMD_ENCRYPT else "DEC"
+        return f"Request({self.user}, {op}, slot={self.slot})"
+
+
+def encrypt_stream(user: str, slot: int, blocks: List[int]) -> List[Request]:
+    return [Request(user, CMD_ENCRYPT, slot, b) for b in blocks]
+
+
+def decrypt_stream(user: str, slot: int, blocks: List[int]) -> List[Request]:
+    return [Request(user, CMD_DECRYPT, slot, b) for b in blocks]
+
+
+def random_blocks(n: int, seed: int = 0) -> List[int]:
+    rng = random.Random(seed)
+    return [rng.getrandbits(128) for _ in range(n)]
+
+
+def message_blocks(message: bytes) -> List[int]:
+    """Split a byte string into zero-padded 128-bit blocks."""
+    padded = message + b"\x00" * ((16 - len(message) % 16) % 16)
+    return [
+        int.from_bytes(padded[i:i + 16], "big")
+        for i in range(0, len(padded), 16)
+    ]
+
+
+def blocks_to_message(blocks: List[int], length: Optional[int] = None) -> bytes:
+    data = b"".join(b.to_bytes(16, "big") for b in blocks)
+    return data if length is None else data[:length]
+
+
+def mixed_workload(users_slots, blocks_per_user: int,
+                   seed: int = 0) -> List[Request]:
+    """Interleaved multi-user encrypt workload (round-robin order).
+
+    ``users_slots`` is a list of ``(user_name, slot)`` pairs.
+    """
+    rng = random.Random(seed)
+    per_user = {
+        user: encrypt_stream(user, slot,
+                             [rng.getrandbits(128) for _ in range(blocks_per_user)])
+        for user, slot in users_slots
+    }
+    out: List[Request] = []
+    for i in range(blocks_per_user):
+        for user, _slot in users_slots:
+            out.append(per_user[user][i])
+    return out

@@ -1,0 +1,102 @@
+"""A statically-partitioned secure cache — Fig. 3 grown into a full
+component.
+
+The paper's Fig. 3 shows only the *tag* array of a two-way cache whose
+ways are statically partitioned between trust domains.  This module
+completes the design the listing implies — valid bits, tag match, data
+array, hit/miss, refill — as a second case study showing the library
+generalises beyond the AES accelerator:
+
+* way 0 caches the **trusted** domain, way 1 the **untrusted** one;
+* the request's ``way`` input doubles as the security selector, so every
+  port carries the Fig. 3 dependent label ``(public, DL(way))``;
+* the checker proves the partition: no state of one way can influence
+  the other way's responses — including through the shared hit/data
+  ports — and the deliberately broken variant (a refill that writes the
+  wrong way) is rejected with the same error Fig. 3 describes.
+
+Geometry: direct-mapped per way, 2 ways x 16 lines x 32-bit data with
+19-bit tags (the figure's tag width).
+"""
+
+from __future__ import annotations
+
+from ..hdl.module import Module, otherwise, when
+from ..ifc.dependent import DependentLabel
+from ..ifc.label import Label
+from ..ifc.lattice import SecurityLattice, two_point
+
+LINES = 16
+TAG_BITS = 19
+DATA_BITS = 32
+
+
+class SecureCache(Module):
+    """Two-way statically partitioned cache with dependent-label ports."""
+
+    def __init__(self, lattice: SecurityLattice = None, broken: bool = False,
+                 name: str = "scache"):
+        super().__init__(name)
+        self.lattice = lattice or two_point()
+        p_t = Label(self.lattice, "public", "trusted")
+        p_u = Label(self.lattice, "public", "untrusted")
+
+        def way_dl():
+            return DependentLabel(self.way, {0: p_t, 1: p_u}, self.lattice)
+
+        # request port: lookup or refill, for one way (= one trust domain)
+        self.req = self.input("req", 1, label=p_t)
+        self.refill = self.input("refill", 1, label=p_t)
+        self.way = self.input("way", 1, label=p_t)
+        self.index = self.input("index", 4, label=p_t)
+        self.tag_in = self.input("tag_in", TAG_BITS, label=way_dl())
+        self.data_in = self.input("data_in", DATA_BITS, label=way_dl())
+
+        # per-way state, statically labelled like Fig. 3's tag_0/tag_1
+        self.tags0 = self.mem("tags0", LINES, TAG_BITS, label=p_t)
+        self.tags1 = self.mem("tags1", LINES, TAG_BITS, label=p_u)
+        self.data0 = self.mem("data0", LINES, DATA_BITS, label=p_t)
+        self.data1 = self.mem("data1", LINES, DATA_BITS, label=p_u)
+        self.valid0 = self.reg("valid0", LINES, label=p_t)
+        self.valid1 = self.reg("valid1", LINES, label=p_u)
+
+        # response port: shared wires, dependent level (the Fig. 3 point)
+        self.hit = self.output("hit", 1, label=way_dl(), default=0)
+        self.data_out = self.output("data_out", DATA_BITS, label=way_dl(),
+                                    default=0)
+
+        # refill: install tag+data+valid into the selected way
+        with when(self.refill):
+            with when(self.way.eq(0)):
+                self.tags0.write(self.index, self.tag_in)
+                self.data0.write(self.index, self.data_in)
+            with otherwise():
+                self.tags1.write(self.index, self.tag_in)
+                self.data1.write(self.index, self.data_in)
+
+        # valid-bit update (one-hot OR by index)
+        for i in range(LINES):
+            with when(self.refill & self.index.eq(i)):
+                with when(self.way.eq(0)):
+                    self.valid0 <<= self.valid0 | (1 << i)
+                with otherwise():
+                    self.valid1 <<= self.valid1 | (1 << i)
+
+        if broken:
+            # the Fig. 3 flaw: an untrusted refill also lands in way 0
+            with when(self.refill & self.way.eq(1)):
+                self.tags0.write(self.index, self.tag_in)
+                self.data0.write(self.index, self.data_in)
+
+        # lookup
+        with when(self.req & ~self.refill):
+            with when(self.way.eq(0)):
+                match0 = self.tags0.read(self.index).eq(self.tag_in)
+                vbit0 = (self.valid0 >> self.index.zext(5))[0]
+                self.hit <<= match0 & vbit0
+                self.data_out <<= self.data0.read(self.index)
+            with otherwise():
+                match1 = self.tags1.read(self.index).eq(self.tag_in)
+                vbit1 = (self.valid1 >> self.index.zext(5))[0]
+                self.hit <<= match1 & vbit1
+                self.data_out <<= self.data1.read(self.index)

@@ -1,0 +1,175 @@
+"""SoC harness: labelled users sharing one accelerator (Fig. 2).
+
+Binds a set of :class:`~repro.soc.users.Principal` objects to an
+accelerator instance through the transaction driver.  Requests queue per
+user and issue round-robin (the software model of the arbiter; the HDL
+:class:`~repro.accel.arbiter.RequestArbiter` is verified separately);
+responses route back by tag — in the protected design the hardware
+enforces the routing, in the baseline the harness exposes whatever the
+hardware hands out, which is how the plaintext-disclosure attack shows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..accel.baseline import AesAcceleratorBaseline
+from ..accel.driver import AcceleratorDriver
+from ..accel.protected import AesAcceleratorProtected
+from .requests import Request
+from .users import Principal, default_principals, users_of
+
+
+class SoCSystem:
+    """A small SoC: several users, one shared AES accelerator."""
+
+    def __init__(self, protected: bool = True,
+                 principals: Optional[Dict[str, Principal]] = None,
+                 backend: str = "compiled"):
+        self.protected = protected
+        self.principals = principals or default_principals()
+        accel = (AesAcceleratorProtected() if protected
+                 else AesAcceleratorBaseline())
+        self.driver = AcceleratorDriver(accel, backend=backend)
+        self.queues: Dict[str, List[Request]] = {
+            name: [] for name in self.principals
+        }
+        self.in_flight: List[Request] = []
+        self.delivered: Dict[str, List[Request]] = {
+            name: [] for name in self.principals
+        }
+        self._rr_users = [p.name for p in users_of(self.principals)]
+        self._rr_issue = 0
+        self._rr_read = 0
+        self.dropped_requests: List[Request] = []
+        self._vouch_to_user: Dict[int, str] = {}
+        for p in users_of(self.principals):
+            self._vouch_to_user[p.tag & 0xF] = p.name
+
+    # -- setup ------------------------------------------------------------------
+    def provision_keys(self) -> None:
+        """Supervisor allocates slots and users load their keys."""
+        sup = self.principals["supervisor"]
+        for p in users_of(self.principals):
+            if p.slot is None or p.key is None:
+                continue
+            if self.protected:
+                self.driver.allocate_slot(p.slot, p.tag, sup.tag)
+            self.driver.load_key(p.tag, p.slot, p.key)
+
+    # -- request plumbing ----------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        request.submitted_cycle = self.driver.sim.cycle
+        self.queues[request.user].append(request)
+
+    def submit_all(self, requests: List[Request]) -> None:
+        for r in requests:
+            self.submit(r)
+
+    def _next_request(self) -> Optional[Request]:
+        for i in range(len(self._rr_users)):
+            name = self._rr_users[(self._rr_issue + i) % len(self._rr_users)]
+            if self.queues[name]:
+                self._rr_issue = (self._rr_issue + i + 1) % len(self._rr_users)
+                return self.queues[name].pop(0)
+        return None
+
+    def tick(self, cycles: int = 1) -> None:
+        """Advance the system: issue queued requests, deliver responses."""
+        top = self.driver.top
+        sim = self.driver.sim
+        for _ in range(cycles):
+            # reader side: rotate polling among users with work outstanding
+            candidates = [
+                n for n in self._rr_users
+                if self.queues[n] or any(r.user == n for r in self.in_flight)
+            ] or self._rr_users
+            reader = self.principals[
+                candidates[self._rr_read % len(candidates)]
+            ]
+            self._rr_read += 1
+            sim.poke(f"{top}.rd_user", reader.tag)
+            sim.poke(f"{top}.out_ready", 1)
+
+            # collect a response if presented
+            if sim.peek(f"{top}.out_valid"):
+                tag = sim.peek(f"{top}.out_tag")
+                data = sim.peek(f"{top}.out_data")
+                self._deliver(reader, tag, data)
+
+            # request side
+            req = None
+            if sim.peek(f"{top}.in_ready"):
+                req = self._next_request()
+            if req is not None:
+                user = self.principals[req.user]
+                self.driver._poke_cmd(req.cmd, user.tag, slot=req.slot,
+                                      data=req.data)
+                req.issued_cycle = sim.cycle
+                self.in_flight.append(req)
+            else:
+                self.driver._idle_inputs()
+            sim.step()
+
+    def _deliver(self, reader: Principal, tag: int, data: int) -> None:
+        """Hand the presented block to the polling reader.
+
+        Both datapaths preserve issue order (fixed-latency pipeline, FIFO
+        holding buffer), so the presented block answers the oldest
+        in-flight request.  The protected hardware only presents a block
+        when the poller's label admits it; the baseline presents to
+        whoever polls — which is exactly the cross-user disclosure the
+        experiments measure (``delivered`` then shows another user's
+        request under the reader's name).
+        """
+        owner = self._vouch_to_user.get(tag & 0xF)
+        req = None
+        if owner is not None:
+            for candidate in self.in_flight:
+                if candidate.user == owner:
+                    req = candidate
+                    break
+        if req is None and self.in_flight:
+            # untagged/baseline response: issue order answers the oldest
+            req = self.in_flight[0]
+        if req is None:
+            return
+        self.in_flight.remove(req)
+        req.completed_cycle = self.driver.sim.cycle
+        req.result = data
+        self.delivered[reader.name].append(req)
+
+    def drain(self, max_cycles: int = 4000, idle_limit: int = 200) -> None:
+        """Run until all requests complete (or are detected as dropped).
+
+        A block whose reader never kept up may have been dropped by the
+        holding buffer (availability, by design); after ``idle_limit``
+        cycles with no progress such requests move to
+        ``dropped_requests`` instead of hanging the harness.
+        """
+        idle = 0
+        last_outstanding = None
+        for _ in range(max_cycles):
+            outstanding = len(self.in_flight) + sum(
+                len(q) for q in self.queues.values()
+            )
+            if outstanding == 0:
+                return
+            if outstanding == last_outstanding:
+                idle += 1
+                if idle >= idle_limit and not any(self.queues.values()):
+                    self.dropped_requests.extend(self.in_flight)
+                    self.in_flight.clear()
+                    return
+            else:
+                idle = 0
+            last_outstanding = outstanding
+            self.tick()
+        raise TimeoutError("SoC did not drain")
+
+    # -- queries ------------------------------------------------------------------
+    def results_for(self, user: str) -> List[Request]:
+        return self.delivered[user]
+
+    def counters(self) -> Dict[str, int]:
+        return self.driver.counters()

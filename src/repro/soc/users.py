@@ -1,0 +1,57 @@
+"""Principals of the multi-user SoC (Fig. 2).
+
+Each user application holds a security label (and hence an 8-bit tag) and
+a secret AES key; the supervisor manages slot allocation and owns the
+master key.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..accel.common import LATTICE, supervisor_label, user_label
+from ..ifc.label import Label
+
+
+class Principal:
+    """One user application (or the supervisor) on the SoC."""
+
+    def __init__(self, name: str, label: Label, key: Optional[int] = None,
+                 slot: Optional[int] = None):
+        self.name = name
+        self.label = label
+        self.tag = label.encode()
+        self.key = key
+        self.slot = slot
+
+    @property
+    def is_supervisor(self) -> bool:
+        return self.label.integ == LATTICE.integ_bottom
+
+    def __repr__(self) -> str:
+        return f"Principal({self.name}, {self.label!r}, slot={self.slot})"
+
+
+def default_principals() -> Dict[str, Principal]:
+    """Alice/Bob/Charlie/Dave on principal slots p0..p3, plus supervisor.
+
+    Keys are fixed test values; slots 1..3 are assigned to the first three
+    users (slot 0 is the master key's).
+    """
+    names = ["alice", "bob", "charlie", "dave"]
+    keys = [
+        0x000102030405060708090A0B0C0D0E0F,
+        0x101112131415161718191A1B1C1D1E1F,
+        0x202122232425262728292A2B2C2D2E2F,
+        0x303132333435363738393A3B3C3D3E3F,
+    ]
+    out: Dict[str, Principal] = {}
+    for i, (name, key) in enumerate(zip(names, keys)):
+        slot = i + 1 if i < 3 else None  # only 3 non-master slots
+        out[name] = Principal(name, user_label(f"p{i}"), key=key, slot=slot)
+    out["supervisor"] = Principal("supervisor", supervisor_label())
+    return out
+
+
+def users_of(principals: Dict[str, Principal]) -> List[Principal]:
+    return [p for p in principals.values() if not p.is_supervisor]

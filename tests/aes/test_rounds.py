@@ -1,0 +1,87 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aes.rounds import (
+    add_round_key,
+    block_to_state,
+    inv_mix_columns,
+    inv_shift_rows,
+    inv_sub_bytes,
+    mix_columns,
+    shift_rows,
+    state_to_block,
+    sub_bytes,
+)
+
+states = st.lists(st.integers(0, 255), min_size=16, max_size=16)
+blocks = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+
+class TestInverses:
+    @given(states)
+    def test_sub_bytes(self, s):
+        assert inv_sub_bytes(sub_bytes(s)) == s
+
+    @given(states)
+    def test_shift_rows(self, s):
+        assert inv_shift_rows(shift_rows(s)) == s
+
+    @given(states)
+    def test_mix_columns(self, s):
+        assert inv_mix_columns(mix_columns(s)) == s
+
+    @given(states, states)
+    def test_add_round_key_involution(self, s, k):
+        assert add_round_key(add_round_key(s, k), k) == s
+
+
+class TestShiftRowsGeometry:
+    def test_row0_unchanged(self):
+        s = list(range(16))
+        out = shift_rows(s)
+        assert [out[0], out[4], out[8], out[12]] == [s[0], s[4], s[8], s[12]]
+
+    def test_row1_rotates_by_one(self):
+        s = list(range(16))
+        out = shift_rows(s)
+        # row 1 entries live at indices 1,5,9,13
+        assert [out[1], out[5], out[9], out[13]] == [s[5], s[9], s[13], s[1]]
+
+    def test_fips_example(self):
+        # FIPS-197 example round 1 shift_rows input/output
+        s = block_to_state(0xD42711AEE0BF98F1B8B45DE51E415230)
+        out = shift_rows(s)
+        assert state_to_block(out) == 0xD4BF5D30E0B452AEB84111F11E2798E5
+
+
+class TestMixColumns:
+    def test_fips_example_column(self):
+        # FIPS-197 §5.1.3 test column
+        s = [0xD4, 0xBF, 0x5D, 0x30] + [0] * 12
+        out = mix_columns(s)
+        assert out[:4] == [0x04, 0x66, 0x81, 0xE5]
+
+    def test_columns_independent(self):
+        a = [1] * 4 + [0] * 12
+        b = [0] * 4 + [1] * 4 + [0] * 8
+        assert mix_columns(a)[4:] == [0] * 12
+        assert mix_columns(b)[:4] == [0] * 4
+
+
+class TestBlockConversion:
+    @given(blocks)
+    def test_roundtrip(self, b):
+        assert state_to_block(block_to_state(b)) == b
+
+    def test_byte_order_msb_first(self):
+        s = block_to_state(0x000102030405060708090A0B0C0D0E0F)
+        assert s == list(range(16))
+
+    def test_rejects_oversize(self):
+        with pytest.raises(ValueError):
+            block_to_state(1 << 128)
+
+    def test_rejects_short_state(self):
+        with pytest.raises(ValueError):
+            sub_bytes([1, 2, 3])

@@ -1,0 +1,35 @@
+"""Shared fixtures: expensive design builds are session-scoped."""
+
+import pytest
+
+from repro.accel.baseline import AesAcceleratorBaseline
+from repro.accel.common import LATTICE
+from repro.accel.driver import AcceleratorDriver, make_users
+from repro.accel.protected import AesAcceleratorProtected
+from repro.ifc.lattice import two_point
+
+
+@pytest.fixture(scope="session")
+def lattice():
+    return LATTICE
+
+
+@pytest.fixture(scope="session")
+def tp_lattice():
+    return two_point()
+
+
+@pytest.fixture(scope="session")
+def users():
+    return make_users()
+
+
+@pytest.fixture()
+def protected_driver():
+    """A fresh protected accelerator driver (builds in ~0.2 s)."""
+    return AcceleratorDriver(AesAcceleratorProtected())
+
+
+@pytest.fixture()
+def baseline_driver():
+    return AcceleratorDriver(AesAcceleratorBaseline())

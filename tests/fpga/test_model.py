@@ -1,0 +1,112 @@
+"""Resource/timing model: unit behaviour plus the Table 2 shape."""
+
+import pytest
+
+from repro.accel.baseline import AesAcceleratorBaseline
+from repro.accel.protected import AesAcceleratorProtected
+from repro.fpga.report import PAPER_TABLE2, render_table2, table2_for_modules
+from repro.fpga.resources import estimate_resources, overhead_percent
+from repro.fpga.timing import critical_path_levels, fmax_mhz, timing_summary
+from repro.hdl import Module, elaborate, when
+
+
+def _tiny_design(regs=4, mem_bits=0, rom=False):
+    m = Module("t")
+    a = m.input("a", 8)
+    b = m.input("b", 8)
+    o = m.output("o", 8)
+    acc = None
+    for i in range(regs):
+        r = m.reg(f"r{i}", 8)
+        r <<= (a ^ b) + i
+        acc = r
+    if mem_bits:
+        width = 32
+        depth = mem_bits // width
+        mem = m.mem("buf", depth, width)
+        addr_w = max(1, (depth - 1).bit_length())
+        with when(a[0]):
+            mem.write(a[4:0].resize(addr_w), b.zext(32))
+    if rom:
+        table = m.rom("tab", list(range(256)), 8)
+        o <<= table.read(a)
+    else:
+        o <<= acc
+    return m
+
+
+class TestResources:
+    def test_ff_count_is_reg_bits(self):
+        est = estimate_resources(elaborate(_tiny_design(regs=5)))
+        assert est.ffs == 40
+
+    def test_rom_costs_luts_not_bram(self):
+        est = estimate_resources(elaborate(_tiny_design(rom=True)))
+        assert est.brams == 0
+        assert est.rom_luts > 20  # an 8-bit 256-entry table is ~40 LUTs
+
+    def test_large_ram_costs_bram(self):
+        est = estimate_resources(elaborate(_tiny_design(mem_bits=16384)))
+        assert est.brams >= 1
+
+    def test_small_ram_is_lutram(self):
+        est = estimate_resources(elaborate(_tiny_design(mem_bits=512)))
+        assert est.brams == 0
+        assert est.lutram_luts > 0
+
+    def test_overhead_percent(self):
+        assert overhead_percent(100, 106) == pytest.approx(6.0)
+        assert overhead_percent(0, 10) == 0.0
+
+
+class TestTiming:
+    def test_deeper_logic_is_slower(self):
+        shallow = elaborate(_tiny_design(regs=1))
+        m = Module("deep")
+        a = m.input("a", 8)
+        o = m.output("o", 8)
+        x = a
+        for _ in range(20):
+            x = (x + 1) ^ a
+        o <<= x
+        deep = elaborate(m)
+        assert critical_path_levels(deep) > critical_path_levels(shallow)
+        assert fmax_mhz(deep) < fmax_mhz(shallow)
+
+    def test_summary_fields(self):
+        s = timing_summary(elaborate(_tiny_design()))
+        assert set(s) == {"levels", "period_ns", "fmax_mhz"}
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table2_for_modules(AesAcceleratorBaseline(), AesAcceleratorProtected())
+
+
+class TestTable2Shape:
+    """The paper's Table 2: who pays what, directionally."""
+
+    def test_luts_overhead_small_and_positive(self, rows):
+        assert 0 < rows["LUTs"].overhead < 15
+
+    def test_luts_overhead_near_paper(self, rows):
+        paper = PAPER_TABLE2["LUTs"][2]
+        assert abs(rows["LUTs"].overhead - paper) < 3.0
+
+    def test_ffs_overhead_positive(self, rows):
+        assert rows["FFs"].overhead > 0
+
+    def test_brams_overhead_positive(self, rows):
+        assert 0 < rows["BRAMs"].overhead <= 15
+
+    def test_frequency_unchanged(self, rows):
+        """The protection sits off the critical path — the paper's
+        headline 0.0 % frequency impact."""
+        assert rows["Frequency (MHz)"].overhead == pytest.approx(0.0)
+
+    def test_absolute_frequency_plausible(self, rows):
+        assert 250 <= rows["Frequency (MHz)"].baseline <= 500
+
+    def test_render_includes_paper_column(self, rows):
+        text = render_table2(rows)
+        assert "Paper" in text and "LUTs" in text

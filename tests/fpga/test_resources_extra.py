@@ -1,0 +1,89 @@
+"""Resource-model specifics: width riders, style pragmas, port scaling."""
+
+import pytest
+
+from repro.fpga.resources import (
+    BRAM_THRESHOLD_BITS,
+    estimate_resources,
+)
+from repro.hdl import Module, elaborate, when
+
+
+def _with_ram(depth, width, read_ports=1, style=None, rider_width=0):
+    m = Module("m")
+    we = m.input("we", 1)
+    addr_w = max(1, (depth - 1).bit_length())
+    a = m.input("a", addr_w)
+    d = m.input("d", width)
+    mem = m.mem("mem", depth, width)
+    if style:
+        mem.meta["style"] = style
+    if rider_width:
+        rider = m.mem("tags", depth, rider_width)
+        rider.meta["width_rider_of"] = mem
+        with when(we):
+            rider.write(a, 0)
+    outs = []
+    for i in range(read_ports):
+        o = m.output(f"o{i}", width)
+        o <<= mem.read((a + i).trunc(addr_w))
+        outs.append(o)
+    with when(we):
+        mem.write(a, d)
+    return m
+
+
+class TestBramAccounting:
+    def test_width_rider_adds_bram_width(self):
+        # 64 x 30b = 1920b: below threshold alone; the 8b rider pushes the
+        # combined word to 38b -> 64*38 = 2432b >= threshold AND two width
+        # banks (38 > 32)
+        base = estimate_resources(elaborate(_with_ram(64, 30)))
+        riding = estimate_resources(elaborate(_with_ram(64, 30, rider_width=8)))
+        assert base.brams == 0
+        assert riding.brams == 2
+
+    def test_rider_itself_costs_nothing(self):
+        riding = estimate_resources(elaborate(_with_ram(512, 32, rider_width=4)))
+        # one 36b-wide bank pair at depth 512: ceil(36/32)=2
+        assert riding.brams == 2
+
+    def test_distributed_pragma_forces_lutram(self):
+        est = estimate_resources(
+            elaborate(_with_ram(512, 32, style="distributed"))
+        )
+        assert est.brams == 0
+        assert est.lutram_luts > 0
+
+    def test_read_port_replication(self):
+        one = estimate_resources(elaborate(_with_ram(512, 32, read_ports=1)))
+        four = estimate_resources(elaborate(_with_ram(512, 32, read_ports=4)))
+        assert four.brams > one.brams
+
+    def test_threshold_constant_is_sane(self):
+        assert 1024 <= BRAM_THRESHOLD_BITS <= 4096
+
+
+class TestLutAccounting:
+    def test_wider_logic_costs_more(self):
+        def adder(width):
+            m = Module("m")
+            a = m.input("a", width)
+            b = m.input("b", width)
+            o = m.output("o", width)
+            o <<= a + b
+            return estimate_resources(elaborate(m)).total_luts
+
+        assert adder(64) > adder(8)
+
+    def test_rom_scales_with_ports(self):
+        def rom_design(ports):
+            m = Module("m")
+            a = m.input("a", 8)
+            rom = m.rom("rom", list(range(256)), 8)
+            for i in range(ports):
+                o = m.output(f"o{i}", 8)
+                o <<= rom.read(a ^ i)
+            return estimate_resources(elaborate(m)).rom_luts
+
+        assert rom_design(4) == pytest.approx(4 * rom_design(1))

@@ -1,0 +1,97 @@
+import pytest
+
+from repro.hdl import Module, Simulator, elaborate, elaborate_shallow, when
+from repro.hdl.nodes import HdlError
+
+
+class Inner(Module):
+    def __init__(self):
+        super().__init__("inner")
+        self.i = self.input("i", 8)
+        self.o = self.output("o", 8)
+        self.state = self.reg("state", 8)
+        self.scratch = self.mem("scratch", 4, 8)
+        self.state <<= self.i + 1
+        self.o <<= self.state
+        with when(self.i[0]):
+            self.scratch.write(self.i[2:1], self.i)
+
+
+class Outer(Module):
+    def __init__(self):
+        super().__init__("outer")
+        self.x = self.input("x", 8)
+        self.y = self.output("y", 8)
+        self.child = self.submodule(Inner())
+        self.child.i <<= self.x
+        self.y <<= self.child.o + self.child.scratch.read(0)
+
+
+class TestFlatElaboration:
+    def test_hierarchy_flattened(self):
+        nl = elaborate(Outer())
+        paths = {s.path for s in nl.signals}
+        assert "outer.x" in paths
+        assert "outer.inner.state" in paths
+
+    def test_only_root_inputs_free(self):
+        nl = elaborate(Outer())
+        free = {s.path for s in nl.inputs}
+        assert free == {"outer.x"}
+
+    def test_child_input_is_driven_comb(self):
+        nl = elaborate(Outer())
+        child_i = nl.signal_by_path("outer.inner.i")
+        assert child_i in nl.drivers
+
+    def test_simulates(self):
+        sim = Simulator(Outer())
+        sim.poke("outer.x", 5)
+        sim.step()
+        assert sim.peek("outer.y") == 6
+
+    def test_stats(self):
+        nl = elaborate(Outer())
+        stats = nl.stats()
+        assert stats["regs"] == 1
+        assert stats["mems"] == 1
+        assert stats["nodes"] > 0
+
+
+class TestShallowElaboration:
+    def test_child_outputs_free(self):
+        nl = elaborate_shallow(Outer())
+        free = {s.path for s in nl.inputs}
+        assert "outer.inner.o" in free
+        assert "outer.x" in free
+
+    def test_child_internals_absent(self):
+        nl = elaborate_shallow(Outer())
+        paths = {s.path for s in nl.signals}
+        assert "outer.inner.state" not in paths
+        assert "outer.inner.i" in paths  # ports stay
+
+    def test_child_mems_read_only(self):
+        nl = elaborate_shallow(Outer())
+        mems = {m.path: m for m in nl.mems}
+        assert "outer.inner.scratch" in mems
+        assert nl.mem_writes[mems["outer.inner.scratch"]] == []
+
+    def test_undriven_child_input_rejected(self):
+        top = Module("t")
+        top.submodule(Inner())  # nobody drives inner.i
+        with pytest.raises(HdlError):
+            elaborate_shallow(top)
+
+
+class TestMemReachability:
+    def test_foreign_mem_read_rejected(self):
+        other = Module("other")
+        foreign = other.mem("foreign", 4, 8)
+
+        m = Module("m")
+        a = m.input("a", 2)
+        o = m.output("o", 8)
+        o <<= foreign.read(a)
+        with pytest.raises(HdlError):
+            elaborate(m)

@@ -1,0 +1,94 @@
+import pytest
+
+from repro.hdl import HdlError, Module, Simulator, when
+from repro.hdl.memory import rom
+
+
+class TestMemApi:
+    def test_depth_positive(self):
+        m = Module("m")
+        with pytest.raises(ValueError):
+            m.mem("bad", 0, 8)
+
+    def test_init_length_checked(self):
+        m = Module("m")
+        with pytest.raises(HdlError):
+            m.mem("bad", 4, 8, init=[1, 2, 3])
+
+    def test_init_values_checked(self):
+        m = Module("m")
+        with pytest.raises(HdlError):
+            m.mem("bad", 2, 8, init=[0, 256])
+
+    def test_write_width_checked(self):
+        m = Module("m")
+        mem = m.mem("mem", 4, 8)
+        wide = m.input("wide", 16)
+        with pytest.raises(HdlError):
+            mem.write(0, wide)
+
+    def test_narrow_write_zero_extends(self):
+        m = Module("m")
+        we = m.input("we", 1)
+        mem = m.mem("mem", 4, 8)
+        out = m.output("out", 8)
+        out <<= mem.read(0)
+        with when(we):
+            mem.write(0, m.input("din", 4))
+        sim = Simulator(m)
+        sim.poke("m.we", 1)
+        sim.poke("m.din", 0xF)
+        sim.step()
+        assert sim.peek_mem("m.mem", 0) == 0x0F
+
+    def test_rom_helper(self):
+        m = Module("m")
+        r = m.rom("tab", [5, 6, 7], 8)
+        assert r.is_rom()
+        assert r.depth == 3
+
+    def test_is_rom_flips_on_write(self):
+        m = Module("m")
+        mem = m.mem("mem", 4, 8)
+        assert mem.is_rom()
+        mem.write(0, 1)
+        assert not mem.is_rom()
+
+    def test_addr_width(self):
+        m = Module("m")
+        assert m.mem("a", 8, 8).addr_width == 3
+        assert m.mem("b", 9, 8).addr_width == 4
+        assert m.mem("c", 1, 8).addr_width == 1
+
+    def test_multiple_writes_same_cycle_last_wins(self):
+        m = Module("m")
+        we = m.input("we", 1)
+        mem = m.mem("mem", 4, 8)
+        out = m.output("out", 8)
+        out <<= mem.read(0)
+        with when(we):
+            mem.write(0, 0x11)
+            mem.write(0, 0x22)  # program order: later write wins
+        sim = Simulator(m)
+        sim.poke("m.we", 1)
+        sim.step()
+        assert sim.peek_mem("m.mem", 0) == 0x22
+
+    def test_read_during_write_returns_old_value(self):
+        m = Module("m")
+        we = m.input("we", 1)
+        mem = m.mem("mem", 4, 8, init=[9, 0, 0, 0])
+        out = m.output("out", 8)
+        out <<= mem.read(0)
+        with when(we):
+            mem.write(0, 0x55)
+        sim = Simulator(m)
+        sim.poke("m.we", 1)
+        assert sim.peek("m.out") == 9  # synchronous write: old value visible
+        sim.step()
+        assert sim.peek("m.out") == 0x55
+
+    def test_module_level_rom_free_function(self):
+        m = Module("m")
+        r = rom("t", m, [1, 2, 3, 4], 8)
+        assert r.depth == 4 and r.width == 8

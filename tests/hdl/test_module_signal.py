@@ -1,0 +1,206 @@
+import pytest
+
+from repro.hdl import (
+    HdlError,
+    Module,
+    Simulator,
+    elaborate,
+    elsewhen,
+    otherwise,
+    when,
+)
+from repro.hdl.signal import SignalKind
+
+
+class TestDeclarations:
+    def test_duplicate_name_rejected(self):
+        m = Module("m")
+        m.wire("x", 4)
+        with pytest.raises(HdlError):
+            m.wire("x", 4)
+
+    def test_signal_kinds(self):
+        m = Module("m")
+        assert m.input("i", 1).kind_ is SignalKind.INPUT
+        assert m.output("o", 1, default=0).kind_ is SignalKind.OUTPUT
+        assert m.wire("w", 1, default=0).kind_ is SignalKind.WIRE
+        assert m.reg("r", 1).kind_ is SignalKind.REG
+
+    def test_paths(self):
+        parent = Module("top")
+        child = parent.submodule(Module("sub"))
+        sig = child.wire("w", 1, default=0)
+        assert sig.path == "top.sub.w"
+
+    def test_submodule_unique_instance_names(self):
+        parent = Module("top")
+        a = parent.submodule(Module("sub"))
+        b = parent.submodule(Module("sub"))
+        assert a.inst_name != b.inst_name
+
+    def test_reparenting_rejected(self):
+        p1, p2 = Module("a"), Module("b")
+        child = Module("c")
+        p1.submodule(child)
+        with pytest.raises(HdlError):
+            p2.submodule(child)
+
+    def test_init_must_fit(self):
+        m = Module("m")
+        with pytest.raises(HdlError):
+            m.reg("r", 4, init=16)
+
+
+class TestWhenSemantics:
+    def _build(self):
+        m = Module("m")
+        m.a = m.input("a", 1)
+        m.b = m.input("b", 1)
+        m.out = m.output("out", 8, default=0)
+        return m
+
+    def test_when_otherwise(self):
+        m = self._build()
+        with when(m.a):
+            m.out <<= 1
+        with otherwise():
+            m.out <<= 2
+        sim = Simulator(m)
+        sim.poke("m.a", 1)
+        assert sim.peek("m.out") == 1
+        sim.poke("m.a", 0)
+        assert sim.peek("m.out") == 2
+
+    def test_elsewhen_chain(self):
+        m = self._build()
+        with when(m.a):
+            m.out <<= 1
+        with elsewhen(m.b):
+            m.out <<= 2
+        with otherwise():
+            m.out <<= 3
+        sim = Simulator(m)
+        for a, b, want in [(1, 0, 1), (1, 1, 1), (0, 1, 2), (0, 0, 3)]:
+            sim.poke("m.a", a)
+            sim.poke("m.b", b)
+            assert sim.peek("m.out") == want
+
+    def test_last_assignment_wins(self):
+        m = self._build()
+        m.out <<= 5
+        with when(m.a):
+            m.out <<= 7
+        m.out <<= 9  # unconditional later assignment overrides everything
+        sim = Simulator(m)
+        sim.poke("m.a", 1)
+        assert sim.peek("m.out") == 9
+
+    def test_nested_when(self):
+        m = self._build()
+        with when(m.a):
+            with when(m.b):
+                m.out <<= 3
+        sim = Simulator(m)
+        sim.poke("m.a", 1)
+        sim.poke("m.b", 0)
+        assert sim.peek("m.out") == 0
+        sim.poke("m.b", 1)
+        assert sim.peek("m.out") == 3
+
+    def test_orphan_otherwise_rejected(self):
+        Module("fresh")  # starting a module clears any previous chain
+        with pytest.raises(HdlError):
+            with otherwise():
+                pass
+
+    def test_orphan_elsewhen_rejected(self):
+        Module("fresh")
+        with pytest.raises(HdlError):
+            with elsewhen(1):
+                pass
+
+    def test_chain_does_not_leak_across_modules(self):
+        m1 = self._build()
+        with when(m1.a):
+            m1.out <<= 1
+        # constructing a new module clears m1's chain: an otherwise here
+        # must not silently attach to it
+        Module("m2")
+        with pytest.raises(HdlError):
+            with otherwise():
+                pass
+
+
+class TestAssignmentRules:
+    def test_top_input_not_assignable(self):
+        m = Module("m")
+        i = m.input("i", 1)
+        with pytest.raises(HdlError):
+            i <<= 1
+
+    def test_conditional_only_without_default_rejected(self):
+        m = Module("m")
+        a = m.input("a", 1)
+        w = m.wire("w", 4)  # no default
+        with when(a):
+            w <<= 3
+        with pytest.raises(HdlError):
+            elaborate(m)
+
+    def test_undriven_wire_rejected(self):
+        m = Module("m")
+        m.wire("w", 4)
+        with pytest.raises(HdlError):
+            elaborate(m)
+
+    def test_too_wide_driver_rejected(self):
+        m = Module("m")
+        w = m.wire("w", 4, default=0)
+        with pytest.raises(HdlError):
+            w <<= m.input("i", 8)
+
+    def test_narrow_driver_zero_extended(self):
+        m = Module("m")
+        i = m.input("i", 4)
+        w = m.output("w", 8)
+        w <<= i
+        sim = Simulator(m)
+        sim.poke("m.i", 0xF)
+        assert sim.peek("m.w") == 0x0F
+
+    def test_register_holds_without_assignment(self):
+        m = Module("m")
+        en = m.input("en", 1)
+        r = m.reg("r", 8, init=42)
+        with when(en):
+            r <<= 7
+        sim = Simulator(m)
+        sim.step(3)
+        assert sim.peek("m.r") == 42
+        sim.poke("m.en", 1)
+        sim.step()
+        assert sim.peek("m.r") == 7
+
+
+class TestCombLoop:
+    def test_detected(self):
+        from repro.hdl import CombLoopError
+
+        m = Module("m")
+        a = m.wire("a", 1, default=0)
+        b = m.wire("b", 1, default=0)
+        a <<= b
+        b <<= a
+        with pytest.raises(CombLoopError):
+            elaborate(m)
+
+    def test_register_breaks_loop(self):
+        m = Module("m")
+        r = m.reg("r", 1)
+        w = m.wire("w", 1, default=0)
+        w <<= ~r
+        r <<= w
+        sim = Simulator(m)
+        v0 = sim.peek("m.r")
+        sim.step()
+        assert sim.peek("m.r") == 1 - v0

@@ -1,0 +1,228 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hdl.nodes import (
+    BinaryOp,
+    Concat,
+    Const,
+    Downgrade,
+    Mux,
+    Slice,
+    UnaryOp,
+    WidthError,
+    all_of,
+    any_of,
+    cat,
+    declassify,
+    lit,
+    mux,
+    mux_case,
+    walk,
+)
+
+B8 = st.integers(min_value=0, max_value=255)
+
+
+def c8(v):
+    return Const(v, 8)
+
+
+class TestConst:
+    def test_in_range(self):
+        assert Const(255, 8).value == 255
+
+    def test_out_of_range(self):
+        with pytest.raises(WidthError):
+            Const(256, 8)
+
+    def test_eval(self):
+        assert Const(7, 4).eval_op([]) == 7
+
+
+class TestOperatorSugar:
+    def test_and_or_xor_widths(self):
+        a, b = c8(0xF0), c8(0x0F)
+        assert (a & b).eval_op([0xF0, 0x0F]) == 0
+        assert (a | b).eval_op([0xF0, 0x0F]) == 0xFF
+        assert (a ^ b).eval_op([0xF0, 0x0F]) == 0xFF
+
+    def test_invert_masks(self):
+        assert (~c8(0)).eval_op([0]) == 0xFF
+
+    def test_add_wraps(self):
+        assert (c8(200) + c8(100)).eval_op([200, 100]) == (300 & 0xFF)
+
+    def test_sub_wraps(self):
+        assert (c8(0) - c8(1)).eval_op([0, 1]) == 0xFF
+
+    def test_comparisons_are_one_bit(self):
+        assert c8(3).eq(3).width == 1
+        assert c8(3).lt(4).eval_op([3, 4]) == 1
+        assert c8(3).ge(4).eval_op([3, 4]) == 0
+
+    def test_shift_keeps_width(self):
+        n = c8(0x81) << 1
+        assert n.width == 8
+        assert n.eval_op([0x81, 1]) == 0x02
+
+    def test_int_coercion(self):
+        n = c8(1) + 2
+        assert isinstance(n, BinaryOp)
+
+    def test_no_python_truth_value(self):
+        with pytest.raises(TypeError):
+            bool(c8(1))
+
+    def test_reductions(self):
+        assert c8(0).red_or().eval_op([0]) == 0
+        assert c8(1).red_or().eval_op([1]) == 1
+        assert c8(0xFF).red_and().eval_op([0xFF]) == 1
+        assert c8(0xFE).red_and().eval_op([0xFE]) == 0
+        assert c8(0b0111).red_xor().eval_op([0b0111]) == 1
+
+    def test_is_zero(self):
+        n = c8(0).is_zero()
+        inner = n.a.eval_op([0])
+        assert n.eval_op([inner]) == 1
+
+
+class TestSlice:
+    def test_getitem_slice(self):
+        n = c8(0xAB)[7:4]
+        assert n.width == 4
+        assert n.eval_op([0xAB]) == 0xA
+
+    def test_single_bit(self):
+        assert c8(0x80)[7].eval_op([0x80]) == 1
+
+    def test_out_of_range(self):
+        with pytest.raises(WidthError):
+            Slice(c8(0), 8, 0)
+
+    def test_reversed_bounds(self):
+        with pytest.raises(WidthError):
+            Slice(c8(0), 2, 5)
+
+    def test_step_rejected(self):
+        with pytest.raises(ValueError):
+            c8(0)[7:0:2]
+
+
+class TestConcat:
+    def test_msb_first(self):
+        n = cat(Const(0xA, 4), Const(0xB, 4))
+        assert n.width == 8
+        assert n.eval_op([0xA, 0xB]) == 0xAB
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Concat([])
+
+    def test_zext(self):
+        n = Const(0x3, 2).zext(8)
+        assert n.width == 8
+
+    def test_zext_narrower_rejected(self):
+        with pytest.raises(WidthError):
+            c8(0).zext(4)
+
+    def test_trunc(self):
+        assert c8(0xAB).trunc(4).eval_op([0xAB]) == 0xB
+
+
+class TestMux:
+    def test_selects(self):
+        m = Mux(Const(1, 1), c8(5), c8(9))
+        assert m.eval_op([1, 5, 9]) == 5
+        assert m.eval_op([0, 5, 9]) == 9
+
+    def test_width_harmonised(self):
+        m = Mux(Const(1, 1), Const(1, 4), c8(0))
+        assert m.width == 8
+
+    def test_mux_case_priority(self):
+        n = mux_case(c8(0), [(Const(1, 1), c8(1)), (Const(1, 1), c8(2))])
+        # earlier entries take priority: outermost mux is the first case
+        assert n.sel.value == 1
+        assert n.if_true.value == 1
+
+
+class TestReduceHelpers:
+    def test_all_of_empty_is_true(self):
+        assert all_of().value == 1
+
+    def test_any_of_empty_is_false(self):
+        assert any_of().value == 0
+
+    def test_all_of_single_passthrough(self):
+        a = Const(1, 1)
+        assert all_of(a) is a
+
+    def test_balanced_depth(self):
+        conds = [Const(1, 1) for _ in range(32)]
+        tree = all_of(*conds)
+
+        def depth(n):
+            ops = n.operands()
+            return 1 + max((depth(o) for o in ops), default=0)
+
+        assert depth(tree) <= 7  # log2(32)+1, not 32
+
+
+class TestDowngrade:
+    def test_identity_semantics(self):
+        n = declassify(c8(7), None, None)
+        assert isinstance(n, Downgrade)
+        assert n.eval_op([7]) == 7
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            Downgrade(c8(0), "launder", None, None)
+
+
+class TestWalk:
+    def test_operands_before_users(self):
+        a, b = c8(1), c8(2)
+        n = a + b
+        order = walk([n])
+        assert order.index(a) < order.index(n)
+        assert order.index(b) < order.index(n)
+
+    def test_shared_nodes_once(self):
+        a = c8(1)
+        n = a + a
+        order = walk([n])
+        assert order.count(a) == 1
+
+
+class TestEvalAgainstPython:
+    @given(B8, B8)
+    def test_binary_ops_match_python(self, x, y):
+        cases = {
+            "and": x & y,
+            "or": x | y,
+            "xor": x ^ y,
+            "add": (x + y) & 0xFF,
+            "sub": (x - y) & 0xFF,
+            "mul": (x * y) & 0xFF,
+            "eq": int(x == y),
+            "lt": int(x < y),
+            "ge": int(x >= y),
+        }
+        for op, want in cases.items():
+            node = BinaryOp(op, c8(x), c8(y))
+            assert node.eval_op([x, y]) == want, op
+
+    @given(B8, st.integers(min_value=0, max_value=7))
+    def test_shifts_match_python(self, x, s):
+        shl = BinaryOp("shl", c8(x), Const(s, 3))
+        shr = BinaryOp("shr", c8(x), Const(s, 3))
+        assert shl.eval_op([x, s]) == (x << s) & 0xFF
+        assert shr.eval_op([x, s]) == x >> s
+
+    @given(B8)
+    def test_slice_concat_roundtrip(self, x):
+        hi, lo = c8(x)[7:4], c8(x)[3:0]
+        joined = cat(hi, lo)
+        assert joined.eval_op([x >> 4, x & 0xF]) == x

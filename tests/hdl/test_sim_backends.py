@@ -1,0 +1,167 @@
+"""Differential tests: the compiled backend must match the interpreter."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import Module, Simulator, cat, mux, otherwise, when
+
+
+class Alu(Module):
+    """A small ALU exercising most node kinds."""
+
+    def __init__(self):
+        super().__init__("alu")
+        self.op = self.input("op", 3)
+        self.a = self.input("a", 16)
+        self.b = self.input("b", 16)
+        self.acc = self.reg("acc", 16)
+        self.res = self.output("res", 16, default=0)
+
+        with when(self.op.eq(0)):
+            self.res <<= self.a + self.b
+        with elsewhen_(self.op, 1):
+            self.res <<= self.a - self.b
+        with elsewhen_(self.op, 2):
+            self.res <<= self.a & self.b
+        with elsewhen_(self.op, 3):
+            self.res <<= self.a ^ self.b
+        with elsewhen_(self.op, 4):
+            self.res <<= mux(self.a.lt(self.b), self.a, self.b)
+        with elsewhen_(self.op, 5):
+            self.res <<= cat(self.a[7:0], self.b[7:0])
+        with otherwise():
+            self.res <<= self.acc
+        self.acc <<= self.res
+
+
+def elsewhen_(sig, v):
+    from repro.hdl import elsewhen
+
+    return elsewhen(sig.eq(v))
+
+
+class MemUnit(Module):
+    def __init__(self):
+        super().__init__("mu")
+        self.we = self.input("we", 1)
+        self.addr = self.input("addr", 4)
+        self.din = self.input("din", 8)
+        self.m = self.mem("m", 12, 8)  # non-power-of-two depth
+        self.rom = self.rom("rom", [i * 3 % 251 for i in range(16)], 8)
+        self.dout = self.output("dout", 8)
+        self.romout = self.output("romout", 8)
+        self.dout <<= self.m.read(self.addr)
+        self.romout <<= self.rom.read(self.addr)
+        with when(self.we):
+            self.m.write(self.addr, self.din)
+
+
+def _run_sequence(backend, stimuli):
+    sim = Simulator(Alu(), backend=backend)
+    trace = []
+    for op, a, b in stimuli:
+        sim.poke("alu.op", op)
+        sim.poke("alu.a", a)
+        sim.poke("alu.b", b)
+        trace.append((sim.peek("alu.res"), sim.peek("alu.acc")))
+        sim.step()
+    return trace
+
+
+class TestBackendEquivalence:
+    def test_alu_random_differential(self):
+        rng = random.Random(1234)
+        stimuli = [
+            (rng.randrange(8), rng.getrandbits(16), rng.getrandbits(16))
+            for _ in range(200)
+        ]
+        assert _run_sequence("compiled", stimuli) == _run_sequence(
+            "interp", stimuli
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(
+        st.tuples(
+            st.integers(0, 7), st.integers(0, 0xFFFF), st.integers(0, 0xFFFF)
+        ),
+        min_size=1, max_size=20,
+    ))
+    def test_alu_property_differential(self, stimuli):
+        assert _run_sequence("compiled", stimuli) == _run_sequence(
+            "interp", stimuli
+        )
+
+    def test_memory_differential(self):
+        rng = random.Random(99)
+        sims = {b: Simulator(MemUnit(), backend=b) for b in ("compiled", "interp")}
+        for _ in range(100):
+            we, addr, din = rng.randrange(2), rng.randrange(16), rng.getrandbits(8)
+            outs = {}
+            for b, sim in sims.items():
+                sim.poke("mu.we", we)
+                sim.poke("mu.addr", addr)
+                sim.poke("mu.din", din)
+                outs[b] = (sim.peek("mu.dout"), sim.peek("mu.romout"))
+                sim.step()
+            assert outs["compiled"] == outs["interp"]
+
+    def test_out_of_range_mem_read_is_zero(self):
+        for backend in ("compiled", "interp"):
+            sim = Simulator(MemUnit(), backend=backend)
+            sim.poke("mu.addr", 14)  # beyond depth 12
+            assert sim.peek("mu.dout") == 0
+
+    def test_out_of_range_mem_write_dropped(self):
+        for backend in ("compiled", "interp"):
+            sim = Simulator(MemUnit(), backend=backend)
+            sim.poke("mu.we", 1)
+            sim.poke("mu.addr", 15)
+            sim.poke("mu.din", 0xAA)
+            sim.step()  # must not raise
+            assert all(
+                sim.peek_mem("mu.m", i) == 0 for i in range(12)
+            )
+
+
+class TestSimulatorApi:
+    def test_poke_rejects_oversize(self):
+        sim = Simulator(MemUnit())
+        with pytest.raises(ValueError):
+            sim.poke("mu.din", 256)
+
+    def test_poke_non_input_rejected(self):
+        from repro.hdl import HdlError
+
+        sim = Simulator(MemUnit())
+        with pytest.raises(HdlError):
+            sim.poke("mu.dout", 1)
+
+    def test_reset(self):
+        sim = Simulator(MemUnit())
+        sim.poke("mu.we", 1)
+        sim.poke("mu.addr", 3)
+        sim.poke("mu.din", 55)
+        sim.step()
+        assert sim.peek_mem("mu.m", 3) == 55
+        sim.reset()
+        assert sim.peek_mem("mu.m", 3) == 0
+        assert sim.cycle == 0
+
+    def test_poke_mem_backdoor(self):
+        sim = Simulator(MemUnit())
+        sim.poke_mem("mu.m", 5, 0x7E)
+        sim.poke("mu.addr", 5)
+        assert sim.peek("mu.dout") == 0x7E
+
+    def test_run_until_timeout(self):
+        sim = Simulator(MemUnit())
+        with pytest.raises(TimeoutError):
+            sim.run_until("mu.dout", 1, max_cycles=5)
+
+    def test_unknown_signal(self):
+        sim = Simulator(MemUnit())
+        with pytest.raises(KeyError):
+            sim.peek("mu.nope")

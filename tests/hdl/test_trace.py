@@ -1,0 +1,44 @@
+import os
+
+from repro.hdl import Module, Simulator, when
+from repro.hdl.sim.trace import Trace
+
+
+class Counter(Module):
+    def __init__(self):
+        super().__init__("c")
+        self.en = self.input("en", 1)
+        self.count = self.reg("count", 8)
+        with when(self.en):
+            self.count <<= self.count + 1
+
+
+def test_trace_records_per_cycle():
+    sim = Simulator(Counter())
+    tr = Trace(sim, ["c.count", "c.en"])
+    sim.poke("c.en", 1)
+    sim.step(5)
+    assert len(tr) == 5
+    assert tr.column("c.count") == [0, 1, 2, 3, 4]
+
+
+def test_trace_at_cycle():
+    sim = Simulator(Counter())
+    tr = Trace(sim, ["c.count"])
+    sim.poke("c.en", 1)
+    sim.step(3)
+    assert tr.at(2)["c.count"] == 2
+
+
+def test_vcd_output(tmp_path):
+    sim = Simulator(Counter())
+    tr = Trace(sim, ["c.count", "c.en"])
+    sim.poke("c.en", 1)
+    sim.step(4)
+    path = os.path.join(tmp_path, "wave.vcd")
+    tr.write_vcd(path)
+    with open(path) as f:
+        text = f.read()
+    assert "$timescale" in text
+    assert "c_count" in text
+    assert "#0" in text and "#3" in text

@@ -1,0 +1,83 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hdl.types import Bool, UInt, bit_length_for, check_width, fits, mask_for
+
+
+class TestMaskFor:
+    def test_small_widths(self):
+        assert mask_for(1) == 1
+        assert mask_for(8) == 0xFF
+        assert mask_for(128) == (1 << 128) - 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            mask_for(0)
+        with pytest.raises(ValueError):
+            mask_for(-3)
+
+    @given(st.integers(min_value=1, max_value=512))
+    def test_mask_is_all_ones(self, w):
+        m = mask_for(w)
+        assert m.bit_length() == w
+        assert m & (m + 1) == 0
+
+
+class TestFits:
+    def test_bounds(self):
+        assert fits(0, 1)
+        assert fits(255, 8)
+        assert not fits(256, 8)
+        assert not fits(-1, 8)
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=0))
+    def test_fits_iff_within_mask(self, w, v):
+        assert fits(v, w) == (v <= mask_for(w))
+
+
+class TestCheckWidth:
+    def test_accepts_ints(self):
+        assert check_width(7) == 7
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_width(True)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_width(0)
+
+    def test_rejects_str(self):
+        with pytest.raises(TypeError):
+            check_width("8")
+
+
+class TestBitLengthFor:
+    def test_examples(self):
+        assert bit_length_for(1) == 1
+        assert bit_length_for(2) == 1
+        assert bit_length_for(3) == 2
+        assert bit_length_for(256) == 8
+        assert bit_length_for(257) == 9
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bit_length_for(0)
+
+    @given(st.integers(min_value=2, max_value=1 << 20))
+    def test_covers_all_indices(self, n):
+        w = bit_length_for(n)
+        assert (1 << w) >= n
+        assert (1 << (w - 1)) < n or w == 1
+
+
+class TestUInt:
+    def test_repr_and_mask(self):
+        t = UInt(12)
+        assert t.width == 12
+        assert t.mask() == 0xFFF
+        assert "12" in repr(t)
+
+    def test_bool_is_one_bit(self):
+        assert Bool().width == 1

@@ -1,0 +1,280 @@
+"""Static checker behaviour: explicit flows, implicit flows, timing
+channels, inference, dependent labels, and downgrades."""
+
+import pytest
+
+from repro.hdl import Module, declassify, elaborate, endorse, mux, otherwise, when
+from repro.ifc.checker import IfcChecker, check_design
+from repro.ifc.dependent import DependentLabel
+from repro.ifc.label import Label
+from repro.ifc.lattice import two_point
+
+TP = two_point()
+P_T = Label(TP, "public", "trusted")
+P_U = Label(TP, "public", "untrusted")
+S_T = Label(TP, "secret", "trusted")
+S_U = Label(TP, "secret", "untrusted")
+
+
+def check(module, **kw):
+    return IfcChecker(elaborate(module), TP, **kw).check()
+
+
+class TestExplicitFlows:
+    def test_direct_leak_flagged(self):
+        m = Module("m")
+        sec = m.input("sec", 8, label=S_T)
+        out = m.output("out", 8, label=P_T)
+        out <<= sec
+        rep = check(m)
+        assert not rep.ok()
+        assert rep.errors[0].sink == "m.out"
+
+    def test_legal_upward_flow(self):
+        m = Module("m")
+        pub = m.input("pub", 8, label=P_T)
+        out = m.output("out", 8, label=S_T)
+        out <<= pub
+        assert check(m).ok()
+
+    def test_integrity_violation_flagged(self):
+        m = Module("m")
+        dirty = m.input("dirty", 8, label=P_U)
+        out = m.output("out", 8, label=P_T)
+        out <<= dirty
+        rep = check(m)
+        assert not rep.ok()
+
+    def test_arithmetic_mixes_labels(self):
+        m = Module("m")
+        sec = m.input("sec", 8, label=S_T)
+        pub = m.input("pub", 8, label=P_T)
+        out = m.output("out", 8, label=P_T)
+        out <<= (sec + pub) ^ 3
+        assert not check(m).ok()
+
+    def test_constant_is_public(self):
+        m = Module("m")
+        out = m.output("out", 8, label=P_T)
+        out <<= 42
+        assert check(m).ok()
+
+
+class TestImplicitFlows:
+    def test_condition_leaks_into_branch(self):
+        m = Module("m")
+        sec = m.input("sec", 1, label=S_T)
+        out = m.output("out", 1, label=P_T, default=0)
+        with when(sec):
+            out <<= 1
+        assert not check(m).ok()
+
+    def test_mux_selector_leaks(self):
+        m = Module("m")
+        sec = m.input("sec", 1, label=S_T)
+        out = m.output("out", 8, label=P_T)
+        out <<= mux(sec, 1, 2)
+        assert not check(m).ok()
+
+    def test_register_enable_leaks(self):
+        """Timing of a register update is a flow (the Fig. 6 mechanism)."""
+        m = Module("m")
+        sec = m.input("sec", 1, label=S_T)
+        pub = m.input("pub", 8, label=P_T)
+        r = m.reg("r", 8, label=P_T)
+        with when(sec):
+            r <<= pub
+        assert not check(m).ok()
+
+    def test_counter_timing_channel(self):
+        """A public 'valid' whose timing depends on a secret — Fig. 6."""
+        m = Module("m")
+        key = m.input("key", 8, label=S_T)
+        start = m.input("start", 1, label=P_T)
+        cnt = m.reg("cnt", 8)
+        valid = m.output("valid", 1, label=P_T, default=0)
+        with when(start):
+            cnt <<= key
+        with when(cnt.ne(0)):
+            cnt <<= cnt - 1
+        with when(cnt.eq(1)):
+            valid <<= 1
+        rep = check(m)
+        assert not rep.ok()
+        assert rep.errors_at("valid")
+
+
+class TestInference:
+    def test_labels_propagate_through_wires(self):
+        m = Module("m")
+        sec = m.input("sec", 8, label=S_T)
+        mid = m.wire("mid", 8)            # unlabelled
+        out = m.output("out", 8, label=P_T)
+        mid <<= sec ^ 5
+        out <<= mid
+        assert not check(m).ok()
+
+    def test_labels_propagate_through_registers(self):
+        m = Module("m")
+        sec = m.input("sec", 8, label=S_T)
+        r1 = m.reg("r1", 8)
+        r2 = m.reg("r2", 8)
+        out = m.output("out", 8, label=P_T)
+        r1 <<= sec
+        r2 <<= r1
+        out <<= r2
+        assert not check(m).ok()
+
+    def test_labels_propagate_through_memories(self):
+        m = Module("m")
+        sec = m.input("sec", 8, label=S_T)
+        addr = m.input("addr", 2, label=P_T)
+        we = m.input("we", 1, label=P_T)
+        store = m.mem("store", 4, 8)      # unlabelled
+        out = m.output("out", 8, label=P_T)
+        with when(we):
+            store.write(addr, sec)
+        out <<= store.read(addr)
+        assert not check(m).ok()
+
+    def test_unlabelled_input_warns(self):
+        m = Module("m")
+        x = m.input("x", 8)
+        out = m.output("out", 8, label=S_T)
+        out <<= x
+        rep = check(m)
+        assert rep.ok()
+        assert any("no label" in w for w in rep.warnings)
+
+
+class TestGuardedFlows:
+    """Runtime checks make flows vacuous — the checker's fold precision."""
+
+    def test_guard_makes_flow_safe(self):
+        m = Module("m")
+        sel = m.input("sel", 1, label=P_T)
+        dl = DependentLabel(sel, {0: P_T, 1: S_T}, TP)
+        hi = m.input("hi", 8, label=dl)
+        out = m.output("out", 8, label=P_T, default=0)
+        with when(sel.eq(0)):
+            out <<= hi  # only taken when hi is public
+        assert check(m).ok()
+
+    def test_unguarded_variant_fails(self):
+        m = Module("m")
+        sel = m.input("sel", 1, label=P_T)
+        dl = DependentLabel(sel, {0: P_T, 1: S_T}, TP)
+        hi = m.input("hi", 8, label=dl)
+        out = m.output("out", 8, label=P_T, default=0)
+        out <<= hi
+        rep = check(m)
+        assert not rep.ok()
+        # the error names the hypothesis that breaks it
+        assert any(h.get("m.sel") == 1 for h in
+                   (e.hypothesis for e in rep.errors))
+
+
+class TestDependentSinks:
+    def test_data_follows_tag_register(self):
+        """The Fig. 7 pattern: data reg labelled by its own tag reg."""
+        m = Module("m")
+        adv = m.input("adv", 1, label=P_T)
+        adv.meta["enumerate"] = True
+        tag_i = m.input("tag_i", 1, label=P_T)
+        dl_in = DependentLabel(tag_i, {0: P_T, 1: S_T}, TP)
+        data_i = m.input("data_i", 8, label=dl_in)
+        tag_r = m.reg("tag_r", 1, label=P_T)
+        data_r = m.reg("data_r", 8,
+                       label=DependentLabel(tag_r, {0: P_T, 1: S_T}, TP))
+        with when(adv):
+            tag_r <<= tag_i
+            data_r <<= data_i
+        assert check(m).ok()
+
+    def test_desynchronised_tag_fails(self):
+        """Tag and data updated under different conditions — flagged."""
+        m = Module("m")
+        adv = m.input("adv", 1, label=P_T)
+        adv.meta["enumerate"] = True
+        tag_i = m.input("tag_i", 1, label=P_T)
+        dl_in = DependentLabel(tag_i, {0: P_T, 1: S_T}, TP)
+        data_i = m.input("data_i", 8, label=dl_in)
+        tag_r = m.reg("tag_r", 1, label=P_T)
+        data_r = m.reg("data_r", 8,
+                       label=DependentLabel(tag_r, {0: P_T, 1: S_T}, TP))
+        with when(adv):
+            data_r <<= data_i       # data moves...
+        tag_r <<= 0                  # ...but the tag is forced public
+        assert not check(m).ok()
+
+
+class TestDowngrades:
+    def test_declassify_authorised(self):
+        m = Module("m")
+        sec = m.input("sec", 8, label=S_T)
+        out = m.output("out", 8, label=P_T)
+        out <<= declassify(sec, P_T, P_T)
+        rep = check(m)
+        assert rep.ok()
+        assert rep.downgrades_verified >= 1
+
+    def test_declassify_unauthorised(self):
+        m = Module("m")
+        sec = m.input("sec", 8, label=S_U)
+        out = m.output("out", 8, label=P_U)
+        out <<= declassify(sec, P_U, P_U)
+        rep = check(m)
+        assert not rep.ok()
+        assert any(e.kind == "downgrade" for e in rep.errors)
+
+    def test_endorse_raises_integrity(self):
+        m = Module("m")
+        dirty = m.input("dirty", 8, label=P_U)
+        out = m.output("out", 8, label=P_T)
+        out <<= endorse(dirty, P_T, P_T)
+        assert check(m).ok()
+
+    def test_downgrade_in_untaken_branch_not_checked(self):
+        """A declassify behind a guard that provably blocks the bad case
+        is vacuous there — the runtime-check idiom."""
+        m = Module("m")
+        ok = m.input("ok", 1, label=P_T)
+        ok.meta["enumerate"] = True
+        sec = m.input("sec", 8, label=S_U)  # untrusted: cannot declassify
+        out = m.output("out", 8, label=P_U, default=0)
+        with when(ok.eq(0)):
+            pass
+        # mux: the declassify only sits on the (never-authorised) branch
+        # guarded by a constant-0 condition, so it is never evaluated
+        from repro.hdl import lit
+
+        out <<= mux(lit(0, 1), declassify(sec, P_U, P_U), lit(0, 8))
+        assert check(m).ok()
+
+
+class TestReporting:
+    def test_summary_format(self):
+        m = Module("m")
+        sec = m.input("sec", 8, label=S_T)
+        out = m.output("out", 8, label=P_T)
+        out <<= sec
+        rep = check(m)
+        text = rep.summary()
+        assert "FAIL" in text and "m.out" in text
+
+    def test_check_design_convenience(self):
+        m = Module("m")
+        pub = m.input("pub", 8, label=P_T)
+        out = m.output("out", 8, label=S_T)
+        out <<= pub
+        assert check_design(m, TP).ok()
+
+    def test_budget_exhaustion_reported(self):
+        m = Module("m")
+        sel = m.input("sel", 8, label=P_T)
+        dl = DependentLabel(sel, {v: (S_T if v else P_T) for v in range(256)}, TP)
+        hi = m.input("hi", 8, label=dl)
+        out = m.output("out", 8, label=P_T)
+        out <<= hi
+        rep = IfcChecker(elaborate(m), TP, max_hypotheses=4).check()
+        assert any(e.kind == "structure" for e in rep.errors)

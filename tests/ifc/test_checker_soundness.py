@@ -1,0 +1,100 @@
+"""Soundness cross-check: on randomly generated small designs, a static
+PASS must imply no dynamic violations on random stimulus.
+
+(The converse need not hold — the checker may conservatively reject
+designs that happen to behave on the sampled inputs.)
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl import Module, Simulator, elaborate, mux, when
+from repro.ifc.checker import IfcChecker
+from repro.ifc.label import Label
+from repro.ifc.lattice import two_point
+from repro.ifc.tracker import LabelTracker
+
+TP = two_point()
+LABELS = [
+    Label(TP, "public", "trusted"),
+    Label(TP, "public", "untrusted"),
+    Label(TP, "secret", "trusted"),
+    Label(TP, "secret", "untrusted"),
+]
+
+
+def build_random_design(seed: int):
+    """A random DAG of operations over four labelled inputs, with a
+    randomly labelled register, memory, and output."""
+    rng = random.Random(seed)
+    m = Module("rand")
+    pool = []
+    for i in range(4):
+        sig = m.input(f"i{i}", 8, label=rng.choice(LABELS))
+        pool.append(sig)
+
+    for i in range(rng.randrange(2, 7)):
+        a, b = rng.choice(pool), rng.choice(pool)
+        kind = rng.randrange(5)
+        if kind == 0:
+            expr = a ^ b
+        elif kind == 1:
+            expr = a + b
+        elif kind == 2:
+            expr = mux(a[0], a, b)
+        elif kind == 3:
+            expr = (a & b) | 1
+        else:
+            expr = a - b
+        w = m.wire(f"w{i}", 8)
+        w <<= expr
+        pool.append(w)
+
+    r = m.reg("r", 8, label=rng.choice(LABELS))
+    with when(rng.choice(pool)[0]):
+        r <<= rng.choice(pool)
+    pool.append(r)
+
+    mem = m.mem("mem", 4, 8, label=rng.choice(LABELS))
+    with when(rng.choice(pool)[1]):
+        mem.write(rng.choice(pool)[1:0], rng.choice(pool))
+    mo = m.wire("mo", 8)
+    mo <<= mem.read(rng.choice(pool)[1:0])
+    pool.append(mo)
+
+    out = m.output("out", 8, label=rng.choice(LABELS))
+    out <<= rng.choice(pool)
+    return m
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_static_pass_implies_dynamic_clean(seed):
+    design = build_random_design(seed)
+    report = IfcChecker(elaborate(design), TP).check()
+    if not report.ok():
+        return  # rejected designs carry no guarantee
+
+    design2 = build_random_design(seed)  # fresh instance for simulation
+    sim = Simulator(design2)
+    tracker = LabelTracker(sim, TP)
+    rng = random.Random(seed ^ 0xABCDEF)
+    for _ in range(20):
+        for i in range(4):
+            sim.poke(f"rand.i{i}", rng.getrandbits(8))
+        sim.step()
+    assert tracker.ok(), (
+        f"seed {seed}: checker passed but tracker found "
+        f"{tracker.violations[:3]}"
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_checker_is_deterministic(seed):
+    r1 = IfcChecker(elaborate(build_random_design(seed)), TP).check()
+    r2 = IfcChecker(elaborate(build_random_design(seed)), TP).check()
+    assert r1.ok() == r2.ok()
+    assert len(r1.errors) == len(r2.errors)

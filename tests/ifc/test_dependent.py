@@ -1,0 +1,96 @@
+import pytest
+
+from repro.hdl import Module
+from repro.ifc.dependent import CellTagLabel, DependentLabel, resolve_label, tag_label
+from repro.ifc.label import Label
+from repro.ifc.lattice import SecurityLattice, two_point
+
+TP = two_point()
+P_T = Label(TP, "public", "trusted")
+P_U = Label(TP, "public", "untrusted")
+LAT4 = SecurityLattice(("a", "b", "c", "d"))
+
+
+def _selector(width=1):
+    m = Module("m")
+    return m.input("sel", width)
+
+
+class TestDependentLabel:
+    def test_dict_mapping(self):
+        dl = DependentLabel(_selector(), {0: P_T, 1: P_U}, TP)
+        assert dl.resolve(0) == P_T
+        assert dl.resolve(1) == P_U
+
+    def test_out_of_domain(self):
+        dl = DependentLabel(_selector(), {0: P_T}, TP)
+        with pytest.raises(KeyError):
+            dl.resolve(5)
+
+    def test_callable_needs_domain(self):
+        with pytest.raises(ValueError):
+            DependentLabel(_selector(), lambda v: P_T, TP)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            DependentLabel(_selector(), {}, TP)
+
+    def test_upper_bound_is_join(self):
+        dl = DependentLabel(_selector(), {0: P_T, 1: P_U}, TP)
+        ub = dl.upper_bound()
+        assert P_T.flows_to(ub) and P_U.flows_to(ub)
+
+    def test_lower_bound_is_meet(self):
+        dl = DependentLabel(_selector(), {0: P_T, 1: P_U}, TP)
+        lb = dl.lower_bound()
+        assert lb.flows_to(P_T) and lb.flows_to(P_U)
+
+    def test_repr_mentions_selector(self):
+        dl = DependentLabel(_selector(), {0: P_T}, TP)
+        assert "DL(" in repr(dl)
+
+
+class TestTagLabel:
+    def test_decodes_all_values(self):
+        sel = _selector(8)
+        dl = tag_label(sel, LAT4)
+        assert len(dl.domain) == 256
+        assert dl.resolve(0xFF) == Label(LAT4, "secret", "trusted")
+        assert dl.resolve(0x00) == Label(LAT4, "public", "untrusted")
+
+    def test_narrow_selector_rejected(self):
+        with pytest.raises(ValueError):
+            tag_label(_selector(4), LAT4)
+
+
+class TestCellTagLabel:
+    def _tag_mem(self):
+        m = Module("m")
+        return m.mem("tags", 4, 8)
+
+    def test_resolve_decodes(self):
+        ctl = CellTagLabel(self._tag_mem(), LAT4)
+        assert ctl.resolve(0xF0) == Label(LAT4, "secret", "untrusted")
+
+    def test_domain_restriction(self):
+        ctl = CellTagLabel(self._tag_mem(), LAT4, domain=[0x11, 0x22])
+        assert ctl.domain == [0x11, 0x22]
+        ub = ctl.upper_bound()
+        assert ctl.resolve(0x11).flows_to(ub)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            CellTagLabel(self._tag_mem(), LAT4, domain=[])
+
+
+class TestResolveLabel:
+    def test_static_passthrough(self):
+        assert resolve_label(P_T) == P_T
+
+    def test_dependent_with_value(self):
+        dl = DependentLabel(_selector(), {0: P_T, 1: P_U}, TP)
+        assert resolve_label(dl, 1) == P_U
+
+    def test_dependent_without_value_is_upper(self):
+        dl = DependentLabel(_selector(), {0: P_T, 1: P_U}, TP)
+        assert resolve_label(dl) == dl.upper_bound()

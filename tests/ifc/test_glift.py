@@ -1,0 +1,182 @@
+"""GLIFT bit-precise taint tracking — gate rules, value-aware precision,
+and the crypto-needs-declassification demonstration."""
+
+import pytest
+
+from repro.hdl import Module, Simulator, declassify, mux, when
+from repro.ifc.glift import GliftTracker, _ripple_up
+from repro.ifc.label import Label
+from repro.ifc.lattice import two_point
+
+TP = two_point()
+P_T = Label(TP, "public", "trusted")
+
+
+class _Gates(Module):
+    def __init__(self):
+        super().__init__("g")
+        self.a = self.input("a", 8)
+        self.b = self.input("b", 8)
+        self.sel = self.input("sel", 1)
+        for name, expr in {
+            "o_and": self.a & self.b,
+            "o_or": self.a | self.b,
+            "o_xor": self.a ^ self.b,
+            "o_add": self.a + self.b,
+            "o_eq": self.a.eq(self.b),
+            "o_mux": mux(self.sel, self.a, self.b),
+        }.items():
+            out = self.output(name, expr.width)
+            out <<= expr
+
+
+def _track(a=0, b=0, sel=0, ta=0, tb=0, tsel=0):
+    sim = Simulator(_Gates())
+    tr = GliftTracker(sim, {"g.a": ta, "g.b": tb, "g.sel": tsel})
+    sim.poke("g.a", a)
+    sim.poke("g.b", b)
+    sim.poke("g.sel", sel)
+    sim.step()
+    return sim, tr
+
+
+class TestGateRules:
+    def test_and_with_untainted_zero_is_clean(self):
+        _sim, tr = _track(a=0xFF, b=0x00, ta=0xFF, tb=0)
+        assert tr.taint_of("g.o_and") == 0
+
+    def test_and_with_untainted_one_passes_taint(self):
+        _sim, tr = _track(a=0xFF, b=0x0F, ta=0xFF, tb=0)
+        assert tr.taint_of("g.o_and") == 0x0F
+
+    def test_or_with_untainted_one_is_clean(self):
+        _sim, tr = _track(a=0x00, b=0xFF, ta=0xFF, tb=0)
+        assert tr.taint_of("g.o_or") == 0
+
+    def test_xor_always_propagates(self):
+        _sim, tr = _track(a=0, b=0, ta=0xF0, tb=0x0F)
+        assert tr.taint_of("g.o_xor") == 0xFF
+
+    def test_add_ripples_upward(self):
+        _sim, tr = _track(a=0, b=0, ta=0b100, tb=0)
+        assert tr.taint_of("g.o_add") == 0b11111100
+
+    def test_eq_decided_by_untainted_bits_is_clean(self):
+        # low nibble tainted, but the untainted high nibbles already differ
+        _sim, tr = _track(a=0xA0, b=0x50, ta=0x0F, tb=0)
+        assert tr.taint_of("g.o_eq") == 0
+
+    def test_eq_undecided_is_tainted(self):
+        _sim, tr = _track(a=0xA0, b=0xA0, ta=0x0F, tb=0)
+        assert tr.taint_of("g.o_eq") == 1
+
+    def test_mux_clean_sel_takes_branch_taint(self):
+        _sim, tr = _track(sel=1, ta=0xAA, tb=0x55)
+        assert tr.taint_of("g.o_mux") == 0xAA
+        _sim, tr = _track(sel=0, ta=0xAA, tb=0x55)
+        assert tr.taint_of("g.o_mux") == 0x55
+
+    def test_mux_tainted_sel_taints_differing_bits(self):
+        _sim, tr = _track(a=0xF0, b=0x0F, sel=0, tsel=1)
+        assert tr.taint_of("g.o_mux") == 0xFF
+
+    def test_mux_tainted_sel_equal_branches_clean(self):
+        _sim, tr = _track(a=0x33, b=0x33, sel=0, tsel=1)
+        assert tr.taint_of("g.o_mux") == 0
+
+    def test_ripple_helper(self):
+        assert _ripple_up(0, 8) == 0
+        assert _ripple_up(0b1, 8) == 0xFF
+        assert _ripple_up(0b10000, 8) == 0xF0
+
+
+class TestStateAndSinks:
+    def test_taint_flows_through_registers(self):
+        m = Module("m")
+        x = m.input("x", 8)
+        r = m.reg("r", 8)
+        r <<= x
+        out = m.output("out", 8)
+        out <<= r
+        sim = Simulator(m)
+        tr = GliftTracker(sim, {"m.x": 0x0F}, sinks=["m.out"])
+        sim.step(2)
+        assert tr.taint_of("m.r") == 0x0F
+        assert not tr.ok()
+        assert tr.violations[0].taint_mask == 0x0F
+
+    def test_memory_cells_carry_taint(self):
+        m = Module("m")
+        we = m.input("we", 1)
+        addr = m.input("addr", 2)
+        din = m.input("din", 8)
+        mem = m.mem("mem", 4, 8)
+        out = m.output("out", 8)
+        out <<= mem.read(addr)
+        with when(we):
+            mem.write(addr, din)
+        sim = Simulator(m)
+        tr = GliftTracker(sim, {"m.din": 0xFF})
+        sim.poke("m.we", 1)
+        sim.poke("m.addr", 2)
+        sim.step()
+        assert tr.mem_taint_of("m.mem", 2) == 0xFF
+        assert tr.mem_taint_of("m.mem", 1) == 0
+
+    def test_downgrade_clears_when_honored(self):
+        m = Module("m")
+        x = m.input("x", 8)
+        out = m.output("out", 8)
+        out <<= declassify(x, P_T, P_T)
+        sim = Simulator(m)
+        tr = GliftTracker(sim, {"m.x": 0xFF}, honor_downgrades=True)
+        sim.step()
+        assert tr.taint_of("m.out") == 0
+
+    def test_downgrade_kept_by_default(self):
+        m = Module("m")
+        x = m.input("x", 8)
+        out = m.output("out", 8)
+        out <<= declassify(x, P_T, P_T)
+        sim = Simulator(m)
+        tr = GliftTracker(sim, {"m.x": 0xFF})
+        sim.step()
+        assert tr.taint_of("m.out") == 0xFF
+
+
+class TestCryptoStory:
+    """§5: GLIFT shows the key reaching the ciphertext (noninterference is
+    too strict) and the declassifier realising the paper's release point."""
+
+    def _pipe(self):
+        from repro.accel.pipeline import AesPipeline
+
+        sim = Simulator(AesPipeline(protected=True))
+        sim.poke("pipe.advance", 1)
+        sim.poke("pipe.kx_start", 1)
+        sim.poke("pipe.kx_slot", 1)
+        sim.poke("pipe.kx_key", 0x1234)
+        sim.poke("pipe.kx_key_tag", 0x11)
+        sim.step()
+        sim.poke("pipe.kx_start", 0)
+        sim.run_until("pipe.kx_busy", 0, 50)
+        return sim
+
+    @pytest.mark.slow
+    def test_key_taints_every_ciphertext_bit(self):
+        sim = self._pipe()
+        tr = GliftTracker(sim, {"pipe.kx_key": (1 << 128) - 1})
+        # taint the round-key RAM of slot 1 directly (the key already went in)
+        rk_mem = sim._resolve_mem("pipe.keyexp.rk_mem_1")
+        for i in range(11):
+            tr.mem_taint[rk_mem][i] = (1 << 128) - 1
+        sim.poke("pipe.in_valid", 1)
+        sim.poke("pipe.in_op", 0)
+        sim.poke("pipe.in_slot", 1)
+        sim.poke("pipe.in_user", 0x11)
+        sim.poke("pipe.in_data", 0xABCD)
+        sim.step()
+        sim.poke("pipe.in_valid", 0)
+        sim.run_until("pipe.out_valid", 1, 50)
+        tr.refresh()
+        assert tr.taint_of("pipe.out_data") == (1 << 128) - 1

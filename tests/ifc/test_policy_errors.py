@@ -1,0 +1,76 @@
+"""Policy objects (Table 1 rows) and structured report behaviour."""
+
+import pytest
+
+from repro.ifc.errors import CheckReport, LabelError
+from repro.ifc.policy import TABLE1_POLICIES, FlowPolicy, PolicyCheckResult
+
+
+class TestPolicies:
+    def test_six_rows(self):
+        assert len(TABLE1_POLICIES) == 6
+        assert [p.policy_id for p in TABLE1_POLICIES] == [
+            f"P{i}" for i in range(1, 7)
+        ]
+
+    def test_kinds_match_paper(self):
+        # Table 1: C, I, C, C, I, I
+        assert [p.kind for p in TABLE1_POLICIES] == list("CICCII")
+
+    def test_assets(self):
+        assets = [p.asset for p in TABLE1_POLICIES]
+        assert assets == ["Keys", "Keys", "Keys", "Plaintext", "Plaintext",
+                          "Configs"]
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FlowPolicy("PX", "x", "r", "Z", "s", "k", "never")
+
+    def test_result_enforced(self):
+        p = TABLE1_POLICIES[0]
+        assert PolicyCheckResult(p, True, True).enforced
+        assert not PolicyCheckResult(p, True, False).enforced
+        assert not PolicyCheckResult(p, False, True).enforced
+        assert "ENFORCED" in repr(PolicyCheckResult(p, True, True))
+
+
+class TestCheckReport:
+    def _err(self, sink="m.x", kind="flow"):
+        return LabelError(sink, "(secret, trusted)", "(public, trusted)",
+                          kind=kind, hypothesis={"m.way": 1}, detail="boom")
+
+    def test_ok_transitions(self):
+        rep = CheckReport("design")
+        assert rep.ok()
+        rep.add_error(self._err())
+        assert not rep.ok()
+
+    def test_errors_at_and_distinct_sinks(self):
+        rep = CheckReport("design")
+        rep.add_error(self._err("m.a"))
+        rep.add_error(self._err("m.a"))
+        rep.add_error(self._err("m.b"))
+        assert len(rep.errors_at("m.a")) == 2
+        assert rep.distinct_sinks() == ["m.a", "m.b"]
+
+    def test_summary_contents(self):
+        rep = CheckReport("design")
+        rep.add_error(self._err())
+        rep.add_warning("something odd")
+        text = rep.summary()
+        assert "FAIL" in text
+        assert "something odd" in text
+        assert "m.way=1" in text
+
+    def test_label_error_repr(self):
+        e = self._err(kind="downgrade")
+        text = repr(e)
+        assert "downgrade error" in text
+        assert "⋢" in text
+        assert "boom" in text
+
+    def test_repr_status(self):
+        rep = CheckReport("d")
+        assert "PASS" in repr(rep)
+        rep.add_error(self._err())
+        assert "FAIL" in repr(rep)

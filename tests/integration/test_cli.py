@@ -1,0 +1,65 @@
+"""The `python -m repro` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCheckCommand:
+    def test_list(self, capsys):
+        assert main(["check", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "protected" in out and "scratchpad" in out
+
+    def test_pass_exits_zero(self, capsys):
+        assert main(["check", "scratchpad"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_fail_exits_one(self, capsys):
+        assert main(["check", "keyexp-flawed"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        assert main(["check", "cache-tags-broken", "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is False
+        assert data["errors"]
+
+    def test_unknown_module(self, capsys):
+        assert main(["check", "nonsense"]) == 2
+
+
+class TestVerilogCommand:
+    def test_to_file(self, tmp_path, capsys):
+        out = tmp_path / "pad.v"
+        assert main(["verilog", "scratchpad", "-o", str(out)]) == 0
+        text = out.read_text()
+        assert "module scratchpad" in text
+        assert "endmodule" in text
+
+    def test_unknown_module(self):
+        assert main(["verilog", "nonsense"]) == 2
+
+
+class TestAttackCommand:
+    def test_master_key(self, capsys):
+        assert main(["attack", "master-key"]) == 0
+        out = capsys.readouterr().out
+        assert "eve=True" in out       # baseline
+        assert "eve=False" in out      # protected
+
+    def test_unknown_attack(self):
+        assert main(["attack", "nonsense"]) == 2
+
+
+class TestTopLevel:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "LUTs" in out and "Paper" in out

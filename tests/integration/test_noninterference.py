@@ -1,0 +1,116 @@
+"""Executable noninterference: the property the whole paper is about.
+
+Two complete SoC runs differ **only** in Alice's secrets (her key and
+plaintexts).  Everything Eve can observe — her ciphertexts, the cycles
+they arrive, the accelerator's ready signal at her issue attempts, her
+debug-port reads, her counter views — must be bit- and cycle-identical
+across the two runs.
+
+On the protected design this holds even while Alice floods the pipeline
+and her reader stalls (the §3.1 scenario).  On the baseline the same
+scenario produces *different* Eve-observations — the covert channel in
+hyperproperty form.
+"""
+
+import pytest
+
+from repro.accel.baseline import AesAcceleratorBaseline
+from repro.accel.common import user_label
+from repro.accel.driver import AcceleratorDriver
+from repro.accel.protected import AesAcceleratorProtected
+
+ALICE = user_label("p0").encode()
+EVE = user_label("p1").encode()
+EVE_KEY = 0xE0E1E2E3E4E5E6E7E8E9EAEBECEDEEEF
+
+
+def eve_observation_trace(protected: bool, alice_key: int,
+                          alice_blocks, alice_reader_stalls: bool):
+    """Run the shared-accelerator scenario; return everything Eve sees."""
+    accel = AesAcceleratorProtected() if protected else AesAcceleratorBaseline()
+    drv = AcceleratorDriver(accel)
+    sim = drv.sim
+    top = drv.top
+
+    if protected:
+        drv.allocate_slot(1, ALICE)
+        drv.allocate_slot(2, EVE)
+    drv.load_key(ALICE, 1, alice_key)
+    drv.load_key(EVE, 2, EVE_KEY)
+
+    trace = []
+
+    def observe(reader_is_eve: bool):
+        if reader_is_eve:
+            trace.append((
+                sim.cycle,
+                sim.peek(f"{top}.out_valid"),
+                sim.peek(f"{top}.out_data"),
+                sim.peek(f"{top}.in_ready"),
+                sim.peek(f"{top}.dbg_data"),
+            ))
+
+    # deterministic interleaved schedule: Alice floods, Eve probes at
+    # fixed cycles (retrying while the accelerator is not ready — the
+    # retry behaviour itself is part of what Eve observes); Alice's
+    # reader withholds readiness during the encoding window when asked
+    base = sim.cycle
+    alice_queue = list(alice_blocks)
+    eve_pending = []
+    for t in range(200):
+        cyc = sim.cycle - base
+        if cyc in (40, 55, 70):
+            eve_pending.append(0xE7E00000 + cyc)
+        reader_is_eve = (t % 2 == 1)
+        reader = EVE if reader_is_eve else ALICE
+        withhold = (not reader_is_eve) and alice_reader_stalls and t < 60
+        sim.poke(f"{top}.rd_user", reader)
+        sim.poke(f"{top}.out_ready", 0 if withhold else 1)
+
+        ready = sim.peek(f"{top}.in_ready")
+        if eve_pending and ready:
+            drv._poke_cmd(0, EVE, slot=2, data=eve_pending.pop(0))
+        elif alice_queue and ready:
+            drv._poke_cmd(0, ALICE, slot=1, data=alice_queue.pop(0))
+        else:
+            drv._idle_inputs()
+
+        observe(reader_is_eve)
+        sim.step()
+    return trace
+
+
+SECRET_A = {"key": 0xA1A2A3A4A5A6A7A8A9AAABACADAEAFA0,
+            "blocks": [0x1111 + i for i in range(20)]}
+SECRET_B = {"key": 0xB1B2B3B4B5B6B7B8B9BABBBCBDBEBFB0,
+            "blocks": [0x9999_0000 + 7 * i for i in range(20)]}
+
+
+class TestNoninterference:
+    @pytest.mark.slow
+    @pytest.mark.parametrize("stalls", [False, True])
+    def test_protected_is_noninterfering(self, stalls):
+        t1 = eve_observation_trace(True, SECRET_A["key"], SECRET_A["blocks"],
+                                   stalls)
+        t2 = eve_observation_trace(True, SECRET_B["key"], SECRET_B["blocks"],
+                                   stalls)
+        assert t1 == t2, (
+            "Eve's observations depend on Alice's secrets: "
+            f"first divergence {next((a, b) for a, b in zip(t1, t2) if a != b)}"
+        )
+
+    @pytest.mark.slow
+    def test_baseline_interferes_under_stall(self):
+        t1 = eve_observation_trace(False, SECRET_A["key"], SECRET_A["blocks"],
+                                   True)
+        t2 = eve_observation_trace(False, SECRET_B["key"], SECRET_B["blocks"],
+                                   True)
+        assert t1 != t2  # the baseline leaks through Eve's view
+
+    @pytest.mark.slow
+    def test_eve_results_are_still_live(self):
+        """Noninterference must not be achieved by starving Eve."""
+        trace = eve_observation_trace(True, SECRET_A["key"],
+                                      SECRET_A["blocks"], True)
+        eve_outputs = [row for row in trace if row[1] == 1]
+        assert eve_outputs, "Eve never received her ciphertexts"

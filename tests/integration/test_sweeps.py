@@ -1,0 +1,32 @@
+"""Unit-level checks of the sweep drivers (small configurations)."""
+
+import pytest
+
+from repro.eval.sweeps import contention_sweep, covert_bandwidth
+
+
+@pytest.mark.slow
+class TestContention:
+    def test_isolation_holds_at_every_load(self):
+        points = contention_sweep(blocks_per_user=4)
+        assert [p.users for p in points] == [1, 2, 3]
+        for p in points:
+            assert p.correct
+            assert 30 <= p.mean_latency <= 45
+
+    def test_throughput_scales_with_users(self):
+        points = contention_sweep(blocks_per_user=4)
+        rates = [p.blocks_per_cycle for p in points]
+        assert rates == sorted(rates)  # more users = better utilisation
+
+
+@pytest.mark.slow
+class TestCovertBandwidth:
+    def test_baseline_has_capacity_protected_has_none(self):
+        results = covert_bandwidth(windows=(16,), bits=6)
+        base = results["baseline"][0]
+        prot = results["protected"][0]
+        assert base["mi_bits"] > 0.9
+        assert base["bandwidth_bps"] > 1e5   # > 100 kb/s at the clock
+        assert prot["mi_bits"] == 0.0
+        assert prot["bandwidth_bps"] == 0.0

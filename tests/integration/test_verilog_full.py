@@ -1,0 +1,72 @@
+"""Deep structural validation of the exported full-accelerator Verilog."""
+
+import re
+
+import pytest
+
+from repro.accel.protected import AesAcceleratorProtected
+from repro.hdl import elaborate
+from repro.hdl.verilog import VerilogWriter
+
+IDENT = r"[A-Za-z_][A-Za-z0-9_]*"
+
+
+@pytest.fixture(scope="module")
+def export():
+    netlist = elaborate(AesAcceleratorProtected())
+    writer = VerilogWriter(netlist, "aes_protected")
+    return netlist, writer.emit()
+
+
+class TestFullExport:
+    def test_every_register_declared_and_reset_and_driven(self, export):
+        netlist, source = export
+        for reg in netlist.regs:
+            name = re.sub(r"[^A-Za-z0-9_]", "_",
+                          reg.path[len(netlist.root.path) + 1:])
+            assert re.search(rf"\breg \[\d+:0\] {name};", source), name
+            # one reset assignment and one next-state assignment
+            assert source.count(f"{name} <= ") >= 2, name
+
+    def test_every_memory_declared(self, export):
+        netlist, source = export
+        for mem in netlist.mems:
+            name = re.sub(r"[^A-Za-z0-9_]", "_",
+                          mem.path[len(netlist.root.path) + 1:])
+            assert re.search(
+                rf"\breg \[\d+:0\] {name} \[0:{mem.depth - 1}\];", source
+            ), name
+
+    def test_every_root_port_present(self, export):
+        netlist, source = export
+        header = source.split(");", 1)[0]
+        for sig in netlist.inputs:
+            name = sig.path[len(netlist.root.path) + 1:]
+            assert re.search(rf"input wire \[\d+:0\] {name}\b", header), name
+
+    def test_ssa_wires_defined_before_nothing_dangles(self, export):
+        _netlist, source = export
+        defined = set(re.findall(rf"wire \[\d+:0\] (n\d+) =", source))
+        used = set(re.findall(r"\b(n\d+)\b", source))
+        assert used <= defined | set(), sorted(used - defined)[:5]
+
+    def test_identifier_uniqueness(self, export):
+        _netlist, source = export
+        decls = re.findall(rf"(?:wire|reg) \[\d+:0\] ({IDENT})[ ;\[=]", source)
+        assert len(decls) == len(set(decls))
+
+    def test_single_always_block_and_balanced_begins(self, export):
+        _netlist, source = export
+        assert source.count("always @(posedge clk)") == 1
+        begins = len(re.findall(r"\bbegin\b", source))
+        ends = len(re.findall(r"\bend\b", source))
+        assert begins == ends
+
+    def test_rom_initials_match_contents(self, export):
+        netlist, source = export
+        # spot-check: the first S-box entry of stage 1
+        assert re.search(r"pipe_sa1_sbox\[0\] = 8'h63;", source)
+
+    def test_downgrade_sites_annotated(self, export):
+        _netlist, source = export
+        assert source.count("reviewed downgrade") >= 3

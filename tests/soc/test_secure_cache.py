@@ -1,0 +1,86 @@
+"""The secure cache case study: behaviour, partition, and type check."""
+
+import pytest
+
+from repro.hdl import Simulator, elaborate
+from repro.ifc.checker import IfcChecker
+from repro.ifc.lattice import two_point
+from repro.soc.secure_cache import SecureCache
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(SecureCache())
+
+
+def refill(sim, way, index, tag, data):
+    sim.poke("scache.refill", 1)
+    sim.poke("scache.req", 0)
+    sim.poke("scache.way", way)
+    sim.poke("scache.index", index)
+    sim.poke("scache.tag_in", tag)
+    sim.poke("scache.data_in", data)
+    sim.step()
+    sim.poke("scache.refill", 0)
+
+
+def lookup(sim, way, index, tag):
+    sim.poke("scache.req", 1)
+    sim.poke("scache.refill", 0)
+    sim.poke("scache.way", way)
+    sim.poke("scache.index", index)
+    sim.poke("scache.tag_in", tag)
+    return sim.peek("scache.hit"), sim.peek("scache.data_out")
+
+
+class TestBehaviour:
+    def test_hit_after_refill(self, sim):
+        refill(sim, 0, 5, 0x1A2B3, 0xCAFE)
+        assert lookup(sim, 0, 5, 0x1A2B3) == (1, 0xCAFE)
+
+    def test_miss_on_wrong_tag(self, sim):
+        refill(sim, 0, 5, 0x1A2B3, 0xCAFE)
+        hit, _ = lookup(sim, 0, 5, 0x79999)
+        assert hit == 0
+
+    def test_miss_on_invalid_line(self, sim):
+        hit, _ = lookup(sim, 0, 9, 0x1)
+        assert hit == 0
+
+    def test_ways_are_independent(self, sim):
+        refill(sim, 0, 2, 0x111, 0xAAAA)
+        refill(sim, 1, 2, 0x222, 0xBBBB)
+        assert lookup(sim, 0, 2, 0x111) == (1, 0xAAAA)
+        assert lookup(sim, 1, 2, 0x222) == (1, 0xBBBB)
+        # cross-way tags never hit
+        assert lookup(sim, 0, 2, 0x222)[0] == 0
+        assert lookup(sim, 1, 2, 0x111)[0] == 0
+
+    def test_untrusted_refill_never_touches_trusted_way(self, sim):
+        refill(sim, 0, 7, 0x333, 0x1234)
+        refill(sim, 1, 7, 0x444, 0x5678)
+        assert lookup(sim, 0, 7, 0x333) == (1, 0x1234)
+
+    def test_broken_variant_crosses_ways(self):
+        sim = Simulator(SecureCache(broken=True))
+        refill(sim, 1, 7, 0x444, 0x5678)
+        # the flaw: the untrusted refill landed in way 0 as well
+        assert lookup(sim, 0, 7, 0x444)[1] == 0x5678
+
+
+class TestTypeCheck:
+    def test_partition_verifies(self):
+        lattice = two_point()
+        report = IfcChecker(elaborate(SecureCache(lattice)), lattice).check()
+        assert report.ok(), report.summary()
+
+    def test_broken_variant_rejected_at_way1(self):
+        lattice = two_point()
+        report = IfcChecker(
+            elaborate(SecureCache(lattice, broken=True)), lattice
+        ).check()
+        assert not report.ok()
+        assert any(h.get("scache.way") == 1
+                   for h in (e.hypothesis for e in report.errors))
+        sinks = " ".join(report.distinct_sinks())
+        assert "tags0" in sinks or "data0" in sinks

@@ -1,0 +1,118 @@
+"""Multi-user SoC harness: provisioning, sharing, routing, isolation."""
+
+import pytest
+
+from repro.aes import encrypt_block
+from repro.soc.requests import (
+    Request,
+    blocks_to_message,
+    decrypt_stream,
+    encrypt_stream,
+    message_blocks,
+    mixed_workload,
+    random_blocks,
+)
+from repro.soc.system import SoCSystem
+from repro.soc.users import default_principals, users_of
+
+
+@pytest.fixture(scope="module")
+def soc():
+    s = SoCSystem(protected=True)
+    s.provision_keys()
+    return s
+
+
+class TestPrincipals:
+    def test_default_roster(self):
+        p = default_principals()
+        assert set(p) == {"alice", "bob", "charlie", "dave", "supervisor"}
+        assert p["supervisor"].is_supervisor
+        assert not p["alice"].is_supervisor
+        assert len(users_of(p)) == 4
+
+    def test_distinct_labels(self):
+        p = default_principals()
+        tags = {u.tag for u in p.values()}
+        assert len(tags) == 5
+
+    def test_slots(self):
+        p = default_principals()
+        assert p["alice"].slot == 1
+        assert p["dave"].slot is None  # only three non-master slots
+
+
+class TestWorkloads:
+    def test_mixed_workload_interleaves(self):
+        wl = mixed_workload([("alice", 1), ("bob", 2)], 3, seed=1)
+        assert [r.user for r in wl[:4]] == ["alice", "bob", "alice", "bob"]
+        assert len(wl) == 6
+
+    def test_random_blocks_deterministic(self):
+        assert random_blocks(4, seed=9) == random_blocks(4, seed=9)
+
+    def test_message_block_roundtrip(self):
+        msg = b"hello, accelerator world"
+        blocks = message_blocks(msg)
+        assert blocks_to_message(blocks, len(msg)) == msg
+
+    def test_streams(self):
+        enc = encrypt_stream("alice", 1, [1, 2])
+        dec = decrypt_stream("bob", 2, [3])
+        assert len(enc) == 2 and len(dec) == 1
+        assert enc[0].latency is None
+
+
+class TestSharing:
+    def test_fine_grained_two_users(self, soc):
+        wl = mixed_workload([("alice", 1), ("bob", 2)], 5, seed=11)
+        soc.submit_all(wl)
+        soc.drain()
+        for name in ("alice", "bob"):
+            results = [r for r in soc.results_for(name)]
+            assert len(results) >= 5
+            for req in results:
+                key = soc.principals[req.user].key
+                assert req.user == name  # routed to the owner
+                assert req.result == encrypt_block(req.data, key)
+
+    def test_latency_bounded(self, soc):
+        wl = mixed_workload([("alice", 1)], 3, seed=13)
+        before = {id(r) for n in soc.delivered for r in soc.delivered[n]}
+        soc.submit_all(wl)
+        soc.drain()
+        fresh = [r for r in soc.results_for("alice") if id(r) not in before]
+        for req in fresh:
+            assert req.latency is not None
+            assert 30 <= req.latency <= 60
+
+    def test_counters_accessible(self, soc):
+        counters = soc.counters()
+        assert "suppressed_count" in counters
+
+
+class TestBaselineDisclosure:
+    @staticmethod
+    def _misaligned_run(protected):
+        """Alice's blocks are in flight while Bob starts polling — his
+        polls land on cycles where Alice's responses present."""
+        soc = SoCSystem(protected=protected)
+        soc.provision_keys()
+        soc.submit_all(encrypt_stream("alice", 1, random_blocks(4, 3)))
+        soc.tick(6)
+        soc.submit_all(encrypt_stream("bob", 2, random_blocks(1, 4)))
+        soc.drain()
+        return [
+            (reader, req.user)
+            for reader in ("alice", "bob")
+            for req in soc.results_for(reader)
+            if req.user != reader
+        ]
+
+    def test_baseline_leaks_across_readers(self):
+        assert self._misaligned_run(False), (
+            "baseline should hand Alice's blocks to Bob's polls"
+        )
+
+    def test_protected_never_crosses_readers(self):
+        assert self._misaligned_run(True) == []
