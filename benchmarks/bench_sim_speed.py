@@ -1,31 +1,86 @@
-"""Infrastructure benchmark: cycles/second of the two simulator backends
-on the full protected accelerator (the compiled backend is what makes
-the cycle-accurate experiments practical)."""
+"""Infrastructure benchmark: cycles/second of the simulator backends on
+the full protected accelerator.
+
+The compiled backend is what makes the cycle-accurate experiments
+practical; the batched backend amortises Python dispatch over numpy
+lanes, so its figure of merit is *lane-cycles/s* (cycles × lanes per
+second) — at 64 lanes it must beat the compiled backend's per-instance
+rate by at least 5×.
+"""
+
+import time
 
 import pytest
 from conftest import report
 
 from repro.accel.common import CMD_ENCRYPT, user_label
 from repro.accel.protected import AesAcceleratorProtected
+from repro.hdl.elaborate import elaborate
 from repro.hdl.sim import Simulator
 
 CYCLES = 200
+BATCH_LANES = (1, 8, 64)
+MIN_BATCH_SPEEDUP = 5.0
 
 
-def _run(backend: str) -> None:
-    sim = Simulator(AesAcceleratorProtected(), backend=backend)
+def _make_sim(backend: str, lanes: int = 1) -> Simulator:
+    sim = Simulator(AesAcceleratorProtected(), backend=backend, lanes=lanes)
     sim.poke("aes.in_valid", 1)
     sim.poke("aes.in_cmd", CMD_ENCRYPT)
     sim.poke("aes.in_user", user_label("p0").encode())
     sim.poke("aes.in_slot", 1)
     sim.poke("aes.in_data", 0x1234)
     sim.poke("aes.out_ready", 1)
-    sim.step(CYCLES)
+    return sim
 
 
-@pytest.mark.parametrize("backend", ["compiled"])
-def test_simulation_speed(benchmark, backend):
-    benchmark.pedantic(_run, args=(backend,), iterations=1, rounds=2)
+def _run(backend: str, lanes: int = 1) -> None:
+    _make_sim(backend, lanes).step(CYCLES)
+
+
+def _lane_cycles_per_s(backend: str, lanes: int, rounds: int = 3) -> float:
+    """Best-of-N rate; constructed once so codegen stays out of the loop."""
+    sim = _make_sim(backend, lanes)
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        sim.step(CYCLES)
+        best = min(best, time.perf_counter() - t0)
+    return CYCLES * lanes / best
+
+
+@pytest.mark.parametrize("backend,lanes", [("compiled", 1)]
+                         + [("batched", n) for n in BATCH_LANES])
+def test_simulation_speed(benchmark, backend, lanes):
+    benchmark.pedantic(_run, args=(backend, lanes), iterations=1, rounds=2)
     report("Simulator speed",
            f"{CYCLES} cycles of the full protected accelerator "
-           f"({backend} backend); see the benchmark table for cycles/s.")
+           f"({backend} backend, lanes={lanes}); the benchmark table is "
+           f"per-call — divide {CYCLES} × lanes by it for lane-cycles/s.")
+
+
+def test_batched_speedup_over_compiled():
+    """Batched @ 64 lanes must deliver ≥5× the compiled backend's rate."""
+    pytest.importorskip("numpy")
+    # warm the compile caches so both measurements are pure stepping
+    nl = elaborate(AesAcceleratorProtected())
+    Simulator(nl, backend="compiled")
+    Simulator(nl, backend="batched", lanes=max(BATCH_LANES))
+
+    compiled_rate = _lane_cycles_per_s("compiled", 1)
+    rates = {n: _lane_cycles_per_s("batched", n) for n in BATCH_LANES}
+    top = max(BATCH_LANES)
+    ratio = rates[top] / compiled_rate
+
+    lines = [f"compiled           : {compiled_rate:10.0f} cycles/s"]
+    for n in BATCH_LANES:
+        lines.append(f"batched lanes={n:<4} : {rates[n]:10.0f} lane-cycles/s "
+                     f"({rates[n] / compiled_rate:5.2f}x)")
+    lines.append(f"speedup @ {top} lanes: {ratio:.2f}x "
+                 f"(floor {MIN_BATCH_SPEEDUP:.1f}x)")
+    report("Batched backend throughput", "\n".join(lines))
+
+    assert ratio >= MIN_BATCH_SPEEDUP, (
+        f"batched lanes={top} achieved only {ratio:.2f}x the compiled "
+        f"backend ({rates[top]:.0f} vs {compiled_rate:.0f} cycles/s)"
+    )

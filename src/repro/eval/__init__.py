@@ -13,12 +13,19 @@ from .figures import (
 from .table1 import render_table1, run_table1
 from .table2 import ThroughputResult, measure_throughput, run_table2
 from .runner import run_all
-from .sweeps import ContentionPoint, contention_sweep, covert_bandwidth
+from .sweeps import (
+    ContentionPoint,
+    LanePairResult,
+    contention_sweep,
+    covert_bandwidth,
+    lane_noninterference_sweep,
+)
 
 __all__ = [
     "SharingResult",
     "ThroughputResult",
     "ContentionPoint",
+    "LanePairResult",
     "annotate_baseline",
     "classify_errors",
     "fig3_cache_tags",
@@ -36,4 +43,5 @@ __all__ = [
     "run_table2",
     "contention_sweep",
     "covert_bandwidth",
+    "lane_noninterference_sweep",
 ]

@@ -34,11 +34,12 @@ from .nodes import (
     walk,
 )
 from .signal import Signal, SignalKind
-from .sim import Simulator
+from .sim import BatchSimulator, Simulator
 from .types import Bool, UInt, bit_length_for, mask_for
 from .verilog import VerilogWriter, to_verilog
 
 __all__ = [
+    "BatchSimulator",
     "BinaryOp",
     "Bool",
     "CombLoopError",

@@ -14,6 +14,7 @@ A netlist is what both the simulator backends and the IFC checker consume:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Optional, Tuple
 
 from .memory import Mem
@@ -92,6 +93,87 @@ class Netlist:
 
     def all_nodes(self) -> List[Node]:
         return walk(self.all_roots())
+
+    def fingerprint(self) -> str:
+        """Structural fingerprint of the elaborated design.
+
+        Two netlists with equal fingerprints have identical inputs, regs
+        (including init values), combinational signals, memories (shape
+        and initial contents), and expression structure — in the same
+        order.  The simulation backends therefore generate *identical*
+        code for them, which is what makes the module-level compile
+        caches in :mod:`repro.hdl.sim.compiler` and
+        :mod:`repro.hdl.sim.batched` sound.
+
+        Signal paths and security labels are deliberately excluded: they
+        do not affect simulation semantics, so two structurally equal
+        designs share one compiled program.
+        """
+        h = hashlib.sha256()
+
+        def put(*parts) -> None:
+            h.update(("|".join(str(p) for p in parts) + "\n").encode())
+
+        sig_id: Dict[Signal, str] = {}
+        for role, sigs in (("i", self.inputs), ("r", self.regs),
+                           ("c", self.comb)):
+            for i, s in enumerate(sigs):
+                sig_id[s] = f"{role}{i}"
+                put("sig", role, i, s.width, s.init if role == "r" else 0)
+
+        mem_id: Dict[Mem, int] = {}
+        for i, m in enumerate(self.mems):
+            mem_id[m] = i
+            put("mem", i, m.depth, m.width, *m.init)
+
+        # Canonical root order (independent of dict iteration details):
+        # comb drivers, reg-next expressions, then memory writes.
+        roots: List[Node] = [self.drivers[s] for s in self.comb]
+        held: List[Signal] = []
+        for r in self.regs:
+            if r in self.reg_next:
+                roots.append(self.reg_next[r])
+            else:
+                held.append(r)
+        write_shape: List[str] = []
+        for m in self.mems:
+            for w in self.mem_writes.get(m, []):
+                if w.cond is not None:
+                    roots.append(w.cond)
+                roots.extend([w.addr, w.data])
+                write_shape.append(f"{mem_id[m]}:{int(w.cond is not None)}")
+
+        node_id: Dict[int, int] = {}
+        for n, node in enumerate(walk(roots)):
+            node_id[id(node)] = n
+            kind = node.kind
+            if kind == "signal":
+                put("n", n, "signal", sig_id.get(node, "free"))
+            elif kind == "const":
+                put("n", n, "const", node.width, node.value)
+            elif kind == "memread":
+                put("n", n, "memread", mem_id[node.mem],
+                    node_id[id(node.addr)])
+            elif kind == "slice":
+                put("n", n, "slice", node.hi, node.lo, node_id[id(node.a)])
+            elif kind == "downgrade":
+                put("n", n, "downgrade", node_id[id(node.a)])
+            else:
+                op = getattr(node, "op", kind)
+                put("n", n, kind, op, node.width,
+                    *(node_id[id(o)] for o in node.operands()))
+
+        put("drivers", *(node_id[id(self.drivers[s])] for s in self.comb))
+        put("regnext", *(node_id[id(self.reg_next[r])]
+                         for r in self.regs if r in self.reg_next))
+        put("held", *(sig_id[r] for r in held))
+        put("writes", *write_shape)
+        for m in self.mems:
+            for w in self.mem_writes.get(m, []):
+                put("w", mem_id[m],
+                    node_id[id(w.cond)] if w.cond is not None else -1,
+                    node_id[id(w.addr)], node_id[id(w.data)])
+        return h.hexdigest()
 
     def stats(self) -> Dict[str, int]:
         """Structural statistics (used by the FPGA resource model)."""

@@ -1,5 +1,6 @@
 """Cycle-accurate simulation of elaborated netlists."""
 
+from .batched import BatchSimulator
 from .engine import Simulator
 
-__all__ = ["Simulator"]
+__all__ = ["BatchSimulator", "Simulator"]

@@ -1,7 +1,7 @@
 """Simulator driver: poke/peek/step over an elaborated netlist.
 
-The engine wraps one of two backends (interpreter or compiled) behind a
-uniform testbench API:
+The engine wraps one of three backends (interpreter, compiled, or
+batched) behind a uniform testbench API:
 
 >>> sim = Simulator(my_module)          # elaborates + compiles
 >>> sim.poke("top.in_valid", 1)
@@ -10,6 +10,12 @@ uniform testbench API:
 
 Combinational values are (re)computed lazily: any poke invalidates the
 current evaluation, and ``peek`` / ``step`` recompute as needed.
+
+``backend="batched"`` runs ``lanes`` lockstep instances on numpy vectors
+(see :mod:`repro.hdl.sim.batched`); through this single-instance API all
+lanes receive the same pokes and ``peek`` reads lane 0 — use the
+underlying :class:`~repro.hdl.sim.batched.BatchSimulator` (``sim.lanes_sim``)
+for per-lane control.
 """
 
 from __future__ import annotations
@@ -32,16 +38,29 @@ SignalLike = Union[Signal, str]
 class Simulator:
     """Cycle-accurate simulator over a netlist or module."""
 
-    def __init__(self, design: Union[Module, Netlist], backend: str = "compiled"):
+    def __init__(self, design: Union[Module, Netlist], backend: str = "compiled",
+                 lanes: int = 1):
         if isinstance(design, Module):
             self.netlist = elaborate(design)
         else:
             self.netlist = design
         self.backend_name = backend
+        self.lanes = lanes
         self.cycle = 0
         self._watchers = []
+        self._input_set = frozenset(self.netlist.inputs)
 
-        if backend == "compiled":
+        if lanes != 1 and backend != "batched":
+            raise ValueError(
+                f"lanes={lanes} requires backend='batched' (got {backend!r})"
+            )
+        if backend == "batched":
+            # Imported lazily: the batched backend needs numpy, which is a
+            # test extra, not a runtime dependency of the package.
+            from .batched import BatchSimulator
+
+            self.lanes_sim = BatchSimulator(self.netlist, lanes=lanes)
+        elif backend == "compiled":
             self._be = CompiledBackend(self.netlist)
             self._state: List[int] = self._be.new_state()
             self._mems: List[List[int]] = self._be.new_mems()
@@ -83,10 +102,12 @@ class Simulator:
             raise ValueError(
                 f"value {value} does not fit {sig.width}-bit signal {sig.path}"
             )
-        if sig not in set(self.netlist.inputs):
+        if sig not in self._input_set:
             raise HdlError(f"{sig.path} is not a free input of this netlist")
         if self.backend_name == "compiled":
             self._state[self._be.state_index[sig]] = value
+        elif self.backend_name == "batched":
+            self.lanes_sim.poke_all(sig, value)
         else:
             self._istate[sig] = value
         self._dirty = True
@@ -94,6 +115,8 @@ class Simulator:
     def peek(self, sig: SignalLike) -> int:
         """Read any signal's current (combinationally settled) value."""
         sig = self._resolve(sig)
+        if self.backend_name == "batched":
+            return self.lanes_sim.peek(sig, 0)
         self._settle()
         if self.backend_name == "compiled":
             if sig in self._be.state_index:
@@ -107,6 +130,8 @@ class Simulator:
         mem = self._resolve_mem(mem)
         if self.backend_name == "compiled":
             return self._mems[self._be.mem_index[mem]][addr]
+        if self.backend_name == "batched":
+            return self.lanes_sim.peek_mem(mem, addr, 0)
         return self._imems[mem][addr]
 
     def poke_mem(self, mem: Union[Mem, str], addr: int, value: int) -> None:
@@ -116,6 +141,8 @@ class Simulator:
             raise ValueError(f"value {value} does not fit memory {mem.path}")
         if self.backend_name == "compiled":
             self._mems[self._be.mem_index[mem]][addr] = value
+        elif self.backend_name == "batched":
+            self.lanes_sim.poke_mem(mem, addr, value)
         else:
             self._imems[mem][addr] = value
         self._dirty = True
@@ -125,6 +152,8 @@ class Simulator:
             return
         if self.backend_name == "compiled":
             self._be.eval_comb(self._state, self._mems, self._env)
+        elif self.backend_name == "batched":
+            pass  # BatchSimulator settles lazily on its own peeks
         else:
             self._ienv = self._ibe.eval_comb(self._istate, self._imems)
         self._dirty = False
@@ -138,6 +167,8 @@ class Simulator:
                     w(self)
             if self.backend_name == "compiled":
                 self._be.step(self._state, self._mems, self._env)
+            elif self.backend_name == "batched":
+                self.lanes_sim.step(1)
             else:
                 self._ibe.step(self._istate, self._imems)
             self.cycle += 1
@@ -148,6 +179,8 @@ class Simulator:
         if self.backend_name == "compiled":
             self._state = self._be.new_state()
             self._mems = self._be.new_mems()
+        elif self.backend_name == "batched":
+            self.lanes_sim.reset()
         else:
             for sig in self.netlist.inputs:
                 self._istate[sig] = 0

@@ -1,0 +1,57 @@
+"""Property suite for the AES reference model.
+
+Complements ``test_cipher.py``: one parametrized round-trip property
+covering all three FIPS-197 key sizes, plus the Appendix C known-answer
+vectors pinned in *both* directions so a regression in either half of
+the cipher can't hide behind the inverse.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aes.cipher import decrypt_block, encrypt_block
+
+BLOCK = st.integers(min_value=0, max_value=(1 << 128) - 1)
+
+# FIPS-197 Appendix C: plaintext 00112233445566778899aabbccddeeff with
+# the key bytes 00 01 02 ... for each key size.
+APPENDIX_C = {
+    128: (0x000102030405060708090A0B0C0D0E0F,
+          0x69C4E0D86A7B0430D8CDB78070B4C55A),
+    192: (0x000102030405060708090A0B0C0D0E0F1011121314151617,
+          0xDDA97CA4864CDFE06EAF70A0EC0D7191),
+    256: (0x000102030405060708090A0B0C0D0E0F101112131415161718191A1B1C1D1E1F,
+          0x8EA2B7CA516745BFEAFC49904B496089),
+}
+APPENDIX_C_PT = 0x00112233445566778899AABBCCDDEEFF
+
+
+class TestRoundTripProperty:
+    @pytest.mark.parametrize("key_bits", [128, 192, 256])
+    @settings(max_examples=25, deadline=None)
+    @given(pt=BLOCK, data=st.data())
+    def test_decrypt_inverts_encrypt(self, key_bits, pt, data):
+        key = data.draw(st.integers(0, (1 << key_bits) - 1))
+        ct = encrypt_block(pt, key, key_bits=key_bits)
+        assert decrypt_block(ct, key, key_bits=key_bits) == pt
+
+    @pytest.mark.parametrize("key_bits", [128, 192, 256])
+    @settings(max_examples=25, deadline=None)
+    @given(ct=BLOCK, data=st.data())
+    def test_encrypt_inverts_decrypt(self, key_bits, ct, data):
+        key = data.draw(st.integers(0, (1 << key_bits) - 1))
+        pt = decrypt_block(ct, key, key_bits=key_bits)
+        assert encrypt_block(pt, key, key_bits=key_bits) == ct
+
+
+class TestAppendixCPinned:
+    @pytest.mark.parametrize("key_bits", [128, 192, 256])
+    def test_encrypt_direction(self, key_bits):
+        key, ct = APPENDIX_C[key_bits]
+        assert encrypt_block(APPENDIX_C_PT, key, key_bits=key_bits) == ct
+
+    @pytest.mark.parametrize("key_bits", [128, 192, 256])
+    def test_decrypt_direction(self, key_bits):
+        key, ct = APPENDIX_C[key_bits]
+        assert decrypt_block(ct, key, key_bits=key_bits) == APPENDIX_C_PT

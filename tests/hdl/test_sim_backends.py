@@ -1,4 +1,9 @@
-"""Differential tests: the compiled backend must match the interpreter."""
+"""Differential tests: every backend must match the interpreter.
+
+The compiled and batched (lanes=1) backends are each run against the
+same stimuli as the reference interpreter; the batched cases skip
+cleanly when numpy is unavailable.
+"""
 
 import random
 
@@ -7,6 +12,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.hdl import Module, Simulator, cat, mux, otherwise, when
+
+BACKENDS = ("compiled", "interp", "batched")
+
+
+def _make_sim(module, backend):
+    if backend == "batched":
+        pytest.importorskip("numpy")
+    return Simulator(module, backend=backend)
 
 
 class Alu(Module):
@@ -60,7 +73,7 @@ class MemUnit(Module):
 
 
 def _run_sequence(backend, stimuli):
-    sim = Simulator(Alu(), backend=backend)
+    sim = _make_sim(Alu(), backend)
     trace = []
     for op, a, b in stimuli:
         sim.poke("alu.op", op)
@@ -72,31 +85,33 @@ def _run_sequence(backend, stimuli):
 
 
 class TestBackendEquivalence:
-    def test_alu_random_differential(self):
+    @pytest.mark.parametrize("backend", ["compiled", "batched"])
+    def test_alu_random_differential(self, backend):
         rng = random.Random(1234)
         stimuli = [
             (rng.randrange(8), rng.getrandbits(16), rng.getrandbits(16))
             for _ in range(200)
         ]
-        assert _run_sequence("compiled", stimuli) == _run_sequence(
+        assert _run_sequence(backend, stimuli) == _run_sequence(
             "interp", stimuli
         )
 
+    @pytest.mark.parametrize("backend", ["compiled", "batched"])
     @settings(max_examples=25, deadline=None)
-    @given(st.lists(
+    @given(stimuli=st.lists(
         st.tuples(
             st.integers(0, 7), st.integers(0, 0xFFFF), st.integers(0, 0xFFFF)
         ),
         min_size=1, max_size=20,
     ))
-    def test_alu_property_differential(self, stimuli):
-        assert _run_sequence("compiled", stimuli) == _run_sequence(
+    def test_alu_property_differential(self, backend, stimuli):
+        assert _run_sequence(backend, stimuli) == _run_sequence(
             "interp", stimuli
         )
 
     def test_memory_differential(self):
         rng = random.Random(99)
-        sims = {b: Simulator(MemUnit(), backend=b) for b in ("compiled", "interp")}
+        sims = {b: _make_sim(MemUnit(), b) for b in BACKENDS}
         for _ in range(100):
             we, addr, din = rng.randrange(2), rng.randrange(16), rng.getrandbits(8)
             outs = {}
@@ -106,38 +121,44 @@ class TestBackendEquivalence:
                 sim.poke("mu.din", din)
                 outs[b] = (sim.peek("mu.dout"), sim.peek("mu.romout"))
                 sim.step()
-            assert outs["compiled"] == outs["interp"]
+            assert outs["compiled"] == outs["interp"] == outs["batched"]
 
-    def test_out_of_range_mem_read_is_zero(self):
-        for backend in ("compiled", "interp"):
-            sim = Simulator(MemUnit(), backend=backend)
-            sim.poke("mu.addr", 14)  # beyond depth 12
-            assert sim.peek("mu.dout") == 0
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_out_of_range_mem_read_is_zero(self, backend):
+        sim = _make_sim(MemUnit(), backend)
+        sim.poke("mu.addr", 14)  # beyond depth 12
+        assert sim.peek("mu.dout") == 0
 
-    def test_out_of_range_mem_write_dropped(self):
-        for backend in ("compiled", "interp"):
-            sim = Simulator(MemUnit(), backend=backend)
-            sim.poke("mu.we", 1)
-            sim.poke("mu.addr", 15)
-            sim.poke("mu.din", 0xAA)
-            sim.step()  # must not raise
-            assert all(
-                sim.peek_mem("mu.m", i) == 0 for i in range(12)
-            )
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_out_of_range_mem_write_dropped(self, backend):
+        sim = _make_sim(MemUnit(), backend)
+        sim.poke("mu.we", 1)
+        sim.poke("mu.addr", 15)
+        sim.poke("mu.din", 0xAA)
+        sim.step()  # must not raise
+        assert all(
+            sim.peek_mem("mu.m", i) == 0 for i in range(12)
+        )
 
 
 class TestSimulatorApi:
-    def test_poke_rejects_oversize(self):
-        sim = Simulator(MemUnit())
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_poke_rejects_oversize(self, backend):
+        sim = _make_sim(MemUnit(), backend)
         with pytest.raises(ValueError):
             sim.poke("mu.din", 256)
 
-    def test_poke_non_input_rejected(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_poke_non_input_rejected(self, backend):
         from repro.hdl import HdlError
 
-        sim = Simulator(MemUnit())
+        sim = _make_sim(MemUnit(), backend)
         with pytest.raises(HdlError):
             sim.poke("mu.dout", 1)
+
+    def test_lanes_require_batched_backend(self):
+        with pytest.raises(ValueError):
+            Simulator(MemUnit(), backend="compiled", lanes=4)
 
     def test_reset(self):
         sim = Simulator(MemUnit())

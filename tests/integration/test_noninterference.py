@@ -114,3 +114,32 @@ class TestNoninterference:
                                       SECRET_A["blocks"], True)
         eve_outputs = [row for row in trace if row[1] == 1]
         assert eve_outputs, "Eve never received her ciphertexts"
+
+
+class TestBatchedLaneSweep:
+    """The same hyperproperty, run as lanes of one batched simulation.
+
+    Each lane pair shares the whole public schedule and differs only in
+    Alice's key and plaintexts; Eve's per-lane observations must be
+    identical within every pair on the protected design.
+    """
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("stalls", [False, True])
+    def test_protected_lane_pairs_noninterfere(self, stalls):
+        pytest.importorskip("numpy")
+        from repro.eval import lane_noninterference_sweep
+
+        results = lane_noninterference_sweep(protected=True, pairs=2,
+                                             stalls=stalls)
+        assert all(r.observations > 0 for r in results)
+        assert all(r.equal for r in results), f"lane pairs diverged: {results}"
+
+    @pytest.mark.slow
+    def test_baseline_lane_pair_interferes(self):
+        pytest.importorskip("numpy")
+        from repro.eval import lane_noninterference_sweep
+
+        results = lane_noninterference_sweep(protected=False, pairs=1,
+                                             stalls=True)
+        assert not results[0].equal  # the baseline leaks across lanes
