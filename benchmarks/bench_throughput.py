@@ -5,9 +5,14 @@ Benchmarks the cycle-accurate streaming run itself, so the simulator's
 blocks-per-second rate shows up in the pytest-benchmark table.
 """
 
+from pathlib import Path
+
 from conftest import report
 
 from repro.eval.table2 import measure_throughput
+from repro.obs import MetricsRegistry
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
 
 
 def test_pipeline_throughput(benchmark):
@@ -22,6 +27,18 @@ def test_pipeline_throughput(benchmark):
         f"baseline : {base!r}\n"
         f"paper    : 1 block/cycle, 30-cycle latency, 51.2 Gbps @ 400 MHz",
     )
+
+    m = MetricsRegistry()
+    labels = ("design",)
+    bpc = m.gauge("bench_blocks_per_cycle", "streaming rate", labels)
+    lat = m.gauge("bench_latency_cycles", "block latency", labels)
+    gbps = m.gauge("bench_gbps", "Gbps at the modelled 400 MHz clock", labels)
+    for design, r in (("protected", result), ("baseline", base)):
+        bpc.set(r.blocks_per_cycle, design=design)
+        lat.set(r.latency, design=design)
+        gbps.set(r.gbps, design=design)
+    m.write_jsonl(str(BENCH_JSON))
+
     assert result.all_correct and base.all_correct
     assert result.blocks_per_cycle == 1.0
     assert 30 <= result.latency <= 33

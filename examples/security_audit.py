@@ -15,9 +15,15 @@ Three acts:
    vulnerability class surfaces with no simulation and no attack
    knowledge.
 
-Run:  python examples/security_audit.py
+Every checker verdict is also captured on the ``repro.obs`` security
+stream — pass an output path to keep the audit trail as JSONL evidence.
+
+Run:  python examples/security_audit.py [audit.jsonl]
 """
 
+import sys
+
+import repro.obs as obs
 from repro.accel.common import LATTICE
 from repro.accel.key_expand_unit import KeyExpandUnit
 from repro.accel.pipeline import AesPipeline
@@ -90,11 +96,19 @@ def act3_audit_baseline() -> None:
           "simulation, no attack knowledge.")
 
 
-def main() -> None:
-    act1_verify_protected()
-    act2_hunt_flaws()
-    act3_audit_baseline()
+def main(audit_log: str = None) -> None:
+    with obs.capture() as t:
+        act1_verify_protected()
+        act2_hunt_flaws()
+        act3_audit_baseline()
+    checks = t.security.filter("ifc_check")
+    failed = sum(1 for e in checks if not e.detail.get("ok"))
+    print(f"\n  audit trail: {len(checks)} checker verdicts captured "
+          f"({failed} designs rejected)")
+    if audit_log:
+        t.security.write_jsonl(audit_log)
+        print(f"  wrote {audit_log}")
 
 
 if __name__ == "__main__":
-    main()
+    main(*sys.argv[1:2])

@@ -13,6 +13,9 @@ Commands
     Export a design as synthesizable Verilog.
 ``attack <name>``
     Run one §2.1/§3.1 attack against both designs and print the outcome.
+``obs [--demo] [--out DIR]``
+    Run a telemetry-enabled multi-tenant workload and report the
+    metrics / trace / security-event streams (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -169,6 +172,12 @@ def cmd_attack(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    from .obs.report import cmd_obs as run
+
+    return run(args)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -200,6 +209,22 @@ def main(argv=None) -> int:
     p = sub.add_parser("attack", help="run an attack against both designs")
     p.add_argument("name")
     p.set_defaults(fn=cmd_attack)
+
+    p = sub.add_parser("obs", help="telemetry report for a sample workload")
+    p.add_argument("--demo", action="store_true",
+                   help="tiny workload (CI smoke)")
+    p.add_argument("--blocks", type=int, default=8,
+                   help="blocks per tenant (default 8)")
+    p.add_argument("--backend", default="compiled",
+                   choices=("interp", "compiled", "batched"))
+    p.add_argument("--stutter", type=int, default=3,
+                   help="reader drops out_ready every N cycles (default 3)")
+    p.add_argument("--out", default=None,
+                   help="directory for metrics.prom / metrics.jsonl / "
+                        "trace.json / security.jsonl")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable summary on stdout")
+    p.set_defaults(fn=cmd_obs)
 
     args = parser.parse_args(argv)
     if not getattr(args, "fn", None):

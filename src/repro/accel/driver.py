@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..hdl.sim import Simulator
+from ..obs import SecurityProbe, telemetry as _telemetry
 from .common import (
     CMD_CONFIG,
     CMD_DECRYPT,
@@ -43,6 +44,20 @@ class AcceleratorDriver:
         self.sim = Simulator(accel_module, backend=backend)
         self.top = accel_module.name
         self.responses: List[Response] = []
+        self.probe: Optional[SecurityProbe] = None
+        self._obs = _telemetry()
+        if self._obs is not None:
+            m = self._obs.metrics
+            self._m_cmds = m.counter(
+                "accel_commands_issued_total",
+                "host commands accepted by the accelerator", ("cmd",))
+            self._m_resp = m.counter(
+                "accel_responses_total",
+                "blocks presented on the tagged output bus")
+            if getattr(accel_module, "protected", False):
+                # stream the enforcement points of the protected design
+                self.probe = SecurityProbe(self.sim, self._obs.security,
+                                           top=self.top, metrics=m)
         self.sim.poke(f"{self.top}.out_ready", 1)
         self._idle_inputs()
 
@@ -76,7 +91,12 @@ class AcceleratorDriver:
                         self.sim.peek(f"{self.top}.out_data"),
                     )
                 )
+                if self._obs is not None:
+                    self._m_resp.inc()
             self.sim.step()
+
+    _CMD_NAMES = {CMD_ENCRYPT: "encrypt", CMD_DECRYPT: "decrypt",
+                  CMD_LOAD_KEY: "load_key", CMD_CONFIG: "config"}
 
     def issue(self, cmd: int, user_tag: int, **kwargs) -> None:
         """Issue one command for exactly one accepted cycle."""
@@ -89,6 +109,8 @@ class AcceleratorDriver:
                 raise TimeoutError("accelerator never became ready")
         self.step()
         self._idle_inputs()
+        if self._obs is not None:
+            self._m_cmds.inc(cmd=self._CMD_NAMES.get(cmd, str(cmd)))
 
     # -- operations ----------------------------------------------------------------
     def allocate_slot(self, slot: int, owner_tag: int,

@@ -20,8 +20,10 @@ for per-lane control.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, Union
 
+from ...obs import telemetry as _telemetry
 from ..elaborate import elaborate
 from ..memory import Mem
 from ..module import Module
@@ -33,6 +35,23 @@ from .compiler import CompiledBackend
 from .interp import InterpBackend
 
 SignalLike = Union[Signal, str]
+
+
+class SimStats:
+    """Wall-time accounting for one simulator, accumulated only while
+    telemetry is enabled (so the disabled path never calls the clock)."""
+
+    __slots__ = ("timed_cycles", "wall_seconds", "step_calls")
+
+    def __init__(self):
+        self.timed_cycles = 0
+        self.wall_seconds = 0.0
+        self.step_calls = 0
+
+    def cycles_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.timed_cycles / self.wall_seconds
 
 
 class Simulator:
@@ -47,6 +66,7 @@ class Simulator:
         self.backend_name = backend
         self.lanes = lanes
         self.cycle = 0
+        self.stats = SimStats()
         self._watchers = []
         self._input_set = frozenset(self.netlist.inputs)
 
@@ -160,6 +180,10 @@ class Simulator:
 
     def step(self, n: int = 1) -> None:
         """Advance ``n`` clock cycles."""
+        # telemetry: one global read per call; None (the default) makes
+        # the whole accounting path two cheap branches
+        obs = _telemetry()
+        t0 = perf_counter() if obs is not None else 0.0
         for _ in range(n):
             if self._watchers:
                 self._settle()
@@ -173,6 +197,11 @@ class Simulator:
                 self._ibe.step(self._istate, self._imems)
             self.cycle += 1
             self._dirty = True
+        if obs is not None:
+            st = self.stats
+            st.wall_seconds += perf_counter() - t0
+            st.timed_cycles += n
+            st.step_calls += 1
 
     def reset(self) -> None:
         """Reset registers to init values and memories to initial contents."""
@@ -193,6 +222,11 @@ class Simulator:
     def add_watcher(self, fn) -> None:
         """Register a callable invoked (with the simulator) before each step."""
         self._watchers.append(fn)
+
+    def remove_watcher(self, fn) -> None:
+        """Detach a watcher previously registered with ``add_watcher``."""
+        if fn in self._watchers:
+            self._watchers.remove(fn)
 
     def run_until(self, sig: SignalLike, value: int = 1, max_cycles: int = 10000) -> int:
         """Step until ``sig == value``; returns cycles waited.

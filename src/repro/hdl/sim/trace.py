@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Union
 
+from ..nodes import HdlError
 from ..signal import Signal
 
 
@@ -18,21 +19,40 @@ class Trace:
     def __init__(self, sim, signals: Sequence[Union[Signal, str]]):
         self.sim = sim
         self.signals: List[Signal] = [sim._resolve(s) for s in signals]
+        # O(1) lookup maps instead of list.index per query (traces run to
+        # thousands of cycles; column()/at() used to rescan every call)
+        self._sig_index: Dict[Signal, int] = {
+            s: i for i, s in enumerate(self.signals)
+        }
+        self._cycle_index: Dict[int, int] = {}
         self.rows: List[List[int]] = []
         self.cycles: List[int] = []
         sim.add_watcher(self._capture)
 
     def _capture(self, sim) -> None:
+        self._cycle_index[sim.cycle] = len(self.cycles)
         self.cycles.append(sim.cycle)
         self.rows.append([sim.peek(s) for s in self.signals])
 
     def column(self, sig: Union[Signal, str]) -> List[int]:
         sig = self.sim._resolve(sig)
-        idx = self.signals.index(sig)
+        idx = self._sig_index.get(sig)
+        if idx is None:
+            raise HdlError(
+                f"{sig.path} is not recorded by this trace; watched "
+                f"signals: {[s.path for s in self.signals]}"
+            )
         return [row[idx] for row in self.rows]
 
     def at(self, cycle: int) -> Dict[str, int]:
-        i = self.cycles.index(cycle)
+        i = self._cycle_index.get(cycle)
+        if i is None:
+            span = (f"{self.cycles[0]}..{self.cycles[-1]}" if self.cycles
+                    else "<empty>")
+            raise HdlError(
+                f"cycle {cycle} was not captured by this trace "
+                f"(recorded cycles: {span})"
+            )
         return {s.path: v for s, v in zip(self.signals, self.rows[i])}
 
     def write_vcd(self, path: str, timescale: str = "1ns") -> None:

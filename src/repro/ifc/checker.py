@@ -132,6 +132,17 @@ class IfcChecker:
             if mem.label is not None or mem.cell_labels is not None:
                 for i, w in enumerate(writes):
                     self._check_mem_write(mem, w, i)
+        from ..obs import telemetry as _telemetry
+
+        obs = _telemetry()
+        if obs is not None:
+            rep = self.report
+            obs.security.emit(
+                "ifc_check", source=self.netlist.root.path,
+                ok=rep.ok(), errors=len(rep.errors),
+                checked_sinks=rep.checked_sinks,
+                hypotheses_examined=rep.hypotheses_examined,
+                downgrades_verified=rep.downgrades_verified)
         return self.report
 
     # ------------------------------------------------------------------ sources

@@ -123,6 +123,16 @@ class GliftTracker:
     def ok(self) -> bool:
         return not self.violations
 
+    def _record(self, violation: TaintViolation) -> None:
+        self.violations.append(violation)
+        from ..obs import telemetry as _telemetry
+
+        obs = _telemetry()
+        if obs is not None:
+            obs.security.emit(
+                "glift_violation", cycle=violation.cycle, source="glift",
+                sink=violation.sink, taint_mask=violation.taint_mask)
+
     def refresh(self) -> None:
         """Recompute combinational taints for the *current* state.
 
@@ -288,9 +298,7 @@ class GliftTracker:
             taint = (self._last_comb.get(sink)
                      if sink in self._last_comb else self.reg_taint.get(sink))
             if taint:
-                self.violations.append(
-                    TaintViolation(sim.cycle, sink.path, taint)
-                )
+                self._record(TaintViolation(sim.cycle, sink.path, taint))
 
         next_taint = {}
         for reg, nxt in nl.reg_next.items():

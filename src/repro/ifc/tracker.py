@@ -106,6 +106,17 @@ class LabelTracker:
         mem = self.sim._resolve_mem(mem)
         self.mem_labels[mem][addr] = label
 
+    def _record(self, violation: TrackViolation) -> None:
+        self.violations.append(violation)
+        from ..obs import telemetry as _telemetry
+
+        obs = _telemetry()
+        if obs is not None:
+            obs.security.emit(
+                "label_violation", cycle=violation.cycle, source="tracker",
+                sink=violation.sink, computed=violation.computed,
+                declared=violation.declared)
+
     # -- per-cycle propagation ------------------------------------------------------
     def _source_label(self, sig: Signal, env) -> Label:
         if sig in self.source_labels:
@@ -193,7 +204,7 @@ class LabelTracker:
         if self.check_downgrades:
             msg = check_downgrade(node.kind_, al, target, authority)
             if msg is not None:
-                self.violations.append(
+                self._record(
                     TrackViolation(
                         cycle=self.sim.cycle,
                         sink=f"{node.kind_} marker",
@@ -270,7 +281,7 @@ class LabelTracker:
                 continue
             computed = comb_results[sig][1]
             if not computed.flows_to(declared):
-                self.violations.append(
+                self._record(
                     TrackViolation(
                         cycle=sim.cycle,
                         sink=sig.path,
@@ -284,7 +295,7 @@ class LabelTracker:
                 continue
             current = self.reg_labels[reg]
             if not current.flows_to(declared):
-                self.violations.append(
+                self._record(
                     TrackViolation(
                         cycle=sim.cycle,
                         sink=reg.path,
@@ -313,7 +324,7 @@ class LabelTracker:
                     computed = cl.join(al).join(dl)
                     declared = self._declared_cell_label(mem, av, env, w.tag)
                     if declared is not None and not computed.flows_to(declared):
-                        self.violations.append(
+                        self._record(
                             TrackViolation(
                                 cycle=sim.cycle,
                                 sink=f"{mem.path}[{av}]",

@@ -1,0 +1,139 @@
+"""repro.obs — unified telemetry: metrics, tracing, security audit stream.
+
+One :class:`Telemetry` object bundles the three pillars:
+
+* ``metrics`` — a :class:`~repro.obs.metrics.MetricsRegistry`
+  (counters/gauges/histograms; Prometheus text + JSON-lines export);
+* ``tracer`` — a :class:`~repro.obs.tracing.Tracer`
+  (request-lifecycle spans; Chrome trace-event export);
+* ``security`` — a :class:`~repro.obs.security.SecurityEventLog`
+  (enforcement events; JSON-lines export).
+
+Telemetry is **off by default** and the off state is a true no-op:
+instrumented code does ``obs = telemetry()`` (one module-global read)
+and skips everything when it returns ``None``.  Enable it globally::
+
+    import repro.obs as obs
+    t = obs.enable()
+    ... run a workload ...
+    t.write_all("telemetry_out/")   # metrics.prom, metrics.jsonl,
+                                    # trace.json, security.jsonl
+
+or scoped::
+
+    with obs.capture() as t:
+        soc = SoCSystem(protected=True)   # instruments itself from t
+        ...
+    print(t.security.counts())
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_INSTRUMENT,
+)
+from .security import (
+    NullSecurityEventLog,
+    SecurityEvent,
+    SecurityEventLog,
+    SecurityProbe,
+)
+from .tracing import NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "NullSecurityEventLog",
+    "NULL_INSTRUMENT",
+    "SecurityEvent",
+    "SecurityEventLog",
+    "SecurityProbe",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "capture",
+    "disable",
+    "enable",
+    "enabled",
+    "telemetry",
+]
+
+
+class Telemetry:
+    """Bundle of the three telemetry pillars plus export helpers."""
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 security: Optional[SecurityEventLog] = None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.security = security if security is not None else SecurityEventLog()
+
+    def write_all(self, out_dir: str) -> Dict[str, str]:
+        """Write every export format into ``out_dir``; returns the paths."""
+        os.makedirs(out_dir, exist_ok=True)
+        paths = {
+            "prometheus": os.path.join(out_dir, "metrics.prom"),
+            "metrics_jsonl": os.path.join(out_dir, "metrics.jsonl"),
+            "chrome_trace": os.path.join(out_dir, "trace.json"),
+            "security_jsonl": os.path.join(out_dir, "security.jsonl"),
+        }
+        self.metrics.write_prometheus(paths["prometheus"])
+        self.metrics.write_jsonl(paths["metrics_jsonl"])
+        self.tracer.write_chrome_trace(paths["chrome_trace"])
+        self.security.write_jsonl(paths["security_jsonl"])
+        return paths
+
+
+_active: Optional[Telemetry] = None
+
+
+def telemetry() -> Optional[Telemetry]:
+    """The active telemetry bundle, or None when disabled.
+
+    This is *the* fast path: instrumentation sites call it once per
+    operation and bail out on None, so disabled telemetry costs one
+    global read and one comparison.
+    """
+    return _active
+
+
+def enabled() -> bool:
+    return _active is not None
+
+
+def enable(t: Optional[Telemetry] = None) -> Telemetry:
+    """Install ``t`` (or a fresh :class:`Telemetry`) as the active bundle."""
+    global _active
+    _active = t if t is not None else Telemetry()
+    return _active
+
+
+def disable() -> None:
+    global _active
+    _active = None
+
+
+@contextmanager
+def capture(t: Optional[Telemetry] = None):
+    """Enable telemetry for a ``with`` block, restoring the prior state."""
+    global _active
+    prev = _active
+    _active = t if t is not None else Telemetry()
+    try:
+        yield _active
+    finally:
+        _active = prev

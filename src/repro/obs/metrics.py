@@ -1,0 +1,338 @@
+"""Metrics registry: counters, gauges, histograms, two export formats.
+
+The registry is deliberately tiny and dependency-free — a subset of the
+Prometheus client data model sized for the experiments:
+
+* :class:`Counter` — monotonically increasing totals (requests served,
+  security events observed, cache hits);
+* :class:`Gauge` — point-in-time values (in-flight requests, cycles/s);
+* :class:`Histogram` — bucketed distributions with ``_sum``/``_count``
+  (request latency in cycles, per user).
+
+Instruments support Prometheus-style labels as keyword arguments::
+
+    reg = MetricsRegistry()
+    delivered = reg.counter("soc_requests_delivered_total",
+                            "blocks routed back to their owner",
+                            labelnames=("user",))
+    delivered.inc(user="alice")
+
+Export is either Prometheus text format (:meth:`MetricsRegistry.to_prometheus`)
+or JSON-lines, one sample per line (:meth:`MetricsRegistry.to_jsonl`).
+
+Disabled telemetry never reaches this module: :class:`NullRegistry`
+hands out a shared :class:`NullInstrument` whose mutators are ``pass``,
+so instrumented code can keep instrument handles unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default latency buckets, in cycles (requests on a 30-stage pipeline).
+DEFAULT_BUCKETS = (8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+                   4096.0, float("inf"))
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    return "{" + inner + "}"
+
+
+class _Instrument:
+    """Common bookkeeping for all metric kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Iterable[str] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+
+    def _key(self, labels: Dict[str, object]) -> LabelKey:
+        if self.labelnames and set(labels) - set(self.labelnames):
+            extra = sorted(set(labels) - set(self.labelnames))
+            raise ValueError(
+                f"metric {self.name!r} has no label(s) {extra}; "
+                f"declared: {self.labelnames}"
+            )
+        return _label_key(labels)
+
+
+class Counter(_Instrument):
+    """Monotonic counter, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Iterable[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        return self._values.get(self._key(labels), 0)
+
+    def samples(self) -> List[Tuple[str, LabelKey, float]]:
+        return [(self.name, k, v) for k, v in sorted(self._values.items())]
+
+
+class Gauge(_Instrument):
+    """Point-in-time value, optionally labelled."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Iterable[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        self._values[self._key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        return self._values.get(self._key(labels), 0)
+
+    def samples(self) -> List[Tuple[str, LabelKey, float]]:
+        return [(self.name, k, v) for k, v in sorted(self._values.items())]
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram with ``_sum`` and ``_count``."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Iterable[str] = (),
+                 buckets: Optional[Iterable[float]] = None):
+        super().__init__(name, help, labelnames)
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds or bounds[-1] != float("inf"):
+            bounds = bounds + (float("inf"),)
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.buckets = bounds
+        # per label set: ([per-bucket counts], sum, count)
+        self._series: Dict[LabelKey, List] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = [[0] * len(self.buckets), 0.0, 0]
+            self._series[key] = series
+        counts, _, _ = series
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[i] += 1
+                break
+        series[1] += value
+        series[2] += 1
+
+    def count(self, **labels) -> int:
+        series = self._series.get(self._key(labels))
+        return series[2] if series else 0
+
+    def sum(self, **labels) -> float:
+        series = self._series.get(self._key(labels))
+        return series[1] if series else 0.0
+
+    def mean(self, **labels) -> float:
+        series = self._series.get(self._key(labels))
+        if not series or not series[2]:
+            return 0.0
+        return series[1] / series[2]
+
+    def quantile(self, q: float, **labels) -> float:
+        """Upper bucket bound containing quantile ``q`` (0..1)."""
+        series = self._series.get(self._key(labels))
+        if not series or not series[2]:
+            return 0.0
+        target = q * series[2]
+        cumulative = 0
+        for i, bound in enumerate(self.buckets):
+            cumulative += series[0][i]
+            if cumulative >= target:
+                return bound
+        return self.buckets[-1]
+
+    def samples(self) -> List[Tuple[str, LabelKey, float]]:
+        out: List[Tuple[str, LabelKey, float]] = []
+        for key, (counts, total, n) in sorted(self._series.items()):
+            cumulative = 0
+            for i, bound in enumerate(self.buckets):
+                cumulative += counts[i]
+                le = "+Inf" if bound == float("inf") else repr(bound)
+                out.append((f"{self.name}_bucket",
+                            key + (("le", le),), cumulative))
+            out.append((f"{self.name}_sum", key, total))
+            out.append((f"{self.name}_count", key, n))
+        return out
+
+
+class MetricsRegistry:
+    """Holds every instrument and renders the export formats."""
+
+    def __init__(self, namespace: str = "repro"):
+        self.namespace = namespace
+        self._instruments: "Dict[str, _Instrument]" = {}
+
+    # -- registration (idempotent per name) ------------------------------------
+    def _register(self, cls, name: str, help: str, labelnames,
+                  **kwargs) -> _Instrument:
+        full = f"{self.namespace}_{name}" if self.namespace else name
+        existing = self._instruments.get(full)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {full!r} already registered as {existing.kind}"
+                )
+            return existing
+        inst = cls(full, help, labelnames, **kwargs)
+        self._instruments[full] = inst
+        return inst
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Iterable[str] = ()) -> Counter:
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Iterable[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Iterable[str] = (),
+                  buckets: Optional[Iterable[float]] = None) -> Histogram:
+        return self._register(Histogram, name, help, labelnames,
+                              buckets=buckets)
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        full = f"{self.namespace}_{name}" if self.namespace else name
+        return self._instruments.get(full, self._instruments.get(name))
+
+    def instruments(self) -> List[_Instrument]:
+        return [self._instruments[k] for k in sorted(self._instruments)]
+
+    # -- export ----------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """``{metric_name: {rendered_labels: value}}`` for assertions."""
+        out: Dict[str, Dict[str, float]] = {}
+        for inst in self.instruments():
+            for name, key, value in inst.samples():
+                out.setdefault(name, {})[_render_labels(key)] = value
+        return out
+
+    def to_prometheus(self) -> str:
+        lines: List[str] = []
+        for inst in self.instruments():
+            if inst.help:
+                lines.append(f"# HELP {inst.name} {inst.help}")
+            lines.append(f"# TYPE {inst.name} {inst.kind}")
+            for name, key, value in inst.samples():
+                if value == float("inf"):
+                    rendered = "+Inf"
+                elif isinstance(value, float) and value.is_integer():
+                    rendered = str(int(value))
+                else:
+                    rendered = repr(value)
+                lines.append(f"{name}{_render_labels(key)} {rendered}")
+        return "\n".join(lines) + "\n"
+
+    def to_jsonl(self) -> str:
+        lines: List[str] = []
+        for inst in self.instruments():
+            for name, key, value in inst.samples():
+                lines.append(json.dumps({
+                    "metric": name,
+                    "kind": inst.kind,
+                    "labels": dict(key),
+                    "value": value if value != float("inf") else "+Inf",
+                }, sort_keys=True))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_prometheus(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_prometheus())
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_jsonl())
+
+
+class NullInstrument:
+    """Shared do-nothing instrument: every mutator is a no-op."""
+
+    __slots__ = ()
+
+    kind = "null"
+    name = "null"
+    buckets = ()
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        pass
+
+    def dec(self, amount: float = 1, **labels) -> None:
+        pass
+
+    def set(self, value: float, **labels) -> None:
+        pass
+
+    def observe(self, value: float, **labels) -> None:
+        pass
+
+    def value(self, **labels) -> float:
+        return 0
+
+    def count(self, **labels) -> int:
+        return 0
+
+    def sum(self, **labels) -> float:
+        return 0.0
+
+    def mean(self, **labels) -> float:
+        return 0.0
+
+    def quantile(self, q: float, **labels) -> float:
+        return 0.0
+
+    def samples(self) -> List:
+        return []
+
+
+NULL_INSTRUMENT = NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """Registry whose instruments do nothing — the disabled fast path."""
+
+    def counter(self, name: str, help: str = "", labelnames=()) -> Counter:
+        return NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", labelnames=()) -> Gauge:
+        return NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str = "", labelnames=(),
+                  buckets=None) -> Histogram:
+        return NULL_INSTRUMENT  # type: ignore[return-value]

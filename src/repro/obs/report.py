@@ -1,0 +1,120 @@
+"""The ``python -m repro obs`` report: run a telemetry-enabled workload
+and summarise what the telemetry layer saw.
+
+Drives the Fig. 2 multi-tenant workload through :class:`SoCSystem` with
+telemetry enabled, then renders a human-readable digest of the three
+streams (metrics, spans, security events) and optionally writes every
+machine-readable artifact (Prometheus text, metrics JSONL, Chrome
+trace-event JSON, security-event JSONL) to a directory.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Tuple
+
+from . import Telemetry, capture
+from .simhooks import publish_sim_metrics, sim_stats
+
+
+def run_instrumented_workload(
+    blocks_per_tenant: int = 8,
+    backend: str = "compiled",
+    protected: bool = True,
+    reader_stutter: int = 3,
+    seed: int = 2026,
+    telemetry: Optional[Telemetry] = None,
+) -> Tuple[Telemetry, object]:
+    """Run the multi-tenant workload with telemetry on; returns (t, soc).
+
+    ``reader_stutter`` models a polling host that misses read slots,
+    which exercises the holding buffer and the label-aware stall path so
+    the security stream shows enforcement actually firing.
+    """
+    from ..soc import SoCSystem, mixed_workload
+
+    with capture(telemetry) as t:
+        soc = SoCSystem(protected=protected, backend=backend,
+                        reader_stutter=reader_stutter)
+        soc.provision_keys()
+        tenants = [("alice", 1), ("bob", 2), ("charlie", 3)]
+        workload = mixed_workload(tenants, blocks_per_tenant, seed=seed)
+        soc.submit_all(workload)
+        # tail burst from one tenant: with only alice's blocks in flight
+        # the Fig. 8 meet check can *grant* stalls, so the stream shows
+        # both outcomes (granted for a lone user, denied under sharing)
+        soc.drain()
+        from ..soc.requests import encrypt_stream, random_blocks
+
+        soc.submit_all(encrypt_stream(
+            "alice", 1, random_blocks(blocks_per_tenant, seed=seed + 1)))
+        soc.drain()
+        publish_sim_metrics(soc.driver.sim, t.metrics)
+    return t, soc
+
+
+def render_report(t: Telemetry, soc=None) -> str:
+    """Human-readable digest of one telemetry capture."""
+    lines = []
+    bar = "=" * 70
+    lines.append(bar)
+    lines.append("telemetry report")
+    lines.append(bar)
+
+    if soc is not None:
+        info = sim_stats(soc.driver.sim)
+        lines.append(f"simulator: backend={info['backend']} "
+                     f"lanes={info['lanes']} cycles={info['cycles']} "
+                     f"({info['cycles_per_second']:,.0f} cycles/s while "
+                     "telemetry was on)")
+
+    lines.append("")
+    lines.append("metrics:")
+    snapshot = t.metrics.snapshot()
+    shown = 0
+    for name in sorted(snapshot):
+        if name.endswith("_bucket"):
+            continue  # histogram internals; the summary rows suffice
+        for labels, value in sorted(snapshot[name].items()):
+            lines.append(f"  {name}{labels} = {value:g}")
+            shown += 1
+    if not shown:
+        lines.append("  (none recorded)")
+
+    lines.append("")
+    lines.append(f"trace spans: {t.tracer.span_count()} "
+                 f"({len(t.tracer.events)} events total)")
+
+    lines.append("")
+    lines.append("security events:")
+    counts = t.security.counts()
+    if counts:
+        for kind, n in counts.items():
+            lines.append(f"  {kind:22s} {n}")
+    else:
+        lines.append("  (none)")
+    return "\n".join(lines)
+
+
+def cmd_obs(args) -> int:
+    """Implementation of ``python -m repro obs``."""
+    blocks = 2 if args.demo else args.blocks
+    t, soc = run_instrumented_workload(
+        blocks_per_tenant=blocks,
+        backend=args.backend,
+        reader_stutter=args.stutter,
+    )
+    if args.json:
+        print(json.dumps({
+            "metrics": t.metrics.snapshot(),
+            "security_events": t.security.counts(),
+            "trace_spans": t.tracer.span_count(),
+            "sim": sim_stats(soc.driver.sim),
+        }, sort_keys=True, default=str))
+    else:
+        print(render_report(t, soc))
+    if args.out:
+        paths = t.write_all(args.out)
+        for kind, path in sorted(paths.items()):
+            print(f"wrote {kind}: {path}")
+    return 0

@@ -1,0 +1,211 @@
+"""Security-event audit stream.
+
+Runtime IFC work (PAGURUS, dynamic IFT accelerators) treats enforcement
+actions as first-class observables: every tag-check denial, label-aware
+stall, suppressed release, and declassification is *evidence* that the
+mechanism fired, and the evidence should be machine-readable.  This
+module provides:
+
+* :class:`SecurityEventLog` — an append-only stream of typed events with
+  per-kind counts and a JSON-lines exporter;
+* :class:`SecurityProbe` — a simulator watcher that samples the
+  protected accelerator's enforcement signals every cycle and emits one
+  event per enforcement action.
+
+Event kinds emitted by the probe (all carry ``cycle``):
+
+=====================  ========================================================
+``stall_granted``       label-aware stall granted (Fig. 8 meet check passed)
+``stall_denied``        stall requested but denied by the meet check
+``declassification``    nonmalleable release of ciphertext at the pipeline exit
+``suppressed_release``  release suppressed (e.g. master-key misuse, §3.2.2)
+``tag_check_denial``    scratchpad/config write blocked by a tag check (Fig. 5)
+``debug_read_denied``   debug trace readout denied by the reader's label
+``output_drop``         holding-buffer slot full — requester's own block dropped
+``output_hold``         a principal's holding-buffer region reached capacity
+=====================  ========================================================
+
+Software layers add their own kinds: ``ifc_check`` (static checker
+verdicts), ``glift_violation`` / ``label_violation`` (dynamic trackers),
+``cross_user_delivery`` (the SoC harness observing the baseline's
+plaintext disclosure), ``request_dropped`` (availability).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+
+class SecurityEvent:
+    """One enforcement observation."""
+
+    __slots__ = ("kind", "cycle", "source", "detail")
+
+    def __init__(self, kind: str, cycle: Optional[int], source: str,
+                 detail: dict):
+        self.kind = kind
+        self.cycle = cycle
+        self.source = source
+        self.detail = detail
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind, "cycle": self.cycle, "source": self.source}
+        out.update(self.detail)
+        return out
+
+    def __repr__(self) -> str:
+        return f"SecurityEvent({self.kind!r}, cycle={self.cycle}, source={self.source!r})"
+
+
+class SecurityEventLog:
+    """Append-only stream of :class:`SecurityEvent` with per-kind counts."""
+
+    def __init__(self):
+        self.events: List[SecurityEvent] = []
+        self._counts: Dict[str, int] = {}
+
+    def emit(self, kind: str, cycle: Optional[int] = None, source: str = "",
+             **detail) -> SecurityEvent:
+        ev = SecurityEvent(kind, cycle, source, detail)
+        self.events.append(ev)
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        return ev
+
+    def count(self, kind: Optional[str] = None) -> int:
+        if kind is None:
+            return len(self.events)
+        return self._counts.get(kind, 0)
+
+    def counts(self) -> Dict[str, int]:
+        return dict(sorted(self._counts.items()))
+
+    def filter(self, kind: str) -> List[SecurityEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._counts.clear()
+
+    def to_jsonl(self) -> str:
+        lines = [json.dumps(e.to_dict(), sort_keys=True) for e in self.events]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_jsonl())
+
+
+class NullSecurityEventLog(SecurityEventLog):
+    """Event log that drops everything (disabled fast path)."""
+
+    _NULL_EVENT = SecurityEvent("null", None, "", {})
+
+    def emit(self, kind, cycle=None, source="", **detail) -> SecurityEvent:
+        return self._NULL_EVENT
+
+
+#: (attribute-suffix under the accelerator top, event kind, trigger mode)
+#: trigger modes: "edge" — emit on 0→1 transition; "advance" — emit on the
+#: cycle the pipeline actually advances (each high cycle is a distinct
+#: enforcement action, but a frozen pipeline must not double-count).
+_PROBE_POINTS = (
+    ("stallctl.stall", "stall_granted", "edge"),
+    ("declass.suppressed", "suppressed_release", "advance"),
+    ("scratchpad.wr_blocked", "tag_check_denial", "advance"),
+    ("cfg.wr_blocked", "tag_check_denial", "advance"),
+    ("debug.rdenied", "debug_read_denied", "edge"),
+    ("outbuf.push_blocked", "output_drop", "advance"),
+    ("outbuf.full", "output_hold", "edge"),
+)
+
+
+class SecurityProbe:
+    """Per-cycle watcher over the protected accelerator's enforcement points.
+
+    Attaches to a :class:`~repro.hdl.sim.Simulator` (any backend; on the
+    batched backend lane 0 is observed) and emits into a
+    :class:`SecurityEventLog`.  Signals that the design does not have
+    (e.g. on the unprotected baseline) are skipped, so the probe can be
+    pointed at either accelerator.
+    """
+
+    def __init__(self, sim, log: SecurityEventLog, top: str = "aes",
+                 metrics=None):
+        self.sim = sim
+        self.log = log
+        self.top = top
+        self._counter = (metrics.counter(
+            "security_events_total",
+            "enforcement events observed by the security probe",
+            labelnames=("kind",),
+        ) if metrics is not None else None)
+
+        def resolve(suffix: str):
+            try:
+                return sim._resolve(f"{top}.{suffix}")
+            except KeyError:
+                return None
+
+        self._points = []
+        for suffix, kind, mode in _PROBE_POINTS:
+            sig = resolve(suffix)
+            if sig is not None:
+                self._points.append((sig, suffix.split(".")[0], kind, mode))
+        self._advance = resolve("advance")
+        # declassification: an encrypt release leaving the declassifier
+        self._dc_valid = resolve("declass.out_valid")
+        self._dc_op = resolve("declass.in_op")
+        self._dc_ok = resolve("declass.declass_ok")
+        self._dc_tag = resolve("declass.in_tag")
+        # denied stall: requested but the meet check said no
+        self._st_req = resolve("stallctl.stall_req")
+        self._st_allowed = resolve("stallctl.allowed")
+        self._user = resolve("in_user")
+        self._reader = resolve("rd_user")
+        self._prev: Dict[object, int] = {}
+        sim.add_watcher(self._on_cycle)
+
+    def detach(self) -> None:
+        self.sim.remove_watcher(self._on_cycle)
+
+    def _emit(self, kind: str, cycle: int, source: str, **detail) -> None:
+        self.log.emit(kind, cycle=cycle, source=source, **detail)
+        if self._counter is not None:
+            self._counter.inc(kind=kind)
+
+    def _on_cycle(self, sim) -> None:
+        peek = sim.peek
+        cycle = sim.cycle
+        advance = peek(self._advance) if self._advance is not None else 1
+
+        for sig, source, kind, mode in self._points:
+            value = peek(sig)
+            if mode == "edge":
+                fired = value and not self._prev.get(sig, 0)
+                self._prev[sig] = value
+            else:
+                fired = value and advance
+            if fired:
+                detail = {}
+                if self._user is not None and kind in (
+                        "tag_check_denial", "output_drop"):
+                    detail["user_tag"] = peek(self._user)
+                if self._reader is not None and kind == "debug_read_denied":
+                    detail["reader_tag"] = peek(self._reader)
+                self._emit(kind, cycle, source, **detail)
+
+        # declassification / denied stall need multi-signal predicates
+        if self._dc_valid is not None and advance and peek(self._dc_valid):
+            if self._dc_op is not None and peek(self._dc_op) == 0:
+                detail = {"ok": bool(peek(self._dc_ok))
+                          if self._dc_ok is not None else True}
+                if self._dc_tag is not None:
+                    detail["tag"] = peek(self._dc_tag)
+                self._emit("declassification", cycle, "declass", **detail)
+
+        if self._st_req is not None and self._st_allowed is not None:
+            denied = peek(self._st_req) and not peek(self._st_allowed)
+            if denied and not self._prev.get("stall_denied", 0):
+                self._emit("stall_denied", cycle, "stallctl")
+            self._prev["stall_denied"] = denied

@@ -1,0 +1,179 @@
+"""Span-based request-lifecycle tracing with a Chrome trace-event exporter.
+
+The tracer records *spans* — named intervals with a start timestamp and
+a duration — plus instant events and track metadata.  Timestamps are
+whatever the configured clock returns; the SoC harness uses **simulation
+cycles**, so a span of 30 "microseconds" in the viewer is 30 pipeline
+cycles.  The export format is the Chrome trace-event JSON understood by
+``chrome://tracing`` and https://ui.perfetto.dev:
+
+* ``ph: "X"`` complete events — one per span;
+* ``ph: "i"`` instant events — point occurrences (drops, denials);
+* ``ph: "M"`` metadata — names the per-user tracks.
+
+Spans can be recorded live (``begin``/``end`` or the context manager)
+or retroactively via :meth:`Tracer.complete`, which is what the SoC
+delivery path does: when a response arrives, it back-fills the queued
+and service sub-spans from the cycle stamps on the request record.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional
+
+
+class Span:
+    """One named interval on a track."""
+
+    __slots__ = ("name", "cat", "start", "end", "tid", "args")
+
+    def __init__(self, name: str, cat: str, start: float, tid: int,
+                 args: Optional[dict] = None):
+        self.name = name
+        self.cat = cat
+        self.start = start
+        self.end: Optional[float] = None
+        self.tid = tid
+        self.args = args or {}
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, start={self.start}, "
+                f"dur={self.duration}, tid={self.tid})")
+
+
+class Tracer:
+    """Collects spans/instants and renders Chrome trace-event JSON."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 pid: int = 1):
+        self.clock = clock or (lambda: 0.0)
+        self.pid = pid
+        self.events: List[dict] = []
+        self._open: List[Span] = []
+        self._track_names: Dict[int, str] = {}
+
+    def set_clock(self, clock: Callable[[], float]) -> None:
+        self.clock = clock
+
+    # -- recording --------------------------------------------------------------
+    def begin(self, name: str, cat: str = "", tid: int = 0,
+              ts: Optional[float] = None, **args) -> Span:
+        span = Span(name, cat, self.clock() if ts is None else ts, tid, args)
+        self._open.append(span)
+        return span
+
+    def end(self, span: Span, ts: Optional[float] = None, **args) -> Span:
+        span.end = self.clock() if ts is None else ts
+        span.args.update(args)
+        if span in self._open:
+            self._open.remove(span)
+        self._emit_span(span)
+        return span
+
+    def span(self, name: str, cat: str = "", tid: int = 0, **args):
+        """Context manager form: ``with tracer.span("compile"): ...``"""
+        tracer = self
+
+        class _Ctx:
+            def __enter__(ctx):
+                ctx.span = tracer.begin(name, cat, tid, **args)
+                return ctx.span
+
+            def __exit__(ctx, *exc):
+                tracer.end(ctx.span)
+                return False
+
+        return _Ctx()
+
+    def complete(self, name: str, start: float, duration: float,
+                 cat: str = "", tid: int = 0, **args) -> None:
+        """Record a span retroactively from known timestamps."""
+        span = Span(name, cat, start, tid, args)
+        span.end = start + duration
+        self._emit_span(span)
+
+    def instant(self, name: str, cat: str = "", tid: int = 0,
+                ts: Optional[float] = None, **args) -> None:
+        self.events.append({
+            "name": name, "cat": cat or "event", "ph": "i",
+            "ts": float(self.clock() if ts is None else ts),
+            "pid": self.pid, "tid": tid, "s": "t",
+            "args": args,
+        })
+
+    def counter(self, name: str, values: Dict[str, float],
+                ts: Optional[float] = None) -> None:
+        """Chrome 'C' counter event — stacked series in the viewer."""
+        self.events.append({
+            "name": name, "ph": "C",
+            "ts": float(self.clock() if ts is None else ts),
+            "pid": self.pid, "tid": 0,
+            "args": dict(values),
+        })
+
+    def name_track(self, tid: int, name: str) -> None:
+        """Label a track (rendered as a thread name in the viewer)."""
+        if self._track_names.get(tid) == name:
+            return
+        self._track_names[tid] = name
+        self.events.append({
+            "name": "thread_name", "ph": "M", "pid": self.pid, "tid": tid,
+            "args": {"name": name},
+        })
+
+    def _emit_span(self, span: Span) -> None:
+        self.events.append({
+            "name": span.name, "cat": span.cat or "span", "ph": "X",
+            "ts": float(span.start), "dur": float(span.duration or 0),
+            "pid": self.pid, "tid": span.tid,
+            "args": span.args,
+        })
+
+    # -- export ----------------------------------------------------------------
+    def span_count(self) -> int:
+        return sum(1 for e in self.events if e["ph"] == "X")
+
+    def to_chrome_trace(self) -> dict:
+        return {
+            "traceEvents": list(self.events),
+            "displayTimeUnit": "ms",
+            "otherData": {"clock": "simulation cycles as microseconds"},
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_chrome_trace(), sort_keys=True)
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as f:
+            json.dump(self.to_chrome_trace(), f)
+
+
+class NullTracer(Tracer):
+    """Tracer whose recording methods do nothing (disabled fast path)."""
+
+    _NULL_SPAN = Span("null", "", 0.0, 0)
+
+    def begin(self, name, cat="", tid=0, ts=None, **args) -> Span:
+        return self._NULL_SPAN
+
+    def end(self, span, ts=None, **args) -> Span:
+        return span
+
+    def complete(self, name, start, duration, cat="", tid=0, **args) -> None:
+        pass
+
+    def instant(self, name, cat="", tid=0, ts=None, **args) -> None:
+        pass
+
+    def counter(self, name, values, ts=None) -> None:
+        pass
+
+    def name_track(self, tid, name) -> None:
+        pass

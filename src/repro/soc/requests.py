@@ -12,7 +12,7 @@ class Request:
     """One encrypt/decrypt request from a user application."""
 
     __slots__ = ("user", "cmd", "slot", "data", "submitted_cycle",
-                 "issued_cycle", "completed_cycle", "result")
+                 "issued_cycle", "delivered_cycle", "result")
 
     def __init__(self, user: str, cmd: int, slot: int, data: int):
         self.user = user
@@ -21,14 +21,34 @@ class Request:
         self.data = data
         self.submitted_cycle: Optional[int] = None
         self.issued_cycle: Optional[int] = None
-        self.completed_cycle: Optional[int] = None
+        self.delivered_cycle: Optional[int] = None
         self.result: Optional[int] = None
 
     @property
+    def completed_cycle(self) -> Optional[int]:
+        """Backwards-compatible alias for :attr:`delivered_cycle`."""
+        return self.delivered_cycle
+
+    @property
     def latency(self) -> Optional[int]:
-        if self.issued_cycle is None or self.completed_cycle is None:
+        """Issue-to-delivery, in cycles (None until delivered)."""
+        if self.issued_cycle is None or self.delivered_cycle is None:
             return None
-        return self.completed_cycle - self.issued_cycle
+        return self.delivered_cycle - self.issued_cycle
+
+    @property
+    def queue_cycles(self) -> Optional[int]:
+        """Submit-to-issue wait, in cycles (None until issued)."""
+        if self.submitted_cycle is None or self.issued_cycle is None:
+            return None
+        return self.issued_cycle - self.submitted_cycle
+
+    @property
+    def total_cycles(self) -> Optional[int]:
+        """Submit-to-delivery, in cycles (None until delivered)."""
+        if self.submitted_cycle is None or self.delivered_cycle is None:
+            return None
+        return self.delivered_cycle - self.submitted_cycle
 
     def __repr__(self) -> str:
         op = "ENC" if self.cmd == CMD_ENCRYPT else "DEC"

@@ -7,6 +7,13 @@ user and issue round-robin (the software model of the arbiter; the HDL
 responses route back by tag — in the protected design the hardware
 enforces the routing, in the baseline the harness exposes whatever the
 hardware hands out, which is how the plaintext-disclosure attack shows.
+
+When telemetry is enabled (:mod:`repro.obs`), the harness traces every
+request's lifecycle (submit → issue → deliver) on a per-user track,
+feeds per-user latency/throughput histograms, counts drops, and — on
+the protected design — the driver's security probe streams enforcement
+events.  With telemetry disabled all of that collapses to a single
+``None`` check per operation.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from typing import Dict, List, Optional
 from ..accel.baseline import AesAcceleratorBaseline
 from ..accel.driver import AcceleratorDriver
 from ..accel.protected import AesAcceleratorProtected
+from ..obs import Telemetry, telemetry as _telemetry
 from .requests import Request
 from .users import Principal, default_principals, users_of
 
@@ -25,7 +33,9 @@ class SoCSystem:
 
     def __init__(self, protected: bool = True,
                  principals: Optional[Dict[str, Principal]] = None,
-                 backend: str = "compiled"):
+                 backend: str = "compiled",
+                 telemetry: Optional[Telemetry] = None,
+                 reader_stutter: int = 0):
         self.protected = protected
         self.principals = principals or default_principals()
         accel = (AesAcceleratorProtected() if protected
@@ -41,10 +51,45 @@ class SoCSystem:
         self._rr_users = [p.name for p in users_of(self.principals)]
         self._rr_issue = 0
         self._rr_read = 0
+        #: every `reader_stutter` cycles the reader drops out_ready for one
+        #: cycle — a model of a slow polling host that exercises the
+        #: holding buffer / stall machinery (0 = always ready)
+        self.reader_stutter = reader_stutter
         self.dropped_requests: List[Request] = []
         self._vouch_to_user: Dict[int, str] = {}
         for p in users_of(self.principals):
             self._vouch_to_user[p.tag & 0xF] = p.name
+
+        self.obs = telemetry if telemetry is not None else _telemetry()
+        self._tids: Dict[str, int] = {}
+        if self.obs is not None:
+            m = self.obs.metrics
+            users = ("user",)
+            self._m_submitted = m.counter(
+                "soc_requests_submitted_total",
+                "requests entering the per-user queues", users)
+            self._m_delivered = m.counter(
+                "soc_requests_delivered_total",
+                "responses routed back to a reader", users)
+            self._m_dropped = m.counter(
+                "soc_requests_dropped_total",
+                "requests abandoned by the holding buffer (availability)",
+                users)
+            self._m_cross = m.counter(
+                "soc_cross_user_deliveries_total",
+                "responses delivered to a reader other than the owner "
+                "(baseline disclosure)", ("owner", "reader"))
+            self._h_latency = m.histogram(
+                "soc_request_latency_cycles",
+                "issue-to-delivery latency per user", users)
+            self._h_queue = m.histogram(
+                "soc_request_queue_cycles",
+                "submit-to-issue queueing delay per user", users)
+            self._g_inflight = m.gauge(
+                "soc_inflight_requests", "requests inside the accelerator")
+            for i, name in enumerate(sorted(self.principals)):
+                self._tids[name] = i + 1
+                self.obs.tracer.name_track(i + 1, f"user:{name}")
 
     # -- setup ------------------------------------------------------------------
     def provision_keys(self) -> None:
@@ -61,6 +106,8 @@ class SoCSystem:
     def submit(self, request: Request) -> None:
         request.submitted_cycle = self.driver.sim.cycle
         self.queues[request.user].append(request)
+        if self.obs is not None:
+            self._m_submitted.inc(user=request.user)
 
     def submit_all(self, requests: List[Request]) -> None:
         for r in requests:
@@ -78,6 +125,7 @@ class SoCSystem:
         """Advance the system: issue queued requests, deliver responses."""
         top = self.driver.top
         sim = self.driver.sim
+        obs = self.obs
         for _ in range(cycles):
             # reader side: rotate polling among users with work outstanding
             candidates = [
@@ -88,11 +136,14 @@ class SoCSystem:
                 candidates[self._rr_read % len(candidates)]
             ]
             self._rr_read += 1
+            ready = 1
+            if self.reader_stutter and sim.cycle % self.reader_stutter == 0:
+                ready = 0
             sim.poke(f"{top}.rd_user", reader.tag)
-            sim.poke(f"{top}.out_ready", 1)
+            sim.poke(f"{top}.out_ready", ready)
 
             # collect a response if presented
-            if sim.peek(f"{top}.out_valid"):
+            if ready and sim.peek(f"{top}.out_valid"):
                 tag = sim.peek(f"{top}.out_tag")
                 data = sim.peek(f"{top}.out_data")
                 self._deliver(reader, tag, data)
@@ -109,6 +160,8 @@ class SoCSystem:
                 self.in_flight.append(req)
             else:
                 self.driver._idle_inputs()
+            if obs is not None:
+                self._g_inflight.set(len(self.in_flight))
             sim.step()
 
     def _deliver(self, reader: Principal, tag: int, data: int) -> None:
@@ -135,9 +188,31 @@ class SoCSystem:
         if req is None:
             return
         self.in_flight.remove(req)
-        req.completed_cycle = self.driver.sim.cycle
+        req.delivered_cycle = self.driver.sim.cycle
         req.result = data
         self.delivered[reader.name].append(req)
+        if self.obs is not None:
+            self._record_delivery(req, reader)
+
+    def _record_delivery(self, req: Request, reader: Principal) -> None:
+        obs = self.obs
+        self._m_delivered.inc(user=req.user)
+        self._h_latency.observe(req.latency, user=req.user)
+        self._h_queue.observe(req.queue_cycles, user=req.user)
+        tid = self._tids.get(req.user, 0)
+        tracer = obs.tracer
+        tracer.complete("request", req.submitted_cycle, req.total_cycles,
+                        cat="soc", tid=tid, slot=req.slot,
+                        reader=reader.name)
+        tracer.complete("queued", req.submitted_cycle, req.queue_cycles,
+                        cat="soc", tid=tid)
+        tracer.complete("service", req.issued_cycle, req.latency,
+                        cat="soc", tid=tid)
+        if reader.name != req.user:
+            self._m_cross.inc(owner=req.user, reader=reader.name)
+            obs.security.emit(
+                "cross_user_delivery", cycle=req.delivered_cycle,
+                source="soc", owner=req.user, reader=reader.name)
 
     def drain(self, max_cycles: int = 4000, idle_limit: int = 200) -> None:
         """Run until all requests complete (or are detected as dropped).
@@ -158,7 +233,7 @@ class SoCSystem:
             if outstanding == last_outstanding:
                 idle += 1
                 if idle >= idle_limit and not any(self.queues.values()):
-                    self.dropped_requests.extend(self.in_flight)
+                    self._drop(self.in_flight)
                     self.in_flight.clear()
                     return
             else:
@@ -166,6 +241,21 @@ class SoCSystem:
             last_outstanding = outstanding
             self.tick()
         raise TimeoutError("SoC did not drain")
+
+    def _drop(self, requests: List[Request]) -> None:
+        self.dropped_requests.extend(requests)
+        if self.obs is not None:
+            for req in requests:
+                self._m_dropped.inc(user=req.user)
+                self.obs.security.emit(
+                    "request_dropped", cycle=self.driver.sim.cycle,
+                    source="soc", user=req.user,
+                    submitted_cycle=req.submitted_cycle,
+                    issued_cycle=req.issued_cycle)
+                self.obs.tracer.instant(
+                    "request_dropped", cat="soc",
+                    tid=self._tids.get(req.user, 0),
+                    ts=self.driver.sim.cycle, user=req.user)
 
     # -- queries ------------------------------------------------------------------
     def results_for(self, user: str) -> List[Request]:

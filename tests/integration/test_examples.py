@@ -23,20 +23,30 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "OK" in result.stdout
 
-    def test_multi_tenant_cloud(self):
-        result = run_example("multi_tenant_cloud.py")
+    def test_multi_tenant_cloud(self, tmp_path):
+        out = tmp_path / "telemetry"
+        result = run_example("multi_tenant_cloud.py", str(out))
         assert result.returncode == 0, result.stderr
         assert "isolation held" in result.stdout
+        # the run must leave machine-readable telemetry evidence behind
+        assert (out / "metrics.prom").exists()
+        assert (out / "trace.json").exists()
+        events = (out / "security.jsonl").read_text()
+        assert '"kind": "declassification"' in events
+        assert '"kind": "stall_granted"' in events or \
+            '"kind": "stall_denied"' in events
 
     def test_encrypted_storage(self):
         result = run_example("encrypted_storage.py")
         assert result.returncode == 0, result.stderr
         assert "matches the software CBC" in result.stdout
 
-    def test_security_audit(self):
-        result = run_example("security_audit.py")
+    def test_security_audit(self, tmp_path):
+        log = tmp_path / "audit.jsonl"
+        result = run_example("security_audit.py", str(log))
         assert result.returncode == 0, result.stderr
         assert "vulnerability class found statically" in result.stdout
+        assert '"kind": "ifc_check"' in log.read_text()
 
     def test_covert_channel_demo(self):
         result = run_example("covert_channel_demo.py")

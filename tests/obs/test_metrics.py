@@ -1,0 +1,141 @@
+"""Metrics registry: instruments, labels, export formats, null path."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, NullRegistry, NULL_INSTRUMENT
+from repro.obs.metrics import DEFAULT_BUCKETS
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = MetricsRegistry().counter("reqs_total")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+
+    def test_labels_are_independent_series(self):
+        c = MetricsRegistry().counter("reqs_total", labelnames=("user",))
+        c.inc(user="alice")
+        c.inc(2, user="bob")
+        assert c.value(user="alice") == 1
+        assert c.value(user="bob") == 2
+        assert c.value(user="charlie") == 0
+
+    def test_undeclared_label_rejected(self):
+        c = MetricsRegistry().counter("reqs_total", labelnames=("user",))
+        with pytest.raises(ValueError, match="no label"):
+            c.inc(tenant="alice")
+
+    def test_counters_only_go_up(self):
+        c = MetricsRegistry().counter("reqs_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("inflight")
+        g.set(10)
+        g.inc(5)
+        g.dec(2)
+        assert g.value() == 13
+
+
+class TestHistogram:
+    def test_observe_count_sum_mean(self):
+        h = MetricsRegistry().histogram("latency_cycles")
+        for v in (30, 31, 33, 100):
+            h.observe(v)
+        assert h.count() == 4
+        assert h.sum() == 194
+        assert h.mean() == pytest.approx(48.5)
+
+    def test_quantile_returns_bucket_bound(self):
+        h = MetricsRegistry().histogram("latency_cycles")
+        for v in (30, 31, 33, 100):
+            h.observe(v)
+        assert h.quantile(0.5) == 32.0   # 2 of 4 fall at or below 32
+        assert h.quantile(1.0) == 128.0  # the 100 lands in (64, 128]
+
+    def test_default_buckets_end_at_inf(self):
+        assert DEFAULT_BUCKETS[-1] == math.inf
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=(10.0, 5.0))
+
+    def test_samples_include_bucket_sum_count(self):
+        h = MetricsRegistry().histogram("lat", buckets=(10.0, 20.0))
+        h.observe(15)
+        names = {name for name, _k, _v in h.samples()}
+        assert names == {"repro_lat_bucket", "repro_lat_sum",
+                         "repro_lat_count"}
+        # cumulative buckets: 0 in <=10, 1 in <=20, 1 in +Inf
+        buckets = [(dict(k).get("le"), v) for name, k, v in h.samples()
+                   if name.endswith("_bucket")]
+        assert buckets == [("10.0", 0), ("20.0", 1), ("+Inf", 1)]
+
+
+class TestRegistry:
+    def test_namespace_prefix(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x_total").name == "repro_x_total"
+        assert MetricsRegistry(namespace="").counter("y").name == "y"
+
+    def test_registration_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", labelnames=("user",))
+        b = reg.counter("x_total", labelnames=("user",))
+        assert a is b
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x_total")
+
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        c = reg.counter("reqs_total", "requests", labelnames=("user",))
+        c.inc(3, user="alice")
+        text = reg.to_prometheus()
+        assert "# HELP repro_reqs_total requests" in text
+        assert "# TYPE repro_reqs_total counter" in text
+        assert 'repro_reqs_total{user="alice"} 3' in text
+
+    def test_jsonl_round_trips(self):
+        reg = MetricsRegistry()
+        reg.gauge("cps", labelnames=("backend",)).set(123.5,
+                                                      backend="compiled")
+        rows = [json.loads(line) for line in reg.to_jsonl().splitlines()]
+        assert rows == [{"metric": "repro_cps", "kind": "gauge",
+                         "labels": {"backend": "compiled"}, "value": 123.5}]
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("n_total", labelnames=("k",)).inc(k="v")
+        snap = reg.snapshot()
+        assert snap["repro_n_total"]['{k="v"}'] == 1
+
+    def test_write_files(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("n_total").inc()
+        reg.write_prometheus(str(tmp_path / "m.prom"))
+        reg.write_jsonl(str(tmp_path / "m.jsonl"))
+        assert "repro_n_total 1" in (tmp_path / "m.prom").read_text()
+        assert '"repro_n_total"' in (tmp_path / "m.jsonl").read_text()
+
+
+class TestNullPath:
+    def test_null_registry_hands_out_shared_noop(self):
+        reg = NullRegistry()
+        c = reg.counter("x")
+        assert c is NULL_INSTRUMENT
+        c.inc()
+        c.observe(5)
+        c.set(1)
+        assert c.value() == 0
+        assert c.samples() == []

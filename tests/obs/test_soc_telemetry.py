@@ -1,0 +1,87 @@
+"""Request-lifecycle telemetry through the SoC harness."""
+
+import repro.obs as obs
+from repro.soc import SoCSystem, encrypt_stream, mixed_workload, random_blocks
+
+
+def _run(telemetry=None, blocks=3, **soc_kwargs):
+    soc = SoCSystem(protected=True, telemetry=telemetry, **soc_kwargs)
+    soc.provision_keys()
+    soc.submit_all(encrypt_stream("alice", 1, random_blocks(blocks, seed=9)))
+    soc.drain()
+    return soc
+
+
+class TestLifecycleMetrics:
+    def test_submitted_and_delivered_counters(self):
+        t = obs.Telemetry()
+        _run(telemetry=t)
+        snap = t.metrics.snapshot()
+        assert snap["repro_soc_requests_submitted_total"]['{user="alice"}'] == 3
+        assert snap["repro_soc_requests_delivered_total"]['{user="alice"}'] == 3
+
+    def test_latency_histogram_matches_request_records(self):
+        t = obs.Telemetry()
+        soc = _run(telemetry=t)
+        h = t.metrics.get("soc_request_latency_cycles")
+        delivered = soc.results_for("alice")
+        assert h.count(user="alice") == len(delivered)
+        assert h.sum(user="alice") == sum(r.latency for r in delivered)
+
+    def test_cycle_stamps_are_consistent(self):
+        soc = _run()
+        for r in soc.results_for("alice"):
+            assert r.submitted_cycle <= r.issued_cycle <= r.delivered_cycle
+            assert r.latency == r.delivered_cycle - r.issued_cycle
+            assert r.queue_cycles == r.issued_cycle - r.submitted_cycle
+            assert r.total_cycles == r.delivered_cycle - r.submitted_cycle
+            # backward-compatible alias from before the rename
+            assert r.completed_cycle == r.delivered_cycle
+
+    def test_request_spans_on_per_user_tracks(self):
+        t = obs.Telemetry()
+        _run(telemetry=t)
+        spans = [e for e in t.tracer.events if e["ph"] == "X"]
+        names = {e["name"] for e in spans}
+        assert {"request", "queued", "service"} <= names
+        requests = [e for e in spans if e["name"] == "request"]
+        assert len(requests) == 3
+        # all of alice's spans live on one named track
+        track_meta = [e for e in t.tracer.events if e["ph"] == "M"]
+        named = {e["tid"]: e["args"]["name"] for e in track_meta}
+        for ev in requests:
+            assert named[ev["tid"]] == "user:alice"
+
+    def test_dropped_requests_counted(self):
+        t = obs.Telemetry()
+        soc = SoCSystem(protected=True, telemetry=t, reader_stutter=2)
+        soc.provision_keys()
+        tenants = [("alice", 1), ("bob", 2), ("charlie", 3)]
+        soc.submit_all(mixed_workload(tenants, 8, seed=2026))
+        soc.drain()
+        dropped = t.metrics.get("soc_requests_dropped_total")
+        total_dropped = sum(v for _n, _k, v in dropped.samples())
+        assert total_dropped == len(soc.dropped_requests)
+        assert t.security.count("request_dropped") == len(
+            soc.dropped_requests)
+
+    def test_inflight_gauge_returns_to_zero(self):
+        t = obs.Telemetry()
+        _run(telemetry=t)
+        g = t.metrics.get("soc_inflight_requests")
+        assert g.value() == 0
+
+
+class TestDisabledPath:
+    def test_disabled_records_nothing(self):
+        assert obs.telemetry() is None
+        soc = _run()
+        assert soc.obs is None
+        assert len(soc.results_for("alice")) == 3
+
+    def test_explicit_telemetry_wins_over_global(self):
+        mine = obs.Telemetry()
+        with obs.capture() as ambient:
+            _run(telemetry=mine)
+        assert mine.metrics.snapshot()
+        assert ambient.metrics.get("soc_requests_submitted_total") is None

@@ -1,0 +1,77 @@
+"""Tracer: spans, instants, track metadata, Chrome trace-event export."""
+
+import json
+
+from repro.obs import NullTracer, Tracer
+
+
+def test_begin_end_span():
+    clock = iter([10.0, 40.0])
+    t = Tracer(clock=lambda: next(clock))
+    span = t.begin("request", cat="soc", tid=1, user="alice")
+    t.end(span)
+    assert span.duration == 30.0
+    assert t.span_count() == 1
+    (ev,) = t.events
+    assert ev["ph"] == "X" and ev["ts"] == 10.0 and ev["dur"] == 30.0
+    assert ev["args"] == {"user": "alice"}
+
+
+def test_span_context_manager():
+    ticks = iter([1.0, 5.0])
+    t = Tracer(clock=lambda: next(ticks))
+    with t.span("compile", cat="sim"):
+        pass
+    assert t.span_count() == 1
+    assert t.events[0]["dur"] == 4.0
+
+
+def test_complete_backfills_retroactive_span():
+    t = Tracer()
+    t.complete("service", start=100, duration=30, cat="soc", tid=2, slot=1)
+    (ev,) = t.events
+    assert ev["ts"] == 100.0 and ev["dur"] == 30.0 and ev["tid"] == 2
+    assert ev["args"]["slot"] == 1
+
+
+def test_instant_and_counter_events():
+    t = Tracer()
+    t.instant("request_dropped", tid=3, ts=55, user="bob")
+    t.counter("inflight", {"requests": 7}, ts=60)
+    phases = [e["ph"] for e in t.events]
+    assert phases == ["i", "C"]
+    assert t.span_count() == 0
+
+
+def test_name_track_emits_metadata_once():
+    t = Tracer()
+    t.name_track(1, "user:alice")
+    t.name_track(1, "user:alice")  # duplicate is dropped
+    t.name_track(2, "user:bob")
+    meta = [e for e in t.events if e["ph"] == "M"]
+    assert len(meta) == 2
+    assert meta[0]["args"]["name"] == "user:alice"
+
+
+def test_chrome_trace_export_is_valid_json(tmp_path):
+    t = Tracer()
+    t.complete("request", 0, 30, tid=1)
+    t.write_chrome_trace(str(tmp_path / "trace.json"))
+    doc = json.loads((tmp_path / "trace.json").read_text())
+    assert isinstance(doc["traceEvents"], list)
+    assert doc["traceEvents"][0]["name"] == "request"
+    # every event has the keys chrome://tracing needs
+    for ev in doc["traceEvents"]:
+        assert {"name", "ph", "pid", "tid"} <= set(ev)
+
+
+def test_null_tracer_records_nothing():
+    t = NullTracer()
+    span = t.begin("x")
+    t.end(span)
+    t.complete("y", 0, 1)
+    t.instant("z")
+    t.counter("c", {"v": 1})
+    t.name_track(1, "track")
+    assert t.events == []
+    assert t.span_count() == 0
