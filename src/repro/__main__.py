@@ -16,6 +16,15 @@ Commands
 ``obs [--demo] [--out DIR]``
     Run a telemetry-enabled multi-tenant workload and report the
     metrics / trace / security-event streams (see docs/observability.md).
+``obs leakage [--scenario stall|soc] [--out DIR]``
+    Statistical timing-channel detector: paired baseline/protected
+    campaigns, Welch's t-test + mutual information per observable.
+``obs profile [--backend B] [--out DIR]``
+    Per-module simulation profiler: flamegraph, Chrome trace, toggle
+    heatmap.
+``obs history [--history FILE] [--no-append]``
+    Append BENCH_*.json gauges to the bench-history ledger and diff
+    against the previous run.
 """
 
 from __future__ import annotations
@@ -178,6 +187,24 @@ def cmd_obs(args) -> int:
     return run(args)
 
 
+def cmd_obs_leakage(args) -> int:
+    from .obs.leakage import cmd_obs_leakage as run
+
+    return run(args)
+
+
+def cmd_obs_profile(args) -> int:
+    from .obs.profile import cmd_obs_profile as run
+
+    return run(args)
+
+
+def cmd_obs_history(args) -> int:
+    from .obs.history import cmd_obs_history as run
+
+    return run(args)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -225,6 +252,71 @@ def main(argv=None) -> int:
     p.add_argument("--json", action="store_true",
                    help="machine-readable summary on stdout")
     p.set_defaults(fn=cmd_obs)
+
+    obs_sub = p.add_subparsers(dest="obs_command",
+                               metavar="{leakage,profile,history}")
+
+    q = obs_sub.add_parser(
+        "leakage", help="statistical timing-channel detector")
+    q.add_argument("--scenario", default="stall", choices=("stall", "soc"),
+                   help="stall: §3.1 covert-channel probe loop; "
+                        "soc: multi-tenant service latency (default stall)")
+    q.add_argument("--trials", type=int, default=12,
+                   help="measurement trials per design (default 12)")
+    q.add_argument("--seed", type=int, default=2026,
+                   help="campaign RNG seed (default 2026)")
+    q.add_argument("--backend", default="compiled",
+                   choices=("interp", "compiled", "batched"))
+    q.add_argument("--stall-cycles", type=int, default=16,
+                   help="encoding window for the stall scenario (default 16)")
+    q.add_argument("--demo", action="store_true",
+                   help="6-trial campaign (CI smoke)")
+    q.add_argument("--out", default=None,
+                   help="directory for leakage_report.json")
+    q.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    q.set_defaults(fn=cmd_obs_leakage)
+
+    q = obs_sub.add_parser(
+        "profile", help="per-module simulation profiler")
+    q.add_argument("--demo", action="store_true",
+                   help="tiny workload (CI smoke)")
+    q.add_argument("--blocks", type=int, default=8,
+                   help="blocks per tenant (default 8)")
+    q.add_argument("--backend", default="compiled",
+                   choices=("interp", "compiled", "batched"))
+    q.add_argument("--baseline", action="store_true",
+                   help="profile the baseline design instead of protected")
+    q.add_argument("--interval", type=int, default=1,
+                   help="sample every N cycles (default 1)")
+    q.add_argument("--window", type=int, default=64,
+                   help="heatmap bucket size in cycles (default 64)")
+    q.add_argument("--out", default=None,
+                   help="directory for flamegraph.folded / "
+                        "profile_trace.json / toggle_heatmap.json")
+    q.add_argument("--json", action="store_true",
+                   help="print the toggle heatmap JSON on stdout")
+    q.set_defaults(fn=cmd_obs_profile)
+
+    q = obs_sub.add_parser(
+        "history", help="bench-history ledger append + regression diff")
+    q.add_argument("--root", default=".",
+                   help="directory holding BENCH_*.json (default .)")
+    q.add_argument("--bench", nargs="*", default=None,
+                   help="explicit bench artifact paths (overrides --root)")
+    q.add_argument("--history", default="BENCH_history.jsonl",
+                   help="ledger path (default BENCH_history.jsonl)")
+    q.add_argument("--tolerance", type=float, default=0.10,
+                   help="relative change treated as noise (default 0.10)")
+    q.add_argument("--note", default="",
+                   help="free-form note stored with the entry")
+    q.add_argument("--no-append", action="store_true",
+                   help="compare only; leave the ledger untouched")
+    q.add_argument("--fail-on-regression", action="store_true",
+                   help="exit 1 when any gauge regressed beyond tolerance")
+    q.add_argument("--json", action="store_true",
+                   help="machine-readable comparison on stdout")
+    q.set_defaults(fn=cmd_obs_history)
 
     args = parser.parse_args(argv)
     if not getattr(args, "fn", None):

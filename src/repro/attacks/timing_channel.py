@@ -63,9 +63,10 @@ class CovertChannelResult:
                 f"MI={self.mutual_information():.3f} bits)")
 
 
-def _setup(protected: bool) -> Tuple[AcceleratorDriver, int, int]:
+def _setup(protected: bool,
+           backend: str = "compiled") -> Tuple[AcceleratorDriver, int, int]:
     accel = AesAcceleratorProtected() if protected else AesAcceleratorBaseline()
-    drv = AcceleratorDriver(accel)
+    drv = AcceleratorDriver(accel, backend=backend)
     alice = user_label("p0").encode()
     eve = user_label("p1").encode()
     if protected:
@@ -116,6 +117,11 @@ def _send_bit(drv: AcceleratorDriver, alice: int, eve: int, bit: int,
     drv.step(120)
     drv.take_responses()
     return (found.cycle - probe_start) if found else 300
+
+
+#: Public name for harnesses (the leakage campaign) that drive the same
+#: two-tenant shared-pipeline scenario with their own probe loop.
+setup_channel = _setup
 
 
 def run_covert_channel(protected: bool, secret_bits: List[int],

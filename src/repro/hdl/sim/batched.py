@@ -1551,6 +1551,35 @@ class BatchSimulator:
                 out[lane] |= int(row[lane]) << shift
         return out
 
+    def values(self, lane: int = 0) -> List[int]:
+        """Settled values of inputs, registers, then comb signals on one
+        lane — the bulk-observation primitive behind
+        :meth:`~repro.hdl.sim.engine.Simulator.values`.
+
+        One column copy per storage array instead of one :meth:`peek`
+        (resolve + settle + per-limb reads) per signal.
+        """
+        self._check_lane(lane)
+        self._settle()
+        state_col = self._state[:, lane].tolist()
+        env_col = self._env[:, lane].tolist()
+        out: List[int] = []
+        nl = self.netlist
+        for sigs, col, slots in (
+                (list(nl.inputs) + list(nl.regs), state_col,
+                 self._be.state_slot),
+                (nl.comb, env_col, self._be.comb_slot)):
+            for sig in sigs:
+                row0, L = slots[sig]
+                if L == 1:
+                    out.append(col[row0])
+                else:
+                    value = 0
+                    for j in range(L):
+                        value |= col[row0 + j] << (64 * j)
+                    out.append(value)
+        return out
+
     def peek_mem(self, mem: Union[Mem, str], addr: int, lane: int = 0) -> int:
         mem = self._resolve_mem(mem)
         self._check_lane(lane)

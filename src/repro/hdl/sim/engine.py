@@ -219,6 +219,35 @@ class Simulator:
         self.cycle = 0
         self._dirty = True
 
+    # -- bulk observation (profilers) -------------------------------------------
+    def value_signals(self) -> List[Signal]:
+        """Every stateful and combinational signal, in snapshot order.
+
+        The order matches :meth:`values`: inputs, then registers, then
+        combinational signals (the same layout all three backends use
+        internally), so ``zip(sim.value_signals(), sim.values())`` pairs
+        each signal with its settled value.
+        """
+        return (list(self.netlist.inputs) + list(self.netlist.regs)
+                + list(self.netlist.comb))
+
+    def values(self) -> List[int]:
+        """Settled values of :meth:`value_signals`, as one flat list.
+
+        This is the profiler's sampling primitive: one call per sampled
+        cycle instead of one ``peek`` per signal, using each backend's
+        native storage (state/env lists for compiled, the value map for
+        interp, lane 0 of the limb arrays for batched).
+        """
+        if self.backend_name == "batched":
+            return self.lanes_sim.values(0)
+        self._settle()
+        if self.backend_name == "compiled":
+            return list(self._state) + list(self._env)
+        env = self._ienv
+        assert env is not None
+        return [env[sig] for sig in self.value_signals()]
+
     def add_watcher(self, fn) -> None:
         """Register a callable invoked (with the simulator) before each step."""
         self._watchers.append(fn)

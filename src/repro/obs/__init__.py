@@ -25,6 +25,16 @@ or scoped::
         soc = SoCSystem(protected=True)   # instruments itself from t
         ...
     print(t.security.counts())
+
+Built on the pillars (imported lazily — they pull in the accelerator
+stack, which itself instruments through this package):
+
+* :mod:`repro.obs.leakage` — statistical timing-channel detector
+  (Welch's t-test + mutual information over paired campaigns);
+* :mod:`repro.obs.profile` — per-module simulation profiler
+  (flamegraph / Chrome trace / toggle heatmap);
+* :mod:`repro.obs.history` — append-only bench-gauge ledger with a
+  regression comparator.
 """
 
 from __future__ import annotations
@@ -40,6 +50,8 @@ from .metrics import (
     MetricsRegistry,
     NullRegistry,
     NULL_INSTRUMENT,
+    escape_label_value,
+    unescape_label_value,
 )
 from .security import (
     NullSecurityEventLog,
@@ -68,7 +80,9 @@ __all__ = [
     "disable",
     "enable",
     "enabled",
+    "escape_label_value",
     "telemetry",
+    "unescape_label_value",
 ]
 
 

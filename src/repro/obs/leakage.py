@@ -1,0 +1,480 @@
+"""Statistical timing-channel detection over telemetry observables.
+
+The telemetry layer *counts* enforcement events; this module measures
+whether observable timing actually carries secret-dependent information,
+following the fixed-vs-random statistical flow of timing-SCA
+verification tools (PASCAL, TVLA): collect an observable (request
+latency, queue delay, probe latency) under two secret-dependent
+conditions, then test the two sample populations with
+
+* **Welch's t-test** — flags a mean shift without assuming equal
+  variances; |t| above :data:`T_THRESHOLD` (the TVLA 4.5 convention)
+  marks a leak;
+* **binned mutual information** — a direct estimate, in bits, of how
+  much the observable reveals about the condition; above
+  :data:`MI_THRESHOLD` marks a leak.
+
+Both must fire for a ``leaky`` verdict, so a pure mean shift with heavy
+overlap (or a tiny-MI artefact of binning) does not false-positive.
+
+Campaigns
+---------
+:func:`run_stall_channel_campaign` replays the §3.1 covert-channel
+scenario (``examples/covert_channel_demo.py``): per trial a seeded
+secret bit decides whether Alice's reader withholds readiness while
+Eve times a probe encryption.  On the baseline the shared pipeline
+stalls and Eve's latency shifts; on the protected design the Fig. 8
+meet check diverts Alice's blocks to her holding-buffer slots and the
+distributions coincide.  Seeded RNG drives both the secret bits and the
+nuisance jitter (Alice's flood depth), so verdicts are deterministic
+per (seed, backend) — CI-safe.
+
+:func:`run_soc_campaign` runs the same condition through the full
+:class:`~repro.soc.system.SoCSystem` harness: paired runs with and
+without a slow co-tenant reader (``stutter_users={"alice"}``), with the
+victim's request-latency and queue-delay samples taken from the
+delivered request records (the arrival/service spans the tracer sees).
+
+:func:`run_paired_campaign` runs baseline and protected back-to-back
+and renders the comparison the CI smoke checks: baseline flagged,
+protected clean.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: TVLA-style significance threshold on |t|.
+T_THRESHOLD = 4.5
+#: Minimum mutual information (bits) to call an observable leaky.
+MI_THRESHOLD = 0.1
+#: Cap reported |t| when both groups have zero variance but differ in
+#: mean (the sampling distribution is degenerate; the channel is as
+#: significant as it gets).
+T_CAP = 1e6
+
+
+# -- statistics ----------------------------------------------------------------
+
+class TTestResult:
+    """Welch's two-sample t-test outcome."""
+
+    __slots__ = ("t", "df", "n0", "n1", "mean0", "mean1", "var0", "var1")
+
+    def __init__(self, t: float, df: float, n0: int, n1: int,
+                 mean0: float, mean1: float, var0: float, var1: float):
+        self.t = t
+        self.df = df
+        self.n0 = n0
+        self.n1 = n1
+        self.mean0 = mean0
+        self.mean1 = mean1
+        self.var0 = var0
+        self.var1 = var1
+
+    def significant(self, threshold: float = T_THRESHOLD) -> bool:
+        return abs(self.t) > threshold
+
+    def to_dict(self) -> dict:
+        return {"t": self.t, "df": self.df, "n0": self.n0, "n1": self.n1,
+                "mean0": self.mean0, "mean1": self.mean1,
+                "var0": self.var0, "var1": self.var1}
+
+    def __repr__(self) -> str:
+        return (f"TTestResult(t={self.t:.2f}, df={self.df:.1f}, "
+                f"n={self.n0}+{self.n1})")
+
+
+def _mean_var(xs: Sequence[float]) -> Tuple[float, float]:
+    n = len(xs)
+    mean = sum(xs) / n
+    if n < 2:
+        return mean, 0.0
+    return mean, sum((x - mean) ** 2 for x in xs) / (n - 1)
+
+
+def welch_t_test(group0: Sequence[float],
+                 group1: Sequence[float]) -> TTestResult:
+    """Welch's unequal-variances t-test between two sample groups.
+
+    Degenerate cases (tiny groups, zero variance) are resolved
+    conservatively: equal means report ``t = 0``; differing means with
+    zero pooled variance report ``t = ±T_CAP`` (a deterministic
+    simulator can produce perfectly separated constant groups).
+    """
+    if not group0 or not group1:
+        raise ValueError("both groups need at least one sample")
+    m0, v0 = _mean_var(group0)
+    m1, v1 = _mean_var(group1)
+    n0, n1 = len(group0), len(group1)
+    se2 = v0 / n0 + v1 / n1
+    diff = m1 - m0
+    if se2 <= 0.0:
+        t = 0.0 if diff == 0.0 else math.copysign(T_CAP, diff)
+        return TTestResult(t, float(max(n0 + n1 - 2, 1)), n0, n1,
+                           m0, m1, v0, v1)
+    t = diff / math.sqrt(se2)
+    # Welch–Satterthwaite degrees of freedom
+    num = se2 ** 2
+    den = 0.0
+    if n0 > 1:
+        den += (v0 / n0) ** 2 / (n0 - 1)
+    if n1 > 1:
+        den += (v1 / n1) ** 2 / (n1 - 1)
+    df = num / den if den > 0 else float(max(n0 + n1 - 2, 1))
+    return TTestResult(t, df, n0, n1, m0, m1, v0, v1)
+
+
+def binned_mutual_information(values: Sequence[float],
+                              conditions: Sequence[int],
+                              bins: int = 8) -> float:
+    """Mutual information (bits) between a binary condition and a
+    continuous observable, via equal-width binning of the observable.
+
+    A plug-in estimate sized for campaign sample counts (tens to
+    hundreds): coarse bins keep the estimator's positive bias small, and
+    the detector pairs it with the t-test rather than trusting small MI
+    values alone.
+    """
+    if len(values) != len(conditions):
+        raise ValueError("values and conditions must have equal length")
+    n = len(values)
+    if n == 0:
+        return 0.0
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return 0.0  # constant observable reveals nothing
+    width = (hi - lo) / bins
+
+    def bin_of(v: float) -> int:
+        return min(int((v - lo) / width), bins - 1)
+
+    joint: Dict[Tuple[int, int], int] = {}
+    pc: Dict[int, int] = {}
+    pb: Dict[int, int] = {}
+    for v, c in zip(values, conditions):
+        b = bin_of(v)
+        joint[(c, b)] = joint.get((c, b), 0) + 1
+        pc[c] = pc.get(c, 0) + 1
+        pb[b] = pb.get(b, 0) + 1
+    mi = 0.0
+    for (c, b), k in joint.items():
+        p = k / n
+        mi += p * math.log2(p * n * n / (pc[c] * pb[b]))
+    return max(0.0, mi)
+
+
+# -- observables and reports ----------------------------------------------------
+
+class Observable:
+    """Named stream of (condition, value) samples for one observable."""
+
+    def __init__(self, name: str, unit: str = "cycles"):
+        self.name = name
+        self.unit = unit
+        self.samples: List[Tuple[int, float]] = []
+
+    def add(self, condition: int, value: float) -> None:
+        self.samples.append((int(bool(condition)), float(value)))
+
+    def extend(self, condition: int, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(condition, v)
+
+    def split(self) -> Tuple[List[float], List[float]]:
+        g0 = [v for c, v in self.samples if c == 0]
+        g1 = [v for c, v in self.samples if c == 1]
+        return g0, g1
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class ObservableReport:
+    """Leakage verdict for one observable."""
+
+    def __init__(self, name: str, unit: str, ttest: TTestResult, mi: float,
+                 t_threshold: float = T_THRESHOLD,
+                 mi_threshold: float = MI_THRESHOLD):
+        self.name = name
+        self.unit = unit
+        self.ttest = ttest
+        self.mi = mi
+        self.t_threshold = t_threshold
+        self.mi_threshold = mi_threshold
+
+    @property
+    def leaky(self) -> bool:
+        return (self.ttest.significant(self.t_threshold)
+                and self.mi > self.mi_threshold)
+
+    def to_dict(self) -> dict:
+        return {"observable": self.name, "unit": self.unit,
+                "t_test": self.ttest.to_dict(), "mi_bits": self.mi,
+                "t_threshold": self.t_threshold,
+                "mi_threshold": self.mi_threshold, "leaky": self.leaky}
+
+    def __repr__(self) -> str:
+        return (f"ObservableReport({self.name!r}, |t|={abs(self.ttest.t):.2f},"
+                f" MI={self.mi:.3f}, leaky={self.leaky})")
+
+
+def analyze(observable: Observable,
+            t_threshold: float = T_THRESHOLD,
+            mi_threshold: float = MI_THRESHOLD,
+            bins: int = 8) -> ObservableReport:
+    """Compute the per-observable statistics and verdict."""
+    g0, g1 = observable.split()
+    if not g0 or not g1:
+        raise ValueError(
+            f"observable {observable.name!r} needs samples under both "
+            f"conditions (got {len(g0)} / {len(g1)})")
+    values = [v for _, v in observable.samples]
+    conditions = [c for c, _ in observable.samples]
+    return ObservableReport(
+        observable.name, observable.unit,
+        welch_t_test(g0, g1),
+        binned_mutual_information(values, conditions, bins=bins),
+        t_threshold, mi_threshold)
+
+
+class LeakageReport:
+    """Campaign outcome for one design: a set of observable verdicts."""
+
+    def __init__(self, design: str, scenario: str, seed: int, backend: str,
+                 observables: List[ObservableReport]):
+        self.design = design
+        self.scenario = scenario
+        self.seed = seed
+        self.backend = backend
+        self.observables = observables
+
+    @property
+    def leaky(self) -> bool:
+        return any(o.leaky for o in self.observables)
+
+    def observable(self, name: str) -> ObservableReport:
+        for o in self.observables:
+            if o.name == name:
+                return o
+        raise KeyError(name)
+
+    def to_dict(self) -> dict:
+        return {"design": self.design, "scenario": self.scenario,
+                "seed": self.seed, "backend": self.backend,
+                "leaky": self.leaky,
+                "observables": [o.to_dict() for o in self.observables]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def render(self) -> str:
+        lines = [f"{self.design} ({self.scenario}, backend={self.backend}, "
+                 f"seed={self.seed}):"]
+        for o in self.observables:
+            tt = o.ttest
+            verdict = "LEAK" if o.leaky else "clean"
+            lines.append(
+                f"  {o.name:18s} t={tt.t:+9.2f} (|t|>{o.t_threshold:.1f}) "
+                f"MI={o.mi:.3f} bits (> {o.mi_threshold:.2f})  "
+                f"n={tt.n0}+{tt.n1}  -> {verdict}")
+        return "\n".join(lines)
+
+
+# -- the stall-channel campaign (covert_channel_demo scenario) -------------------
+
+def run_stall_channel_campaign(protected: bool,
+                               trials: int = 12,
+                               seed: int = 2026,
+                               backend: str = "compiled",
+                               stall_cycles: int = 16) -> LeakageReport:
+    """Fixed-vs-random campaign over the §3.1 shared-pipeline channel.
+
+    Per trial a seeded coin decides the secret condition (Alice's reader
+    withholds readiness or not) and seeded jitter varies Alice's flood
+    depth — the nuisance parameter both conditions share.  The observable
+    is Eve's probe latency, issue to tagged response.
+    """
+    from ..attacks.timing_channel import setup_channel
+
+    if trials < 4:
+        raise ValueError("need at least 4 trials for a two-group test")
+    drv, alice, eve = setup_channel(protected, backend=backend)
+    rng = random.Random(seed)
+    top, sim = drv.top, drv.sim
+    eve_vouch = eve & 0xF
+    probe = Observable("probe_latency")
+
+    conditions = _balanced_bits(rng, trials)
+    for condition in conditions:
+        flood = rng.randint(10, 16)  # nuisance jitter, condition-independent
+        for i in range(flood):
+            drv.encrypt(alice, 1, 0xA11CE000 + i)
+        drv.step(9)  # first of Alice's blocks reaches the pipeline exit
+
+        probe_start = sim.cycle
+        drv.encrypt(eve, 2, 0xE7E00001)
+        found = None
+        cycles = 0
+        while found is None and cycles < 300:
+            reader = alice if cycles % 2 == 0 else eve
+            withhold = (bool(condition) and cycles < stall_cycles
+                        and reader == alice)
+            sim.poke(f"{top}.rd_user", reader)
+            sim.poke(f"{top}.out_ready", 0 if withhold else 1)
+            drv.step()
+            cycles += 1
+            for r in drv.take_responses():
+                if (r.tag & 0xF) == eve_vouch:
+                    found = r
+        latency = (found.cycle - probe_start) if found else 300
+        probe.add(condition, latency)
+
+        # drain leftovers so the next trial starts clean
+        sim.poke(f"{top}.rd_user", alice)
+        sim.poke(f"{top}.out_ready", 1)
+        drv.step(60)
+        drv.take_responses()
+
+    return LeakageReport(
+        "protected" if protected else "baseline",
+        "stall_channel", seed, backend, [analyze(probe)])
+
+
+def _balanced_bits(rng: random.Random, trials: int) -> List[int]:
+    """Seeded condition sequence with both conditions guaranteed present."""
+    bits = [rng.randint(0, 1) for _ in range(trials)]
+    if len(set(bits)) < 2:  # pathological seed: force a balanced tail
+        bits[-1] = 1 - bits[0]
+    return bits
+
+
+# -- the SoC-harness campaign ----------------------------------------------------
+
+def run_soc_campaign(protected: bool,
+                     trials: int = 6,
+                     seed: int = 2026,
+                     backend: str = "compiled",
+                     victim: str = "bob",
+                     co_tenant: str = "alice",
+                     victim_blocks: int = 4,
+                     co_tenant_blocks: int = 10) -> LeakageReport:
+    """Paired SoC runs: co-tenant reader slow (condition 1) vs prompt (0).
+
+    Drives the full :class:`~repro.soc.system.SoCSystem` request path —
+    per-user queues, round-robin issue, tagged delivery — and partitions
+    the victim's request records (the same cycle stamps the tracer's
+    arrival/service spans carry) by the co-tenant's reader behaviour.
+    """
+    from ..soc import SoCSystem
+    from ..soc.requests import encrypt_stream, random_blocks
+
+    if trials < 2:
+        raise ValueError("need at least 2 trials (one per condition)")
+    rng = random.Random(seed)
+    latency = Observable("service_latency")
+    queue_delay = Observable("queue_delay")
+
+    conditions = _balanced_bits(rng, trials)
+    for condition in conditions:
+        block_seed = rng.getrandbits(32)
+        soc = SoCSystem(
+            protected=protected, backend=backend,
+            reader_stutter=3 if condition else 0,
+            stutter_users={co_tenant})
+        soc.provision_keys()
+        slots = {p.name: p.slot for p in soc.principals.values()
+                 if p.slot is not None}
+        soc.submit_all(encrypt_stream(
+            co_tenant, slots[co_tenant],
+            random_blocks(co_tenant_blocks, seed=block_seed)))
+        soc.submit_all(encrypt_stream(
+            victim, slots[victim],
+            random_blocks(victim_blocks, seed=block_seed + 1)))
+        soc.drain()
+        latency.extend(condition,
+                       soc.latency_samples().get(victim, ()))
+        queue_delay.extend(condition,
+                           soc.queue_delay_samples().get(victim, ()))
+
+    return LeakageReport(
+        "protected" if protected else "baseline",
+        "soc_co_tenant", seed, backend,
+        [analyze(latency), analyze(queue_delay)])
+
+
+# -- paired campaigns and the CLI ------------------------------------------------
+
+class PairedCampaignResult:
+    """Baseline and protected reports for one scenario, side by side."""
+
+    def __init__(self, baseline: LeakageReport, protected: LeakageReport):
+        self.baseline = baseline
+        self.protected = protected
+
+    @property
+    def ok(self) -> bool:
+        """The paper's claim, as a CI verdict: the baseline's channel is
+        detected and the protected design shows none."""
+        return self.baseline.leaky and not self.protected.leaky
+
+    def to_dict(self) -> dict:
+        return {"ok": self.ok, "baseline": self.baseline.to_dict(),
+                "protected": self.protected.to_dict()}
+
+    def render(self) -> str:
+        lines = ["=" * 70, "leakage campaign", "=" * 70,
+                 self.baseline.render(), "", self.protected.render(), ""]
+        if self.ok:
+            lines.append("VERDICT: baseline timing channel detected; "
+                         "protected design clean")
+        else:
+            lines.append("VERDICT: UNEXPECTED — baseline leaky="
+                         f"{self.baseline.leaky}, protected leaky="
+                         f"{self.protected.leaky}")
+        return "\n".join(lines)
+
+
+def run_paired_campaign(scenario: str = "stall",
+                        trials: int = 12,
+                        seed: int = 2026,
+                        backend: str = "compiled",
+                        stall_cycles: int = 16) -> PairedCampaignResult:
+    """Run one scenario on both designs; see :class:`PairedCampaignResult`."""
+    if scenario == "stall":
+        run = lambda prot: run_stall_channel_campaign(  # noqa: E731
+            prot, trials=trials, seed=seed, backend=backend,
+            stall_cycles=stall_cycles)
+    elif scenario == "soc":
+        run = lambda prot: run_soc_campaign(  # noqa: E731
+            prot, trials=max(2, trials // 2), seed=seed, backend=backend)
+    else:
+        raise ValueError(f"unknown scenario {scenario!r} "
+                         "(choose 'stall' or 'soc')")
+    return PairedCampaignResult(run(False), run(True))
+
+
+def cmd_obs_leakage(args) -> int:
+    """Implementation of ``python -m repro obs leakage``."""
+    import os
+
+    # 8 trials (4 per condition) is the smallest campaign whose
+    # deterministic baseline separation clears the |t| > 4.5 threshold
+    trials = 8 if args.demo else args.trials
+    result = run_paired_campaign(
+        scenario=args.scenario, trials=trials, seed=args.seed,
+        backend=args.backend, stall_cycles=args.stall_cycles)
+    if args.json:
+        print(json.dumps(result.to_dict(), sort_keys=True))
+    else:
+        print(result.render())
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        path = os.path.join(args.out, "leakage_report.json")
+        with open(path, "w") as f:
+            json.dump(result.to_dict(), f, sort_keys=True, indent=2)
+        print(f"wrote leakage report: {path}")
+    return 0 if result.ok else 1

@@ -28,6 +28,7 @@ so instrumented code can keep instrument handles unconditionally.
 from __future__ import annotations
 
 import json
+import random
 from typing import Dict, Iterable, List, Optional, Tuple
 
 LabelKey = Tuple[Tuple[str, str], ...]
@@ -41,10 +42,34 @@ def _label_key(labels: Dict[str, object]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format.
+
+    Inside a quoted label value, backslash, double-quote, and line feed
+    must appear as ``\\\\``, ``\\"``, and ``\\n`` respectively.
+    """
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def unescape_label_value(value: str) -> str:
+    """Inverse of :func:`escape_label_value` (for round-trip checks)."""
+    out: List[str] = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, "\\" + nxt))
+    return "".join(out)
+
+
 def _render_labels(key: LabelKey) -> str:
     if not key:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in key)
+    inner = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in key)
     return "{" + inner + "}"
 
 
@@ -120,13 +145,21 @@ class Gauge(_Instrument):
 
 
 class Histogram(_Instrument):
-    """Cumulative-bucket histogram with ``_sum`` and ``_count``."""
+    """Cumulative-bucket histogram with ``_sum`` and ``_count``.
+
+    With ``reservoir=N`` the histogram additionally keeps up to ``N``
+    exact samples per label set (uniform reservoir sampling with a fixed
+    seed, so CI runs are reproducible); :meth:`quantile` then
+    interpolates real sample values instead of returning the upper
+    bucket bound.
+    """
 
     kind = "histogram"
 
     def __init__(self, name: str, help: str = "",
                  labelnames: Iterable[str] = (),
-                 buckets: Optional[Iterable[float]] = None):
+                 buckets: Optional[Iterable[float]] = None,
+                 reservoir: int = 0):
         super().__init__(name, help, labelnames)
         bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
         if not bounds or bounds[-1] != float("inf"):
@@ -134,8 +167,11 @@ class Histogram(_Instrument):
         if list(bounds) != sorted(bounds):
             raise ValueError("histogram buckets must be sorted ascending")
         self.buckets = bounds
+        self.reservoir = int(reservoir)
         # per label set: ([per-bucket counts], sum, count)
         self._series: Dict[LabelKey, List] = {}
+        self._samples: Dict[LabelKey, List[float]] = {}
+        self._rng = random.Random(0x5EED)
 
     def observe(self, value: float, **labels) -> None:
         key = self._key(labels)
@@ -150,6 +186,18 @@ class Histogram(_Instrument):
                 break
         series[1] += value
         series[2] += 1
+        if self.reservoir:
+            kept = self._samples.setdefault(key, [])
+            if len(kept) < self.reservoir:
+                kept.append(value)
+            else:
+                slot = self._rng.randrange(series[2])
+                if slot < self.reservoir:
+                    kept[slot] = value
+
+    def samples_seen(self, **labels) -> List[float]:
+        """The retained exact samples for one label set (reservoir mode)."""
+        return list(self._samples.get(self._key(labels), ()))
 
     def count(self, **labels) -> int:
         series = self._series.get(self._key(labels))
@@ -166,8 +214,21 @@ class Histogram(_Instrument):
         return series[1] / series[2]
 
     def quantile(self, q: float, **labels) -> float:
-        """Upper bucket bound containing quantile ``q`` (0..1)."""
-        series = self._series.get(self._key(labels))
+        """Quantile ``q`` (0..1) of the observed distribution.
+
+        With a reservoir, interpolates between retained exact samples;
+        otherwise returns the upper bound of the bucket containing the
+        quantile (the classic Prometheus-style estimate).
+        """
+        key = self._key(labels)
+        kept = self._samples.get(key)
+        if kept:
+            ordered = sorted(kept)
+            pos = q * (len(ordered) - 1)
+            lo = int(pos)
+            hi = min(lo + 1, len(ordered) - 1)
+            return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+        series = self._series.get(key)
         if not series or not series[2]:
             return 0.0
         target = q * series[2]
@@ -224,9 +285,10 @@ class MetricsRegistry:
 
     def histogram(self, name: str, help: str = "",
                   labelnames: Iterable[str] = (),
-                  buckets: Optional[Iterable[float]] = None) -> Histogram:
+                  buckets: Optional[Iterable[float]] = None,
+                  reservoir: int = 0) -> Histogram:
         return self._register(Histogram, name, help, labelnames,
-                              buckets=buckets)
+                              buckets=buckets, reservoir=reservoir)
 
     def get(self, name: str) -> Optional[_Instrument]:
         full = f"{self.namespace}_{name}" if self.namespace else name
@@ -317,6 +379,9 @@ class NullInstrument:
     def quantile(self, q: float, **labels) -> float:
         return 0.0
 
+    def samples_seen(self, **labels) -> List[float]:
+        return []
+
     def samples(self) -> List:
         return []
 
@@ -334,5 +399,5 @@ class NullRegistry(MetricsRegistry):
         return NULL_INSTRUMENT  # type: ignore[return-value]
 
     def histogram(self, name: str, help: str = "", labelnames=(),
-                  buckets=None) -> Histogram:
+                  buckets=None, reservoir=0) -> Histogram:
         return NULL_INSTRUMENT  # type: ignore[return-value]

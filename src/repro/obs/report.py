@@ -11,7 +11,7 @@ trace-event JSON, security-event JSONL) to a directory.
 from __future__ import annotations
 
 import json
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from . import Telemetry, capture
 from .simhooks import publish_sim_metrics, sim_stats
@@ -24,18 +24,23 @@ def run_instrumented_workload(
     reader_stutter: int = 3,
     seed: int = 2026,
     telemetry: Optional[Telemetry] = None,
+    on_soc: Optional[Callable[[object], None]] = None,
 ) -> Tuple[Telemetry, object]:
     """Run the multi-tenant workload with telemetry on; returns (t, soc).
 
     ``reader_stutter`` models a polling host that misses read slots,
     which exercises the holding buffer and the label-aware stall path so
-    the security stream shows enforcement actually firing.
+    the security stream shows enforcement actually firing.  ``on_soc``
+    is called with the freshly built :class:`SoCSystem` before any
+    traffic runs — the profiler uses it to attach to the simulator.
     """
     from ..soc import SoCSystem, mixed_workload
 
     with capture(telemetry) as t:
         soc = SoCSystem(protected=protected, backend=backend,
                         reader_stutter=reader_stutter)
+        if on_soc is not None:
+            on_soc(soc)
         soc.provision_keys()
         tenants = [("alice", 1), ("bob", 2), ("charlie", 3)]
         workload = mixed_workload(tenants, blocks_per_tenant, seed=seed)
@@ -50,6 +55,7 @@ def run_instrumented_workload(
             "alice", 1, random_blocks(blocks_per_tenant, seed=seed + 1)))
         soc.drain()
         publish_sim_metrics(soc.driver.sim, t.metrics)
+        soc.publish_latency_quantiles()
     return t, soc
 
 

@@ -18,7 +18,7 @@ events.  With telemetry disabled all of that collapses to a single
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Set
 
 from ..accel.baseline import AesAcceleratorBaseline
 from ..accel.driver import AcceleratorDriver
@@ -31,11 +31,16 @@ from .users import Principal, default_principals, users_of
 class SoCSystem:
     """A small SoC: several users, one shared AES accelerator."""
 
+    #: how many exact latency samples each per-user histogram retains for
+    #: quantile gauges (see ``publish_latency_quantiles``)
+    LATENCY_RESERVOIR = 512
+
     def __init__(self, protected: bool = True,
                  principals: Optional[Dict[str, Principal]] = None,
                  backend: str = "compiled",
                  telemetry: Optional[Telemetry] = None,
-                 reader_stutter: int = 0):
+                 reader_stutter: int = 0,
+                 stutter_users: Optional[Iterable[str]] = None):
         self.protected = protected
         self.principals = principals or default_principals()
         accel = (AesAcceleratorProtected() if protected
@@ -55,6 +60,12 @@ class SoCSystem:
         #: cycle — a model of a slow polling host that exercises the
         #: holding buffer / stall machinery (0 = always ready)
         self.reader_stutter = reader_stutter
+        #: restrict the stutter to these users' readers (None = all
+        #: readers).  A single slow tenant is the leakage-campaign
+        #: scenario: on the baseline their backpressure stalls everyone,
+        #: on the protected design it must not.
+        self.stutter_users: Optional[Set[str]] = (
+            set(stutter_users) if stutter_users is not None else None)
         self.dropped_requests: List[Request] = []
         self._vouch_to_user: Dict[int, str] = {}
         for p in users_of(self.principals):
@@ -81,10 +92,12 @@ class SoCSystem:
                 "(baseline disclosure)", ("owner", "reader"))
             self._h_latency = m.histogram(
                 "soc_request_latency_cycles",
-                "issue-to-delivery latency per user", users)
+                "issue-to-delivery latency per user", users,
+                reservoir=self.LATENCY_RESERVOIR)
             self._h_queue = m.histogram(
                 "soc_request_queue_cycles",
-                "submit-to-issue queueing delay per user", users)
+                "submit-to-issue queueing delay per user", users,
+                reservoir=self.LATENCY_RESERVOIR)
             self._g_inflight = m.gauge(
                 "soc_inflight_requests", "requests inside the accelerator")
             for i, name in enumerate(sorted(self.principals)):
@@ -137,7 +150,10 @@ class SoCSystem:
             ]
             self._rr_read += 1
             ready = 1
-            if self.reader_stutter and sim.cycle % self.reader_stutter == 0:
+            if (self.reader_stutter
+                    and sim.cycle % self.reader_stutter == 0
+                    and (self.stutter_users is None
+                         or reader.name in self.stutter_users)):
                 ready = 0
             sim.poke(f"{top}.rd_user", reader.tag)
             sim.poke(f"{top}.out_ready", ready)
@@ -260,6 +276,54 @@ class SoCSystem:
     # -- queries ------------------------------------------------------------------
     def results_for(self, user: str) -> List[Request]:
         return self.delivered[user]
+
+    def completed_requests(self) -> List[Request]:
+        """Every delivered request, regardless of which reader received it.
+
+        On the baseline a block can be handed to another user's reader
+        (the disclosure), so grouping by delivery list under-counts the
+        *owner's* observable timing; this walks all delivery lists.
+        """
+        out: List[Request] = []
+        for reqs in self.delivered.values():
+            out.extend(reqs)
+        return out
+
+    def latency_samples(self) -> Dict[str, List[int]]:
+        """Per-owner issue-to-delivery latencies (leakage-detector feed)."""
+        out: Dict[str, List[int]] = {}
+        for req in self.completed_requests():
+            if req.latency is not None:
+                out.setdefault(req.user, []).append(req.latency)
+        return out
+
+    def queue_delay_samples(self) -> Dict[str, List[int]]:
+        """Per-owner submit-to-issue delays (leakage-detector feed)."""
+        out: Dict[str, List[int]] = {}
+        for req in self.completed_requests():
+            if req.queue_cycles is not None:
+                out.setdefault(req.user, []).append(req.queue_cycles)
+        return out
+
+    def publish_latency_quantiles(self) -> None:
+        """Export p50/p95/p99 per-user latency gauges from the reservoir.
+
+        The bucketed histogram alone can only report upper bucket bounds;
+        the exact-sample reservoir on ``soc_request_latency_cycles``
+        makes these gauges true order statistics.
+        """
+        if self.obs is None:
+            return
+        g = self.obs.metrics.gauge(
+            "soc_request_latency_quantile_cycles",
+            "exact per-user latency quantiles from the histogram reservoir",
+            ("user", "quantile"))
+        for name in sorted(self.principals):
+            if not self._h_latency.count(user=name):
+                continue
+            for q, label in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                g.set(self._h_latency.quantile(q, user=name),
+                      user=name, quantile=label)
 
     def counters(self) -> Dict[str, int]:
         return self.driver.counters()

@@ -54,6 +54,115 @@ class TestAttackCommand:
         assert main(["attack", "nonsense"]) == 2
 
 
+class TestObsCommand:
+    def test_demo_report(self, capsys):
+        assert main(["obs", "--demo"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry report" in out
+        assert "security events" in out
+
+    def test_json_summary(self, capsys):
+        assert main(["obs", "--demo", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert {"metrics", "security_events", "trace_spans", "sim"} <= \
+            set(data)
+        # the quantile gauges from the latency reservoir are exported
+        assert "repro_soc_request_latency_quantile_cycles" in data["metrics"]
+
+    def test_out_artifacts(self, tmp_path, capsys):
+        assert main(["obs", "--demo", "--out", str(tmp_path)]) == 0
+        for name in ("metrics.prom", "metrics.jsonl", "trace.json",
+                     "security.jsonl"):
+            assert (tmp_path / name).exists()
+
+
+class TestObsLeakageCommand:
+    def test_demo_verdict_and_exit_code(self, capsys):
+        assert main(["obs", "leakage", "--demo"]) == 0
+        out = capsys.readouterr().out
+        assert "VERDICT: baseline timing channel detected" in out
+        assert "LEAK" in out and "clean" in out
+
+    def test_json_and_out_artifact(self, tmp_path, capsys):
+        assert main(["obs", "leakage", "--demo", "--json",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(out.splitlines()[0])
+        assert data["ok"] is True
+        report = json.loads((tmp_path / "leakage_report.json").read_text())
+        assert report["baseline"]["leaky"] is True
+        assert report["protected"]["leaky"] is False
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["obs", "leakage", "--scenario", "nonsense"])
+
+
+class TestObsProfileCommand:
+    def test_demo_render(self, capsys):
+        assert main(["obs", "profile", "--demo"]) == 0
+        out = capsys.readouterr().out
+        assert "profile: aes" in out
+        assert "hottest nets" in out
+
+    def test_out_artifacts(self, tmp_path, capsys):
+        assert main(["obs", "profile", "--demo", "--out",
+                     str(tmp_path)]) == 0
+        folded = (tmp_path / "flamegraph.folded").read_text()
+        assert folded.strip().startswith("aes")
+        heat = json.loads((tmp_path / "toggle_heatmap.json").read_text())
+        assert heat["nets"] and heat["windows"]
+        trace = json.loads((tmp_path / "profile_trace.json").read_text())
+        assert any(e["ph"] == "C" for e in trace["traceEvents"])
+
+    def test_json_heatmap(self, capsys):
+        assert main(["obs", "profile", "--demo", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["backend"] == "compiled"
+        assert data["cycles_sampled"] > 0
+
+
+class TestObsHistoryCommand:
+    def _bench(self, tmp_path, value):
+        (tmp_path / "BENCH_t.json").write_text(json.dumps(
+            {"kind": "gauge", "metric": "repro_bench_gbps",
+             "labels": {}, "value": value}) + "\n")
+
+    def test_first_run_appends_baseline(self, tmp_path, capsys):
+        self._bench(tmp_path, 40.0)
+        ledger = tmp_path / "BENCH_history.jsonl"
+        assert main(["obs", "history", "--root", str(tmp_path),
+                     "--history", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "baseline run" in out
+        assert ledger.exists()
+        assert len(ledger.read_text().splitlines()) == 1
+
+    def test_regression_detected_and_fails_when_asked(self, tmp_path,
+                                                      capsys):
+        self._bench(tmp_path, 40.0)
+        ledger = tmp_path / "BENCH_history.jsonl"
+        assert main(["obs", "history", "--root", str(tmp_path),
+                     "--history", str(ledger)]) == 0
+        capsys.readouterr()
+        self._bench(tmp_path, 10.0)  # throughput fell 75%
+        assert main(["obs", "history", "--root", str(tmp_path),
+                     "--history", str(ledger),
+                     "--fail-on-regression"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_no_append_leaves_ledger_untouched(self, tmp_path, capsys):
+        self._bench(tmp_path, 40.0)
+        ledger = tmp_path / "BENCH_history.jsonl"
+        assert main(["obs", "history", "--root", str(tmp_path),
+                     "--history", str(ledger), "--no-append"]) == 0
+        assert not ledger.exists()
+
+    def test_missing_bench_files_is_an_error(self, tmp_path, capsys):
+        assert main(["obs", "history", "--root", str(tmp_path)]) == 1
+        assert "no BENCH_" in capsys.readouterr().out
+
+
 class TestTopLevel:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 2

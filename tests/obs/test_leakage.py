@@ -1,0 +1,172 @@
+"""Timing-channel detector: statistics, verdict logic, seeded campaigns."""
+
+import json
+
+import pytest
+
+from repro.obs.leakage import (
+    MI_THRESHOLD,
+    Observable,
+    T_CAP,
+    T_THRESHOLD,
+    analyze,
+    binned_mutual_information,
+    run_paired_campaign,
+    run_soc_campaign,
+    run_stall_channel_campaign,
+    welch_t_test,
+)
+
+
+class TestWelchTTest:
+    def test_identical_groups_give_zero(self):
+        r = welch_t_test([30, 31, 32], [30, 31, 32])
+        assert r.t == 0.0
+        assert not r.significant()
+
+    def test_known_value(self):
+        # hand-checked: means 2 vs 5, var 1 each, n=3 → t = 3/sqrt(2/3)
+        r = welch_t_test([1, 2, 3], [4, 5, 6])
+        assert r.t == pytest.approx(3 / (2 / 3) ** 0.5)
+        assert r.df == pytest.approx(4.0)
+        assert r.mean0 == 2 and r.mean1 == 5
+
+    def test_sign_tracks_direction(self):
+        assert welch_t_test([10] * 4, [20, 21, 22, 23]).t > 0
+        assert welch_t_test([20, 21, 22, 23], [10] * 4).t < 0
+
+    def test_zero_variance_equal_means(self):
+        r = welch_t_test([30, 30, 30], [30, 30])
+        assert r.t == 0.0
+
+    def test_zero_variance_separated_means_capped(self):
+        # deterministic simulators produce exactly this shape
+        r = welch_t_test([30, 30, 30], [34, 34, 34])
+        assert r.t == T_CAP
+        assert r.significant()
+        json.dumps(r.to_dict())  # finite, serializable
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            welch_t_test([], [1, 2])
+
+
+class TestMutualInformation:
+    def test_perfectly_separating_observable_is_one_bit(self):
+        values = [30] * 8 + [40] * 8
+        conds = [0] * 8 + [1] * 8
+        assert binned_mutual_information(values, conds) == pytest.approx(1.0)
+
+    def test_constant_observable_is_zero(self):
+        assert binned_mutual_information([30] * 10, [0, 1] * 5) == 0.0
+
+    def test_independent_observable_is_small(self):
+        # same value multiset under both conditions → exactly MI = 0
+        values = [30, 31, 32, 33] * 2
+        conds = [0] * 4 + [1] * 4
+        assert binned_mutual_information(values, conds) == pytest.approx(
+            0.0, abs=1e-9)
+
+    def test_never_negative(self):
+        import random
+
+        rng = random.Random(7)
+        values = [rng.gauss(0, 1) for _ in range(50)]
+        conds = [rng.randint(0, 1) for _ in range(50)]
+        assert binned_mutual_information(values, conds) >= 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            binned_mutual_information([1.0], [0, 1])
+
+
+class TestObservableAnalysis:
+    def _obs(self, g0, g1):
+        o = Observable("lat")
+        o.extend(0, g0)
+        o.extend(1, g1)
+        return o
+
+    def test_split_partitions_by_condition(self):
+        o = self._obs([30, 31], [40])
+        assert o.split() == ([30.0, 31.0], [40.0])
+        assert len(o) == 3
+
+    def test_separated_groups_flagged_leaky(self):
+        rep = analyze(self._obs([30] * 6, [40] * 6))
+        assert rep.leaky
+        assert rep.ttest.significant(T_THRESHOLD)
+        assert rep.mi > MI_THRESHOLD
+
+    def test_identical_groups_clean(self):
+        rep = analyze(self._obs([30, 31, 32], [30, 31, 32]))
+        assert not rep.leaky
+
+    def test_both_tests_must_fire(self):
+        # equal means but distinguishable distributions: MI is a full
+        # bit, yet t = 0 — the t-gate keeps the verdict clean
+        rep = analyze(self._obs([20] * 6 + [40] * 6, [30] * 12))
+        assert rep.mi > MI_THRESHOLD
+        assert not rep.ttest.significant()
+        assert not rep.leaky
+
+    def test_single_condition_rejected(self):
+        o = Observable("lat")
+        o.extend(0, [30, 31])
+        with pytest.raises(ValueError, match="both conditions"):
+            analyze(o)
+
+    def test_to_dict_keys(self):
+        rep = analyze(self._obs([30] * 4, [40] * 4))
+        d = rep.to_dict()
+        assert d["leaky"] is True
+        assert set(d) >= {"observable", "unit", "t_test", "mi_bits",
+                          "t_threshold", "mi_threshold"}
+
+
+class TestStallCampaign:
+    def test_baseline_flagged_protected_clean(self):
+        baseline = run_stall_channel_campaign(False, trials=8)
+        protected = run_stall_channel_campaign(True, trials=8)
+        assert baseline.leaky
+        assert not protected.leaky
+        obs = baseline.observable("probe_latency")
+        assert abs(obs.ttest.t) > T_THRESHOLD
+        assert obs.mi > 0
+
+    def test_deterministic_across_runs(self):
+        a = run_stall_channel_campaign(False, trials=8, seed=99)
+        b = run_stall_channel_campaign(False, trials=8, seed=99)
+        assert a.to_dict() == b.to_dict()
+
+    def test_too_few_trials_rejected(self):
+        with pytest.raises(ValueError, match="at least 4"):
+            run_stall_channel_campaign(False, trials=2)
+
+
+class TestSocCampaign:
+    def test_baseline_flagged_protected_clean(self):
+        baseline = run_soc_campaign(False, trials=4)
+        protected = run_soc_campaign(True, trials=4)
+        assert baseline.leaky
+        assert not protected.leaky
+        assert {o.name for o in baseline.observables} == {
+            "service_latency", "queue_delay"}
+
+    def test_too_few_trials_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            run_soc_campaign(False, trials=1)
+
+
+class TestPairedCampaign:
+    def test_stall_scenario_ok(self):
+        result = run_paired_campaign(scenario="stall", trials=8)
+        assert result.ok
+        assert "VERDICT: baseline timing channel detected" in result.render()
+        d = result.to_dict()
+        assert d["ok"] and d["baseline"]["leaky"]
+        assert not d["protected"]["leaky"]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_paired_campaign(scenario="nonsense")

@@ -6,7 +6,11 @@ import math
 import pytest
 
 from repro.obs import MetricsRegistry, NullRegistry, NULL_INSTRUMENT
-from repro.obs.metrics import DEFAULT_BUCKETS
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    escape_label_value,
+    unescape_label_value,
+)
 
 
 class TestCounter:
@@ -77,6 +81,82 @@ class TestHistogram:
         buckets = [(dict(k).get("le"), v) for name, k, v in h.samples()
                    if name.endswith("_bucket")]
         assert buckets == [("10.0", 0), ("20.0", 1), ("+Inf", 1)]
+
+
+class TestLabelEscaping:
+    # the three characters the Prometheus exposition format requires
+    # escaping inside label values: backslash, double quote, newline
+    CASES = ['plain', 'quo"te', 'back\\slash', 'new\nline',
+             'all\\"of\nthem', '\\n is not a newline', '']
+
+    @pytest.mark.parametrize("value", CASES)
+    def test_round_trip(self, value):
+        assert unescape_label_value(escape_label_value(value)) == value
+
+    def test_escaped_forms(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value('a\\b') == 'a\\\\b'
+        assert escape_label_value('a\nb') == 'a\\nb'
+        # a literal backslash-n must not collapse into a newline
+        assert escape_label_value('a\\nb') == 'a\\\\nb'
+        assert unescape_label_value('a\\\\nb') == 'a\\nb'
+
+    @pytest.mark.parametrize("value", CASES)
+    def test_rendered_series_line_stays_single_line(self, value):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labelnames=("k",)).inc(k=value)
+        text = [ln for ln in reg.to_prometheus().splitlines()
+                if not ln.startswith("#") and ln]
+        assert len(text) == 1
+        assert text[0].endswith(" 1")
+
+    def test_distinct_values_stay_distinct_series(self):
+        # without escaping these two values render identically
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", labelnames=("k",))
+        c.inc(k='a\\nb')
+        c.inc(2, k='a\nb')
+        lines = {ln for ln in reg.to_prometheus().splitlines()
+                 if ln.startswith("repro_x_total")}
+        assert len(lines) == 2
+
+
+class TestHistogramReservoir:
+    def test_exact_quantiles_from_reservoir(self):
+        h = MetricsRegistry().histogram("lat", reservoir=256)
+        for v in range(1, 101):  # 1..100
+            h.observe(v)
+        assert h.quantile(0.5) == pytest.approx(50.5)
+        assert h.quantile(0.95) == pytest.approx(95.05)
+        assert h.quantile(0.99) == pytest.approx(99.01)
+        assert h.quantile(0.0) == 1 and h.quantile(1.0) == 100
+
+    def test_no_reservoir_falls_back_to_buckets(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in (30, 31, 33, 100):
+            h.observe(v)
+        assert h.samples_seen() == []
+        assert h.quantile(0.5) == 32.0  # bucket upper bound, as before
+
+    def test_reservoir_is_bounded_and_deterministic(self):
+        def fill():
+            h = MetricsRegistry().histogram("lat", reservoir=16)
+            for v in range(1000):
+                h.observe(v)
+            return h
+
+        a, b = fill(), fill()
+        assert len(a.samples_seen()) == 16
+        assert a.samples_seen() == b.samples_seen()  # seeded RNG
+
+    def test_reservoir_per_label_series(self):
+        h = MetricsRegistry().histogram("lat", labelnames=("user",),
+                                        reservoir=8)
+        h.observe(30, user="alice")
+        h.observe(99, user="bob")
+        assert h.samples_seen(user="alice") == [30.0]
+        assert h.samples_seen(user="bob") == [99.0]
+        assert h.quantile(0.5, user="alice") == 30.0
 
 
 class TestRegistry:

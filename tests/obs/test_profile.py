@@ -1,0 +1,148 @@
+"""Per-module profiler: sampling, attribution, exports, backend parity."""
+
+import json
+
+import pytest
+
+from repro.hdl import Module, Simulator, when
+from repro.obs.profile import (
+    SimProfiler,
+    module_of,
+    signal_costs,
+    subsystem_of,
+)
+
+BACKENDS = ("compiled", "interp", "batched")
+
+
+class Blinker(Module):
+    """Tiny design with one busy net and one idle net."""
+
+    def __init__(self):
+        super().__init__("b")
+        self.en = self.input("en", 1)
+        self.tick = self.reg("tick", 1)
+        self.idle = self.reg("idle", 8)
+        self.tick <<= ~self.tick
+        with when(self.en):
+            self.idle <<= self.idle + 1
+
+
+def _sim(backend):
+    if backend == "batched":
+        pytest.importorskip("numpy")
+    return Simulator(Blinker(), backend=backend)
+
+
+class TestPathHelpers:
+    def test_module_of(self):
+        assert module_of("aes.pipe.s3.state") == "aes.pipe.s3"
+        assert module_of("clk") == "clk"
+
+    def test_subsystem_of(self):
+        assert subsystem_of("aes.pipe.s3") == "aes.pipe"
+        assert subsystem_of("aes") == "aes"
+
+
+class TestValuesSnapshot:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_values_matches_peek(self, backend):
+        sim = _sim(backend)
+        sim.poke("b.en", 1)
+        sim.step(3)
+        vals = sim.values()
+        sigs = sim.value_signals()
+        assert len(vals) == len(sigs)
+        assert vals == [sim.peek(s) for s in sigs]
+
+
+class TestSignalCosts:
+    def test_every_signal_charged_once(self):
+        sim = _sim("compiled")
+        costs = signal_costs(sim.netlist)
+        assert all(costs[s] == 0 for s in sim.netlist.inputs)
+        assert all(costs[r] >= 1 for r in sim.netlist.regs)
+
+
+class TestSimProfiler:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_toggle_attribution(self, backend):
+        sim = _sim(backend)
+        with SimProfiler(sim) as prof:
+            sim.step(10)
+        rep = prof.report()
+        # tick flips every cycle; en never poked, idle never counts
+        assert rep.net_toggles["b.tick"] == 9  # 9 deltas over 10 samples
+        assert "b.en" not in rep.net_toggles
+        assert rep.cycles_sampled == 10
+        assert rep.backend == backend
+
+    def test_sample_interval_skips_cycles(self):
+        sim = _sim("compiled")
+        prof = SimProfiler(sim, sample_interval=2)
+        sim.step(10)
+        prof.detach()
+        assert prof.report().cycles_sampled == 5
+
+    def test_detach_stops_sampling(self):
+        sim = _sim("compiled")
+        prof = SimProfiler(sim)
+        sim.step(4)
+        prof.detach()
+        sim.step(4)
+        assert prof.report().cycles_sampled == 4
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            SimProfiler(_sim("compiled"), sample_interval=0)
+
+    def test_window_series_buckets(self):
+        sim = _sim("compiled")
+        with SimProfiler(sim, window=4) as prof:
+            sim.step(8)
+        rep = prof.report()
+        starts = [s for s, _ in rep.window_series]
+        assert starts == [0, 4]
+        assert all(counts.get("b", 0) > 0 for _, counts in rep.window_series)
+
+
+class TestReportExports:
+    @pytest.fixture()
+    def report(self):
+        sim = _sim("compiled")
+        with SimProfiler(sim) as prof:
+            sim.step(12)
+        return prof.report()
+
+    def test_folded_stacks_nonempty_and_parseable(self, report):
+        stacks = report.folded_stacks()
+        assert stacks
+        for line in stacks:
+            frames, weight = line.rsplit(" ", 1)
+            assert frames and int(weight) >= 1
+
+    def test_write_all_artifacts(self, report, tmp_path):
+        paths = report.write_all(str(tmp_path))
+        folded = (tmp_path / "flamegraph.folded").read_text()
+        assert folded.strip()
+        trace = json.loads((tmp_path / "profile_trace.json").read_text())
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert counters and counters[0]["name"] == "toggle_activity"
+        heat = json.loads((tmp_path / "toggle_heatmap.json").read_text())
+        assert heat["nets"]["b.tick"] == 11
+        assert heat["windows"]
+        assert set(paths) == {"flamegraph", "profile_trace",
+                              "toggle_heatmap"}
+
+    def test_wall_time_distributed_by_cost(self, report):
+        total_cost = sum(m["node_cost"]
+                         for m in report.module_stats.values())
+        total_est = sum(m["est_wall_us"]
+                        for m in report.module_stats.values())
+        assert total_cost > 0
+        assert total_est == pytest.approx(report.wall_seconds * 1e6)
+
+    def test_render_mentions_hot_net(self, report):
+        text = report.render()
+        assert "b.tick" in text
+        assert "backend=compiled" in text

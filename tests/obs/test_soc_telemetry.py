@@ -28,6 +28,29 @@ class TestLifecycleMetrics:
         assert h.count(user="alice") == len(delivered)
         assert h.sum(user="alice") == sum(r.latency for r in delivered)
 
+    def test_latency_quantile_gauges_are_exact(self):
+        t = obs.Telemetry()
+        soc = _run(telemetry=t, blocks=5)
+        soc.publish_latency_quantiles()
+        g = t.metrics.get("soc_request_latency_quantile_cycles")
+        latencies = sorted(r.latency for r in soc.results_for("alice"))
+        # p50 of the reservoir interpolates the true sample population
+        mid = len(latencies) // 2
+        expected_p50 = (latencies[mid] if len(latencies) % 2
+                        else (latencies[mid - 1] + latencies[mid]) / 2)
+        assert g.value(user="alice", quantile="p50") == expected_p50
+        assert g.value(user="alice", quantile="p99") <= latencies[-1]
+        # users with no traffic get no series
+        assert g.value(user="bob", quantile="p50") == 0
+
+    def test_latency_samples_feed_detector(self):
+        soc = _run(blocks=4)
+        samples = soc.latency_samples()
+        assert len(samples["alice"]) == 4
+        assert all(s > 0 for s in samples["alice"])
+        delays = soc.queue_delay_samples()
+        assert len(delays["alice"]) == 4
+
     def test_cycle_stamps_are_consistent(self):
         soc = _run()
         for r in soc.results_for("alice"):
