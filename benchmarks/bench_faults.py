@@ -1,0 +1,70 @@
+"""Fault-campaign benchmark: fail-safe margin + campaign cost.
+
+Runs the seeded paired smoke campaign (the CI fail-safe gate) under the
+benchmark harness and exports its headline numbers as gauges — the
+protected design's fail-safe accuracy (fraction of fault scenarios that
+did not leak), the baseline's detection accuracy (fraction of its fault
+scenarios visibly corrupted, i.e. the campaign's power to notice faults
+at all), and the campaign wall time — so the bench history ledger
+(``python -m repro obs history``) tracks enforcement robustness and
+injector cost across runs.
+"""
+
+import time
+from pathlib import Path
+
+from conftest import report
+
+from repro.faults.campaign import run_paired_fault_campaign
+from repro.obs import MetricsRegistry
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_faults.json"
+SEED = 2026
+
+
+def _fault_scenarios(rep):
+    """Outcomes of scenarios that actually injected something."""
+    return [o for o in rep.outcomes if o.scenario.category != "control"]
+
+
+def test_fault_campaign_failsafe(benchmark):
+    t0 = time.perf_counter()
+    result = benchmark.pedantic(
+        run_paired_fault_campaign,
+        kwargs={"seed": SEED, "backend": "compiled", "smoke": True},
+        iterations=1, rounds=1,
+    )
+    wall = time.perf_counter() - t0
+
+    prot = _fault_scenarios(result.protected)
+    base = _fault_scenarios(result.baseline)
+    failsafe = sum(o.outcome != "leaked" for o in prot) / len(prot)
+    detection = sum(o.outcome in ("corrupted", "leaked")
+                    for o in base) / len(base)
+    injections = sum(o.details.get("fault_events", 0)
+                     for o in prot + base)
+    report(
+        "Fault campaign — fail-safe enforcement under injected faults",
+        f"protected: {len(prot)} fault scenarios, "
+        f"fail-safe accuracy {failsafe:.2f} "
+        f"(leaked={result.protected.leaks})\n"
+        f"baseline : {len(base)} fault scenarios, "
+        f"detection accuracy {detection:.2f}\n"
+        f"campaign : {injections} injections, {wall:.2f}s wall",
+    )
+
+    m = MetricsRegistry()
+    m.gauge("bench_faults_failsafe_accuracy",
+            "fraction of protected fault scenarios with zero cross-user "
+            "leakage (1.0 = fail-safe everywhere)").set(failsafe)
+    m.gauge("bench_faults_detection_accuracy",
+            "fraction of baseline fault scenarios visibly corrupted "
+            "(campaign power)").set(detection)
+    m.gauge("bench_faults_campaign_seconds",
+            "wall time of the paired smoke campaign").set(wall)
+    m.write_jsonl(str(BENCH_JSON))
+
+    # the PR's claim, held as a benchmark invariant: block, never leak
+    assert result.ok
+    assert failsafe == 1.0
+    assert detection > 0

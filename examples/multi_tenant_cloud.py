@@ -14,10 +14,13 @@ fine-grained-pipelined accelerator (Fig. 2 / Fig. 7):
 
 The whole run is telemetry-enabled (``repro.obs``): a second phase with
 a slow polling reader exercises the holding buffer and the Fig. 8 stall
-machinery, and the run exports machine-readable evidence — a Prometheus
-metrics dump, a Chrome trace-event timeline (open it in
-``chrome://tracing`` or https://ui.perfetto.dev), and a security-event
-JSONL stream showing the enforcement points firing.
+machinery, a third phase injects a single-event upset that freezes the
+pipeline and lets the SoC watchdog/retry/quarantine layer recover the
+in-flight work on a spare accelerator, and the run exports
+machine-readable evidence — a Prometheus metrics dump, a Chrome
+trace-event timeline (open it in ``chrome://tracing`` or
+https://ui.perfetto.dev), and a security-event JSONL stream showing the
+enforcement points firing.
 
 Run:  python examples/multi_tenant_cloud.py [output-dir]
 """
@@ -26,6 +29,7 @@ import sys
 
 import repro.obs as obs
 from repro.aes import encrypt_block
+from repro.faults import Fault, FaultKind, FaultPlan
 from repro.obs.simhooks import publish_sim_metrics
 from repro.soc import SoCSystem, encrypt_stream, mixed_workload, random_blocks
 
@@ -36,7 +40,10 @@ def main(out_dir: str = "telemetry_out") -> None:
     telemetry = obs.enable()
     print("bringing up the SoC (protected accelerator + 4 labelled users, "
           "telemetry on)...")
-    soc = SoCSystem(protected=True)
+    # fault_targets instruments the advance net for phase 3; with no plan
+    # loaded the instrumented design is cycle-exact with the pristine one
+    soc = SoCSystem(protected=True, fault_targets=["aes.advance"],
+                    max_retries=2, quarantine_threshold=2, max_spares=1)
     soc.provision_keys()
     tenants = [("alice", 1), ("bob", 2), ("charlie", 3)]
 
@@ -68,6 +75,33 @@ def main(out_dir: str = "telemetry_out") -> None:
     submit(encrypt_stream("alice", 1, random_blocks(12, seed=7)))
     soc.drain()
     soc.reader_stutter = 0
+
+    # phase 3: a single-event upset sticks the pipeline-advance net at 0 —
+    # the accelerator freezes mid-burst.  The per-request deadline trips
+    # the watchdog, retries back off, the faulted part is quarantined, and
+    # the outstanding blocks re-issue on a freshly provisioned spare.
+    print("phase 3: injected SEU freezes the pipeline (watchdog -> "
+          "retry -> quarantine -> spare)...")
+    soc.request_deadline = 150
+    soc.driver.sim.load_fault_plan(FaultPlan([
+        Fault("aes.advance", FaultKind.STUCK_AT_0, 1,
+              cycle=soc.driver.sim.cycle + 5, duration=10 ** 6)]))
+    phase3 = encrypt_stream("alice", 1, random_blocks(2, seed=8))
+    phase3 += encrypt_stream("bob", 2, random_blocks(2, seed=9))
+    submit(phase3)
+    soc.drain(max_cycles=10000)
+    soc.request_deadline = None
+    recovered = [r for r in phase3 if r.status == "delivered"]
+    print(f"  watchdog trips={soc.watchdog_trips} "
+          f"retries={sum(r.retries for r in phase3)} "
+          f"quarantines={soc.quarantines} spares_used={soc.spares_used}")
+    print(f"  {len(recovered)}/{len(phase3)} upset-era blocks recovered "
+          f"(max attempts {max(r.attempts for r in phase3)}); "
+          f"terminal statuses: "
+          f"{sorted({r.status for r in phase3})}")
+    assert soc.quarantines == 1 and soc.spares_used == 1
+    assert recovered and all(r.is_terminal for r in phase3)
+    assert any(r.attempts > 1 for r in recovered)
 
     # isolation check: every delivered block must be the encryption of one
     # of the *owner's own* plaintexts under the *owner's* key.  (Exact

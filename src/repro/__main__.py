@@ -13,6 +13,10 @@ Commands
     Export a design as synthesizable Verilog.
 ``attack <name>``
     Run one §2.1/§3.1 attack against both designs and print the outcome.
+``faults [--smoke] [--backend B|all]``
+    Seeded fault-injection campaign: single faults in the enforcement
+    logic must be fail-safe on the protected design (block, not leak)
+    while demonstrably corrupting the baseline (see docs/robustness.md).
 ``obs [--demo] [--out DIR]``
     Run a telemetry-enabled multi-tenant workload and report the
     metrics / trace / security-event streams (see docs/observability.md).
@@ -187,6 +191,12 @@ def cmd_obs(args) -> int:
     return run(args)
 
 
+def cmd_faults(args) -> int:
+    from .faults.campaign import cmd_faults as run
+
+    return run(args)
+
+
 def cmd_obs_leakage(args) -> int:
     from .obs.leakage import cmd_obs_leakage as run
 
@@ -236,6 +246,22 @@ def main(argv=None) -> int:
     p = sub.add_parser("attack", help="run an attack against both designs")
     p.add_argument("name")
     p.set_defaults(fn=cmd_attack)
+
+    p = sub.add_parser(
+        "faults", help="fault-injection campaign with fail-safe gate")
+    p.add_argument("--smoke", action="store_true",
+                   help="reduced scenario set (CI gate)")
+    p.add_argument("--seed", type=int, default=2026,
+                   help="campaign RNG seed (default 2026)")
+    p.add_argument("--backend", default="all",
+                   choices=("interp", "compiled", "batched", "all"),
+                   help="one backend, or 'all' to cross-check verdicts "
+                        "across interp/compiled/batched (default all)")
+    p.add_argument("--out", default=None,
+                   help="directory for fault_report.json")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser("obs", help="telemetry report for a sample workload")
     p.add_argument("--demo", action="store_true",

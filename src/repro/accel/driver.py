@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..hdl.nodes import HdlError
 from ..hdl.sim import Simulator
 from ..obs import SecurityProbe, telemetry as _telemetry
 from .common import (
@@ -39,9 +40,11 @@ class Response:
 class AcceleratorDriver:
     """Drives one accelerator instance through its host interface."""
 
-    def __init__(self, accel_module, backend: str = "compiled"):
+    def __init__(self, accel_module, backend: str = "compiled",
+                 fault_targets=None):
         self.module = accel_module
-        self.sim = Simulator(accel_module, backend=backend)
+        self.sim = Simulator(accel_module, backend=backend,
+                             fault_targets=fault_targets)
         self.top = accel_module.name
         self.responses: List[Response] = []
         self.probe: Optional[SecurityProbe] = None
@@ -200,8 +203,8 @@ class AcceleratorDriver:
         for name in ("suppressed_count", "blocked_count", "dropped_count"):
             try:
                 out[name] = self.sim.peek(f"{self.top}.{name}")
-            except KeyError:
-                pass
+            except HdlError:
+                pass  # baseline design has no enforcement counters
         return out
 
 

@@ -1,0 +1,60 @@
+"""Seeded fault injection for the secure-AES reproduction.
+
+Two layers:
+
+* :mod:`repro.faults.plan` — the mechanism: :class:`Fault`,
+  :class:`FaultPlan`, netlist :func:`instrument`\\ ation, and the
+  per-cycle :class:`FaultApplier` shared by all three simulation
+  backends.
+* :mod:`repro.faults.campaign` — the policy: targeted single-fault
+  campaigns against the protected design (fail-safe gate) paired with a
+  baseline run (detection gate), plus the ``python -m repro faults``
+  CLI entry point.
+
+``campaign`` is re-exported lazily: it pulls in the accelerator and SoC
+stacks, which must not load just because a simulator was constructed
+with a fault plan.
+"""
+
+from .plan import (  # noqa: F401
+    Fault,
+    FaultApplier,
+    FaultControl,
+    FaultKind,
+    FaultPlan,
+    FaultPlanError,
+    faulted_value,
+    instrument,
+)
+
+_CAMPAIGN_EXPORTS = (
+    "FaultScenario",
+    "ScenarioOutcome",
+    "CampaignReport",
+    "PairedFaultResult",
+    "protected_fault_scenarios",
+    "baseline_fault_scenarios",
+    "run_fault_campaign",
+    "run_paired_fault_campaign",
+    "cmd_faults",
+)
+
+__all__ = [
+    "Fault",
+    "FaultApplier",
+    "FaultControl",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPlanError",
+    "faulted_value",
+    "instrument",
+    *_CAMPAIGN_EXPORTS,
+]
+
+
+def __getattr__(name):
+    if name in _CAMPAIGN_EXPORTS:
+        from . import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -12,7 +12,7 @@ from __future__ import annotations
 import contextlib
 from typing import List, Optional, Tuple
 
-from .nodes import HdlError, Node, UnaryOp, _coerce, all_of
+from .nodes import HdlError, Node, UnaryOp, UnknownSignalError, _coerce, all_of
 
 # -- global conditional-assignment context ------------------------------------
 
@@ -213,7 +213,7 @@ class Module:
             for sig in mod.signals:
                 if sig.path == f"{self.path}.{path}" or sig.path == path:
                     return sig
-        raise KeyError(f"no signal {path!r} under {self.path}")
+        raise UnknownSignalError(path, f"module {self.path!r}")
 
     def __repr__(self) -> str:
         return f"<Module {self.path}>"

@@ -18,7 +18,7 @@ import hashlib
 from typing import Dict, List, Optional, Tuple
 
 from .memory import Mem
-from .nodes import HdlError, Node, walk
+from .nodes import HdlError, Node, UnknownMemoryError, UnknownSignalError, walk
 from .signal import Signal
 
 
@@ -68,7 +68,13 @@ class Netlist:
         for s in self.signals:
             if s.path == path:
                 return s
-        raise KeyError(f"no signal {path!r} in netlist")
+        raise UnknownSignalError(path, f"netlist of module {self.root.path!r}")
+
+    def mem_by_path(self, path: str) -> Mem:
+        for m in self.mems:
+            if m.path == path:
+                return m
+        raise UnknownMemoryError(path, f"netlist of module {self.root.path!r}")
 
     def driver_of(self, sig: Signal) -> Optional[Node]:
         if sig in self.drivers:

@@ -34,6 +34,35 @@ class WidthError(HdlError):
     """Raised when operand widths are inconsistent."""
 
 
+class UnknownSignalError(HdlError, KeyError):
+    """A signal path did not resolve in a netlist or module.
+
+    Subclasses both :class:`HdlError` (the documented error surface of the
+    simulation backends) and :class:`KeyError` (what lookups historically
+    raised), so existing ``except KeyError`` call sites keep working.
+    """
+
+    def __init__(self, path: str, scope: str):
+        self.path = path
+        self.scope = scope
+        super().__init__(f"no signal {path!r} in {scope}")
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0]
+
+
+class UnknownMemoryError(HdlError, KeyError):
+    """A memory path did not resolve in a netlist."""
+
+    def __init__(self, path: str, scope: str):
+        self.path = path
+        self.scope = scope
+        super().__init__(f"no memory {path!r} in {scope}")
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
 def _coerce(value, width_hint: Optional[int] = None) -> "Node":
     """Coerce a Python int (or Node) into a :class:`Node`."""
     if isinstance(value, Node):

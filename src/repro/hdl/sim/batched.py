@@ -1440,7 +1440,8 @@ class BatchSimulator:
     one cycle.
     """
 
-    def __init__(self, design: Union[Module, Netlist], lanes: int = 1):
+    def __init__(self, design: Union[Module, Netlist], lanes: int = 1,
+                 fault_targets=None, fault_plan=None):
         _require_numpy()
         if lanes < 1:
             raise ValueError(f"lanes must be >= 1, got {lanes}")
@@ -1450,6 +1451,19 @@ class BatchSimulator:
             self.netlist = design
         self.lanes = lanes
         self.cycle = 0
+        # Instrument before backend construction so the compiled program
+        # includes the fault-control inputs (see repro.faults.plan).  The
+        # engine's batched path pre-instruments and hands controls over by
+        # assigning ``fault_controls`` after construction instead.
+        self.fault_controls = {}
+        self._fault_applier = None
+        if fault_plan is not None and fault_targets is None:
+            fault_targets = fault_plan.signal_targets()
+        if fault_targets:
+            from ...faults.plan import instrument
+
+            self.netlist, self.fault_controls = instrument(
+                self.netlist, fault_targets)
         self._be = BatchedBackend(self.netlist)
         self._input_set = frozenset(self.netlist.inputs)
         self._ln = np.arange(lanes, dtype=np.intp)
@@ -1458,6 +1472,8 @@ class BatchSimulator:
         self._mems = self._be.new_mems(lanes)
         self._consts = self._be.new_consts(lanes)
         self._dirty = True
+        if fault_plan is not None:
+            self.load_fault_plan(fault_plan)
 
     # -- resolution -------------------------------------------------------------
     def _resolve(self, sig: SignalLike) -> Signal:
@@ -1468,10 +1484,40 @@ class BatchSimulator:
     def _resolve_mem(self, mem: Union[Mem, str]) -> Mem:
         if isinstance(mem, Mem):
             return mem
-        for m in self.netlist.mems:
-            if m.path == mem:
-                return m
-        raise KeyError(f"no memory {mem!r}")
+        return self.netlist.mem_by_path(mem)
+
+    # -- fault injection ---------------------------------------------------------
+    def load_fault_plan(self, plan) -> None:
+        """Arm a fault plan; lane-targeted faults hit only their lane."""
+        from ...faults.plan import FaultApplier
+
+        self._fault_applier = FaultApplier(
+            plan, self.fault_controls, self.netlist, lanes=self.lanes)
+
+    def clear_fault_plan(self) -> None:
+        self._fault_applier = None
+        for ctrl in self.fault_controls.values():
+            for sig in (ctrl.flip, ctrl.stuck1, ctrl.stuck0):
+                self.poke_all(sig, 0)
+
+    @property
+    def fault_events(self) -> int:
+        ap = self._fault_applier
+        return ap.events if ap is not None else 0
+
+    def _apply_faults(self, ap) -> None:
+        from ...faults.plan import faulted_value
+
+        updates, mem_ops = ap.at(self.cycle)
+        for sig, value in updates.items():
+            self.poke_all(sig, value)
+        for mem, addr, kind, mask, lane in mem_ops:
+            lanes = range(self.lanes) if lane is None else (lane,)
+            for ln in lanes:
+                cur = self.peek_mem(mem, addr, ln)
+                self.poke_mem(mem, addr,
+                              faulted_value(cur, kind, mask, mem.width),
+                              lane=ln)
 
     def _check_lane(self, lane: int) -> None:
         if not 0 <= lane < self.lanes:
@@ -1617,11 +1663,21 @@ class BatchSimulator:
     def step(self, n: int = 1) -> None:
         """Advance all lanes ``n`` clock cycles."""
         step = self._be._step
-        st, mems, env, ln, K = (self._state, self._mems, self._env,
-                                self._ln, self._consts)
-        for _ in range(n):
-            step(st, mems, env, ln, K)
-        self.cycle += n
+        ap = self._fault_applier
+        if ap is None:
+            st, mems, env, ln, K = (self._state, self._mems, self._env,
+                                    self._ln, self._consts)
+            for _ in range(n):
+                step(st, mems, env, ln, K)
+            self.cycle += n
+        else:
+            # Faults poke state/mem arrays in place, so re-read the
+            # references each iteration and track the cycle per step.
+            for _ in range(n):
+                self._apply_faults(ap)
+                step(self._state, self._mems, self._env, self._ln,
+                     self._consts)
+                self.cycle += 1
         if n:
             self._dirty = True
 
@@ -1631,3 +1687,5 @@ class BatchSimulator:
         self._mems = self._be.new_mems(self.lanes)
         self.cycle = 0
         self._dirty = True
+        if self._fault_applier is not None:
+            self._fault_applier.reset()

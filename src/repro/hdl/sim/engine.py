@@ -58,7 +58,7 @@ class Simulator:
     """Cycle-accurate simulator over a netlist or module."""
 
     def __init__(self, design: Union[Module, Netlist], backend: str = "compiled",
-                 lanes: int = 1):
+                 lanes: int = 1, fault_targets=None, fault_plan=None):
         if isinstance(design, Module):
             self.netlist = elaborate(design)
         else:
@@ -68,6 +68,21 @@ class Simulator:
         self.cycle = 0
         self.stats = SimStats()
         self._watchers = []
+
+        # Fault instrumentation happens before backend construction so all
+        # backends compile the same (instrumented) netlist.  With every
+        # control input at 0 the instrumented design behaves identically
+        # to the original, so one instrumented simulator serves a whole
+        # campaign of fault plans without recompiling.
+        self.fault_controls = {}
+        self._fault_applier = None
+        if fault_plan is not None and fault_targets is None:
+            fault_targets = fault_plan.signal_targets()
+        if fault_targets:
+            from ...faults.plan import instrument
+
+            self.netlist, self.fault_controls = instrument(
+                self.netlist, fault_targets)
         self._input_set = frozenset(self.netlist.inputs)
 
         if lanes != 1 and backend != "batched":
@@ -80,6 +95,7 @@ class Simulator:
             from .batched import BatchSimulator
 
             self.lanes_sim = BatchSimulator(self.netlist, lanes=lanes)
+            self.lanes_sim.fault_controls = self.fault_controls
         elif backend == "compiled":
             self._be = CompiledBackend(self.netlist)
             self._state: List[int] = self._be.new_state()
@@ -99,6 +115,8 @@ class Simulator:
         else:
             raise ValueError(f"unknown backend {backend!r}")
         self._dirty = True
+        if fault_plan is not None:
+            self.load_fault_plan(fault_plan)
 
     # -- signal resolution -----------------------------------------------------
     def _resolve(self, sig: SignalLike) -> Signal:
@@ -109,10 +127,54 @@ class Simulator:
     def _resolve_mem(self, mem: Union[Mem, str]) -> Mem:
         if isinstance(mem, Mem):
             return mem
-        for m in self.netlist.mems:
-            if m.path == mem:
-                return m
-        raise KeyError(f"no memory {mem!r}")
+        return self.netlist.mem_by_path(mem)
+
+    # -- fault injection ----------------------------------------------------------
+    def load_fault_plan(self, plan) -> None:
+        """Arm a :class:`~repro.faults.plan.FaultPlan` on this simulator.
+
+        The simulator must have been constructed with ``fault_targets``
+        covering every signal the plan touches (memory faults need no
+        instrumentation).  Fault cycles are absolute ``sim.cycle`` values;
+        the plan is applied at the top of every :meth:`step` iteration,
+        so a faulted register latches its upset value at the commit of
+        the scheduled cycle — exactly between evaluation and commit.
+        """
+        if self.backend_name == "batched":
+            self.lanes_sim.load_fault_plan(plan)
+            return
+        from ...faults.plan import FaultApplier
+
+        self._fault_applier = FaultApplier(
+            plan, self.fault_controls, self.netlist, lanes=1)
+
+    def clear_fault_plan(self) -> None:
+        """Disarm any loaded plan and zero every fault-control input."""
+        if self.backend_name == "batched":
+            self.lanes_sim.clear_fault_plan()
+            return
+        self._fault_applier = None
+        for ctrl in self.fault_controls.values():
+            for sig in (ctrl.flip, ctrl.stuck1, ctrl.stuck0):
+                self.poke(sig, 0)
+
+    @property
+    def fault_events(self) -> int:
+        """(fault, cycle) applications performed so far."""
+        if self.backend_name == "batched":
+            return self.lanes_sim.fault_events
+        ap = self._fault_applier
+        return ap.events if ap is not None else 0
+
+    def _apply_faults(self, ap) -> None:
+        from ...faults.plan import faulted_value
+
+        updates, mem_ops = ap.at(self.cycle)
+        for sig, value in updates.items():
+            self.poke(sig, value)
+        for mem, addr, kind, mask, _lane in mem_ops:
+            cur = self.peek_mem(mem, addr)
+            self.poke_mem(mem, addr, faulted_value(cur, kind, mask, mem.width))
 
     # -- testbench API ------------------------------------------------------------
     def poke(self, sig: SignalLike, value: int) -> None:
@@ -185,6 +247,8 @@ class Simulator:
         obs = _telemetry()
         t0 = perf_counter() if obs is not None else 0.0
         for _ in range(n):
+            if self._fault_applier is not None:
+                self._apply_faults(self._fault_applier)
             if self._watchers:
                 self._settle()
                 for w in self._watchers:
@@ -218,6 +282,8 @@ class Simulator:
             self._imems = {m: list(m.init) for m in self.netlist.mems}
         self.cycle = 0
         self._dirty = True
+        if self._fault_applier is not None:
+            self._fault_applier.reset()
 
     # -- bulk observation (profilers) -------------------------------------------
     def value_signals(self) -> List[Signal]:

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..netlist import Netlist
-from ..nodes import Node, walk
+from ..nodes import Node, UnknownSignalError, walk
 
 
 class InterpBackend:
@@ -28,7 +28,13 @@ class InterpBackend:
             if nid in memo:
                 continue
             if node.kind == "signal":
-                memo[nid] = state[node]
+                try:
+                    memo[nid] = state[node]
+                except KeyError:
+                    raise UnknownSignalError(
+                        node.path,
+                        f"state of netlist {self.netlist.root.path!r} "
+                        "(signal referenced but never seeded)") from None
             elif node.kind == "const":
                 memo[nid] = node.value
             elif node.kind == "memread":

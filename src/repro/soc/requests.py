@@ -8,13 +8,33 @@ from typing import List, Optional
 from ..accel.common import CMD_DECRYPT, CMD_ENCRYPT
 
 
+#: statuses a request can never leave (satellite invariant: every request
+#: ends in exactly one of these — nothing dangles as ``issued`` forever)
+TERMINAL_STATUSES = frozenset({"delivered", "dropped", "timed_out",
+                               "rejected"})
+
+
 class Request:
-    """One encrypt/decrypt request from a user application."""
+    """One encrypt/decrypt request from a user application.
+
+    ``status`` tracks the lifecycle::
+
+        queued -> issued -> delivered
+               \\-> backoff -> queued  (watchdog retry, budget permitting)
+               \\-> timed_out | dropped | rejected   (terminal failures)
+
+    ``deadline`` (cycles from submission), ``attempts`` (issue count)
+    and ``retries`` (watchdog re-queues — counted separately because a
+    request can trip while still queued, before its first issue) feed
+    the SoC watchdog/retry layer; all are optional for bare driver use.
+    """
 
     __slots__ = ("user", "cmd", "slot", "data", "submitted_cycle",
-                 "issued_cycle", "delivered_cycle", "result")
+                 "issued_cycle", "delivered_cycle", "result", "status",
+                 "deadline", "attempts", "retries")
 
-    def __init__(self, user: str, cmd: int, slot: int, data: int):
+    def __init__(self, user: str, cmd: int, slot: int, data: int,
+                 deadline: Optional[int] = None):
         self.user = user
         self.cmd = cmd
         self.slot = slot
@@ -23,6 +43,14 @@ class Request:
         self.issued_cycle: Optional[int] = None
         self.delivered_cycle: Optional[int] = None
         self.result: Optional[int] = None
+        self.status: str = "created"
+        self.deadline = deadline
+        self.attempts: int = 0
+        self.retries: int = 0
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.status in TERMINAL_STATUSES
 
     @property
     def completed_cycle(self) -> Optional[int]:

@@ -18,7 +18,8 @@ events.  With telemetry disabled all of that collapses to a single
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+import random
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..accel.baseline import AesAcceleratorBaseline
 from ..accel.driver import AcceleratorDriver
@@ -40,12 +41,44 @@ class SoCSystem:
                  backend: str = "compiled",
                  telemetry: Optional[Telemetry] = None,
                  reader_stutter: int = 0,
-                 stutter_users: Optional[Iterable[str]] = None):
+                 stutter_users: Optional[Iterable[str]] = None,
+                 fault_targets: Optional[Iterable[str]] = None,
+                 request_deadline: Optional[int] = None,
+                 max_retries: int = 2,
+                 retry_base_delay: int = 32,
+                 retry_jitter: int = 16,
+                 retry_seed: int = 1,
+                 quarantine_threshold: int = 3,
+                 max_spares: int = 1):
         self.protected = protected
         self.principals = principals or default_principals()
-        accel = (AesAcceleratorProtected() if protected
-                 else AesAcceleratorBaseline())
-        self.driver = AcceleratorDriver(accel, backend=backend)
+        self._backend = backend
+        self._fault_targets = (tuple(fault_targets)
+                               if fault_targets is not None else None)
+        self.driver = self._build_driver()
+        #: default end-to-end budget (cycles from submission) before the
+        #: watchdog trips a request; None disables the watchdog unless a
+        #: request carries its own ``deadline``
+        self.request_deadline = request_deadline
+        #: how many times the watchdog re-queues a tripped request before
+        #: declaring it ``timed_out`` for good
+        self.max_retries = max_retries
+        self.retry_base_delay = retry_base_delay
+        self.retry_jitter = retry_jitter
+        self._retry_rng = random.Random(retry_seed)
+        #: consecutive watchdog trips (no intervening delivery) that
+        #: trigger quarantine of the accelerator
+        self.quarantine_threshold = quarantine_threshold
+        #: spare accelerators available for failover; once exhausted,
+        #: quarantine degrades to the queued-reject path
+        self.max_spares = max_spares
+        self.spares_used = 0
+        self.quarantines = 0
+        self.watchdog_trips = 0
+        self.quarantined = False
+        self._trips_since_progress = 0
+        #: (release_cycle, request) pairs waiting out a retry backoff
+        self._retry_backlog: List[Tuple[int, Request]] = []
         self.queues: Dict[str, List[Request]] = {
             name: [] for name in self.principals
         }
@@ -67,6 +100,11 @@ class SoCSystem:
         self.stutter_users: Optional[Set[str]] = (
             set(stutter_users) if stutter_users is not None else None)
         self.dropped_requests: List[Request] = []
+        self.timed_out_requests: List[Request] = []
+        self.rejected_requests: List[Request] = []
+        #: every request ever submitted — the terminal-status invariant
+        #: (``no request left non-terminal after drain``) is checked here
+        self.all_requests: List[Request] = []
         self._vouch_to_user: Dict[int, str] = {}
         for p in users_of(self.principals):
             self._vouch_to_user[p.tag & 0xF] = p.name
@@ -100,11 +138,37 @@ class SoCSystem:
                 reservoir=self.LATENCY_RESERVOIR)
             self._g_inflight = m.gauge(
                 "soc_inflight_requests", "requests inside the accelerator")
+            self._m_timeouts = m.counter(
+                "soc_request_timeouts_total",
+                "requests declared timed_out after exhausting retries",
+                users)
+            self._m_retries = m.counter(
+                "soc_request_retries_total",
+                "watchdog-initiated re-queues of tripped requests", users)
+            self._m_watchdog = m.counter(
+                "soc_watchdog_trips_total",
+                "deadline expirations observed by the watchdog", users)
+            self._m_rejected = m.counter(
+                "soc_requests_rejected_total",
+                "requests refused on the queued-reject degradation path",
+                users)
+            self._m_quarantines = m.counter(
+                "soc_quarantines_total",
+                "accelerator quarantine-and-drain events", ("outcome",))
+            self._h_backoff = m.histogram(
+                "soc_retry_backoff_cycles",
+                "exponential backoff delays chosen for retried requests")
             for i, name in enumerate(sorted(self.principals)):
                 self._tids[name] = i + 1
                 self.obs.tracer.name_track(i + 1, f"user:{name}")
 
     # -- setup ------------------------------------------------------------------
+    def _build_driver(self) -> AcceleratorDriver:
+        accel = (AesAcceleratorProtected() if self.protected
+                 else AesAcceleratorBaseline())
+        return AcceleratorDriver(accel, backend=self._backend,
+                                 fault_targets=self._fault_targets)
+
     def provision_keys(self) -> None:
         """Supervisor allocates slots and users load their keys."""
         sup = self.principals["supervisor"]
@@ -117,7 +181,16 @@ class SoCSystem:
 
     # -- request plumbing ----------------------------------------------------------
     def submit(self, request: Request) -> None:
+        self.all_requests.append(request)
+        if self.quarantined:
+            # accelerator condemned with no spare left: degrade gracefully
+            # by refusing new work instead of queueing it forever
+            self._reject(request)
+            return
         request.submitted_cycle = self.driver.sim.cycle
+        request.status = "queued"
+        if request.deadline is None:
+            request.deadline = self.request_deadline
         self.queues[request.user].append(request)
         if self.obs is not None:
             self._m_submitted.inc(user=request.user)
@@ -135,11 +208,18 @@ class SoCSystem:
         return None
 
     def tick(self, cycles: int = 1) -> None:
-        """Advance the system: issue queued requests, deliver responses."""
-        top = self.driver.top
-        sim = self.driver.sim
+        """Advance the system: issue queued requests, deliver responses.
+
+        Each cycle also runs the watchdog: retry backlog release, deadline
+        scan, and (past ``quarantine_threshold`` consecutive trips)
+        quarantine-and-drain failover.  ``top``/``sim`` are re-read every
+        iteration because quarantine can swap the driver mid-call.
+        """
         obs = self.obs
         for _ in range(cycles):
+            self._watchdog()
+            top = self.driver.top
+            sim = self.driver.sim
             # reader side: rotate polling among users with work outstanding
             candidates = [
                 n for n in self._rr_users
@@ -173,12 +253,142 @@ class SoCSystem:
                 self.driver._poke_cmd(req.cmd, user.tag, slot=req.slot,
                                       data=req.data)
                 req.issued_cycle = sim.cycle
+                req.status = "issued"
+                req.attempts += 1
                 self.in_flight.append(req)
             else:
                 self.driver._idle_inputs()
             if obs is not None:
                 self._g_inflight.set(len(self.in_flight))
             sim.step()
+
+    # -- watchdog / retry / quarantine ------------------------------------------
+    def _effective_deadline(self, req: Request) -> Optional[int]:
+        return req.deadline if req.deadline is not None else self.request_deadline
+
+    def _watchdog(self) -> None:
+        """Release matured retries and trip requests past their deadline."""
+        now = self.driver.sim.cycle
+        if self._retry_backlog:
+            still: List[Tuple[int, Request]] = []
+            for release, req in self._retry_backlog:
+                if release <= now:
+                    req.status = "queued"
+                    # the retry restarts the end-to-end clock
+                    req.submitted_cycle = now
+                    req.issued_cycle = None
+                    self.queues[req.user].insert(0, req)
+                else:
+                    still.append((release, req))
+            self._retry_backlog = still
+        if self.request_deadline is None and not any(
+                r.deadline is not None for r in self.in_flight) and not any(
+                r.deadline is not None
+                for q in self.queues.values() for r in q):
+            return
+        expired = [r for r in self.in_flight
+                   if self._effective_deadline(r) is not None
+                   and now - r.submitted_cycle > self._effective_deadline(r)]
+        for queue in self.queues.values():
+            expired.extend(
+                r for r in list(queue)
+                if self._effective_deadline(r) is not None
+                and now - r.submitted_cycle > self._effective_deadline(r))
+        for req in expired:
+            self._trip(req)
+        if (self._trips_since_progress >= self.quarantine_threshold
+                and not self.quarantined):
+            self.quarantine()
+
+    def _trip(self, req: Request) -> None:
+        """One watchdog expiration: retry with backoff or give up."""
+        self.watchdog_trips += 1
+        self._trips_since_progress += 1
+        if req in self.in_flight:
+            self.in_flight.remove(req)
+        elif req in self.queues[req.user]:
+            self.queues[req.user].remove(req)
+        obs = self.obs
+        if obs is not None:
+            self._m_watchdog.inc(user=req.user)
+            obs.security.emit(
+                "watchdog_trip", cycle=self.driver.sim.cycle, source="soc",
+                user=req.user, attempts=req.attempts,
+                submitted_cycle=req.submitted_cycle,
+                issued_cycle=req.issued_cycle)
+        if req.retries < self.max_retries:
+            # exponential backoff with seeded jitter, in cycles
+            req.retries += 1
+            delay = (self.retry_base_delay
+                     * (2 ** (req.retries - 1))
+                     + self._retry_rng.randrange(self.retry_jitter + 1))
+            req.status = "backoff"
+            self._retry_backlog.append((self.driver.sim.cycle + delay, req))
+            if obs is not None:
+                self._m_retries.inc(user=req.user)
+                self._h_backoff.observe(delay)
+        else:
+            req.status = "timed_out"
+            self.timed_out_requests.append(req)
+            if obs is not None:
+                self._m_timeouts.inc(user=req.user)
+                obs.tracer.instant(
+                    "request_timed_out", cat="soc",
+                    tid=self._tids.get(req.user, 0),
+                    ts=self.driver.sim.cycle, user=req.user)
+
+    def quarantine(self) -> None:
+        """Condemn the current accelerator and drain its work.
+
+        With a spare left, in-flight and backed-off requests re-queue onto
+        a freshly built (and re-provisioned) accelerator; their submission
+        clocks restart because the new simulator begins at cycle 0.  With
+        no spare, every outstanding request is rejected and the system
+        refuses further submissions — degraded but honest.
+        """
+        self.quarantines += 1
+        self._trips_since_progress = 0
+        outstanding = list(self.in_flight)
+        outstanding.extend(req for _release, req in self._retry_backlog)
+        self.in_flight.clear()
+        self._retry_backlog.clear()
+        spare = self.spares_used < self.max_spares
+        obs = self.obs
+        if obs is not None:
+            self._m_quarantines.inc(outcome="spare" if spare else "reject")
+            obs.security.emit(
+                "accelerator_quarantined", cycle=self.driver.sim.cycle,
+                source="soc", outcome="spare" if spare else "reject",
+                outstanding=len(outstanding), trips=self.watchdog_trips)
+        if not spare:
+            self.quarantined = True
+            for queue in self.queues.values():
+                outstanding.extend(queue)
+                queue.clear()
+            for req in outstanding:
+                self._reject(req)
+            return
+        self.spares_used += 1
+        self.driver = self._build_driver()
+        self.provision_keys()
+        now = self.driver.sim.cycle
+        for req in outstanding:
+            req.status = "queued"
+            req.submitted_cycle = now
+            req.issued_cycle = None
+            self.queues[req.user].insert(0, req)
+        for queue in self.queues.values():
+            for req in queue:
+                req.submitted_cycle = now
+
+    def _reject(self, req: Request) -> None:
+        req.status = "rejected"
+        self.rejected_requests.append(req)
+        if self.obs is not None:
+            self._m_rejected.inc(user=req.user)
+            self.obs.security.emit(
+                "request_rejected", cycle=self.driver.sim.cycle,
+                source="soc", user=req.user, attempts=req.attempts)
 
     def _deliver(self, reader: Principal, tag: int, data: int) -> None:
         """Hand the presented block to the polling reader.
@@ -206,6 +416,8 @@ class SoCSystem:
         self.in_flight.remove(req)
         req.delivered_cycle = self.driver.sim.cycle
         req.result = data
+        req.status = "delivered"
+        self._trips_since_progress = 0
         self.delivered[reader.name].append(req)
         if self.obs is not None:
             self._record_delivery(req, reader)
@@ -241,14 +453,14 @@ class SoCSystem:
         idle = 0
         last_outstanding = None
         for _ in range(max_cycles):
-            outstanding = len(self.in_flight) + sum(
-                len(q) for q in self.queues.values()
-            )
+            outstanding = (len(self.in_flight) + len(self._retry_backlog)
+                           + sum(len(q) for q in self.queues.values()))
             if outstanding == 0:
                 return
             if outstanding == last_outstanding:
                 idle += 1
-                if idle >= idle_limit and not any(self.queues.values()):
+                if (idle >= idle_limit and not any(self.queues.values())
+                        and not self._retry_backlog):
                     self._drop(self.in_flight)
                     self.in_flight.clear()
                     return
@@ -259,6 +471,8 @@ class SoCSystem:
         raise TimeoutError("SoC did not drain")
 
     def _drop(self, requests: List[Request]) -> None:
+        for req in requests:
+            req.status = "dropped"
         self.dropped_requests.extend(requests)
         if self.obs is not None:
             for req in requests:

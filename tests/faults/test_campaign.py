@@ -1,0 +1,102 @@
+"""Campaign-level properties: determinism, fail-safe verdict, reporting.
+
+The full acceptance sweep runs via ``python -m repro faults`` in CI;
+here the smoke campaign (compiled backend) pins the verdict machinery
+and the per-seed determinism the gate relies on.
+"""
+
+import pytest
+
+from repro.faults.campaign import (
+    CampaignReport,
+    baseline_fault_scenarios,
+    protected_fault_scenarios,
+    run_fault_campaign,
+    run_paired_fault_campaign,
+)
+
+
+def _plan_fingerprint(scenarios):
+    return [
+        (s.name, s.category,
+         [f.to_dict() for f in s.plan.faults])
+        for s in scenarios
+    ]
+
+
+class TestScenarioGeneration:
+    def test_deterministic_per_seed(self):
+        a = _plan_fingerprint(protected_fault_scenarios(seed=7, smoke=False))
+        b = _plan_fingerprint(protected_fault_scenarios(seed=7, smoke=False))
+        assert a == b
+        assert (_plan_fingerprint(baseline_fault_scenarios(seed=7))
+                == _plan_fingerprint(baseline_fault_scenarios(seed=7)))
+
+    def test_seed_changes_plans(self):
+        a = _plan_fingerprint(protected_fault_scenarios(seed=1, smoke=True))
+        b = _plan_fingerprint(protected_fault_scenarios(seed=2, smoke=True))
+        assert a != b
+
+    def test_control_scenario_present(self):
+        for scenarios in (protected_fault_scenarios(seed=3, smoke=True),
+                          baseline_fault_scenarios(seed=3, smoke=True)):
+            controls = [s for s in scenarios if s.category == "control"]
+            assert len(controls) == 1
+            assert len(controls[0].plan) == 0
+
+    def test_smoke_is_subset_sized(self):
+        smoke = protected_fault_scenarios(seed=4, smoke=True)
+        full = protected_fault_scenarios(seed=4, smoke=False)
+        assert 1 < len(smoke) < len(full)
+
+    def test_categories_cover_enforcement_surface(self):
+        cats = {s.category
+                for s in protected_fault_scenarios(seed=5, smoke=False)}
+        assert {"pipe_tag", "scratch_tag", "stall", "declass"} <= cats
+
+
+@pytest.mark.slow
+class TestSmokeCampaign:
+    @pytest.fixture(scope="class")
+    def paired(self):
+        return run_paired_fault_campaign(seed=2026, backend="compiled",
+                                         smoke=True)
+
+    def test_protected_fail_safe(self, paired):
+        assert paired.protected.leaks == 0
+        assert paired.protected.harness_ok
+        assert paired.fail_safe
+
+    def test_baseline_detectably_corrupted(self, paired):
+        assert paired.baseline.corrupted + paired.baseline.leaks >= 1
+        assert paired.detection
+        assert paired.ok
+
+    def test_report_roundtrip(self, paired):
+        d = paired.protected.to_dict()
+        assert d["design"] == "protected"
+        assert d["leaked"] == 0
+        assert d["scenarios"] == len(paired.protected.outcomes)
+        text = paired.render()
+        assert "VERDICT" in text
+
+    def test_campaign_deterministic(self, paired):
+        again = run_fault_campaign(protected=True, seed=2026,
+                                   backend="compiled", smoke=True)
+        assert again.verdict_rows() == paired.protected.verdict_rows()
+
+    def test_verdicts_are_classified(self, paired):
+        legal = {"clean", "degraded", "corrupted", "leaked"}
+        for report in (paired.protected, paired.baseline):
+            assert {o.outcome for o in report.outcomes} <= legal
+
+
+class TestReportShape:
+    def test_harness_flag_fails_on_bad_control(self):
+        from repro.faults.campaign import FaultScenario, ScenarioOutcome
+        from repro.faults.plan import FaultPlan
+        ctrl = FaultScenario("no_fault", "control", FaultPlan([]))
+        rep = CampaignReport(
+            design="protected", backend="compiled", seed=1,
+            outcomes=[ScenarioOutcome(ctrl, "corrupted", {})])
+        assert not rep.harness_ok

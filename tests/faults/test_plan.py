@@ -1,0 +1,268 @@
+"""Fault-plan semantics: instrumentation identity, injection effects,
+cross-backend equivalence, and the error paths.
+
+The injector works by netlist transformation (every target signal gets
+flip/stuck1/stuck0 control inputs), so the two properties that matter
+most are (a) with an empty plan the instrumented design is cycle-exact
+with the pristine one, and (b) all three backends agree on the faulted
+trace — the campaign verdict depends on both.
+"""
+
+import pytest
+
+from repro.faults.plan import (
+    Fault,
+    FaultKind,
+    FaultPlan,
+    FaultPlanError,
+    faulted_value,
+    instrument,
+)
+from repro.hdl import Module, Simulator
+from repro.hdl.nodes import UnknownMemoryError, UnknownSignalError
+
+BACKENDS = ("compiled", "interp", "batched")
+
+
+def _make_sim(module, backend, **kw):
+    if backend == "batched":
+        pytest.importorskip("numpy")
+    return Simulator(module, backend=backend, **kw)
+
+
+class Counter(Module):
+    """8-bit counter with an enable and a held capture register."""
+
+    def __init__(self):
+        super().__init__("cnt")
+        self.en = self.input("en", 1)
+        self.q = self.reg("q", 8)
+        self.q <<= self.q + self.en
+        self.cap = self.reg("cap", 8)  # held unless captured below
+        self.snap = self.input("snap", 1)
+        from repro.hdl import when
+        with when(self.snap):
+            self.cap <<= self.q
+        self.out = self.output("out", 8)
+        self.out <<= self.q ^ self.cap
+
+
+class MemBox(Module):
+    def __init__(self):
+        super().__init__("mb")
+        self.m = self.mem("m", 4, 8)
+        self.addr = self.input("addr", 2)
+        self.dout = self.output("dout", 8)
+        self.dout <<= self.m.read(self.addr)
+
+
+class TestFaultedValue:
+    def test_transient_xor(self):
+        assert faulted_value(0b1010, FaultKind.TRANSIENT, 0b0110, 4) == 0b1100
+
+    def test_stuck_at_1_or(self):
+        assert faulted_value(0b1000, FaultKind.STUCK_AT_1, 0b0001, 4) == 0b1001
+
+    def test_stuck_at_0_clear(self):
+        assert faulted_value(0b1111, FaultKind.STUCK_AT_0, 0b0101, 4) == 0b1010
+
+
+class TestPlanValidation:
+    def test_zero_mask_rejected(self):
+        with pytest.raises(FaultPlanError):
+            Fault("cnt.q", FaultKind.TRANSIENT, 0, cycle=1)
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(FaultPlanError):
+            Fault("cnt.q", FaultKind.TRANSIENT, 1, cycle=-1)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(FaultPlanError):
+            Fault("cnt.q", FaultKind.TRANSIENT, 1, cycle=0, duration=0)
+
+    def test_shift_preserves_everything_but_cycle(self):
+        plan = FaultPlan([Fault("cnt.q", FaultKind.STUCK_AT_1, 3, cycle=2,
+                                duration=4)])
+        moved = plan.shifted(10)
+        assert moved.faults[0].cycle == 12
+        assert moved.faults[0].duration == 4
+        assert plan.faults[0].cycle == 2  # original untouched
+
+    def test_window(self):
+        plan = FaultPlan([
+            Fault("cnt.q", FaultKind.TRANSIENT, 1, cycle=3),
+            Fault("cnt.cap", FaultKind.STUCK_AT_0, 1, cycle=7, duration=5),
+        ])
+        assert plan.window() == (3, 12)  # half-open: last active cycle is 11
+
+
+class TestInstrumentation:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_identity_with_no_active_fault(self, backend):
+        """Instrumented targets with zero masks must not perturb the design."""
+        plain = _make_sim(Counter(), backend)
+        inst = _make_sim(Counter(), backend, fault_targets=["cnt.q", "cnt.cap"])
+        for sim in (plain, inst):
+            sim.poke("cnt.en", 1)
+            sim.poke("cnt.snap", 0)
+        for cyc in range(20):
+            snap = 1 if cyc == 7 else 0
+            for sim in (plain, inst):
+                sim.poke("cnt.snap", snap)
+                sim.step()
+            assert inst.peek("cnt.out") == plain.peek("cnt.out")
+            assert inst.peek("cnt.cap") == plain.peek("cnt.cap")
+
+    def test_input_target_rejected(self):
+        with pytest.raises(FaultPlanError, match="input"):
+            Simulator(Counter(), fault_targets=["cnt.en"])
+
+    def test_unknown_target_names_signal_and_scope(self):
+        with pytest.raises(UnknownSignalError, match=r"cnt\.ghost"):
+            Simulator(Counter(), fault_targets=["cnt.ghost"])
+
+    def test_instrument_pure(self):
+        """instrument() must copy; the source netlist stays untouched."""
+        sim = Simulator(Counter())
+        n_inputs = len(sim.netlist.inputs)
+        out, controls = instrument(sim.netlist, ["cnt.q"])
+        assert len(sim.netlist.inputs) == n_inputs
+        assert len(out.inputs) == n_inputs + 3
+        assert set(controls) == {"cnt.q"}
+
+
+class TestInjection:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_transient_flip_upsets_register(self, backend):
+        sim = _make_sim(Counter(), backend, fault_targets=["cnt.q"])
+        sim.poke("cnt.en", 1)
+        sim.poke("cnt.snap", 0)
+        plan = FaultPlan([Fault("cnt.q", FaultKind.TRANSIENT, 0x80, cycle=5)])
+        sim.load_fault_plan(plan)
+        sim.step(5)
+        assert sim.peek("cnt.q") == 5
+        sim.step()  # faulted commit: (5 + 1) ^ 0x80
+        assert sim.peek("cnt.q") == 0x86
+        sim.step()  # transient over; counting resumes from the upset value
+        assert sim.peek("cnt.q") == 0x87
+        assert sim.fault_events == 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_stuck_at_window(self, backend):
+        sim = _make_sim(Counter(), backend, fault_targets=["cnt.q"])
+        sim.poke("cnt.en", 1)
+        sim.poke("cnt.snap", 0)
+        sim.load_fault_plan(FaultPlan([
+            Fault("cnt.q", FaultKind.STUCK_AT_0, 0xFF, cycle=3, duration=4)]))
+        sim.step(10)
+        # cycles 3..6 commit 0; counting restarts after the window
+        assert sim.peek("cnt.q") == 10 - 7
+
+    def test_backends_agree_on_faulted_trace(self):
+        pytest.importorskip("numpy")
+        plan = FaultPlan([
+            Fault("cnt.q", FaultKind.TRANSIENT, 0x0F, cycle=4),
+            Fault("cnt.cap", FaultKind.STUCK_AT_1, 0x10, cycle=6, duration=3),
+        ])
+        traces = {}
+        for backend in BACKENDS:
+            sim = _make_sim(Counter(), backend,
+                            fault_targets=["cnt.q", "cnt.cap"])
+            sim.poke("cnt.en", 1)
+            sim.poke("cnt.snap", 0)
+            sim.load_fault_plan(plan)
+            trace = []
+            for cyc in range(15):
+                sim.poke("cnt.snap", 1 if cyc in (2, 8) else 0)
+                sim.step()
+                trace.append((sim.peek("cnt.q"), sim.peek("cnt.cap"),
+                              sim.peek("cnt.out")))
+            traces[backend] = trace
+        assert traces["compiled"] == traces["interp"] == traces["batched"]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_clear_plan_restores_identity(self, backend):
+        sim = _make_sim(Counter(), backend, fault_targets=["cnt.q"])
+        sim.poke("cnt.en", 1)
+        sim.poke("cnt.snap", 0)
+        sim.load_fault_plan(FaultPlan([
+            Fault("cnt.q", FaultKind.STUCK_AT_0, 0xFF, cycle=0,
+                  duration=1000)]))
+        sim.step(5)
+        assert sim.peek("cnt.q") == 0
+        sim.clear_fault_plan()
+        sim.step(5)
+        assert sim.peek("cnt.q") == 5
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_reset_restarts_schedule(self, backend):
+        sim = _make_sim(Counter(), backend, fault_targets=["cnt.q"])
+        sim.poke("cnt.en", 1)
+        sim.poke("cnt.snap", 0)
+        sim.load_fault_plan(FaultPlan([
+            Fault("cnt.q", FaultKind.TRANSIENT, 0x40, cycle=2)]))
+        sim.step(6)
+        first = sim.peek("cnt.q")
+        sim.reset()
+        sim.poke("cnt.en", 1)
+        sim.poke("cnt.snap", 0)
+        sim.step(6)
+        assert sim.peek("cnt.q") == first  # same upset replays after reset
+
+    def test_plan_for_uninstrumented_target_rejected(self):
+        sim = Simulator(Counter(), fault_targets=["cnt.q"])
+        with pytest.raises(FaultPlanError, match=r"cnt\.cap"):
+            sim.load_fault_plan(FaultPlan([
+                Fault("cnt.cap", FaultKind.TRANSIENT, 1, cycle=0)]))
+
+
+class TestMemoryFaults:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_transient_mem_flip_persists(self, backend):
+        sim = _make_sim(MemBox(), backend)
+        sim.poke_mem("mb.m", 2, 0x55)
+        sim.load_fault_plan(FaultPlan([
+            Fault("mb.m", FaultKind.TRANSIENT, 0x0F, cycle=3, addr=2)]))
+        sim.poke("mb.addr", 2)
+        sim.step(3)
+        assert sim.peek_mem("mb.m", 2) == 0x55
+        sim.step()
+        # an SEU sticks until the design rewrites the cell
+        assert sim.peek_mem("mb.m", 2) == 0x5A
+        sim.step(3)
+        assert sim.peek_mem("mb.m", 2) == 0x5A
+
+    def test_unknown_memory_target(self):
+        sim = Simulator(MemBox())
+        with pytest.raises(UnknownMemoryError, match=r"mb\.ghost"):
+            sim.load_fault_plan(FaultPlan([
+                Fault("mb.ghost", FaultKind.TRANSIENT, 1, cycle=0, addr=0)]))
+
+    def test_mem_addr_out_of_range(self):
+        sim = Simulator(MemBox())
+        with pytest.raises(FaultPlanError, match="addr"):
+            sim.load_fault_plan(FaultPlan([
+                Fault("mb.m", FaultKind.TRANSIENT, 1, cycle=0, addr=9)]))
+
+
+class TestBatchedLanes:
+    def test_lane_scoped_fault(self):
+        """A lane-targeted fault must leave sibling lanes untouched."""
+        np = pytest.importorskip("numpy")
+        del np
+        from repro.hdl.sim.batched import BatchSimulator
+        sim = BatchSimulator(Counter(), lanes=3, fault_targets=["cnt.q"])
+        sim.poke_all("cnt.en", 1)
+        sim.poke_all("cnt.snap", 0)
+        sim.load_fault_plan(FaultPlan([
+            Fault("cnt.q", FaultKind.TRANSIENT, 0x80, cycle=4, lane=1)]))
+        sim.step(6)
+        assert sim.peek_all("cnt.q") == [6, (5 ^ 0x80) + 1, 6]
+
+    def test_lane_out_of_range(self):
+        pytest.importorskip("numpy")
+        from repro.hdl.sim.batched import BatchSimulator
+        sim = BatchSimulator(Counter(), lanes=2, fault_targets=["cnt.q"])
+        with pytest.raises(FaultPlanError, match="lane"):
+            sim.load_fault_plan(FaultPlan([
+                Fault("cnt.q", FaultKind.TRANSIENT, 1, cycle=0, lane=5)]))

@@ -12,6 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.hdl import Module, Simulator, cat, mux, otherwise, when
+from repro.hdl.nodes import HdlError, UnknownMemoryError, UnknownSignalError
 
 BACKENDS = ("compiled", "interp", "batched")
 
@@ -184,5 +185,22 @@ class TestSimulatorApi:
 
     def test_unknown_signal(self):
         sim = Simulator(MemUnit())
+        # UnknownSignalError subclasses both HdlError and KeyError, names
+        # the missing path and the scope searched, and str() must be the
+        # plain message (KeyError's repr-quoting would mangle it)
+        with pytest.raises(HdlError, match=r"mu\.nope"):
+            sim.peek("mu.nope")
         with pytest.raises(KeyError):
             sim.peek("mu.nope")
+        with pytest.raises(UnknownSignalError) as exc:
+            sim.poke("mu.nope", 1)
+        assert "mu.nope" in str(exc.value)
+        assert "netlist of module" in str(exc.value)
+        assert not str(exc.value).startswith("'")
+
+    def test_unknown_memory(self):
+        sim = Simulator(MemUnit())
+        with pytest.raises(UnknownMemoryError, match=r"mu\.nomem"):
+            sim.peek_mem("mu.nomem", 0)
+        with pytest.raises(KeyError):
+            sim.poke_mem("mu.nomem", 0, 1)

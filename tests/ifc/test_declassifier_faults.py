@@ -1,0 +1,121 @@
+"""Deny-by-default under mutated and forged tags (fault-injection PR).
+
+The pipeline-exit :class:`~repro.accel.declassifier.Declassifier` is the
+single gate between secret ciphertext and the public output.  The fault
+campaign flips bits on its inputs; these properties pin the invariant
+that makes those faults fail-safe: for *every* 8-bit tag pattern — valid
+encoding or forged garbage — an encrypt block is released iff the
+nonmalleable rule ``conf(tag) ⊆ vouch(tag)`` holds, and a suppressed
+block leaves all-zero data on the bus.  There is no tag value, reachable
+or not, that unlocks release by accident.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.common import (
+    OP_DEC,
+    OP_ENC,
+    tag_conf_bits,
+    tag_integ_bits,
+)
+from repro.accel.declassifier import Declassifier
+from repro.hdl import Simulator
+
+tags = st.integers(min_value=0, max_value=255)
+data_words = st.integers(min_value=0, max_value=(1 << 128) - 1)
+bit_positions = st.integers(min_value=0, max_value=7)
+
+# the declassifier is purely combinational, so one simulator instance is
+# safely shared across hypothesis examples
+_SIM = Simulator(Declassifier(protected=True))
+
+
+def _probe(tag: int, op: int, data: int, valid: int = 1):
+    s = _SIM
+    s.poke("declass.in_valid", valid)
+    s.poke("declass.in_tag", tag)
+    s.poke("declass.in_op", op)
+    s.poke("declass.in_data", data)
+    return {
+        "out_valid": s.peek("declass.out_valid"),
+        "out_tag": s.peek("declass.out_tag"),
+        "out_data": s.peek("declass.out_data"),
+        "suppressed": s.peek("declass.suppressed"),
+    }
+
+
+def _oracle_ok(tag: int) -> bool:
+    """Nonmalleable release rule: every key that touched the block
+    (conf nibble) is vouched for by the originating user (integ nibble)."""
+    return (tag_conf_bits(tag) & ~tag_integ_bits(tag) & 0xF) == 0
+
+
+class TestDenyByDefault:
+    @settings(max_examples=256, deadline=None)
+    @given(tags, data_words)
+    def test_release_iff_oracle_for_all_256_tags(self, tag, data):
+        out = _probe(tag, OP_ENC, data)
+        if _oracle_ok(tag):
+            assert out["out_valid"] == 1
+            assert out["suppressed"] == 0
+        else:
+            assert out["out_valid"] == 0
+            assert out["suppressed"] == 1
+            # fail-safe: a suppressed block must not echo its payload
+            assert out["out_data"] == 0
+
+    @settings(max_examples=128, deadline=None)
+    @given(tags, bit_positions, data_words)
+    def test_single_bit_mutation_never_widens_release(self, tag, bit, data):
+        """Flipping one tag bit may flip the verdict, but the mutated
+        verdict must still match the oracle for the mutated tag — the
+        decision depends only on the tag actually presented, so a fault
+        can at worst convert one correctly-judged tag into another."""
+        mutated = tag ^ (1 << bit)
+        out = _probe(mutated, OP_ENC, data)
+        assert out["out_valid"] == (1 if _oracle_ok(mutated) else 0)
+
+    @settings(max_examples=128, deadline=None)
+    @given(tags, data_words)
+    def test_forged_conf_without_vouch_is_suppressed(self, tag, data):
+        """A forged tag claiming extra key confidentiality (conf bits the
+        integ nibble does not cover) must always be suppressed."""
+        integ = tag_integ_bits(tag)
+        if integ == 0xF:
+            return  # vouches for every key; no uncovered bit to forge
+        uncovered = (~integ & 0xF)
+        uncovered &= -uncovered  # lowest key bit outside the vouch set
+        forged = tag | (uncovered << 4)
+        out = _probe(forged, OP_ENC, data)
+        assert out["out_valid"] == 0
+        assert out["suppressed"] == 1
+        assert out["out_data"] == 0
+
+    @settings(max_examples=128, deadline=None)
+    @given(tags, data_words)
+    def test_released_tag_is_public(self, tag, data):
+        """When release happens the outgoing tag must carry no
+        confidentiality — only the vouch nibble survives."""
+        out = _probe(tag, OP_ENC, data)
+        if out["out_valid"]:
+            assert tag_conf_bits(out["out_tag"]) == 0
+            assert tag_integ_bits(out["out_tag"]) == tag_integ_bits(tag)
+
+    @settings(max_examples=128, deadline=None)
+    @given(tags, data_words)
+    def test_decrypt_path_is_not_declassified(self, tag, data):
+        """Plaintext keeps its full label: the declassifier must pass the
+        tag through unchanged so downstream routing stays label-checked."""
+        out = _probe(tag, OP_DEC, data)
+        assert out["out_valid"] == 1
+        assert out["out_tag"] == tag
+        assert out["out_data"] == data
+        assert out["suppressed"] == 0
+
+    @settings(max_examples=64, deadline=None)
+    @given(tags, data_words)
+    def test_invalid_input_never_releases(self, tag, data):
+        out = _probe(tag, OP_ENC, data, valid=0)
+        assert out["out_valid"] == 0
+        assert out["suppressed"] == 0
