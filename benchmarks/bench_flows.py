@@ -1,0 +1,121 @@
+"""Flow-explainer overhead: provenance ledger cost vs plain tracking.
+
+The provenance ledger behind ``python -m repro obs flows`` rides inside
+:class:`~repro.ifc.tracker.LabelTracker`'s per-cycle evaluation as
+branches guarded by one ``provenance`` flag.  This benchmark exports the
+explainer's headline numbers as gauges for the bench history ledger
+(``python -m repro obs history``) and holds its core promise to a
+number: switching the explainer *off* must give its cost back — a
+tracker with provenance disabled has to step within 3 % of a plain
+:class:`LabelTracker` (the pre-explainer fast path).
+"""
+
+import os
+import time
+
+import pytest
+from conftest import report
+from pathlib import Path
+
+from repro.accel.common import CMD_ENCRYPT, LATTICE, user_label
+from repro.accel.protected import AesAcceleratorProtected
+from repro.hdl.sim import Simulator
+from repro.ifc.tracker import LabelTracker
+from repro.obs import MetricsRegistry
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_flows.json"
+CYCLES = 60
+ROUNDS = 6
+MAX_DISABLED_OVERHEAD = 0.03  # a dormant explainer may cost at most 3 %
+
+
+def _tracked_sim(provenance: bool):
+    sim = Simulator(AesAcceleratorProtected(), backend="compiled")
+    tracker = LabelTracker(sim, LATTICE, provenance=provenance,
+                           window=8 if provenance else None)
+    sim.poke("aes.in_valid", 1)
+    sim.poke("aes.in_cmd", CMD_ENCRYPT)
+    sim.poke("aes.in_user", user_label("p0").encode())
+    sim.poke("aes.in_slot", 1)
+    sim.poke("aes.in_data", 0x1234)
+    sim.poke("aes.out_ready", 1)
+    return sim, tracker
+
+
+def _best_of_interleaved(a, b, rounds: int = ROUNDS):
+    """Best-of-N for two paths, alternating every round so slow clock
+    drift (thermal, noisy CI neighbours) hits both paths equally."""
+    best_a = best_b = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        a()
+        best_a = min(best_a, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        b()
+        best_b = min(best_b, time.perf_counter() - t0)
+    return best_a, best_b
+
+
+def test_flow_explainer_overhead(benchmark):
+    plain_sim, _plain = _tracked_sim(provenance=False)
+    prov_sim, prov = _tracked_sim(provenance=True)
+
+    def step_plain():
+        for _ in range(CYCLES):
+            plain_sim.step(1)
+
+    def step_prov():
+        for _ in range(CYCLES):
+            prov_sim.step(1)
+
+    step_plain()  # warm both paths once
+    step_prov()
+    t_prov, t_plain = _best_of_interleaved(step_prov, step_plain)
+    benchmark.pedantic(step_prov, iterations=1, rounds=1)
+    enabled_overhead = t_prov / t_plain - 1.0
+    ledger_entries = len(prov.ledger)
+
+    # now switch the explainer off on the same live tracker: the guard
+    # branches go dormant and the ledger stops growing — stepping must
+    # land back on the plain tracker's cost
+    prov.provenance = False
+    step_prov()  # warm the disabled path
+    t_disabled, t_plain2 = _best_of_interleaved(step_prov, step_plain)
+    disabled_overhead = t_disabled / t_plain2 - 1.0
+
+    report(
+        "Flow-explainer overhead — provenance ledger vs plain tracking",
+        f"plain LabelTracker      : {CYCLES / t_plain:10.0f} cycles/s\n"
+        f"explainer enabled       : {CYCLES / t_prov:10.0f} cycles/s "
+        f"({enabled_overhead * 100:+.1f}%, "
+        f"{ledger_entries} ledger entries live)\n"
+        f"explainer disabled      : {CYCLES / t_disabled:10.0f} cycles/s "
+        f"({disabled_overhead * 100:+.2f}%, "
+        f"ceiling {MAX_DISABLED_OVERHEAD * 100:.0f}%)",
+    )
+
+    m = MetricsRegistry()
+    m.gauge("bench_flows_explainer_overhead",
+            "fractional per-cycle cost of the provenance ledger over a "
+            "plain LabelTracker (explainer enabled, window=8)"
+            ).set(enabled_overhead)
+    m.gauge("bench_flows_disabled_overhead",
+            "fractional per-cycle cost of a provenance-capable tracker "
+            "after the explainer is switched off (must stay within the "
+            "3% gate)").set(disabled_overhead)
+    m.gauge("bench_flows_tracked_cycles_per_s",
+            "plain tracked stepping rate on the protected design"
+            ).set(CYCLES / t_plain)
+    m.gauge("bench_flows_ledger_entries",
+            "provenance entries retained after the windowed run"
+            ).set(ledger_entries)
+    m.write_jsonl(str(BENCH_JSON))
+
+    assert ledger_entries > 0, "explainer run never populated the ledger"
+    if disabled_overhead > MAX_DISABLED_OVERHEAD and os.environ.get("CI"):
+        pytest.xfail(f"{disabled_overhead * 100:.2f}% on a shared CI "
+                     "runner (timing floors are only enforced locally)")
+    assert disabled_overhead <= MAX_DISABLED_OVERHEAD, (
+        f"disabled explainer costs {disabled_overhead * 100:.2f}% "
+        f"(> {MAX_DISABLED_OVERHEAD * 100:.0f}%) over a plain LabelTracker"
+    )

@@ -29,6 +29,13 @@ Commands
 ``obs history [--history FILE] [--no-append]``
     Append BENCH_*.json gauges to the bench-history ledger and diff
     against the previous run.
+``obs flows [--out DIR]``
+    Flow provenance explorer: seeded scenarios on both designs with
+    static + dynamic witness chains that must blame the same sources.
+
+Every subcommand exits 0 on success, 1 when its gate fails (check
+errors, leaky channel, fault escape, witness mismatch), and 2 on a
+usage error (unknown command, design, or attack).
 """
 
 from __future__ import annotations
@@ -215,6 +222,12 @@ def cmd_obs_history(args) -> int:
     return run(args)
 
 
+def cmd_obs_flows(args) -> int:
+    from .obs.flows import cmd_obs_flows as run
+
+    return run(args)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -280,7 +293,7 @@ def main(argv=None) -> int:
     p.set_defaults(fn=cmd_obs)
 
     obs_sub = p.add_subparsers(dest="obs_command",
-                               metavar="{leakage,profile,history}")
+                               metavar="{leakage,profile,history,flows}")
 
     q = obs_sub.add_parser(
         "leakage", help="statistical timing-channel detector")
@@ -343,6 +356,23 @@ def main(argv=None) -> int:
     q.add_argument("--json", action="store_true",
                    help="machine-readable comparison on stdout")
     q.set_defaults(fn=cmd_obs_history)
+
+    q = obs_sub.add_parser(
+        "flows", help="flow provenance explorer with witness agreement gate")
+    q.add_argument("--demo", action="store_true",
+                   help="accepted for CI symmetry; the scenario set is "
+                        "already smoke-sized")
+    q.add_argument("--seed", type=int, default=2026,
+                   help="recorded in the report (scenarios are "
+                        "deterministic; default 2026)")
+    q.add_argument("--backend", default="compiled",
+                   choices=("interp", "compiled", "batched"))
+    q.add_argument("--out", default=None,
+                   help="directory for flow_report.json / flow_report.md / "
+                        "security.jsonl")
+    q.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    q.set_defaults(fn=cmd_obs_flows)
 
     args = parser.parse_args(argv)
     if not getattr(args, "fn", None):

@@ -1472,6 +1472,7 @@ class BatchSimulator:
         self._mems = self._be.new_mems(lanes)
         self._consts = self._be.new_consts(lanes)
         self._dirty = True
+        self._watchers = []
         if fault_plan is not None:
             self.load_fault_plan(fault_plan)
 
@@ -1660,11 +1661,28 @@ class BatchSimulator:
                            self._consts)
         self._dirty = False
 
+    def value_signals(self) -> List[Signal]:
+        """Every stateful and combinational signal, in :meth:`values` order
+        (inputs, then registers, then combinational signals)."""
+        return (list(self.netlist.inputs) + list(self.netlist.regs)
+                + list(self.netlist.comb))
+
+    def add_watcher(self, fn) -> None:
+        """Register a callable invoked (with this simulator, all lanes
+        settled) before each step — mirrors the engine Simulator so traces
+        and trackers work on a standalone batched testbench."""
+        self._watchers.append(fn)
+
+    def remove_watcher(self, fn) -> None:
+        """Detach a watcher previously registered with ``add_watcher``."""
+        if fn in self._watchers:
+            self._watchers.remove(fn)
+
     def step(self, n: int = 1) -> None:
         """Advance all lanes ``n`` clock cycles."""
         step = self._be._step
         ap = self._fault_applier
-        if ap is None:
+        if ap is None and not self._watchers:
             st, mems, env, ln, K = (self._state, self._mems, self._env,
                                     self._ln, self._consts)
             for _ in range(n):
@@ -1674,10 +1692,16 @@ class BatchSimulator:
             # Faults poke state/mem arrays in place, so re-read the
             # references each iteration and track the cycle per step.
             for _ in range(n):
-                self._apply_faults(ap)
+                if ap is not None:
+                    self._apply_faults(ap)
+                if self._watchers:
+                    self._settle()
+                    for w in self._watchers:
+                        w(self)
                 step(self._state, self._mems, self._env, self._ln,
                      self._consts)
                 self.cycle += 1
+                self._dirty = True
         if n:
             self._dirty = True
 

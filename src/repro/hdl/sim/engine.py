@@ -297,16 +297,20 @@ class Simulator:
         return (list(self.netlist.inputs) + list(self.netlist.regs)
                 + list(self.netlist.comb))
 
-    def values(self) -> List[int]:
+    def values(self, lane: int = 0) -> List[int]:
         """Settled values of :meth:`value_signals`, as one flat list.
 
         This is the profiler's sampling primitive: one call per sampled
         cycle instead of one ``peek`` per signal, using each backend's
         native storage (state/env lists for compiled, the value map for
-        interp, lane 0 of the limb arrays for batched).
+        interp, the selected lane of the limb arrays for batched).
         """
         if self.backend_name == "batched":
-            return self.lanes_sim.values(0)
+            return self.lanes_sim.values(lane)
+        if lane != 0:
+            raise ValueError(
+                f"backend {self.backend_name!r} is single-lane; "
+                f"lane {lane} requested")
         self._settle()
         if self.backend_name == "compiled":
             return list(self._state) + list(self._env)

@@ -48,6 +48,7 @@ from .errors import CheckReport, LabelError
 from .label import Label, bottom, join_all, meet_all
 from .lattice import SecurityLattice
 from .nonmalleable import check_downgrade, downgraded_label
+from .witness import Witness, WitnessSource, WitnessStep
 
 # Hypothesis tokens: ("sig", id) for signals, ("cell", memid, addrkey) for
 # tag-memory cells addressed through a shared address expression.
@@ -366,7 +367,13 @@ class IfcChecker:
         elif mem.meta.get("tag_role"):
             self._wanted.add(own_token)
 
-        # label of the cell contents
+        cell_label = self._memread_cell_label(node, hyp, memo, av)
+        return value, al.join(cell_label)
+
+    def _memread_cell_label(self, node, hyp: Hypothesis, memo: Dict,
+                            av: Optional[int]) -> Label:
+        """Label of the cell contents a memread returns (addr label aside)."""
+        mem = node.mem
         if isinstance(mem.label, CellTagLabel):
             # data memory tagged by a sibling tag memory: the label is the
             # decoded tag of the correlated cell
@@ -394,7 +401,7 @@ class IfcChecker:
             assert static is not None
             cell_label = static
 
-        return value, al.join(cell_label)
+        return cell_label
 
     def _eval_downgrade(self, node, hyp: Hypothesis, memo: Dict):
         av, al = self._eval(node.a, hyp, memo)
@@ -406,16 +413,19 @@ class IfcChecker:
         if msg is not None and self._recording:
             # collected locally: a conservative failure triggers hypothesis
             # refinement rather than an immediate report
-            self._local_errors.append(
-                LabelError(
-                    sink=f"{node.kind_} in {self._context}",
-                    inferred=repr(al),
-                    declared=repr(target),
-                    kind="downgrade",
-                    hypothesis=self._hyp_names(hyp),
-                    detail=msg,
-                )
+            err = LabelError(
+                sink=f"{node.kind_} in {self._context}",
+                inferred=repr(al),
+                declared=repr(target),
+                kind="downgrade",
+                hypothesis=self._hyp_names(hyp),
+                detail=msg,
             )
+            err._witness_thunk = (
+                lambda sink=err.sink, lbl=repr(al), a=node.a, h=dict(hyp),
+                       m=memo, t=target:
+                self._blame(sink, lbl, [a], h, m, t))
+            self._local_errors.append(err)
             # continue with the *requested* label so one failure does not
             # cascade into unrelated flow errors
         return av, downgraded_label(node.kind_, al, target)
@@ -429,6 +439,190 @@ class IfcChecker:
         if isinstance(label, Label):
             return label
         raise TypeError(f"expected Label or DependentLabel, got {type(label)}")
+
+    # ------------------------------------------------------------------ witnesses
+    def _blame(self, sink: str, sink_label: str, roots: List[Node],
+               hyp: Hypothesis, memo: Dict, declared: Label) -> Witness:
+        """Static counterexample: walk from ``roots`` down to the declared
+        source labels that made the inferred label exceed ``declared``.
+
+        Mirrors the partial evaluation exactly (taken branches, dropped
+        short-circuit operands), unrolling unlabelled registers through
+        their next-value logic and unlabelled memories through their
+        writes, and stopping at *declared* sites — which is where the
+        dynamic tracker's ledger walk also stops, making the two source
+        sets directly comparable.
+        """
+        sources: Dict[str, WitnessSource] = {}
+        chain: Optional[List[WitnessStep]] = None
+        visited: set = set()
+        for root in roots:
+            s, c = self._blame_walk(root, hyp, memo, declared, visited, ())
+            sources.update(s)
+            if chain is None:
+                chain = c
+        steps = list(chain) if chain else []
+        steps.append(WitnessStep(sink, "sink", None, sink_label, ()))
+        return Witness(
+            sink=sink, mode="static", steps=steps,
+            sources=sorted(sources.values(), key=lambda s: s.path),
+            hypothesis=self._hyp_names(hyp))
+
+    def _blame_source(self, path: str, kind: str, label: Label, via: tuple):
+        src = WitnessSource(path, kind, None, repr(label), True)
+        step = WitnessStep(path, kind, None, repr(label), via)
+        return {path: src}, [step]
+
+    def _blame_walk(self, node: Node, hyp: Hypothesis, memo: Dict,
+                    declared: Label, visited: set, via: tuple):
+        """Returns ``(sources, chain)`` for one subtree: all offending
+        declared-source leaves, plus one source→here step chain."""
+        relaxed = memo is getattr(self, "_relaxed_blame_memo", None)
+        nid = (id(node), via, relaxed)
+        if nid in visited:
+            return {}, None
+        visited.add(nid)
+        value, label = self._eval(node, hyp, memo)
+        if label.flows_to(declared):
+            return {}, None  # this subtree cannot be the offender
+        kind = node.kind
+
+        if kind == "signal":
+            if node in self._comb_set:
+                fv, fl = self._eval(self.netlist.drivers[node], hyp, memo)
+                folded = fv is not None
+                if folded or node.label is None:
+                    s, c = self._blame_walk(
+                        self.netlist.drivers[node], hyp, memo, declared,
+                        visited, ())
+                    if c is not None:
+                        c = c + [WitnessStep(node.path, "signal", None,
+                                             repr(label), via)]
+                    return s, c
+                return self._blame_source(node.path, "signal", label, via)
+            if node in self._reg_set:
+                if node.label is not None:
+                    return self._blame_source(node.path, "reg", label, via)
+                s, c = self._blame_walk(
+                    self.netlist.reg_next[node], hyp, memo, declared,
+                    visited, ())
+                if not s and not relaxed:
+                    # the reg's inferred label summarises *every* cycle;
+                    # the offending contribution may sit in a branch this
+                    # hypothesis prunes (e.g. a busy-loop body under
+                    # busy=0).  Re-walk its next-state unpruned: the
+                    # relaxed memo evaluates under the empty hypothesis,
+                    # so no branch folds away.
+                    if not hasattr(self, "_relaxed_blame_memo"):
+                        self._relaxed_blame_memo = {}
+                    s, c = self._blame_walk(
+                        self.netlist.reg_next[node], {},
+                        self._relaxed_blame_memo, declared, visited, ())
+                if c is not None:
+                    c = c + [WitnessStep(node.path, "reg", None,
+                                         repr(label), via)]
+                return s, c
+            # free input — always a source site
+            return self._blame_source(node.path, "input", label, via)
+
+        if kind in ("unary", "slice"):
+            return self._blame_walk(node.a, hyp, memo, declared, visited, via)
+
+        if kind == "binary":
+            av, al = self._eval(node.a, hyp, memo)
+            bv, bl = self._eval(node.b, hyp, memo)
+            children = [node.a, node.b]
+            if node.op == "and":
+                if av == 0 and bv == 0:
+                    children = [node.a if al.flows_to(bl) else node.b]
+                elif av == 0:
+                    children = [node.a]
+                elif bv == 0:
+                    children = [node.b]
+            elif node.op == "or":
+                full = (1 << node.width) - 1
+                if av is not None and av == full and \
+                        node.a.width == node.width:
+                    children = [node.a]
+                elif bv is not None and bv == full and \
+                        node.b.width == node.width:
+                    children = [node.b]
+            return self._blame_children(children, hyp, memo, declared,
+                                        visited, via)
+
+        if kind == "mux":
+            sv, sl = self._eval(node.sel, hyp, memo)
+            if sv is not None:
+                branch = node.if_true if sv != 0 else node.if_false
+                children = [node.sel, branch]
+            else:
+                tv, tl = self._eval(node.if_true, hyp, memo)
+                fv, fl = self._eval(node.if_false, hyp, memo)
+                if tv is not None and fv == tv:
+                    children = [node.if_true, node.if_false]
+                else:
+                    children = [node.sel, node.if_true, node.if_false]
+            return self._blame_children(children, hyp, memo, declared,
+                                        visited, via)
+
+        if kind == "concat":
+            return self._blame_children(list(node.parts), hyp, memo,
+                                        declared, visited, via)
+
+        if kind == "memread":
+            mem = node.mem
+            av, al = self._eval(node.addr, hyp, memo)
+            sources: Dict[str, WitnessSource] = {}
+            chain = None
+            if not al.flows_to(declared):
+                sources, chain = self._blame_walk(
+                    node.addr, hyp, memo, declared, visited, via)
+            cell_label = self._memread_cell_label(node, hyp, memo, av)
+            if not cell_label.flows_to(declared):
+                if self._mem_is_declared(mem):
+                    path = (f"{mem.path}[{av}]" if av is not None
+                            else mem.path)
+                    s, c = self._blame_source(path, "mem", cell_label, via)
+                    sources.update(s)
+                    if chain is None:
+                        chain = c
+                else:
+                    # unlabelled memory: unroll through its writes
+                    for w in self.netlist.mem_writes.get(mem, []):
+                        wroots = [w.data, w.addr]
+                        if w.cond is not None:
+                            wroots.append(w.cond)
+                        s, c = self._blame_children(
+                            wroots, hyp, memo, declared, visited, via)
+                        sources.update(s)
+                        if chain is None and c is not None:
+                            chain = c + [WitnessStep(
+                                f"{mem.path}[{av if av is not None else '·'}]",
+                                "mem", None, repr(cell_label), via)]
+            return sources, chain
+
+        if kind == "downgrade":
+            target = self._resolve_labelish(node.target, hyp, memo)
+            note = f"{node.kind_}->{target!r}"
+            return self._blame_walk(node.a, hyp, memo, declared, visited,
+                                    via + (note,))
+
+        return {}, None
+
+    def _blame_children(self, children: List[Node], hyp: Hypothesis,
+                        memo: Dict, declared: Label, visited: set,
+                        via: tuple):
+        sources: Dict[str, WitnessSource] = {}
+        chain = None
+        for child in children:
+            s, c = self._blame_walk(child, hyp, memo, declared, visited, via)
+            sources.update(s)
+            if chain is None:
+                chain = c
+        return sources, chain
+
+    def _mem_is_declared(self, mem: Mem) -> bool:
+        return mem.label is not None or mem.cell_labels is not None
 
     # ------------------------------------------------------------------ hypotheses
     def _collect_hyp_vars(self, roots: List[Node],
@@ -549,6 +743,12 @@ class IfcChecker:
                     if key in self._downgrade_errors_seen:
                         continue
                     self._downgrade_errors_seen.add(key)
+                    # materialise the counterexample witness only for
+                    # errors that actually get reported (blame walks are
+                    # not free; discarded refinement cases skip them)
+                    thunk = getattr(e, "_witness_thunk", None)
+                    if thunk is not None and e.witness is None:
+                        e.witness = thunk()
                     self.report.add_error(e)
                 return
             # split on the consulted unknown with the smallest domain
@@ -640,15 +840,17 @@ class IfcChecker:
 
             errors = list(self._local_errors)
             if not label.flows_to(declared):
-                errors.append(
-                    LabelError(
-                        sink=sig.path,
-                        inferred=repr(label),
-                        declared=repr(declared),
-                        kind="flow",
-                        hypothesis=self._hyp_names(hyp),
-                    )
+                err = LabelError(
+                    sink=sig.path,
+                    inferred=repr(label),
+                    declared=repr(declared),
+                    kind="flow",
+                    hypothesis=self._hyp_names(hyp),
                 )
+                err._witness_thunk = (
+                    lambda lbl=repr(label), h=dict(hyp), m=memo, d=declared:
+                    self._blame(sig.path, lbl, [driver], h, m, d))
+                errors.append(err)
             return errors
 
         self._refine(sig.path, variables, evaluate)
@@ -746,15 +948,21 @@ class IfcChecker:
 
             errors = list(self._local_errors)
             if not flow.flows_to(declared):
-                errors.append(
-                    LabelError(
-                        sink=sink_name,
-                        inferred=repr(flow),
-                        declared=repr(declared),
-                        kind="flow",
-                        hypothesis=self._hyp_names(hyp),
-                    )
+                err = LabelError(
+                    sink=sink_name,
+                    inferred=repr(flow),
+                    declared=repr(declared),
+                    kind="flow",
+                    hypothesis=self._hyp_names(hyp),
                 )
+                wroots = [write.data, write.addr]
+                if write.cond is not None:
+                    wroots.append(write.cond)
+                err._witness_thunk = (
+                    lambda lbl=repr(flow), h=dict(hyp), m=memo, d=declared,
+                           r=wroots:
+                    self._blame(sink_name, lbl, r, h, m, d))
+                errors.append(err)
             return errors
 
         self._refine(sink_name, variables, evaluate)

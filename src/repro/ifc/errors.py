@@ -8,7 +8,10 @@ every type error it finds.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .witness import Witness
 
 
 class LabelError:
@@ -22,6 +25,7 @@ class LabelError:
         kind: str = "flow",
         hypothesis: Optional[Dict[str, int]] = None,
         detail: str = "",
+        witness: Optional["Witness"] = None,
     ):
         self.sink = sink
         self.inferred = inferred
@@ -29,6 +33,10 @@ class LabelError:
         self.kind = kind  # "flow" | "downgrade" | "structure"
         self.hypothesis = dict(hypothesis) if hypothesis else {}
         self.detail = detail
+        #: static counterexample: node path from the offending source
+        #: label(s) to the sink, under ``hypothesis`` (set by the checker
+        #: for reported errors; ``None`` for structure errors)
+        self.witness = witness
 
     def __repr__(self) -> str:
         hyp = ""
@@ -105,6 +113,7 @@ class CheckReport:
                     "declared": e.declared,
                     "hypothesis": e.hypothesis,
                     "detail": e.detail,
+                    "witness": e.witness.as_dict() if e.witness else None,
                 }
                 for e in self.errors
             ],

@@ -13,11 +13,20 @@ Precision matches the checker's partial evaluation: mux nodes take the
 label of the *taken* branch (plus the selector), constant-making operands
 short-circuit, and downgrade markers apply the nonmalleable rules with
 live labels.
+
+With ``provenance=True`` the tracker additionally keeps a cycle-accurate
+**provenance ledger**: every state element (register, memory cell) and
+every watched/labelled combinational signal records, per cycle, the
+immediate parents its label was joined from — the source inputs, the
+state it read, and the downgrade markers it crossed.  :meth:`explain`
+walks the ledger backwards from any sink to its label sources and
+returns a :class:`~repro.ifc.witness.Witness`; every
+:class:`TrackViolation` then carries that evidence chain.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
 from ..hdl.memory import Mem
 from ..hdl.netlist import Netlist
@@ -26,19 +35,37 @@ from ..hdl.signal import Signal
 from .dependent import CellTagLabel, DependentLabel
 from .label import Label, bottom, join_all
 from .lattice import SecurityLattice
+from .witness import Witness, WitnessSource, WitnessStep
+
+#: empty provenance cell: (atom set, downgrade notes)
+_PEMPTY: Tuple[frozenset, tuple] = (frozenset(), ())
 
 
 class TrackViolation:
     """A runtime flow or downgrade violation observed at a specific cycle."""
 
     def __init__(self, cycle: int, sink: str, computed: str, declared: str,
-                 kind: str = "flow", detail: str = ""):
+                 kind: str = "flow", detail: str = "",
+                 witness: Optional[Witness] = None):
         self.cycle = cycle
         self.sink = sink
         self.computed = computed
         self.declared = declared
         self.kind = kind
         self.detail = detail
+        #: source→sink evidence chain (``None`` unless provenance is on)
+        self.witness = witness
+
+    def as_dict(self) -> dict:
+        return {
+            "cycle": self.cycle,
+            "sink": self.sink,
+            "kind": self.kind,
+            "computed": self.computed,
+            "declared": self.declared,
+            "detail": self.detail,
+            "witness": self.witness.as_dict() if self.witness else None,
+        }
 
     def __repr__(self) -> str:
         msg = (f"cycle {self.cycle}: {self.kind} violation at {self.sink}: "
@@ -48,17 +75,57 @@ class TrackViolation:
         return msg
 
 
+class ProvEntry:
+    """One ledger node: a state element or watched signal at one cycle."""
+
+    __slots__ = ("path", "kind", "cycle", "label", "parents",
+                 "parent_cycle", "via", "source", "declared_site")
+
+    def __init__(self, path: str, kind: str, cycle: int, label: Label,
+                 parents: frozenset, parent_cycle: int,
+                 via: tuple = (), source: bool = False,
+                 declared_site: bool = False):
+        self.path = path
+        self.kind = kind  # "input" | "reg" | "signal" | "mem"
+        self.cycle = cycle
+        self.label = label
+        #: cycle-less atoms; resolved against ``parent_cycle`` when walking
+        self.parents = parents
+        self.parent_cycle = parent_cycle
+        self.via = via
+        self.source = source
+        #: a site where the policy (re)introduces a declared label — walks
+        #: stop here so static and dynamic source sets are comparable
+        self.declared_site = declared_site
+
+
 class LabelTracker:
     """Track labels through a simulation and check declared sinks."""
 
     def __init__(self, sim, lattice: SecurityLattice,
-                 check_downgrades: bool = True):
+                 check_downgrades: bool = True,
+                 provenance: bool = False,
+                 window: Optional[int] = None):
         self.sim = sim
         self.netlist: Netlist = sim.netlist
         self.lattice = lattice
         self.check_downgrades = check_downgrades
         self.violations: List[TrackViolation] = []
         self._bottom = bottom(lattice)
+
+        #: record per-cycle label parents (costs time+memory; off by default)
+        self.provenance = provenance
+        #: retain only the last ``window`` cycles of ledger (None = all)
+        self.window = window
+        #: the queryable flow graph: key -> ProvEntry.  Keys are
+        #: ("input"|"reg"|"signal", Signal, cycle) or ("mem", Mem, addr, cycle)
+        self.ledger: Dict[tuple, ProvEntry] = {}
+        self._ledger_by_cycle: Dict[int, List[tuple]] = {}
+        self._watch: Set[Signal] = set()
+        self._first_cycle: Optional[int] = None
+        self._last_cycle: Optional[int] = None
+        # per-cycle provenance memo (id(node) -> (atoms, via)); None = off
+        self._patoms: Optional[Dict[int, Tuple[frozenset, tuple]]] = None
 
         # label state: registers and memory cells
         self.reg_labels: Dict[Signal, Label] = {
@@ -89,6 +156,17 @@ class LabelTracker:
         sig = self.sim._resolve(sig)
         self.source_labels[sig] = label
 
+    def watch(self, sig) -> Signal:
+        """Record per-cycle provenance for a combinational signal.
+
+        Registers, inputs and declared-label sinks are always in the
+        ledger; unlabelled combinational wires must be watched explicitly
+        before :meth:`explain` can answer for them.
+        """
+        sig = self.sim._resolve(sig)
+        self._watch.add(sig)
+        return sig
+
     def label_of(self, sig) -> Label:
         """Current tracked label of a register (or last computed comb label)."""
         sig = self.sim._resolve(sig)
@@ -97,6 +175,20 @@ class LabelTracker:
         if hasattr(self, "_last_env") and sig in self._last_env:
             return self._last_env[sig][1]
         raise KeyError(f"no tracked label for {sig.path} yet")
+
+    def label_at(self, sig) -> Optional[Label]:
+        """Label of any signal as of the last processed cycle (or None).
+
+        Unlike :meth:`label_of` this covers inputs and registers *at the
+        cycle the watchers last ran*, which is what a waveform overlay
+        wants (:class:`repro.hdl.sim.trace.Trace`).
+        """
+        sig = self.sim._resolve(sig)
+        env = getattr(self, "_last_full_env", None)
+        if env is None:
+            return None
+        hit = env.get(id(sig))
+        return hit[1] if hit is not None else None
 
     def mem_label_of(self, mem, addr: int) -> Label:
         mem = self.sim._resolve_mem(mem)
@@ -112,10 +204,16 @@ class LabelTracker:
 
         obs = _telemetry()
         if obs is not None:
-            obs.security.emit(
-                "label_violation", cycle=violation.cycle, source="tracker",
+            detail = dict(
                 sink=violation.sink, computed=violation.computed,
                 declared=violation.declared)
+            if violation.witness is not None:
+                detail["witness_sources"] = sorted(
+                    violation.witness.source_set())
+                detail["witness"] = violation.witness.render()
+            obs.security.emit(
+                "label_violation", cycle=violation.cycle, source="tracker",
+                **detail)
 
     # -- per-cycle propagation ------------------------------------------------------
     def _source_label(self, sig: Signal, env) -> Label:
@@ -144,6 +242,7 @@ class LabelTracker:
 
     def _eval_uncached(self, node: Node, env: Dict) -> Tuple[int, Label]:
         kind = node.kind
+        pa = self._patoms
         if kind == "const":
             return node.value, self._bottom
         if kind == "signal":
@@ -151,29 +250,48 @@ class LabelTracker:
             raise AssertionError(f"unseeded signal {node.path}")
         if kind == "unary":
             av, al = self._eval(node.a, env)
+            if pa is not None:
+                pa[id(node)] = pa.get(id(node.a), _PEMPTY)
             return node.eval_op([av]), al
         if kind == "binary":
             av, al = self._eval(node.a, env)
             bv, bl = self._eval(node.b, env)
             if node.op == "and":
                 if av == 0:
+                    if pa is not None:
+                        pa[id(node)] = pa.get(id(node.a), _PEMPTY)
                     return 0, al
                 if bv == 0:
+                    if pa is not None:
+                        pa[id(node)] = pa.get(id(node.b), _PEMPTY)
                     return 0, bl
             if node.op == "or":
                 full = (1 << node.width) - 1
                 if av == full and node.a.width == node.width:
+                    if pa is not None:
+                        pa[id(node)] = pa.get(id(node.a), _PEMPTY)
                     return full, al
                 if bv == full and node.b.width == node.width:
+                    if pa is not None:
+                        pa[id(node)] = pa.get(id(node.b), _PEMPTY)
                     return full, bl
+            if pa is not None:
+                pa[id(node)] = self._pmerge(
+                    pa.get(id(node.a), _PEMPTY), pa.get(id(node.b), _PEMPTY))
             return node.eval_op([av, bv]), al.join(bl)
         if kind == "mux":
             sv, sl = self._eval(node.sel, env)
             branch = node.if_true if sv != 0 else node.if_false
             bv, bl = self._eval(branch, env)
+            if pa is not None:
+                # the selector is the implicit-flow guard of this hop
+                pa[id(node)] = self._pmerge(
+                    pa.get(id(node.sel), _PEMPTY), pa.get(id(branch), _PEMPTY))
             return bv, sl.join(bl)
         if kind == "slice":
             av, al = self._eval(node.a, env)
+            if pa is not None:
+                pa[id(node)] = pa.get(id(node.a), _PEMPTY)
             return node.eval_op([av]), al
         if kind == "concat":
             vals, labels = [], []
@@ -181,6 +299,11 @@ class LabelTracker:
                 pv, pl = self._eval(p, env)
                 vals.append(pv)
                 labels.append(pl)
+            if pa is not None:
+                merged = _PEMPTY
+                for p in node.parts:
+                    merged = self._pmerge(merged, pa.get(id(p), _PEMPTY))
+                pa[id(node)] = merged
             return node.eval_op(vals), join_all(labels, self.lattice)
         if kind == "memread":
             av, al = self._eval(node.addr, env)
@@ -188,12 +311,31 @@ class LabelTracker:
             if av < mem.depth:
                 value = self.sim.peek_mem(mem, av)
                 cell_label = self.mem_labels[mem][av]
+                if pa is not None:
+                    pa[id(node)] = self._pmerge(
+                        pa.get(id(node.addr), _PEMPTY),
+                        (frozenset({("mem", mem, av)}), ()))
             else:
                 value, cell_label = 0, self._bottom
+                if pa is not None:
+                    pa[id(node)] = pa.get(id(node.addr), _PEMPTY)
             return value, al.join(cell_label)
         if kind == "downgrade":
             return self._eval_downgrade(node, env)
         raise AssertionError(kind)
+
+    @staticmethod
+    def _pmerge(a: Tuple[frozenset, tuple],
+                b: Tuple[frozenset, tuple]) -> Tuple[frozenset, tuple]:
+        if not b[0] and not b[1]:
+            return a
+        if not a[0] and not a[1]:
+            return b
+        via = a[1]
+        for v in b[1]:
+            if v not in via:
+                via = via + (v,)
+        return a[0] | b[0], via
 
     def _eval_downgrade(self, node, env) -> Tuple[int, Label]:
         from .nonmalleable import check_downgrade, downgraded_label
@@ -201,9 +343,21 @@ class LabelTracker:
         av, al = self._eval(node.a, env)
         target = self._resolve_labelish(node.target, env)
         authority = self._resolve_labelish(node.authority, env)
+        if self._patoms is not None:
+            atoms, via = self._patoms.get(id(node.a), _PEMPTY)
+            note = f"{node.kind_}->{target!r}"
+            if note not in via:
+                via = via + (note,)
+            self._patoms[id(node)] = (atoms, via)
         if self.check_downgrades:
             msg = check_downgrade(node.kind_, al, target, authority)
             if msg is not None:
+                witness = None
+                if self._patoms is not None:
+                    atoms, via = self._patoms.get(id(node.a), _PEMPTY)
+                    witness = self._witness_from_atoms(
+                        f"{node.kind_} marker", atoms, via,
+                        self.sim.cycle, al, target)
                 self._record(
                     TrackViolation(
                         cycle=self.sim.cycle,
@@ -212,6 +366,7 @@ class LabelTracker:
                         declared=repr(target),
                         kind="downgrade",
                         detail=msg,
+                        witness=witness,
                     )
                 )
         return av, downgraded_label(node.kind_, al, target)
@@ -251,9 +406,210 @@ class LabelTracker:
             return sig.label.resolve(self._value_of(sig.label.selector, env))
         return None
 
+    # -- provenance ledger -----------------------------------------------------
+    def _ledger_put(self, key: tuple, entry: ProvEntry) -> None:
+        self.ledger[key] = entry
+        self._ledger_by_cycle.setdefault(entry.cycle, []).append(key)
+
+    def _seed_initial_state(self, cycle: int) -> None:
+        """Initial registers and memory cells are label *sources*."""
+        for reg in self.netlist.regs:
+            self._ledger_put(
+                ("reg", reg, cycle),
+                ProvEntry(reg.path, "reg", cycle, self.reg_labels[reg],
+                          frozenset(), cycle, source=True))
+        for mem, labels in self.mem_labels.items():
+            declared = self._mem_is_declared(mem)
+            for addr, label in enumerate(labels):
+                self._ledger_put(
+                    ("mem", mem, addr, cycle),
+                    ProvEntry(f"{mem.path}[{addr}]", "mem", cycle, label,
+                              frozenset(), cycle, source=True,
+                              declared_site=declared))
+
+    def _prune_ledger(self, now: int) -> None:
+        if self.window is None:
+            return
+        horizon = now - self.window
+        for cyc in [c for c in self._ledger_by_cycle if c < horizon]:
+            for key in self._ledger_by_cycle.pop(cyc):
+                self.ledger.pop(key, None)
+
+    def _atom_entry(self, atom: tuple, cycle: int) -> Optional[ProvEntry]:
+        """Latest ledger entry for a cycle-less atom at or before ``cycle``."""
+        first = self._first_cycle if self._first_cycle is not None else cycle
+        if atom[0] == "mem":
+            _, mem, addr = atom
+            c = cycle
+            while c >= first:
+                e = self.ledger.get(("mem", mem, addr, c))
+                if e is not None:
+                    return e
+                c -= 1
+            return None
+        kind, sig = atom
+        c = cycle
+        while c >= first:
+            e = self.ledger.get((kind, sig, c))
+            if e is not None:
+                return e
+            c -= 1
+        return None
+
+    def _is_stop_entry(self, entry: ProvEntry, start: ProvEntry) -> bool:
+        if entry.source or entry.kind == "input":
+            return True
+        return entry.declared_site and entry is not start
+
+    def _mem_is_declared(self, mem: Mem) -> bool:
+        return mem.label is not None or mem.cell_labels is not None
+
+    def _collect_sources(self, start: ProvEntry,
+                         declared: Optional[Label]) -> List[WitnessSource]:
+        """All source sites reaching ``start`` (BFS over the ledger).
+
+        The walk stops at *declared* sites — free inputs, initial state,
+        and cells of memories that carry a declared label — because those
+        are where the policy introduces labels; that is also where the
+        static blame walk stops, which is what makes the two source sets
+        comparable.
+        """
+        seen: Set[int] = {id(start)}
+        frontier = [start]
+        out: Dict[str, WitnessSource] = {}
+        while frontier:
+            entry = frontier.pop()
+            if self._is_stop_entry(entry, start):
+                if entry.label != self._bottom or declared is None:
+                    offending = (not entry.label.flows_to(declared)
+                                 if declared is not None
+                                 else entry.label != self._bottom)
+                    key = f"{entry.path}@{entry.cycle}"
+                    if key not in out:
+                        out[key] = WitnessSource(
+                            entry.path, entry.kind, entry.cycle,
+                            repr(entry.label), offending)
+                continue
+            for atom in entry.parents:
+                p = self._atom_entry(atom, entry.parent_cycle)
+                if p is not None and id(p) not in seen:
+                    seen.add(id(p))
+                    frontier.append(p)
+        return sorted(out.values(), key=lambda s: (s.path, s.cycle or 0))
+
+    def _walk_chain(self, start: ProvEntry,
+                    declared: Optional[Label]) -> List[WitnessStep]:
+        """One greedy source→sink path, preferring offending parents."""
+        steps: List[WitnessStep] = []
+        seen: Set[int] = {id(start)}
+        cur = start
+        for _ in range(100000):
+            steps.append(WitnessStep(
+                cur.path, cur.kind, cur.cycle, repr(cur.label), cur.via))
+            if self._is_stop_entry(cur, start) or not cur.parents:
+                break
+            parents = []
+            for atom in cur.parents:
+                p = self._atom_entry(atom, cur.parent_cycle)
+                if p is not None and id(p) not in seen:
+                    parents.append(p)
+            if not parents:
+                break
+            parents.sort(key=lambda p: (p.path, p.cycle))
+            pick = None
+            if declared is not None:
+                for p in parents:
+                    if not p.label.flows_to(declared):
+                        pick = p
+                        break
+            if pick is None:
+                for p in parents:
+                    if p.label != self._bottom:
+                        pick = p
+                        break
+            if pick is None:
+                pick = parents[0]
+            seen.add(id(pick))
+            cur = pick
+        steps.reverse()
+        return steps
+
+    def _witness_from_entry(self, entry: ProvEntry,
+                            declared: Optional[Label]) -> Witness:
+        return Witness(
+            sink=entry.path, mode="dynamic",
+            steps=self._walk_chain(entry, declared),
+            sources=self._collect_sources(entry, declared))
+
+    def _witness_from_atoms(self, sink: str, atoms: frozenset, via: tuple,
+                            cycle: int, label: Label,
+                            declared: Optional[Label]) -> Witness:
+        """Witness for a transient expression (a failing downgrade, a
+        blocked write) that has no ledger entry of its own."""
+        entry = ProvEntry(sink, "signal", cycle, label, atoms, cycle, via)
+        return self._witness_from_entry(entry, declared)
+
+    def explain(self, sig, cycle: Optional[int] = None,
+                declared: Optional[Label] = None) -> Witness:
+        """Source→sink witness chain for ``sig`` at ``cycle``.
+
+        Requires ``provenance=True``.  ``declared`` (when given) steers
+        the walk towards parents whose label does *not* flow to it and
+        marks those sources offending; without it, any non-⊥ source is
+        reported as a label origin.
+        """
+        if not self.provenance:
+            raise RuntimeError(
+                "provenance ledger is off; construct "
+                "LabelTracker(..., provenance=True)")
+        sig = self.sim._resolve(sig)
+        if cycle is None:
+            cycle = self._last_cycle
+        if cycle is None:
+            raise KeyError("no cycles tracked yet")
+        nl = self.netlist
+        if sig in nl.reg_next or sig in self.reg_labels:
+            atom = ("reg", sig)
+        elif sig in nl.drivers:
+            atom = ("signal", sig)
+        else:
+            atom = ("input", sig)
+        entry = self._atom_entry(atom, cycle)
+        if entry is None:
+            raise KeyError(
+                f"no provenance recorded for {sig.path} at cycle {cycle}; "
+                f"unlabelled combinational signals must be registered with "
+                f"tracker.watch(sig) before the cycle runs")
+        return self._witness_from_entry(entry, declared)
+
+    def explain_mem(self, mem, addr: int, cycle: Optional[int] = None,
+                    declared: Optional[Label] = None) -> Witness:
+        """Witness chain for one memory cell (e.g. a protected key cell)."""
+        if not self.provenance:
+            raise RuntimeError(
+                "provenance ledger is off; construct "
+                "LabelTracker(..., provenance=True)")
+        mem = self.sim._resolve_mem(mem)
+        if cycle is None:
+            cycle = self._last_cycle
+        if cycle is None:
+            raise KeyError("no cycles tracked yet")
+        entry = self._atom_entry(("mem", mem, addr), cycle)
+        if entry is None:
+            raise KeyError(f"no provenance for {mem.path}[{addr}] @ {cycle}")
+        return self._witness_from_entry(entry, declared)
+
     def _on_cycle(self, sim) -> None:
         nl = self.netlist
         env: Dict = {}
+        prov = self.provenance
+        if prov:
+            self._patoms = {}
+            if self._first_cycle is None:
+                self._first_cycle = sim.cycle
+                self._seed_initial_state(sim.cycle)
+            self._last_cycle = sim.cycle
+        pa = self._patoms
 
         # seed state: inputs and registers (values first so that dependent
         # input labels can resolve selectors that are themselves inputs)
@@ -261,9 +617,18 @@ class LabelTracker:
             env[id(sig)] = (sim.peek(sig), self._bottom)
         for reg in nl.regs:
             env[id(reg)] = (sim.peek(reg), self.reg_labels[reg])
+            if pa is not None:
+                pa[id(reg)] = (frozenset({("reg", reg)}), ())
         for sig in nl.inputs:
             value = env[id(sig)][0]
-            env[id(sig)] = (value, self._source_label(sig, env))
+            label = self._source_label(sig, env)
+            env[id(sig)] = (value, label)
+            if pa is not None:
+                pa[id(sig)] = (frozenset({("input", sig)}), ())
+                self._ledger_put(
+                    ("input", sig, sim.cycle),
+                    ProvEntry(sig.path, "input", sim.cycle, label,
+                              frozenset(), sim.cycle, source=True))
 
         # combinational labels in dependency order
         comb_results: Dict[Signal, Tuple[int, Label]] = {}
@@ -271,8 +636,17 @@ class LabelTracker:
             value, label = self._eval(nl.drivers[sig], env)
             env[id(sig)] = (value, label)
             comb_results[sig] = (value, label)
+            if pa is not None:
+                cell = pa.get(id(nl.drivers[sig]), _PEMPTY)
+                pa[id(sig)] = cell
+                if sig.label is not None or sig in self._watch:
+                    self._ledger_put(
+                        ("signal", sig, sim.cycle),
+                        ProvEntry(sig.path, "signal", sim.cycle, label,
+                                  cell[0], sim.cycle, cell[1]))
 
         self._last_env = comb_results
+        self._last_full_env = env
 
         # check declared sinks (comb and regs)
         for sig in nl.comb:
@@ -281,12 +655,18 @@ class LabelTracker:
                 continue
             computed = comb_results[sig][1]
             if not computed.flows_to(declared):
+                witness = None
+                if pa is not None:
+                    entry = self.ledger.get(("signal", sig, sim.cycle))
+                    if entry is not None:
+                        witness = self._witness_from_entry(entry, declared)
                 self._record(
                     TrackViolation(
                         cycle=sim.cycle,
                         sink=sig.path,
                         computed=repr(computed),
                         declared=repr(declared),
+                        witness=witness,
                     )
                 )
         for reg in nl.regs:
@@ -295,12 +675,18 @@ class LabelTracker:
                 continue
             current = self.reg_labels[reg]
             if not current.flows_to(declared):
+                witness = None
+                if pa is not None:
+                    entry = self._atom_entry(("reg", reg), sim.cycle)
+                    if entry is not None:
+                        witness = self._witness_from_entry(entry, declared)
                 self._record(
                     TrackViolation(
                         cycle=sim.cycle,
                         sink=reg.path,
                         computed=repr(current),
                         declared=repr(declared),
+                        witness=witness,
                     )
                 )
 
@@ -308,6 +694,12 @@ class LabelTracker:
         next_labels: Dict[Signal, Label] = {}
         for reg, nxt in nl.reg_next.items():
             next_labels[reg] = self._eval(nxt, env)[1]
+            if pa is not None:
+                cell = pa.get(id(nxt), _PEMPTY)
+                self._ledger_put(
+                    ("reg", reg, sim.cycle + 1),
+                    ProvEntry(reg.path, "reg", sim.cycle + 1,
+                              next_labels[reg], cell[0], sim.cycle, cell[1]))
 
         pending: List[Tuple[Mem, int, Label]] = []
         for mem, writes in nl.mem_writes.items():
@@ -323,19 +715,42 @@ class LabelTracker:
                 if av < mem.depth:
                     computed = cl.join(al).join(dl)
                     declared = self._declared_cell_label(mem, av, env, w.tag)
+                    cell = _PEMPTY
+                    if pa is not None:
+                        cell = self._pmerge(
+                            pa.get(id(w.addr), _PEMPTY),
+                            pa.get(id(w.data), _PEMPTY))
+                        if w.cond is not None:
+                            cell = self._pmerge(
+                                cell, pa.get(id(w.cond), _PEMPTY))
+                        self._ledger_put(
+                            ("mem", mem, av, sim.cycle + 1),
+                            ProvEntry(f"{mem.path}[{av}]", "mem",
+                                      sim.cycle + 1, computed, cell[0],
+                                      sim.cycle, cell[1],
+                                      declared_site=self._mem_is_declared(mem)))
                     if declared is not None and not computed.flows_to(declared):
+                        witness = None
+                        if pa is not None:
+                            witness = self._witness_from_atoms(
+                                f"{mem.path}[{av}]", cell[0], cell[1],
+                                sim.cycle, computed, declared)
                         self._record(
                             TrackViolation(
                                 cycle=sim.cycle,
                                 sink=f"{mem.path}[{av}]",
                                 computed=repr(computed),
                                 declared=repr(declared),
+                                witness=witness,
                             )
                         )
                     pending.append((mem, av, computed))
         for mem, addr, label in pending:
             self.mem_labels[mem][addr] = label
         self.reg_labels = next_labels
+        if prov:
+            self._patoms = None
+            self._prune_ledger(sim.cycle)
 
     # -- reporting -------------------------------------------------------------
     def ok(self) -> bool:

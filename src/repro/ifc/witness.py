@@ -1,0 +1,209 @@
+"""Witness chains — inspectable evidence for IFC verdicts.
+
+Both flow oracles produce the same evidence shape:
+
+* the **dynamic** tracker (:mod:`repro.ifc.tracker`) walks its
+  cycle-accurate provenance ledger backwards from a sink to the label
+  sources that fed it;
+* the **static** checker (:mod:`repro.ifc.checker`) walks the netlist
+  from a failing sink to the declared source labels that made the
+  inferred label too high, under the failing hypothesis.
+
+A :class:`Witness` is the common currency: an ordered source→sink chain
+of :class:`WitnessStep` hops plus the full set of label *sources* that
+reach the sink, each marked offending or not.  ``repro.obs.flows``
+renders and compares them; the acceptance gate is that the static and
+dynamic witnesses for the same scenario name the same offending source
+set.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Sequence
+
+_INDEX_RE = re.compile(r"\[\d+\]$")
+
+
+def normalize_source(path: str) -> str:
+    """Base name of a source site: memory cell indices are stripped.
+
+    The static checker reasons about a cell *symbolically* (under a
+    hypothesis) while the tracker sees the concrete address, so source
+    sets are compared at the granularity of the declared site.
+    """
+    return _INDEX_RE.sub("", path)
+
+
+class WitnessStep:
+    """One hop of a source→sink chain."""
+
+    __slots__ = ("path", "kind", "cycle", "label", "via")
+
+    def __init__(self, path: str, kind: str, cycle: Optional[int],
+                 label: str, via: Sequence[str] = ()):
+        self.path = path
+        #: "input" | "reg" | "signal" | "mem" | "sink"
+        self.kind = kind
+        #: simulation cycle (dynamic) or ``None`` (static, cycle-abstract)
+        self.cycle = cycle
+        self.label = label
+        #: downgrade / guard decision points crossed to produce this hop
+        self.via = tuple(via)
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "kind": self.kind,
+            "cycle": self.cycle,
+            "label": self.label,
+            "via": list(self.via),
+        }
+
+    def __repr__(self) -> str:
+        at = "" if self.cycle is None else f"@{self.cycle}"
+        via = f" via {', '.join(self.via)}" if self.via else ""
+        return f"{self.path}{at} [{self.label}]{via}"
+
+
+class WitnessSource:
+    """One label source reaching the sink (offending or declassified)."""
+
+    __slots__ = ("path", "base", "kind", "cycle", "label", "offending")
+
+    def __init__(self, path: str, kind: str, cycle: Optional[int],
+                 label: str, offending: bool):
+        self.path = path
+        self.base = normalize_source(path)
+        self.kind = kind
+        self.cycle = cycle
+        self.label = label
+        self.offending = offending
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "base": self.base,
+            "kind": self.kind,
+            "cycle": self.cycle,
+            "label": self.label,
+            "offending": self.offending,
+        }
+
+    def __repr__(self) -> str:
+        mark = "!" if self.offending else " "
+        return f"{mark}{self.path} [{self.label}]"
+
+
+class Witness:
+    """Source→sink evidence chain for one flow verdict."""
+
+    __slots__ = ("sink", "mode", "steps", "sources", "hypothesis")
+
+    def __init__(self, sink: str, mode: str,
+                 steps: Sequence[WitnessStep],
+                 sources: Sequence[WitnessSource],
+                 hypothesis: Optional[Dict[str, int]] = None):
+        self.sink = sink
+        self.mode = mode  # "dynamic" | "static"
+        self.steps = list(steps)
+        self.sources = list(sources)
+        self.hypothesis = dict(hypothesis) if hypothesis else {}
+
+    def source_set(self, offending_only: bool = True) -> frozenset:
+        """Normalised base names of the sources (the comparison key)."""
+        return frozenset(
+            s.base for s in self.sources if s.offending or not offending_only
+        )
+
+    def crossed(self) -> List[str]:
+        """All downgrade/guard decision points on the chain, in order."""
+        out: List[str] = []
+        for step in self.steps:
+            out.extend(step.via)
+        return out
+
+    def as_dict(self) -> dict:
+        return {
+            "sink": self.sink,
+            "mode": self.mode,
+            "steps": [s.as_dict() for s in self.steps],
+            "sources": [s.as_dict() for s in self.sources],
+            "hypothesis": dict(self.hypothesis),
+        }
+
+    def render(self) -> str:
+        return render_witness(self)
+
+    def __repr__(self) -> str:
+        n = len(self.steps)
+        return f"<Witness {self.mode} →{self.sink}: {n} hops, " \
+               f"{len(self.source_set())} offending sources>"
+
+
+def render_witness(witness: Witness, indent: str = "  ") -> str:
+    """Human-readable rendering shared by both oracles.
+
+    ::
+
+        dynamic witness -> aes.dbg_data
+          aes.in_data@12 [({p0}, {p0})]           <- source
+          aes.pipe.s1_data@14 [({p0}, {p0})]
+          aes.debug.trace[0]@15 [({p0}, {p0})]
+          aes.dbg_data@31 [({p0}, {p0})]          <- sink
+        offending sources: aes.in_data
+    """
+    lines = [f"{witness.mode} witness -> {witness.sink}"]
+    if witness.hypothesis:
+        assigns = ", ".join(
+            f"{k}={v}" for k, v in sorted(witness.hypothesis.items()))
+        lines.append(f"{indent}under hypothesis: {assigns}")
+    last = len(witness.steps) - 1
+    for i, step in enumerate(witness.steps):
+        mark = ""
+        if i == 0:
+            mark = "  <- source"
+        elif i == last:
+            mark = "  <- sink"
+        lines.append(f"{indent}{step!r}{mark}")
+    offending = sorted(witness.source_set(offending_only=True))
+    released = sorted(witness.source_set(offending_only=False) -
+                      witness.source_set(offending_only=True))
+    if offending:
+        lines.append(f"offending sources: {', '.join(offending)}")
+    else:
+        lines.append("offending sources: (none)")
+    if released:
+        lines.append(f"non-offending sources: {', '.join(released)}")
+    crossed = witness.crossed()
+    if crossed:
+        lines.append(f"decision points crossed: {', '.join(crossed)}")
+    return "\n".join(lines)
+
+
+def sources_agree(static_sources: Iterable[str],
+                  dynamic_sources: Iterable[str]) -> bool:
+    """The acceptance predicate: the two oracles name the same sources.
+
+    The static checker quantifies over *all* hypotheses, so its offending
+    set is an over-approximation (e.g. every per-slot key RAM); one
+    concrete run can only witness the slots it exercised.  Agreement is
+    therefore: both empty (clean design), or the dynamic set is a
+    non-empty subset of the static set — every runtime-named source must
+    also be statically blamed, and a static verdict with no runtime
+    corroboration at all is a mismatch.
+    """
+    s = frozenset(static_sources)
+    d = frozenset(dynamic_sources)
+    if not s and not d:
+        return True
+    return bool(d) and d <= s
+
+
+def merge_source_sets(witnesses: Iterable[Optional[Witness]]) -> frozenset:
+    """Union of the offending source sets over several witnesses."""
+    out: frozenset = frozenset()
+    for w in witnesses:
+        if w is not None:
+            out = out | w.source_set()
+    return out

@@ -102,6 +102,32 @@ def render_report(t: Telemetry, soc=None) -> str:
     return "\n".join(lines)
 
 
+def write_flow_report(report, out_dir: str,
+                      telemetry: Optional[Telemetry] = None):
+    """Write a :class:`~repro.obs.flows.FlowReport` as artifacts.
+
+    Produces ``flow_report.json`` (the CI gate input) and
+    ``flow_report.md``; when a telemetry capture is given, the enriched
+    security stream (witness-carrying ``label_violation`` events) is
+    written alongside as ``security.jsonl``.  Returns the paths.
+    """
+    import os
+
+    os.makedirs(out_dir, exist_ok=True)
+    paths = {
+        "flow_report": os.path.join(out_dir, "flow_report.json"),
+        "flow_markdown": os.path.join(out_dir, "flow_report.md"),
+    }
+    with open(paths["flow_report"], "w") as f:
+        json.dump(report.to_dict(), f, sort_keys=True, indent=2)
+    with open(paths["flow_markdown"], "w") as f:
+        f.write(report.render_markdown())
+    if telemetry is not None:
+        paths["security_jsonl"] = os.path.join(out_dir, "security.jsonl")
+        telemetry.security.write_jsonl(paths["security_jsonl"])
+    return paths
+
+
 def cmd_obs(args) -> int:
     """Implementation of ``python -m repro obs``."""
     blocks = 2 if args.demo else args.blocks

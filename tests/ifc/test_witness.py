@@ -1,0 +1,291 @@
+"""Witness chains: the shared evidence structures, the dynamic ledger's
+source→sink explanations, and the static checker's counterexamples."""
+
+import pytest
+
+from repro.hdl import Module, Simulator, declassify, mux, when
+from repro.ifc.label import Label
+from repro.ifc.lattice import two_point
+from repro.ifc.tracker import LabelTracker
+from repro.ifc.witness import (
+    Witness,
+    WitnessSource,
+    WitnessStep,
+    merge_source_sets,
+    normalize_source,
+    sources_agree,
+)
+
+TP = two_point()
+P_T = Label(TP, "public", "trusted")
+S_T = Label(TP, "secret", "trusted")
+
+
+def _sim(module):
+    return Simulator(module, backend="compiled")
+
+
+class TestWitnessStructures:
+    def test_normalize_source_strips_cell_index(self):
+        assert normalize_source("aes.keyexp.rk_mem_1[10]") == \
+            "aes.keyexp.rk_mem_1"
+        assert normalize_source("aes.in_data") == "aes.in_data"
+
+    def test_source_set_and_render(self):
+        w = Witness(
+            sink="m.out", mode="dynamic",
+            steps=[WitnessStep("m.sec", "input", 0, "(secret, trusted)"),
+                   WitnessStep("m.out", "sink", 1, "(secret, trusted)",
+                               via=("declassify->(public, trusted)",))],
+            sources=[WitnessSource("m.sec", "input", 0,
+                                   "(secret, trusted)", True),
+                     WitnessSource("m.pub", "input", 0,
+                                   "(public, trusted)", False)])
+        assert w.source_set() == frozenset({"m.sec"})
+        assert w.source_set(offending_only=False) == \
+            frozenset({"m.sec", "m.pub"})
+        text = w.render()
+        assert "dynamic witness -> m.out" in text
+        assert "<- source" in text and "<- sink" in text
+        assert "offending sources: m.sec" in text
+        assert "decision points crossed" in text
+        assert w.crossed() == ["declassify->(public, trusted)"]
+
+    def test_as_dict_round_trips_shapes(self):
+        w = Witness("m.out", "static",
+                    [WitnessStep("m.a", "input", None, "(secret, trusted)")],
+                    [WitnessSource("m.a", "input", None,
+                                   "(secret, trusted)", True)],
+                    hypothesis={"m.tag": 2})
+        d = w.as_dict()
+        assert d["sink"] == "m.out" and d["mode"] == "static"
+        assert d["steps"][0]["cycle"] is None
+        assert d["sources"][0]["offending"] is True
+        assert d["hypothesis"] == {"m.tag": 2}
+
+    def test_sources_agree_is_subset_with_nonempty_dynamic(self):
+        assert sources_agree([], [])
+        assert sources_agree(["a", "b"], ["a"])
+        assert sources_agree(["a"], ["a"])
+        assert not sources_agree(["a"], ["a", "b"])  # dynamic exceeds static
+        assert not sources_agree(["a"], [])          # no corroboration
+        assert not sources_agree([], ["a"])
+
+    def test_merge_source_sets_skips_none(self):
+        w = Witness("s", "dynamic", [],
+                    [WitnessSource("m.x", "input", 0, "l", True)])
+        assert merge_source_sets([w, None]) == frozenset({"m.x"})
+
+
+class TestDynamicWitness:
+    def _leaky(self):
+        m = Module("m")
+        sec = m.input("sec", 8, label=S_T)
+        r = m.reg("r", 8)
+        r <<= sec
+        out = m.output("out", 8, label=P_T)
+        out <<= r + 1
+        return m
+
+    def test_violation_carries_witness_chain(self):
+        sim = _sim(self._leaky())
+        tr = LabelTracker(sim, TP, provenance=True)
+        sim.poke("m.sec", 7)
+        sim.step(3)
+        assert tr.violations
+        v = tr.violations[0]
+        assert v.witness is not None
+        assert v.witness.source_set() == frozenset({"m.sec"})
+        paths = [s.path for s in v.witness.steps]
+        assert paths[0] == "m.sec" and paths[-1] == "m.out"
+        # cycles are non-decreasing along the chain
+        cycles = [s.cycle for s in v.witness.steps]
+        assert cycles == sorted(cycles)
+
+    def test_explain_requires_provenance(self):
+        sim = _sim(self._leaky())
+        tr = LabelTracker(sim, TP)
+        sim.step()
+        with pytest.raises(RuntimeError, match="provenance"):
+            tr.explain("m.out")
+
+    def test_explain_unwatched_comb_names_watch(self):
+        m = Module("m")
+        a = m.input("a", 8)
+        w = m.wire("mid", 8)
+        w <<= a + 1
+        out = m.output("out", 8)
+        out <<= w
+        sim = _sim(m)
+        tr = LabelTracker(sim, TP, provenance=True)
+        sim.step()
+        with pytest.raises(KeyError, match="watch"):
+            tr.explain("m.mid")
+        tr.watch("m.mid")
+        sim.step()
+        assert tr.explain("m.mid").steps
+
+    def test_downgrade_crossing_recorded_in_via(self):
+        m = Module("m")
+        sec = m.input("sec", 8, label=S_T)
+        out = m.output("out", 8, label=P_T)
+        out <<= declassify(sec, P_T, S_T)
+        sim = _sim(m)
+        tr = LabelTracker(sim, TP, provenance=True)
+        sim.poke("m.sec", 3)
+        sim.step(2)
+        assert tr.ok()
+        w = tr.explain("m.out")
+        assert any("declassify" in note for note in w.crossed())
+        # the released secret is still named as a (non-offending) origin
+        assert "m.sec" in w.source_set(offending_only=False)
+
+    def test_explain_mem_traces_cell_write(self):
+        m = Module("m")
+        we = m.input("we", 1, label=P_T)
+        din = m.input("din", 8, label=S_T)
+        store = m.mem("store", 4, 8)
+        out = m.output("out", 8)
+        out <<= store.read(0)
+        with when(we):
+            store.write(0, din)
+        sim = _sim(m)
+        tr = LabelTracker(sim, TP, provenance=True)
+        sim.poke("m.we", 1)
+        sim.poke("m.din", 0x42)
+        sim.step(2)
+        w = tr.explain_mem("m.store", 0)
+        assert "m.din" in w.source_set(offending_only=False)
+
+    def test_window_prunes_but_recent_explained(self):
+        sim = _sim(self._leaky())
+        tr = LabelTracker(sim, TP, provenance=True, window=4)
+        sim.poke("m.sec", 1)
+        sim.step(20)
+        assert all(e.cycle >= 20 - 4 - 1 for e in tr.ledger.values())
+        assert tr.explain("m.out").steps  # latest cycle still answerable
+
+
+class TestTrackerTelemetryEnrichment:
+    def test_violation_event_carries_witness_fields(self):
+        import repro.obs as obs
+
+        m = Module("m")
+        sec = m.input("sec", 8, label=S_T)
+        out = m.output("out", 8, label=P_T)
+        out <<= sec
+        with obs.capture() as t:
+            sim = _sim(m)
+            tr = LabelTracker(sim, TP, provenance=True)
+            sim.poke("m.sec", 9)
+            sim.step()
+        assert not tr.ok()
+        events = [e for e in t.security.events
+                  if e.kind == "label_violation"]
+        assert events
+        detail = events[0].detail
+        assert detail["witness_sources"] == ["m.sec"]
+        assert "witness -> m.out" in detail["witness"]
+
+
+class TestStaticWitness:
+    def test_flow_error_witness_names_source(self):
+        from repro.hdl.elaborate import elaborate
+        from repro.ifc.checker import IfcChecker
+
+        m = Module("m")
+        sec = m.input("sec", 8, label=S_T)
+        r = m.reg("r", 8)
+        r <<= sec
+        out = m.output("out", 8, label=P_T)
+        out <<= r
+        report = IfcChecker(elaborate(m), TP).check()
+        assert not report.ok()
+        err = report.errors[0]
+        assert err.witness is not None
+        assert err.witness.mode == "static"
+        assert err.witness.source_set() == frozenset({"m.sec"})
+        paths = [s.path for s in err.witness.steps]
+        assert paths[0] == "m.sec" and paths[-1] == "m.out"
+        assert all(s.cycle is None for s in err.witness.steps)
+
+    def test_witness_in_report_json(self):
+        from repro.hdl.elaborate import elaborate
+        from repro.ifc.checker import IfcChecker
+
+        m = Module("m")
+        sec = m.input("sec", 8, label=S_T)
+        out = m.output("out", 8, label=P_T)
+        out <<= sec
+        report = IfcChecker(elaborate(m), TP).check()
+        d = report.as_dict()
+        assert d["errors"][0]["witness"]["sources"][0]["path"] == "m.sec"
+
+    def test_hypothesis_attached_to_witness(self):
+        from repro.eval.audit import run_audit
+
+        report = run_audit(timing_flaw=True)
+        assert not report.ok()
+        witnessed = [e for e in report.errors if e.witness is not None]
+        assert witnessed
+        # the out_data disclosure blames the request data and key RAMs
+        out_errs = [e for e in witnessed if "out_data" in e.sink]
+        assert out_errs
+        sources = set()
+        for e in out_errs:
+            sources |= e.witness.source_set()
+        assert "aes.in_data" in sources
+        assert any("rk_mem" in s for s in sources)
+        # the timing-flaw errors blame the key material behind the stall
+        busy_errs = [e for e in witnessed if "busy" in e.sink
+                     or "ready" in e.sink]
+        assert busy_errs
+        for e in busy_errs:
+            assert e.witness.source_set(), \
+                f"static witness for {e.sink} names no sources"
+
+
+class TestProtectedEnforcementWitnesses:
+    """Every runtime enforcement event on the protected design is
+    explainable: blocked/released flows carry non-empty witness chains
+    naming the true secret source."""
+
+    @pytest.fixture(scope="class")
+    def flows_report(self):
+        from repro.obs.flows import run_flow_scenarios
+
+        return run_flow_scenarios()
+
+    def test_all_scenarios_pass(self, flows_report):
+        assert flows_report.ok
+        assert len(flows_report.scenarios) == 4
+
+    def test_baseline_violations_name_true_secret_sources(self,
+                                                          flows_report):
+        secret_bases = ("aes.in_data", "aes.pipe.keyexp.rk_mem",
+                        "aes.scratchpad.cells")
+        for s in flows_report.scenarios:
+            assert s.dynamic_sources, s.name
+            for src in s.dynamic_sources:
+                assert src.startswith(secret_bases), (s.name, src)
+
+    def test_static_overapproximates_dynamic(self, flows_report):
+        for s in flows_report.scenarios:
+            assert s.dynamic_sources <= s.static_sources, s.name
+
+    def test_protected_flows_witnessed(self, flows_report):
+        for s in flows_report.scenarios:
+            w = s.protected_witness
+            assert w is not None, s.name
+            assert w.source_set(offending_only=False), s.name
+        by_name = {s.name: s for s in flows_report.scenarios}
+        # the blocked debug read is explained by the victim's data
+        dbg = by_name["debug_leak"].protected_witness
+        assert "aes.in_data" in dbg.source_set(offending_only=False)
+        # the guarded victim cell is explained by the victim's key load
+        pad = by_name["scratchpad_overrun"].protected_witness
+        assert "aes.in_data" in pad.source_set(offending_only=False)
+        # the reviewed stall downgrade is on the advance witness
+        stall = by_name["stall_guard"].protected_witness
+        assert any("endorse" in note or "declassify" in note
+                   for note in stall.crossed())

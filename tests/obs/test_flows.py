@@ -1,0 +1,114 @@
+"""The flow provenance explorer: scenarios, report artifacts, CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.flows import FlowReport, ScenarioResult
+
+
+class TestScenarioVerdict:
+    def _result(self):
+        r = ScenarioResult("n", "t", "d")
+        r.static_errors = 1
+        r.dynamic_violations = 1
+        r.static_sources = frozenset({"a", "b"})
+        r.dynamic_sources = frozenset({"a"})
+        from repro.ifc.witness import Witness, WitnessSource
+
+        r.protected_witness = Witness(
+            "sink", "dynamic", [],
+            [WitnessSource("a", "input", 0, "(secret, trusted)", True)])
+        return r
+
+    def test_ok_composes_all_gates(self):
+        r = self._result()
+        assert r.agree and r.baseline_flagged
+        assert r.protected_clean and r.protected_witnessed
+        assert r.ok
+
+    def test_dynamic_superset_fails_agreement(self):
+        r = self._result()
+        r.dynamic_sources = frozenset({"a", "c"})
+        assert not r.agree
+        assert not r.ok
+
+    def test_unwitnessed_static_verdict_fails(self):
+        r = self._result()
+        r.dynamic_sources = frozenset()
+        assert not r.agree
+
+    def test_protected_violation_fails(self):
+        r = self._result()
+        r.protected_violations = 2
+        assert not r.protected_clean
+        assert not r.ok
+
+    def test_report_render_and_markdown(self):
+        rep = FlowReport("compiled", 2026, [self._result()])
+        assert rep.ok
+        text = rep.render()
+        assert "flow provenance report" in text
+        assert "VERDICT: ok (1/1 scenarios)" in text
+        md = rep.render_markdown()
+        assert md.startswith("# Flow provenance report")
+        assert "| n | 1 static / 1 dynamic | yes | yes | yes | pass |" in md
+
+    def test_empty_report_is_a_failure(self):
+        assert not FlowReport("compiled", 2026, []).ok
+
+
+class TestFlowsCli:
+    def test_cli(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        code = main(["obs", "flows", "--json", "--out", str(tmp_path)])
+        stdout = capsys.readouterr().out
+        assert code == 0
+        data = json.loads(stdout.splitlines()[0])
+        assert data["ok"] is True
+        names = [s["name"] for s in data["scenarios"]]
+        assert names == ["legal_declass", "debug_leak",
+                         "scratchpad_overrun", "stall_guard"]
+        report = json.loads((tmp_path / "flow_report.json").read_text())
+        assert report["ok"] is True
+        for s in report["scenarios"]:
+            assert s["baseline"]["dynamic_witness"]["steps"], s["name"]
+            assert s["protected"]["witness"]["sources"], s["name"]
+        md = (tmp_path / "flow_report.md").read_text()
+        assert "witness" in md
+        # the security stream rode along with witness-enriched events
+        events = [json.loads(ln) for ln in
+                  (tmp_path / "security.jsonl").read_text().splitlines()]
+        enriched = [e for e in events if e["kind"] == "label_violation"
+                    and e.get("witness_sources")]
+        assert enriched
+
+
+class TestExitCodeContract:
+    """Every subcommand: 0 = pass, 1 = gate failure, 2 = usage error."""
+
+    def test_pass_is_zero(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["check", "scratchpad"]) == 0
+
+    def test_gate_failure_is_one(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["check", "keyexp-flawed"]) == 1
+
+    def test_usage_error_is_two(self, capsys):
+        from repro.__main__ import main
+
+        assert main([]) == 2
+        assert main(["check", "nonsense"]) == 2
+        assert main(["verilog", "nonsense"]) == 2
+        assert main(["attack", "nonsense"]) == 2
+
+    def test_argparse_usage_error_exits_two(self):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit) as exc:
+            main(["obs", "flows", "--backend", "nonsense"])
+        assert exc.value.code == 2
