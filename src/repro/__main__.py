@@ -32,6 +32,10 @@ Commands
 ``obs flows [--out DIR]``
     Flow provenance explorer: seeded scenarios on both designs with
     static + dynamic witness chains that must blame the same sources.
+``ifc synth [--backend B|all] [--smoke] [--out DIR]``
+    Shadow-tag transform report: tag-net counts per design, per-backend
+    tagged-vs-plain overhead, and a differential spot-check against the
+    interpreted ``LabelTracker`` (see docs/hdl_guide.md).
 
 Every subcommand exits 0 on success, 1 when its gate fails (check
 errors, leaky channel, fault escape, witness mismatch), and 2 on a
@@ -228,6 +232,12 @@ def cmd_obs_flows(args) -> int:
     return run(args)
 
 
+def cmd_ifc_synth(args) -> int:
+    from .ifc.synth_cli import cmd_ifc_synth as run
+
+    return run(args)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -270,6 +280,9 @@ def main(argv=None) -> int:
                    choices=("interp", "compiled", "batched", "all"),
                    help="one backend, or 'all' to cross-check verdicts "
                         "across interp/compiled/batched (default all)")
+    p.add_argument("--shadow-tags", action="store_true", dest="shadow_tags",
+                   help="also fault the synthesized shadow tag nets on a "
+                        "tag-tracking protected driver")
     p.add_argument("--out", default=None,
                    help="directory for fault_report.json")
     p.add_argument("--json", action="store_true",
@@ -373,6 +386,26 @@ def main(argv=None) -> int:
     q.add_argument("--json", action="store_true",
                    help="machine-readable report on stdout")
     q.set_defaults(fn=cmd_obs_flows)
+
+    p = sub.add_parser("ifc", help="information-flow tooling")
+    ifc_sub = p.add_subparsers(dest="ifc_command", metavar="{synth}")
+    q = ifc_sub.add_parser(
+        "synth",
+        help="shadow-tag transform report + differential spot-check gate")
+    q.add_argument("--backend", default="all",
+                   choices=("interp", "compiled", "batched", "all"),
+                   help="one backend, or 'all' for every available one "
+                        "(default all; batched skipped without numpy)")
+    q.add_argument("--cycles", type=int, default=400,
+                   help="workload length for the overhead measurement "
+                        "(default 400)")
+    q.add_argument("--smoke", action="store_true",
+                   help="short workload (CI gate)")
+    q.add_argument("--out", default=None,
+                   help="directory for synth_report.json")
+    q.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    q.set_defaults(fn=cmd_ifc_synth)
 
     args = parser.parse_args(argv)
     if not getattr(args, "fn", None):

@@ -41,10 +41,12 @@ class AcceleratorDriver:
     """Drives one accelerator instance through its host interface."""
 
     def __init__(self, accel_module, backend: str = "compiled",
-                 fault_targets=None):
+                 fault_targets=None, tag_tracking: bool = False,
+                 lattice=None):
         self.module = accel_module
         self.sim = Simulator(accel_module, backend=backend,
-                             fault_targets=fault_targets)
+                             fault_targets=fault_targets,
+                             tag_tracking=tag_tracking, lattice=lattice)
         self.top = accel_module.name
         self.responses: List[Response] = []
         self.probe: Optional[SecurityProbe] = None

@@ -127,6 +127,7 @@ class CampaignReport:
                 "leaked": self.leaks, "corrupted": self.corrupted,
                 "degraded": self.count("degraded"),
                 "clean": self.count("clean"),
+                "detected": self.count("detected"),
                 "harness_ok": self.harness_ok,
                 "outcomes": [o.to_dict() for o in self.outcomes]}
 
@@ -140,7 +141,8 @@ class CampaignReport:
         lines.append(f"  totals: leaked={self.leaks} "
                      f"corrupted={self.corrupted} "
                      f"degraded={self.count('degraded')} "
-                     f"clean={self.count('clean')}")
+                     f"clean={self.count('clean')} "
+                     f"detected={self.count('detected')}")
         return "\n".join(lines)
 
 
@@ -201,9 +203,18 @@ def _tag_fault(rng: random.Random, target: str) -> Fault:
                  cycle=rng.randint(2, 40), duration=duration)
 
 
-def protected_fault_scenarios(seed: int,
-                              smoke: bool = False) -> List[FaultScenario]:
-    """Seeded scenario list over the protected design's enforcement logic."""
+def protected_fault_scenarios(seed: int, smoke: bool = False,
+                              shadow_tags: bool = False,
+                              ) -> List[FaultScenario]:
+    """Seeded scenario list over the protected design's enforcement logic.
+
+    With ``shadow_tags=True`` the list also targets the *synthesized
+    shadow tag nets* (``…__conf``) the ``tag_tracking=True`` transform
+    adds — the campaign then needs a tag-tracking driver (see
+    :func:`run_fault_campaign`).  Over-tainting faults must be caught by
+    the synthesized flow sites ("detected"), and any shadow-plane fault
+    must leave the design's own enforcement — and hence delivery
+    correctness — untouched."""
     rng = random.Random(seed * 1000003 + 17)
     scenarios = [FaultScenario("no_fault", "control", FaultPlan())]
 
@@ -267,6 +278,25 @@ def protected_fault_scenarios(seed: int,
             FaultPlan([Fault(f"aes.pipe.{st}.data_r", FaultKind.TRANSIENT,
                              rng.getrandbits(128) | 1, cycle=4,
                              duration=26)])))
+
+    if shadow_tags:
+        # stuck-at-1 over-taints: every downstream declared sink must
+        # scream; stuck-at-0 under-taints: the monitor goes quiet but the
+        # design's own tag plane still enforces (delivery stays correct)
+        for st in rng.sample(STAGE_NAMES, 1 if smoke else 2):
+            scenarios.append(FaultScenario(
+                f"shadow_conf_high_{st}", "shadow_tag",
+                FaultPlan([Fault(f"aes.pipe.{st}.data_r__conf",
+                                 FaultKind.STUCK_AT_1, 0xF,
+                                 cycle=rng.randint(4, 20),
+                                 duration=rng.randint(24, 40))])))
+        st = rng.choice(STAGE_NAMES)
+        scenarios.append(FaultScenario(
+            f"shadow_conf_low_{st}", "shadow_tag",
+            FaultPlan([Fault(f"aes.pipe.{st}.data_r__conf",
+                             FaultKind.STUCK_AT_0, 0xF,
+                             cycle=rng.randint(4, 20),
+                             duration=rng.randint(24, 40))])))
     return scenarios
 
 
@@ -394,6 +424,16 @@ def _run_scenario(drv, users, wl: _Workload, scenario: FaultScenario,
     else:
         outcome = "clean"
 
+    tag_flow_sites = None
+    if sim.tags is not None:
+        tag_flow_sites = sum(1 for v in sim.tags.violations()
+                             if v.site.kind == "flow")
+        if (scenario.category == "shadow_tag" and outcome == "clean"
+                and tag_flow_sites):
+            # the corrupted monitor announced itself without disturbing
+            # delivery — the shadow plane is observable, not load-bearing
+            outcome = "detected"
+
     details = {
         "deliveries": len(deliveries), "missing_outputs": missing,
         "garbage_outputs": len(garbage), "mistagged_outputs": len(mistagged),
@@ -401,6 +441,8 @@ def _run_scenario(drv, users, wl: _Workload, scenario: FaultScenario,
         "fault_events": sim.fault_events, "counters": drv.counters(),
         "polled_cycles": polls,
     }
+    if tag_flow_sites is not None:
+        details["tag_flow_sites"] = tag_flow_sites
     return ScenarioOutcome(scenario, outcome, details)
 
 
@@ -415,6 +457,7 @@ def run_fault_campaign(protected: bool, seed: int = 2026,
                        backend: str = "compiled",
                        smoke: bool = False,
                        scenarios: Optional[List[FaultScenario]] = None,
+                       shadow_tags: bool = False,
                        ) -> CampaignReport:
     """Run the full scenario list against one design on one backend.
 
@@ -422,18 +465,30 @@ def run_fault_campaign(protected: bool, seed: int = 2026,
     targets (zero fault masks are the identity), so the compile caches
     see a single netlist per design — scenarios differ only in which
     control inputs get poked, and each starts from ``sim.reset()``.
+
+    ``shadow_tags=True`` (protected only) runs the campaign on a
+    tag-tracking driver and extends the target list with the synthesized
+    shadow tag nets — the transform runs before fault instrumentation,
+    so the injector reaches the tag plane like any other net.
     """
     from ..accel.baseline import AesAcceleratorBaseline
     from ..accel.driver import AcceleratorDriver, make_users
     from ..accel.protected import AesAcceleratorProtected
 
+    shadow_tags = shadow_tags and protected
     if scenarios is None:
-        scenarios = (protected_fault_scenarios(seed, smoke) if protected
-                     else baseline_fault_scenarios(seed, smoke))
+        scenarios = (protected_fault_scenarios(seed, smoke, shadow_tags)
+                     if protected else baseline_fault_scenarios(seed, smoke))
     design = (AesAcceleratorProtected() if protected
               else AesAcceleratorBaseline())
+    kwargs = {}
+    if shadow_tags:
+        from ..accel.common import LATTICE
+
+        kwargs = dict(tag_tracking=True, lattice=LATTICE)
     drv = AcceleratorDriver(design, backend=backend,
-                            fault_targets=_campaign_targets(scenarios))
+                            fault_targets=_campaign_targets(scenarios),
+                            **kwargs)
     users = make_users()
     wl = _Workload(seed)
 
@@ -468,10 +523,12 @@ def run_fault_campaign(protected: bool, seed: int = 2026,
 
 
 def run_paired_fault_campaign(seed: int = 2026, backend: str = "compiled",
-                              smoke: bool = False) -> PairedFaultResult:
+                              smoke: bool = False,
+                              shadow_tags: bool = False) -> PairedFaultResult:
     """Protected fail-safe campaign plus the baseline detection pair."""
     return PairedFaultResult(
-        run_fault_campaign(True, seed=seed, backend=backend, smoke=smoke),
+        run_fault_campaign(True, seed=seed, backend=backend, smoke=smoke,
+                           shadow_tags=shadow_tags),
         run_fault_campaign(False, seed=seed, backend=backend, smoke=smoke))
 
 
@@ -480,6 +537,7 @@ ALL_BACKENDS = ("compiled", "interp", "batched")
 
 def run_cross_backend_campaign(seed: int = 2026, smoke: bool = False,
                                backends: Sequence[str] = ALL_BACKENDS,
+                               shadow_tags: bool = False,
                                ) -> Dict[str, object]:
     """Run the paired campaign on every backend and diff the verdicts.
 
@@ -490,7 +548,8 @@ def run_cross_backend_campaign(seed: int = 2026, smoke: bool = False,
     results: Dict[str, PairedFaultResult] = {}
     for be in backends:
         results[be] = run_paired_fault_campaign(seed=seed, backend=be,
-                                                smoke=smoke)
+                                                smoke=smoke,
+                                                shadow_tags=shadow_tags)
     rows = {be: (r.protected.verdict_rows(), r.baseline.verdict_rows())
             for be, r in results.items()}
     first = next(iter(rows.values()))
@@ -507,8 +566,10 @@ def cmd_faults(args) -> int:
     import os
 
     seed, smoke = args.seed, args.smoke
+    shadow = getattr(args, "shadow_tags", False)
     if args.backend == "all":
-        cross = run_cross_backend_campaign(seed=seed, smoke=smoke)
+        cross = run_cross_backend_campaign(seed=seed, smoke=smoke,
+                                           shadow_tags=shadow)
         results: Dict[str, PairedFaultResult] = cross["results"]
         payload = {
             "ok": cross["ok"], "consistent": cross["consistent"],
@@ -528,7 +589,7 @@ def cmd_faults(args) -> int:
             print(f"OVERALL: {'PASS' if ok else 'FAIL'}")
     else:
         result = run_paired_fault_campaign(seed=seed, backend=args.backend,
-                                           smoke=smoke)
+                                           smoke=smoke, shadow_tags=shadow)
         payload = {"ok": result.ok, "seed": seed, "smoke": smoke,
                    "backends": {args.backend: result.to_dict()}}
         ok = result.ok

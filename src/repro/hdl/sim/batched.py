@@ -258,6 +258,21 @@ class _Emitter:
     def _is_view_expr(self, e: str) -> bool:
         return e in self._viewtmps or _is_view(e)
 
+    @staticmethod
+    def _mk_u(width: int, exprs: Tuple[str, ...], parts8=None) -> _V:
+        """Limb list → ``u`` value, folding to ``k`` when every limb is a
+        folded literal (a mux of equal constant arms, an AND with 0...).
+        Literal-limb *u* values would otherwise leak Python ints into
+        positions that need arrays (``~0`` underflows the uint64 cast,
+        an int has no ``.astype``); constants also unlock the dedicated
+        constant paths of downstream emitters."""
+        if all(e[0].isdigit() for e in exprs):
+            k = 0
+            for j, e in enumerate(exprs):
+                k |= int(e) << (64 * j)
+            return _V("k", width, k=k)
+        return _V("u", width, exprs, parts8=parts8)
+
     # -- structural keys (CSE) -------------------------------------------------
     def _key_of(self, t: tuple) -> int:
         k = self._intern.get(t)
@@ -599,7 +614,7 @@ class _Emitter:
                 out.append(self._tmp(body, f"{la[1]} {sym} {self._K(kb)}"))
             else:
                 out.append(self._tmp(body, f"{la[1]} {sym} {lb[1]}"))
-        return _V("u", w, tuple(out))
+        return self._mk_u(w, tuple(out))
 
     def _emit_cmp(self, body, memo, conv, node, va: _V, vb: _V) -> _V:
         op = node.op
@@ -717,7 +732,7 @@ class _Emitter:
             if lw < 64:
                 expr = f"({expr}) & {self._K(mask_for(lw))}"
             out.append(self._tmp(body, expr))
-        return _V("u", w, tuple(out))
+        return self._mk_u(w, tuple(out))
 
     def _emit_mux(self, body, memo, conv, node) -> _V:
         vs = self._get(memo, node.sel)
@@ -750,7 +765,7 @@ class _Emitter:
             et = lt[1] if lt[0] == "e" else self._K(lt[1])
             ef = lf[1] if lf[0] == "e" else self._K(lf[1])
             out.append(self._tmp(body, f"_where({cond}, {et}, {ef})"))
-        return _V("u", w, tuple(out))
+        return self._mk_u(w, tuple(out))
 
     def _emit_mul_mask(self, body, node, vs: _V, vt: _V) -> _V:
         """``mux(c, a, 0)`` with a 1-bit select lowers to ``a * c``.
@@ -794,7 +809,7 @@ class _Emitter:
                 out.append(self._tmp(body, f"({sel}) * {self._K(lt[1])}"))
             else:
                 out.append(self._tmp(body, f"({lt[1]}) * ({sel})"))
-        return _V("u", w, tuple(out))
+        return self._mk_u(w, tuple(out))
 
     def _emit_slice(self, body, memo, conv, node) -> _V:
         va = self._get(memo, node.a)
@@ -1010,8 +1025,9 @@ class _Emitter:
                 else:
                     exprs.append(kstr)
             out.append(self._tmp(body, " | ".join(exprs)))
-        return _V("u", w, tuple(out),
-                  parts8=parts8 if (all_bytes and parts8) else None)
+        return self._mk_u(
+            w, tuple(out),
+            parts8=parts8 if (all_bytes and parts8) else None)
 
     def _emit_memread(self, body, memo, conv, node) -> _V:
         mem = node.mem
@@ -1441,7 +1457,10 @@ class BatchSimulator:
     """
 
     def __init__(self, design: Union[Module, Netlist], lanes: int = 1,
-                 fault_targets=None, fault_plan=None):
+                 fault_targets=None, fault_plan=None,
+                 tag_tracking: bool = False, lattice=None,
+                 tag_precise: bool = True, tag_check_downgrades: bool = True,
+                 tag_audit: str = "full"):
         _require_numpy()
         if lanes < 1:
             raise ValueError(f"lanes must be >= 1, got {lanes}")
@@ -1451,6 +1470,21 @@ class BatchSimulator:
             self.netlist = design
         self.lanes = lanes
         self.cycle = 0
+        # Tag synthesis first (the shadow nets become part of the compiled
+        # program and fault-targetable), then fault instrumentation —
+        # mirroring the engine Simulator's ordering.
+        self.tag_plan = None
+        self.tags = None
+        if tag_tracking:
+            from ...ifc.synth import synthesize_tags
+
+            if lattice is None:
+                raise ValueError(
+                    "tag_tracking=True needs the security lattice the "
+                    "design's labels live in (pass lattice=...)")
+            self.netlist, self.tag_plan = synthesize_tags(
+                self.netlist, lattice, check_downgrades=tag_check_downgrades,
+                precise=tag_precise, audit=tag_audit)
         # Instrument before backend construction so the compiled program
         # includes the fault-control inputs (see repro.faults.plan).  The
         # engine's batched path pre-instruments and hands controls over by
@@ -1473,6 +1507,10 @@ class BatchSimulator:
         self._consts = self._be.new_consts(lanes)
         self._dirty = True
         self._watchers = []
+        if self.tag_plan is not None:
+            from ...ifc.synth import TagView
+
+            self.tags = TagView(self, self.tag_plan)
         if fault_plan is not None:
             self.load_fault_plan(fault_plan)
 
@@ -1711,5 +1749,7 @@ class BatchSimulator:
         self._mems = self._be.new_mems(self.lanes)
         self.cycle = 0
         self._dirty = True
+        if self.tags is not None:
+            self.tags.reseed()
         if self._fault_applier is not None:
             self._fault_applier.reset()

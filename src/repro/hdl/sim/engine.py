@@ -58,7 +58,10 @@ class Simulator:
     """Cycle-accurate simulator over a netlist or module."""
 
     def __init__(self, design: Union[Module, Netlist], backend: str = "compiled",
-                 lanes: int = 1, fault_targets=None, fault_plan=None):
+                 lanes: int = 1, fault_targets=None, fault_plan=None,
+                 tag_tracking: bool = False, lattice=None,
+                 tag_precise: bool = True, tag_check_downgrades: bool = True,
+                 tag_audit: str = "full"):
         if isinstance(design, Module):
             self.netlist = elaborate(design)
         else:
@@ -68,6 +71,23 @@ class Simulator:
         self.cycle = 0
         self.stats = SimStats()
         self._watchers = []
+
+        # Tag synthesis runs first so that the shadow tag nets are part of
+        # the netlist every backend compiles — and so the fault injector
+        # below can target them like any other net (a fault campaign
+        # against the *protected composite*, tag plane included).
+        self.tag_plan = None
+        self.tags = None
+        if tag_tracking:
+            from ...ifc.synth import synthesize_tags
+
+            if lattice is None:
+                raise ValueError(
+                    "tag_tracking=True needs the security lattice the "
+                    "design's labels live in (pass lattice=...)")
+            self.netlist, self.tag_plan = synthesize_tags(
+                self.netlist, lattice, check_downgrades=tag_check_downgrades,
+                precise=tag_precise, audit=tag_audit)
 
         # Fault instrumentation happens before backend construction so all
         # backends compile the same (instrumented) netlist.  With every
@@ -115,6 +135,14 @@ class Simulator:
         else:
             raise ValueError(f"unknown backend {backend!r}")
         self._dirty = True
+        if self.tag_plan is not None:
+            from ...ifc.synth import TagView
+
+            # on the batched backend the view wraps the BatchSimulator so
+            # per-lane labels/violations are addressable; the engine-level
+            # API stays lane-0 either way
+            target = self.lanes_sim if backend == "batched" else self
+            self.tags = TagView(target, self.tag_plan)
         if fault_plan is not None:
             self.load_fault_plan(fault_plan)
 
@@ -282,6 +310,8 @@ class Simulator:
             self._imems = {m: list(m.init) for m in self.netlist.mems}
         self.cycle = 0
         self._dirty = True
+        if self.tags is not None:
+            self.tags.reseed()
         if self._fault_applier is not None:
             self._fault_applier.reset()
 

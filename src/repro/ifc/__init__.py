@@ -29,6 +29,15 @@ from .nonmalleable import (
     may_endorse,
 )
 from .policy import TABLE1_POLICIES, FlowPolicy, PolicyCheckResult
+from .synth import (
+    SynthViolation,
+    TagPlan,
+    TagSite,
+    TagView,
+    decode_tag,
+    encode_tag,
+    synthesize_tags,
+)
 from .tracker import LabelTracker, TrackViolation
 
 __all__ = [
@@ -43,7 +52,11 @@ __all__ = [
     "LabelTracker",
     "PolicyCheckResult",
     "SecurityLattice",
+    "SynthViolation",
     "TABLE1_POLICIES",
+    "TagPlan",
+    "TagSite",
+    "TagView",
     "TaintViolation",
     "TrackViolation",
     "bottom",
@@ -51,8 +64,11 @@ __all__ = [
     "check_downgrade",
     "check_module_shallow",
     "declassified",
+    "decode_tag",
+    "encode_tag",
     "endorsed",
     "join_all",
+    "synthesize_tags",
     "may_declassify",
     "may_endorse",
     "meet_all",

@@ -1,0 +1,147 @@
+"""Synthesized shadow tags under fault injection.
+
+The tag transform runs *before* fault instrumentation
+(`engine.Simulator.__init__`), so shadow ``__conf`` nets are ordinary
+fault targets.  Two properties must hold on the protected design:
+
+* **detected, not masked** — an over-tainting stuck-at on a shadow net
+  lights up the synthesized flow sites downstream; a corrupted monitor
+  announces itself instead of silently passing.
+* **not load-bearing** — the shadow plane only observes; any shadow
+  fault (over- or under-tainting) leaves the design's own enforcement
+  and hence delivery correctness bit-for-bit intact.  The fail-safe
+  verdict never depends on the monitor being healthy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel.common import CMD_ENCRYPT, LATTICE, user_label
+from repro.accel.driver import AcceleratorDriver
+from repro.accel.protected import AesAcceleratorProtected
+from repro.aes.cipher import encrypt_block
+from repro.faults.campaign import (
+    protected_fault_scenarios,
+    run_fault_campaign,
+)
+from repro.faults.plan import Fault, FaultKind, FaultPlan
+
+ALICE = user_label("p0").encode()
+EVE = user_label("p1").encode()
+KEY_A = 0x0102030405060708090A0B0C0D0E0F10
+KEY_B = 0x1112131415161718191A1B1C1D1E1F20
+SHADOW_NET = "aes.pipe.sc3.data_r__conf"
+
+
+def _tagged_driver(fault_targets):
+    drv = AcceleratorDriver(AesAcceleratorProtected(), backend="compiled",
+                            tag_tracking=True, lattice=LATTICE,
+                            fault_targets=fault_targets)
+    sim = drv.sim
+    sim.poke(f"{drv.top}.out_ready", 1)
+    sim.poke(f"{drv.top}.rd_user", ALICE)
+    drv._idle_inputs()
+    drv.allocate_slot(1, ALICE)
+    drv.allocate_slot(2, EVE)
+    drv.load_key(ALICE, 1, KEY_A)
+    drv.load_key(EVE, 2, KEY_B)
+    return drv
+
+
+def _run_blocks(drv):
+    """Issue one block per user; return {reader: [data…]} deliveries."""
+    drv.issue(CMD_ENCRYPT, ALICE, slot=1, data=0xAA)
+    drv.issue(CMD_ENCRYPT, EVE, slot=2, data=0xBB)
+    got = {ALICE: [], EVE: []}
+    for t in range(160):
+        reader = ALICE if t % 2 == 0 else EVE
+        drv.set_reader(reader)
+        drv.step()
+        for r in drv.take_responses():
+            got[reader].append(r.data)
+    return got
+
+
+def _flow_sites_fired(sim):
+    return [v for v in sim.tags.violations() if v.site.kind == "flow"]
+
+
+class TestShadowNetFaults:
+    def test_clean_run_has_quiet_monitor(self):
+        drv = _tagged_driver([SHADOW_NET])
+        got = _run_blocks(drv)
+        assert _flow_sites_fired(drv.sim) == []
+        assert got[ALICE] == [encrypt_block(0xAA, KEY_A)]
+        assert got[EVE] == [encrypt_block(0xBB, KEY_B)]
+
+    def test_stuck_at_one_is_detected_not_masked(self):
+        """Over-tainting a shadow conf net must trip the synthesized flow
+        sites downstream of the fault — loudly."""
+        drv = _tagged_driver([SHADOW_NET])
+        sim = drv.sim
+        sim.load_fault_plan(FaultPlan([
+            Fault(SHADOW_NET, FaultKind.STUCK_AT_1, 0xF,
+                  cycle=sim.cycle + 2, duration=40)]))
+        got = _run_blocks(drv)
+        sim.clear_fault_plan()
+
+        fired = _flow_sites_fired(sim)
+        assert fired, "stuck-at-1 on a shadow tag net was silently masked"
+        # the over-taint propagates: more than one downstream sink fires
+        assert len(fired) > 1
+        assert any(v.site.path.startswith("aes.pipe.") for v in fired)
+        # ...while the design's own enforcement (and data) is untouched
+        assert got[ALICE] == [encrypt_block(0xAA, KEY_A)]
+        assert got[EVE] == [encrypt_block(0xBB, KEY_B)]
+
+    def test_stuck_at_zero_does_not_weaken_enforcement(self):
+        """Under-tainting the monitor cannot open the real tag plane: the
+        shadow nets observe the design, they do not gate it."""
+        drv = _tagged_driver([SHADOW_NET])
+        sim = drv.sim
+        sim.load_fault_plan(FaultPlan([
+            Fault(SHADOW_NET, FaultKind.STUCK_AT_0, 0xF,
+                  cycle=sim.cycle + 2, duration=40)]))
+        got = _run_blocks(drv)
+        sim.clear_fault_plan()
+        assert got[ALICE] == [encrypt_block(0xAA, KEY_A)]
+        assert got[EVE] == [encrypt_block(0xBB, KEY_B)]
+        # no cross-user delivery happened at all
+        assert encrypt_block(0xAA, KEY_A) not in got[EVE]
+        assert encrypt_block(0xBB, KEY_B) not in got[ALICE]
+
+
+class TestShadowTagCampaign:
+    def test_scenario_list_targets_shadow_nets(self):
+        scenarios = protected_fault_scenarios(2026, smoke=True,
+                                              shadow_tags=True)
+        shadow = [s for s in scenarios if s.category == "shadow_tag"]
+        assert shadow, "shadow_tags=True produced no shadow-tag scenarios"
+        for s in shadow:
+            assert all(t.endswith("__conf")
+                       for t in s.plan.signal_targets())
+        # and the flag is purely additive: the default list is unchanged
+        base = protected_fault_scenarios(2026, smoke=True)
+        assert [s.name for s in scenarios[:len(base)]] == \
+            [s.name for s in base]
+
+    @pytest.mark.slow
+    def test_campaign_fail_safe_with_shadow_faults(self):
+        report = run_fault_campaign(True, seed=2026, smoke=True,
+                                    shadow_tags=True)
+        assert report.leaks == 0
+        assert report.harness_ok
+        by_cat = {}
+        for o in report.outcomes:
+            by_cat.setdefault(o.scenario.category, []).append(o)
+        # the control run keeps a quiet monitor
+        (control,) = by_cat["control"]
+        assert control.details["tag_flow_sites"] == 0
+        # over-taint scenarios are detected by the synthesized sites;
+        # the under-taint one stays clean (monitor quiet, data intact)
+        shadows = by_cat["shadow_tag"]
+        assert any(o.outcome == "detected" for o in shadows)
+        for o in shadows:
+            assert o.outcome in ("detected", "clean")
+            assert o.details["missing_outputs"] == 0

@@ -1,0 +1,204 @@
+"""Seeded random labelled designs for the synth/tracker differential tests.
+
+Each seed deterministically builds a small :class:`~repro.hdl.module.Module`
+whose expression graph covers every netlist node kind — unary and binary
+operators (including the value-aware ``and``/``or`` precision cases),
+muxes, slices, concats, memory reads (in- and out-of-range), and
+declassify/endorse downgrade cells — together with every label style the
+interpreted :class:`~repro.ifc.tracker.LabelTracker` understands:
+
+* unlabelled and statically labelled inputs,
+* a hardware-decoded dependent label (``tag_label``, full tag domain),
+* a small-domain dependent label over a ``way`` selector,
+* registers with static declared labels (runtime-checked sinks),
+* memories labelled none/static/per-cell/dependent-on-a-register
+  (the last exercising the tracker's next-value selector subtlety),
+* declared combinational sinks chosen *low* often enough that flow
+  violations actually fire.
+
+Stimulus is seeded too: :func:`stimulus` yields per-cycle input maps that
+keep every dependent-label selector inside its declared domain (the
+interpreted oracle raises ``KeyError`` outside it; the synthesized logic
+would fall back to a conservative bound — staying in-domain is what makes
+the two comparable bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from repro.hdl.module import Module, when
+from repro.hdl.nodes import (
+    BinaryOp,
+    Concat,
+    Const,
+    Mux,
+    Slice,
+    UnaryOp,
+    declassify,
+    endorse,
+)
+from repro.hdl.types import mask_for
+from repro.ifc.dependent import DependentLabel, tag_label
+from repro.ifc.label import Label
+from repro.ifc.lattice import SecurityLattice, two_point
+
+FOUR = SecurityLattice(("p0", "p1", "p2", "p3"))
+
+#: comb cycles per differential case — long enough for labels to travel
+#: through every register and memory cell a few times over
+CYCLES = 40
+
+
+def _random_label(rng: random.Random, lattice: SecurityLattice) -> Label:
+    n = len(lattice.principals)
+    return Label(
+        lattice,
+        lattice.decode_conf(rng.getrandbits(n)),
+        lattice.decode_integ(rng.getrandbits(n)),
+    )
+
+
+class RandomDesign:
+    """One generated module plus everything a testbench needs to drive it."""
+
+    def __init__(self, seed: int):
+        rng = random.Random(seed)
+        self.seed = seed
+        self.lattice = two_point() if seed % 2 else FOUR
+        lat = self.lattice
+        n = len(lat.principals)
+        tw = 2 * n
+        m = Module(f"rnd{seed}")
+        self.module = m
+        #: input path -> ("any", width) | ("domain", values)
+        self.input_specs: Dict[str, Tuple[str, object]] = {}
+        pool: List = []
+
+        def free_input(name: str, width: int, label=None):
+            sig = m.input(name, width, label=label)
+            self.input_specs[sig.path] = ("any", width)
+            pool.append(sig)
+            return sig
+
+        # -- inputs, one per label style ---------------------------------------
+        tag_in = free_input("tag_in", tw)          # public hardware tag
+        free_input("plain", 8)                      # unlabelled (⊥ source)
+        free_input("lab_in", 8, _random_label(rng, lat))
+        m_tagged = m.input("tagged", 8, label=tag_label(tag_in, lat))
+        self.input_specs[m_tagged.path] = ("any", 8)
+        pool.append(m_tagged)
+        way = m.input("way", 2)
+        self.input_specs[way.path] = ("domain", list(range(4)))
+        pool.append(way)
+        way_map = {v: _random_label(rng, lat) for v in range(4)}
+        dep_in = m.input("dep_in", 8,
+                         label=DependentLabel(way, way_map, lat))
+        self.input_specs[dep_in.path] = ("any", 8)
+        pool.append(dep_in)
+
+        # -- registers (all driven; some declared sinks) -------------------------
+        regs = []
+        for i in range(rng.randint(2, 4)):
+            label = _random_label(rng, lat) if rng.random() < 0.5 else None
+            r = m.reg(f"r{i}", 8, init=rng.getrandbits(8), label=label)
+            regs.append(r)
+            pool.append(r)
+        selreg = m.reg("selreg", 2)                 # memory-label selector
+        pool.append(selreg)
+
+        # -- memory, alternating label styles ------------------------------------
+        self.mem = None
+        if rng.random() < 0.7:
+            style = rng.choice(("none", "static", "cells", "dep"))
+            depth = 5                               # non-power-of-2: some
+            kwargs = {}                             # addresses out of range
+            if style == "static":
+                kwargs["label"] = _random_label(rng, lat)
+            elif style == "cells":
+                kwargs["cell_labels"] = [_random_label(rng, lat)
+                                         for _ in range(depth)]
+            elif style == "dep":
+                kwargs["label"] = DependentLabel(
+                    selreg, {v: _random_label(rng, lat) for v in range(4)},
+                    lat, domain=range(4))
+            self.mem = m.mem("ram", depth, 8, **kwargs)
+
+        # -- expression soup over the pool ----------------------------------------
+        def pick():
+            return rng.choice(pool)
+
+        def rand_expr():
+            k = rng.random()
+            a = pick()
+            if k < 0.12:
+                return UnaryOp(rng.choice(("not", "redor", "redand",
+                                           "redxor")), a)
+            if k < 0.45:
+                op = rng.choice(("and", "or", "xor", "add", "sub", "mul",
+                                 "eq", "lt", "shl", "shr", "and", "or"))
+                return BinaryOp(op, a, pick())
+            if k < 0.60:
+                return Mux(pick(), a, pick())
+            if k < 0.70:
+                hi = rng.randrange(a.width)
+                return Slice(a, hi, rng.randint(0, hi))
+            if k < 0.78:
+                return Concat([a, pick()])
+            if k < 0.86 and self.mem is not None:
+                return self.mem.read(pick().resize(3))
+            if k < 0.94:
+                kind = rng.choice((declassify, endorse))
+                return kind(a, _random_label(rng, lat),
+                            _random_label(rng, lat))
+            return BinaryOp("or", a, Const(rng.getrandbits(4), 4))
+
+        wires = []
+        for i in range(rng.randint(8, 14)):
+            label = None
+            roll = rng.random()
+            if roll < 0.25:
+                label = _random_label(rng, lat)     # declared comb sink
+            elif roll < 0.32:
+                label = tag_label(tag_in, lat)      # hardware-decoded sink
+            w = m.wire(f"w{i}", 8, label=label)
+            w.assign(rand_expr().resize(8))
+            wires.append(w)
+            pool.append(w)
+
+        # -- state updates ----------------------------------------------------------
+        selreg.assign(way)
+        for i, r in enumerate(regs):
+            if rng.random() < 0.5:
+                # last driver wins, so the unconditional fallback goes first
+                r.assign(rand_expr().resize(8), conditions=())
+                with when(pick()):
+                    r.assign(rand_expr().resize(8))
+            else:
+                r.assign(rand_expr().resize(8))
+        if self.mem is not None:
+            for _ in range(rng.randint(1, 2)):
+                with when(pick().resize(1)):
+                    self.mem.write(pick().resize(3), rand_expr().resize(8))
+
+        out = m.output("out", 8, label=_random_label(rng, lat))
+        out.assign(rand_expr().resize(8))
+
+    def stimulus(self, seed: int, cycles: int = CYCLES) -> List[Dict[str, int]]:
+        """Per-cycle input maps, domain-respecting, deterministic."""
+        rng = random.Random(seed ^ 0x5711)
+        frames = []
+        for _ in range(cycles):
+            frame = {}
+            for path, (kind, arg) in self.input_specs.items():
+                if kind == "domain":
+                    frame[path] = rng.choice(arg)
+                else:
+                    frame[path] = rng.getrandbits(arg) & mask_for(arg)
+            frames.append(frame)
+        return frames
+
+
+def random_design(seed: int) -> RandomDesign:
+    return RandomDesign(seed)

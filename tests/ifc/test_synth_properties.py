@@ -1,0 +1,201 @@
+"""Algebraic properties of the synthesized tag logic, per node kind.
+
+Two laws the shadow logic must satisfy regardless of stimulus:
+
+**Monotonicity** — in monotone mode (``tag_precise=False``) the tag of
+any node's output dominates the join of the tags of the signals feeding
+it, absent a downgrade marker.  (Precise mode deliberately breaks this
+for value-aware ``and``/``or``/``mux`` — that's its point — so the
+companion law there is *refinement*: the precise tag always flows to the
+monotone one.)
+
+**Downgrade locality** — a downgrade cell rewrites only its own output
+tag, by exactly the nonmalleable result label (``declassified`` /
+``endorsed``); sibling signals that do not read through the marker keep
+their tags bit-for-bit, whatever expression kind consumes the
+downgraded value downstream.
+
+Both are parametrized over every netlist node kind so a future tag rule
+for one kind cannot silently regress another.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.hdl.module import Module
+from repro.hdl.nodes import (
+    BinaryOp,
+    Concat,
+    Mux,
+    Slice,
+    UnaryOp,
+    declassify,
+    endorse,
+)
+from repro.hdl.sim import Simulator
+from repro.ifc.label import Label, bottom, join_all
+from repro.ifc.lattice import SecurityLattice
+from repro.ifc.nonmalleable import declassified, endorsed
+
+LAT = SecurityLattice(("p0", "p1", "p2", "p3"))
+
+
+def _label(rng: random.Random) -> Label:
+    n = len(LAT.principals)
+    return Label(LAT, LAT.decode_conf(rng.getrandbits(n)),
+                 LAT.decode_integ(rng.getrandbits(n)))
+
+
+# (name, builder(a, b, sel, mem) -> node, which inputs feed it)
+NODE_KINDS = [
+    ("unary_not", lambda a, b, s, m: UnaryOp("not", a), ("a",)),
+    ("unary_redor", lambda a, b, s, m: UnaryOp("redor", a), ("a",)),
+    ("unary_redand", lambda a, b, s, m: UnaryOp("redand", a), ("a",)),
+    ("unary_redxor", lambda a, b, s, m: UnaryOp("redxor", a), ("a",)),
+    ("binary_and", lambda a, b, s, m: BinaryOp("and", a, b), ("a", "b")),
+    ("binary_or", lambda a, b, s, m: BinaryOp("or", a, b), ("a", "b")),
+    ("binary_xor", lambda a, b, s, m: BinaryOp("xor", a, b), ("a", "b")),
+    ("binary_add", lambda a, b, s, m: BinaryOp("add", a, b), ("a", "b")),
+    ("binary_sub", lambda a, b, s, m: BinaryOp("sub", a, b), ("a", "b")),
+    ("binary_mul", lambda a, b, s, m: BinaryOp("mul", a, b), ("a", "b")),
+    ("binary_eq", lambda a, b, s, m: BinaryOp("eq", a, b), ("a", "b")),
+    ("binary_lt", lambda a, b, s, m: BinaryOp("lt", a, b), ("a", "b")),
+    ("binary_shl", lambda a, b, s, m: BinaryOp("shl", a, b), ("a", "b")),
+    ("binary_shr", lambda a, b, s, m: BinaryOp("shr", a, b), ("a", "b")),
+    ("mux", lambda a, b, s, m: Mux(s, a, b), ("a", "b", "sel")),
+    ("slice", lambda a, b, s, m: Slice(a, 5, 2), ("a",)),
+    ("concat", lambda a, b, s, m: Concat([a, b]), ("a", "b")),
+    ("memread", lambda a, b, s, m: m.read(Slice(a, 2, 0)), ("a",)),
+]
+
+
+def _build(node_fn, wrap=None):
+    """One-wire module: ``out <= kind(a, b, sel)`` (optionally wrapped)."""
+    mod = Module("prop")
+    a = mod.input("a", 8)
+    b = mod.input("b", 8)
+    sel = mod.input("sel", 1)
+    mem = mod.mem("ram", 8, 8, cell_labels=[bottom(LAT)] * 8)
+    expr = node_fn(a, b, sel, mem)
+    if wrap is not None:
+        expr = wrap(expr, b)
+    out = mod.wire("out", 16)
+    out.assign(expr.resize(16))
+    return mod
+
+
+@pytest.mark.parametrize("name,node_fn,feeds",
+                         NODE_KINDS, ids=[k[0] for k in NODE_KINDS])
+def test_monotone_output_dominates_input_join(name, node_fn, feeds):
+    rng = random.Random(hash(name) & 0xFFFF)
+    mod = _build(node_fn)
+    dut = Simulator(mod, backend="compiled", tag_tracking=True,
+                    lattice=LAT, tag_precise=False)
+    for trial in range(25):
+        labels = {p: _label(rng) for p in ("a", "b", "sel")}
+        for p, lab in labels.items():
+            dut.tags.set_source_label(f"prop.{p}", lab)
+        dut.tags.reseed()
+        dut.poke("prop.a", rng.getrandbits(8))
+        dut.poke("prop.b", rng.getrandbits(8))
+        dut.poke("prop.sel", rng.getrandbits(1))
+        got = dut.tags.label_of("prop.out")
+        feed_join = join_all([labels[p] for p in feeds], LAT)
+        assert feed_join.flows_to(got), (
+            f"{name}: monotone tag {got!r} lost part of the input join "
+            f"{feed_join!r} (inputs {labels!r})")
+        # and no label invention: everything in the output tag came from
+        # some input of the cone
+        all_join = join_all(list(labels.values()), LAT)
+        assert got.flows_to(all_join), (
+            f"{name}: monotone tag {got!r} exceeds the join of every "
+            f"source {all_join!r}")
+
+
+@pytest.mark.parametrize("name,node_fn,feeds",
+                         NODE_KINDS, ids=[k[0] for k in NODE_KINDS])
+def test_precise_refines_monotone(name, node_fn, feeds):
+    rng = random.Random(hash(name) & 0xFFFF)
+    mod_p = _build(node_fn)
+    mod_m = _build(node_fn)
+    precise = Simulator(mod_p, backend="compiled", tag_tracking=True,
+                        lattice=LAT, tag_precise=True)
+    monotone = Simulator(mod_m, backend="compiled", tag_tracking=True,
+                         lattice=LAT, tag_precise=False)
+    for trial in range(25):
+        vals = {"a": rng.getrandbits(8), "b": rng.getrandbits(8),
+                "sel": rng.getrandbits(1)}
+        for dut, top in ((precise, "prop"), (monotone, "prop")):
+            for p in ("a", "b", "sel"):
+                dut.tags.set_source_label(f"{top}.{p}", _label(
+                    random.Random(trial * 7 + hash(p) % 97)))
+                dut.poke(f"{top}.{p}", vals[p])
+            dut.tags.reseed()
+        got_p = precise.tags.label_of("prop.out")
+        got_m = monotone.tags.label_of("prop.out")
+        assert got_p.flows_to(got_m), (
+            f"{name}: precise tag {got_p!r} does not refine monotone "
+            f"tag {got_m!r}")
+
+
+@pytest.mark.parametrize("name,node_fn,feeds",
+                         NODE_KINDS, ids=[k[0] for k in NODE_KINDS])
+@pytest.mark.parametrize("dg", ["declassify", "endorse"])
+def test_downgrade_locality(name, node_fn, feeds, dg):
+    """A downgrade marker inside the cone of ``out`` must not perturb the
+    tag of a sibling wire, and the marker's own output must carry exactly
+    the nonmalleable result label."""
+    rng = random.Random(hash((name, dg)) & 0xFFFF)
+    target = _label(rng)
+    authority = _label(rng)
+    kind = declassify if dg == "declassify" else endorse
+
+    mod = Module("prop")
+    a = mod.input("a", 8)
+    b = mod.input("b", 8)
+    sel = mod.input("sel", 1)
+    mem = mod.mem("ram", 8, 8, cell_labels=[bottom(LAT)] * 8)
+    dg_out = mod.wire("dg_out", 8)
+    dg_out.assign(kind(a, target, authority))
+    # downstream: the node kind under test consumes the downgraded value
+    down = mod.wire("down", 16)
+    down.assign(node_fn(dg_out, b, sel, mem).resize(16))
+    # sibling: same expression shape, no downgrade in its cone
+    side = mod.wire("side", 16)
+    side.assign(node_fn(a, b, sel, mem).resize(16))
+
+    dut = Simulator(mod, backend="compiled", tag_tracking=True,
+                    lattice=LAT, tag_check_downgrades=False)
+    mod2 = _build(node_fn)
+    ref = Simulator(mod2, backend="compiled", tag_tracking=True,
+                    lattice=LAT)
+    for trial in range(25):
+        la, lb, ls = _label(rng), _label(rng), _label(rng)
+        dut.tags.set_source_label("prop.a", la)
+        dut.tags.set_source_label("prop.b", lb)
+        dut.tags.set_source_label("prop.sel", ls)
+        dut.tags.reseed()
+        dut.poke("prop.a", rng.getrandbits(8))
+        dut.poke("prop.b", rng.getrandbits(8))
+        dut.poke("prop.sel", rng.getrandbits(1))
+
+        want_dg = (declassified(la, target) if dg == "declassify"
+                   else endorsed(la, target))
+        assert dut.tags.label_of("prop.dg_out") == want_dg, (
+            f"{dg} output label wrong: {dut.tags.label_of('prop.dg_out')!r}"
+            f" != {want_dg!r}")
+
+        # locality: the sibling cone never sees the downgrade
+        ref.tags.set_source_label("prop.a", la)
+        ref.tags.set_source_label("prop.b", lb)
+        ref.tags.set_source_label("prop.sel", ls)
+        ref.tags.reseed()
+        ref.poke("prop.a", dut.peek("prop.a"))
+        ref.poke("prop.b", dut.peek("prop.b"))
+        ref.poke("prop.sel", dut.peek("prop.sel"))
+        assert dut.tags.label_of("prop.side") == \
+            ref.tags.label_of("prop.out"), (
+            f"{dg} marker perturbed the sibling {name} cone")
