@@ -15,16 +15,16 @@ from pathlib import Path
 
 from conftest import report
 
-from repro.faults.campaign import run_paired_fault_campaign
+from repro.faults.campaign import (
+    detection_accuracy,
+    failsafe_accuracy,
+    injected_outcomes,
+    run_paired_fault_campaign,
+)
 from repro.obs import MetricsRegistry
 
 BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_faults.json"
 SEED = 2026
-
-
-def _fault_scenarios(rep):
-    """Outcomes of scenarios that actually injected something."""
-    return [o for o in rep.outcomes if o.scenario.category != "control"]
 
 
 def test_fault_campaign_failsafe(benchmark):
@@ -36,11 +36,10 @@ def test_fault_campaign_failsafe(benchmark):
     )
     wall = time.perf_counter() - t0
 
-    prot = _fault_scenarios(result.protected)
-    base = _fault_scenarios(result.baseline)
-    failsafe = sum(o.outcome != "leaked" for o in prot) / len(prot)
-    detection = sum(o.outcome in ("corrupted", "leaked")
-                    for o in base) / len(base)
+    prot = injected_outcomes(result.protected)
+    base = injected_outcomes(result.baseline)
+    failsafe = failsafe_accuracy(result.protected)
+    detection = detection_accuracy(result.baseline)
     injections = sum(o.details.get("fault_events", 0)
                      for o in prot + base)
     report(
@@ -64,7 +63,9 @@ def test_fault_campaign_failsafe(benchmark):
             "wall time of the paired smoke campaign").set(wall)
     m.write_jsonl(str(BENCH_JSON))
 
-    # the PR's claim, held as a benchmark invariant: block, never leak
+    # the PR's claim, held as a benchmark invariant: block, never leak —
+    # and every baseline fault is host-visible now that the scenarios
+    # avoid the architecturally-ignored conf nibble
     assert result.ok
     assert failsafe == 1.0
-    assert detection > 0
+    assert detection == 1.0

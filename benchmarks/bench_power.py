@@ -1,0 +1,65 @@
+"""Power-observatory benchmark: attack strength + trace throughput.
+
+Runs the paired masked-vs-unmasked power campaign (the CI power gate)
+under the benchmark harness and exports its headline numbers as gauges —
+the unmasked round's TVLA max-|t| and CPA key-byte recovery, the masked
+round's recovery (the masking margin, expected 0), and the collector's
+trace throughput — so the bench history ledger (``python -m repro obs
+history``) tracks detector power and collection cost across runs.
+"""
+
+import time
+from pathlib import Path
+
+from conftest import report
+
+from repro.obs import MetricsRegistry
+from repro.obs.power import run_power_campaign
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_power.json"
+SEED = 2026
+
+
+def test_power_campaign_gate(benchmark):
+    t0 = time.perf_counter()
+    result = benchmark.pedantic(
+        run_power_campaign,
+        kwargs={"seed": SEED, "backend": "compiled",
+                "check_protected": False, "with_attribution": False},
+        iterations=1, rounds=1,
+    )
+    wall = time.perf_counter() - t0
+
+    u, m = result.unmasked, result.masked
+    report(
+        "Power side channel — paired masked-vs-unmasked campaign",
+        f"unmasked: TVLA max|t| {u.tvla.max_t:.1f}, "
+        f"CPA {u.cpa.recovered}/16 key bytes rank-0 "
+        f"over {u.cpa.traces} traces\n"
+        f"masked  : TVLA max|t| {m.tvla.max_t:.1f}, "
+        f"CPA {m.cpa.recovered}/16 key bytes rank-0\n"
+        f"campaign: {u.traces_per_second:.0f} traces/s unmasked, "
+        f"{wall:.2f}s wall",
+    )
+
+    reg = MetricsRegistry()
+    reg.gauge("bench_power_tvla_max_t",
+              "unmasked round TVLA max |t| (gate threshold 4.5)"
+              ).set(u.tvla.max_t)
+    reg.gauge("bench_power_cpa_recovered_bytes",
+              "unmasked key bytes recovered at rank 0 (of 16)"
+              ).set(u.cpa.recovered)
+    reg.gauge("bench_power_masked_recovered_bytes",
+              "masked key bytes recovered at rank 0 (0 = masking holds)"
+              ).set(m.cpa.recovered)
+    reg.gauge("bench_power_traces_per_second",
+              "HD power-proxy traces collected per second (unmasked, "
+              "compiled backend)").set(u.traces_per_second)
+    reg.gauge("bench_power_campaign_seconds",
+              "wall time of the paired power campaign").set(wall)
+    reg.write_jsonl(str(BENCH_JSON))
+
+    # the PR's claim, held as a benchmark invariant: the attack works
+    # on the unmasked round and first-order masking defeats it
+    assert result.baseline_broken
+    assert result.masking_effective

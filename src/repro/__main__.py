@@ -32,6 +32,11 @@ Commands
 ``obs flows [--out DIR]``
     Flow provenance explorer: seeded scenarios on both designs with
     static + dynamic witness chains that must blame the same sources.
+``obs power [--backend B] [--out DIR]``
+    Power side-channel observatory: per-cycle power-proxy traces with
+    TVLA + CPA detectors; the paired gate requires the unmasked round
+    flagged and key-recovered while the masked variant resists
+    (see docs/observability.md).
 ``ifc synth [--backend B|all] [--smoke] [--out DIR]``
     Shadow-tag transform report: tag-net counts per design, per-backend
     tagged-vs-plain overhead, and a differential spot-check against the
@@ -232,6 +237,12 @@ def cmd_obs_flows(args) -> int:
     return run(args)
 
 
+def cmd_obs_power(args) -> int:
+    from .obs.power import cmd_obs_power as run
+
+    return run(args)
+
+
 def cmd_ifc_synth(args) -> int:
     from .ifc.synth_cli import cmd_ifc_synth as run
 
@@ -306,7 +317,8 @@ def main(argv=None) -> int:
     p.set_defaults(fn=cmd_obs)
 
     obs_sub = p.add_subparsers(dest="obs_command",
-                               metavar="{leakage,profile,history,flows}")
+                               metavar="{leakage,profile,history,flows,"
+                                       "power}")
 
     q = obs_sub.add_parser(
         "leakage", help="statistical timing-channel detector")
@@ -386,6 +398,32 @@ def main(argv=None) -> int:
     q.add_argument("--json", action="store_true",
                    help="machine-readable report on stdout")
     q.set_defaults(fn=cmd_obs_flows)
+
+    q = obs_sub.add_parser(
+        "power", help="power side-channel observatory (TVLA + CPA gate)")
+    q.add_argument("--traces", type=int, default=512,
+                   help="random traces for the CPA budget (default 512)")
+    q.add_argument("--tvla-traces", type=int, default=64,
+                   help="fixed/random traces per TVLA group (default 64)")
+    q.add_argument("--seed", type=int, default=2026,
+                   help="campaign RNG seed (default 2026)")
+    q.add_argument("--backend", default="compiled",
+                   choices=("interp", "compiled", "batched"))
+    q.add_argument("--lanes", type=int, default=64,
+                   help="lanes per batched run — one power trace per "
+                        "lane (default 64; batched backend only)")
+    q.add_argument("--no-ifc-check", action="store_true",
+                   dest="no_ifc_check",
+                   help="skip the protected design's static IFC "
+                        "cross-check")
+    q.add_argument("--demo", action="store_true",
+                   help="default trace budget (CI gate symmetry)")
+    q.add_argument("--out", default=None,
+                   help="directory for power_report.json / "
+                        "power_report.md")
+    q.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    q.set_defaults(fn=cmd_obs_power)
 
     p = sub.add_parser("ifc", help="information-flow tooling")
     ifc_sub = p.add_subparsers(dest="ifc_command", metavar="{synth}")

@@ -1,0 +1,136 @@
+"""Power-analysis round-function targets: unmasked and 2-share masked.
+
+The power observatory (:mod:`repro.obs.power`) needs a workload whose
+side-channel story is *known*: a first AES round whose S-box output
+register is the classic CPA target, in two variants sharing one
+interface:
+
+* ``RoundPowerUnit(masked=False)`` — AddRoundKey, SubBytes, and a second
+  ShiftRows+MixColumns stage, all on plain values.  Every register and
+  wire carries a deterministic function of (plaintext, key), so a
+  Hamming-distance power proxy leaks ``HW(sbox(p ^ k))`` per byte and a
+  correlation attack recovers the key.
+
+* ``RoundPowerUnit(masked=True)`` — the same round as a first-order
+  Boolean-masked datapath with **table recomputation** (Herbst et al.
+  style): the host supplies the state pre-masked with an input mask byte
+  ``m_in`` (replicated across the 16 bytes) and provisions the writable
+  ``msbox`` memory with ``S'(v) = S(v ^ m_in) ^ m_out`` before each
+  trace, so the hardware only ever computes on the two shares
+
+  ``share0 = sbox(p ^ k) ^ M_out``   and   ``mask = M_out``
+
+  (``M_out`` = ``m_out`` replicated).  ShiftRows/MixColumns are linear,
+  so the second stage transforms each share independently and the
+  unmasked round output ``share0 ^ mask`` exists nowhere in the netlist
+  — recombination happens in the host, after the power trace ends.
+
+The module deliberately has no tags or IFC labels: it is a *physical*
+side-channel scenario, orthogonal to the paper's information-flow
+enforcement (the observatory's paired gate checks both axes — see
+``docs/observability.md``).
+
+Host-side helpers (:func:`masked_sbox_table`, :func:`mask128`,
+:func:`recombine`) keep the testbench protocol next to the hardware it
+drives.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..aes.constants import SBOX
+from ..hdl.module import Module, when
+from ..hdl.nodes import Node, cat
+from .round_exprs import mix_columns_expr, sbox_lookup_expr, shift_rows_expr
+
+#: Cycles from ``in_valid`` to the second-stage register (the trace
+#: window the power campaigns capture).
+ROUND_LATENCY = 2
+
+
+def mask128(mask_byte: int) -> int:
+    """The 8-bit mask replicated over all 16 state bytes."""
+    out = 0
+    for _ in range(16):
+        out = (out << 8) | (mask_byte & 0xFF)
+    return out
+
+
+def masked_sbox_table(m_in: int, m_out: int) -> List[int]:
+    """Recomputed table ``S'(v) = S(v ^ m_in) ^ m_out``."""
+    return [SBOX[v ^ (m_in & 0xFF)] ^ (m_out & 0xFF) for v in range(256)]
+
+
+def recombine(share0: int, mask: int) -> int:
+    """Host-side unmasking of the round output (never done in hardware)."""
+    return share0 ^ mask
+
+
+def reference_round(plain: int, key: int) -> int:
+    """Software model of the unit's output: MC(SR(S(p ^ k)))."""
+    from ..aes import block_to_state, mix_columns, shift_rows, \
+        state_to_block, sub_bytes
+
+    state = block_to_state(plain ^ key)
+    return state_to_block(mix_columns(shift_rows(sub_bytes(state))))
+
+
+class RoundPowerUnit(Module):
+    """One AES round as a power side-channel target (see module docs)."""
+
+    def __init__(self, masked: bool = False, name: str = "roundpow"):
+        super().__init__(name)
+        self.masked = masked
+
+        self.in_valid = self.input("in_valid", 1)
+        #: plaintext (unmasked) or ``p ^ mask128(m_in)`` (masked)
+        self.in_state = self.input("in_state", 128)
+        self.in_key = self.input("in_key", 128)
+        if masked:
+            #: the output mask byte the provisioned table XORs in
+            self.in_mask_out = self.input("in_mask_out", 8)
+            #: testbench-provisioned masked S-box (poke_mem per trace)
+            self.msbox = self.mem("msbox", 256, 8)
+            sbox_mem = self.msbox
+        else:
+            self.sbox = self.rom("sbox", SBOX, 8)
+            sbox_mem = self.sbox
+
+        ark = self.in_state ^ self.in_key
+        sub = sbox_lookup_expr(ark, sbox_mem)
+
+        # stage 1: the CPA target register (share0 of sbox output)
+        self.valid_r = self.reg("valid_r", 1)
+        self.state_r = self.reg("state_r", 128)
+        self.valid_r <<= self.in_valid
+        with when(self.in_valid):
+            self.state_r <<= sub
+        if masked:
+            self.mask_r = self.reg("mask_r", 128)
+            with when(self.in_valid):
+                self.mask_r <<= self._replicate(self.in_mask_out)
+
+        # stage 2: the linear layer (applies to each share independently)
+        self.valid2_r = self.reg("valid2_r", 1)
+        self.state2_r = self.reg("state2_r", 128)
+        self.valid2_r <<= self.valid_r
+        with when(self.valid_r):
+            self.state2_r <<= mix_columns_expr(shift_rows_expr(self.state_r))
+        if masked:
+            self.mask2_r = self.reg("mask2_r", 128)
+            with when(self.valid_r):
+                self.mask2_r <<= mix_columns_expr(
+                    shift_rows_expr(self.mask_r))
+
+        self.out_valid = self.output("out_valid", 1)
+        self.out_valid <<= self.valid2_r
+        self.out_share0 = self.output("out_share0", 128)
+        self.out_share0 <<= self.state2_r
+        if masked:
+            self.out_mask = self.output("out_mask", 128)
+            self.out_mask <<= self.mask2_r
+
+    @staticmethod
+    def _replicate(byte: Node) -> Node:
+        return cat(*([byte] * 16))

@@ -146,6 +146,41 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+#: Outcomes that count as the campaign visibly noticing a fault: a
+#: corrupted or leaked delivery the host can see, or a shadow-tag
+#: monitor verdict ("detected") when the tag plane flags the fault even
+#: though delivery stayed clean.
+DETECTED_OUTCOMES = ("corrupted", "leaked", "detected")
+
+
+def injected_outcomes(report: CampaignReport) -> List[ScenarioOutcome]:
+    """Outcomes of the scenarios that actually injected a fault."""
+    return [o for o in report.outcomes if o.scenario.category != "control"]
+
+
+def detection_accuracy(report: CampaignReport) -> float:
+    """Fraction of injected-fault scenarios with a host-visible effect.
+
+    The campaign's statistical power: every scenario is generated to be
+    architecturally observable (e.g. baseline tag faults land in the
+    vouch nibble the delivery path actually reads), so anything below
+    1.0 means the injector or the classification missed.  Shadow-tag
+    ``detected`` outcomes count — a fault the synthesized monitor flags
+    is detected even when delivery is untouched."""
+    outs = injected_outcomes(report)
+    if not outs:
+        return 0.0
+    return sum(o.outcome in DETECTED_OUTCOMES for o in outs) / len(outs)
+
+
+def failsafe_accuracy(report: CampaignReport) -> float:
+    """Fraction of injected-fault scenarios that did not leak."""
+    outs = injected_outcomes(report)
+    if not outs:
+        return 0.0
+    return sum(o.outcome != "leaked" for o in outs) / len(outs)
+
+
 class PairedFaultResult:
     """Protected fail-safe gate plus baseline detection gate."""
 
@@ -313,11 +348,16 @@ def baseline_fault_scenarios(seed: int,
             FaultPlan([Fault(f"aes.pipe.{st}.data_r", FaultKind.TRANSIENT,
                              rng.getrandbits(128) | 1, cycle=4,
                              duration=26)])))
+    # the baseline's delivery path reads only the vouch nibble
+    # (``tag & 0xF``); a flip in the ignored conf bits is architecturally
+    # invisible to the host and would classify "clean" without saying
+    # anything about campaign power — keep baseline tag faults where the
+    # unprotected design can actually show them
     for st in rng.sample(STAGE_NAMES, 1 if smoke else 2):
         scenarios.append(FaultScenario(
             f"pipe_tag_{st}", "pipe_tag",
             FaultPlan([Fault(f"aes.pipe.{st}.tag_r", FaultKind.TRANSIENT,
-                             1 << rng.randrange(8), cycle=4, duration=26)])))
+                             1 << rng.randrange(4), cycle=4, duration=26)])))
     if not smoke:
         scenarios.append(FaultScenario(
             "advance_stuck_off", "stall",

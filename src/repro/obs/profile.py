@@ -23,7 +23,9 @@ Export formats, one per consumer:
 * ``profile_trace.json`` — Chrome trace-event counters of per-window
   toggle activity by subsystem (load into chrome://tracing / Perfetto);
 * ``toggle_heatmap.json`` — machine-readable per-net / per-module /
-  per-window toggle data, the input for aiming the next perf PR.
+  per-window toggle *and* Hamming-distance data (the same per-window
+  attribution format the power observatory consumes), the input for
+  aiming the next perf PR.
 
 A detached profiler costs nothing: it only exists while attached, and
 the disabled-telemetry guard (``benchmarks/bench_obs_overhead.py``)
@@ -85,7 +87,9 @@ class ProfileReport:
                  window: int, cycles_sampled: int, wall_seconds: float,
                  net_toggles: Dict[str, int],
                  module_stats: Dict[str, Dict[str, float]],
-                 window_series: List[Tuple[int, Dict[str, int]]]):
+                 window_series: List[Tuple[int, Dict[str, int]]],
+                 hamming_series: Optional[
+                     List[Tuple[int, Dict[str, int]]]] = None):
         self.design = design
         self.backend = backend
         self.sample_interval = sample_interval
@@ -95,6 +99,7 @@ class ProfileReport:
         self.net_toggles = net_toggles
         self.module_stats = module_stats
         self.window_series = window_series
+        self.hamming_series = hamming_series or []
 
     # -- folded-stack flamegraph ------------------------------------------------
     def folded_stacks(self) -> List[str]:
@@ -153,7 +158,13 @@ class ProfileReport:
             "nets": dict(sorted(self.net_toggles.items())),
             "modules": {m: dict(s) for m, s in
                         sorted(self.module_stats.items())},
-            "windows": [{"start_cycle": start, "toggles": dict(counts)}
+            # "hamming" rides along per window (bits flipped, where
+            # "toggles" counts nets changed) so the profiler and the
+            # power observatory share one attribution format; the
+            # original keys are unchanged
+            "windows": [{"start_cycle": start, "toggles": dict(counts),
+                         "hamming": dict(hamming.get(start, {}))}
+                        for hamming in (dict(self.hamming_series),)
                         for start, counts in self.window_series],
         }
 
@@ -220,6 +231,7 @@ class SimProfiler:
         self.cycles_sampled = 0
         self.wall_seconds = 0.0
         self._windows: Dict[int, Dict[str, int]] = {}
+        self._hwindows: Dict[int, Dict[str, int]] = {}
         self._prev: Optional[List[int]] = None
         self._last_ts: Optional[float] = None
         self._attached = True
@@ -253,13 +265,16 @@ class SimProfiler:
             if prev is not None:
                 toggles = self.toggles
                 subsystems = self._subsystems
-                wslot = self._windows.setdefault(
-                    (cycle // self.window) * self.window, {})
+                start = (cycle // self.window) * self.window
+                wslot = self._windows.setdefault(start, {})
+                hslot = self._hwindows.setdefault(start, {})
                 for i, v in enumerate(vals):
                     if v != prev[i]:
                         toggles[i] += 1
                         group = subsystems[i]
                         wslot[group] = wslot.get(group, 0) + 1
+                        hd = bin(v ^ prev[i]).count("1")
+                        hslot[group] = hslot.get(group, 0) + hd
             self._prev = vals
             self.cycles_sampled += 1
         # exclude our own sampling cost from the attributed wall time
@@ -296,6 +311,7 @@ class SimProfiler:
             net_toggles=net_toggles,
             module_stats=module_stats,
             window_series=series,
+            hamming_series=sorted(self._hwindows.items()),
         )
 
 

@@ -10,6 +10,9 @@ import pytest
 from repro.faults.campaign import (
     CampaignReport,
     baseline_fault_scenarios,
+    detection_accuracy,
+    failsafe_accuracy,
+    injected_outcomes,
     protected_fault_scenarios,
     run_fault_campaign,
     run_paired_fault_campaign,
@@ -86,9 +89,16 @@ class TestSmokeCampaign:
         assert again.verdict_rows() == paired.protected.verdict_rows()
 
     def test_verdicts_are_classified(self, paired):
-        legal = {"clean", "degraded", "corrupted", "leaked"}
+        legal = {"clean", "degraded", "corrupted", "leaked", "detected"}
         for report in (paired.protected, paired.baseline):
             assert {o.outcome for o in report.outcomes} <= legal
+
+    def test_baseline_detection_accuracy_is_full(self, paired):
+        # regression: the bench gauge sat at 0.5 while half the baseline
+        # pipe_tag faults hit conf bits the delivery path never reads;
+        # scenarios now stay in the vouch nibble, so every injected
+        # fault must be host-visible
+        assert detection_accuracy(paired.baseline) == 1.0
 
 
 class TestReportShape:
@@ -100,3 +110,32 @@ class TestReportShape:
             design="protected", backend="compiled", seed=1,
             outcomes=[ScenarioOutcome(ctrl, "corrupted", {})])
         assert not rep.harness_ok
+
+
+class TestAccuracyHelpers:
+    def _report(self, outcomes):
+        from repro.faults.campaign import FaultScenario, ScenarioOutcome
+        from repro.faults.plan import FaultPlan
+        ctrl = FaultScenario("no_fault", "control", FaultPlan([]))
+        fault = FaultScenario("f", "pipe_tag", FaultPlan([]))
+        outs = [ScenarioOutcome(ctrl, "clean", {})]
+        outs += [ScenarioOutcome(fault, o, {}) for o in outcomes]
+        return CampaignReport(design="baseline", backend="compiled",
+                              seed=1, outcomes=outs)
+
+    def test_control_excluded_from_injected(self):
+        rep = self._report(["corrupted", "clean"])
+        assert len(injected_outcomes(rep)) == 2
+
+    def test_detection_counts_detected_outcomes(self):
+        # the original accounting only counted "corrupted"; a shadow-tag
+        # "detected" verdict and a "leaked" one are equally visible
+        rep = self._report(["corrupted", "detected", "leaked", "clean"])
+        assert detection_accuracy(rep) == pytest.approx(0.75)
+        rep = self._report(["detected", "detected"])
+        assert detection_accuracy(rep) == 1.0
+
+    def test_failsafe_counts_everything_but_leaks(self):
+        rep = self._report(["corrupted", "detected", "leaked", "clean"])
+        assert failsafe_accuracy(rep) == pytest.approx(0.75)
+        assert failsafe_accuracy(self._report(["clean"])) == 1.0

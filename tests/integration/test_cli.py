@@ -122,6 +122,34 @@ class TestObsProfileCommand:
         assert data["cycles_sampled"] > 0
 
 
+class TestObsPowerCommand:
+    def test_demo_verdict_and_exit_code(self, capsys):
+        assert main(["obs", "power", "--demo", "--no-ifc-check"]) == 0
+        out = capsys.readouterr().out
+        assert "power side-channel campaign" in out
+        assert "VERDICT: unmasked round flagged and broken" in out
+
+    def test_json_and_out_artifacts(self, tmp_path, capsys):
+        assert main(["obs", "power", "--demo", "--json",
+                     "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        data = json.loads(out.splitlines()[0])
+        assert data["ok"] is True
+        assert data["baseline_broken"] is True
+        assert data["masking_effective"] is True
+        report = json.loads((tmp_path / "power_report.json").read_text())
+        assert report["unmasked"]["tvla"]["flagged"] is True
+        assert report["masked"]["cpa"]["recovered_bytes"] == 0
+        md = (tmp_path / "power_report.md").read_text()
+        assert "| design | backend |" in md
+
+    def test_starved_budget_fails_gate(self, capsys):
+        # 48 random traces cannot break the unmasked round -> exit 1
+        assert main(["obs", "power", "--traces", "48",
+                     "--tvla-traces", "16", "--no-ifc-check"]) == 1
+        assert "UNEXPECTED" in capsys.readouterr().out
+
+
 class TestObsHistoryCommand:
     def _bench(self, tmp_path, value):
         (tmp_path / "BENCH_t.json").write_text(json.dumps(

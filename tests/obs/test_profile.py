@@ -105,6 +105,18 @@ class TestSimProfiler:
         assert starts == [0, 4]
         assert all(counts.get("b", 0) > 0 for _, counts in rep.window_series)
 
+    def test_window_hamming_tracks_toggles(self):
+        sim = _sim("compiled")
+        with SimProfiler(sim, window=4) as prof:
+            sim.step(8)
+        rep = prof.report()
+        hamming = dict(rep.hamming_series)
+        assert sorted(hamming) == [s for s, _ in rep.window_series]
+        # every toggle flips at least one bit, so HD >= toggle count
+        for start, counts in rep.window_series:
+            for grp, n in counts.items():
+                assert hamming[start].get(grp, 0) >= n
+
 
 class TestReportExports:
     @pytest.fixture()
@@ -131,6 +143,11 @@ class TestReportExports:
         heat = json.loads((tmp_path / "toggle_heatmap.json").read_text())
         assert heat["nets"]["b.tick"] == 11
         assert heat["windows"]
+        for w in heat["windows"]:
+            # satellite contract: old keys intact, hamming added per window
+            assert {"start_cycle", "toggles", "hamming"} <= set(w)
+            for grp, n in w["toggles"].items():
+                assert w["hamming"].get(grp, 0) >= n
         assert set(paths) == {"flamegraph", "profile_trace",
                               "toggle_heatmap"}
 
