@@ -243,6 +243,12 @@ def cmd_obs_power(args) -> int:
     return run(args)
 
 
+def cmd_obs_coverage(args) -> int:
+    from .obs.coverage import cmd_obs_coverage as run
+
+    return run(args)
+
+
 def cmd_ifc_synth(args) -> int:
     from .ifc.synth_cli import cmd_ifc_synth as run
 
@@ -318,7 +324,7 @@ def main(argv=None) -> int:
 
     obs_sub = p.add_subparsers(dest="obs_command",
                                metavar="{leakage,profile,history,flows,"
-                                       "power}")
+                                       "power,coverage}")
 
     q = obs_sub.add_parser(
         "leakage", help="statistical timing-channel detector")
@@ -424,6 +430,35 @@ def main(argv=None) -> int:
     q.add_argument("--json", action="store_true",
                    help="machine-readable report on stdout")
     q.set_defaults(fn=cmd_obs_power)
+
+    q = obs_sub.add_parser(
+        "coverage",
+        help="verification coverage observatory (toggle/taint/site/fault "
+             "coverage ledger + holes gate)")
+    q.add_argument("--backend", default="all",
+                   choices=("interp", "compiled", "batched", "all"),
+                   help="one backend, or 'all' for every available one "
+                        "(default all; maps must be bit-identical)")
+    q.add_argument("--seed", type=int, default=2026,
+                   help="campaign RNG seed (default 2026)")
+    q.add_argument("--lanes", type=int, default=2,
+                   help="lanes for the batched collection — all driven "
+                        "identically, OR-merged (default 2)")
+    q.add_argument("--smoke", action="store_true",
+                   help="structural workload only: skip the fault-armed "
+                        "phase and the outcome-matrix campaign")
+    q.add_argument("--no-faults", action="store_true", dest="no_faults",
+                   help="skip the smoke fault campaign behind the "
+                        "outcome matrix")
+    q.add_argument("--ledger", default=None,
+                   help="append-only coverage ledger JSONL to merge "
+                        "with and append to")
+    q.add_argument("--out", default=None,
+                   help="directory for coverage_report.json / .md / "
+                        "coverage_map.json")
+    q.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    q.set_defaults(fn=cmd_obs_coverage)
 
     p = sub.add_parser("ifc", help="information-flow tooling")
     ifc_sub = p.add_subparsers(dest="ifc_command", metavar="{synth}")

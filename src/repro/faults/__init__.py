@@ -36,6 +36,10 @@ _CAMPAIGN_EXPORTS = (
     "baseline_fault_scenarios",
     "run_fault_campaign",
     "run_paired_fault_campaign",
+    "fault_site_census",
+    "injected_sites",
+    "fault_coverage",
+    "coverage_scenarios",
     "cmd_faults",
 )
 

@@ -367,6 +367,104 @@ def baseline_fault_scenarios(seed: int,
     return scenarios
 
 
+# -- coverage-observatory census ---------------------------------------------------
+
+#: fixed control-ring targets sampled by :func:`protected_fault_scenarios`
+_STALL_SITES = ("aes.stallctl.stall", "aes.stallctl.allowed",
+                "aes.advance", "aes.stallctl.meet_o")
+_DECLASS_SITES = ("aes.declass.in_valid", "aes.declass.in_op",
+                  "aes.declass.in_tag", "aes.declass.declass_ok")
+#: key-slot tag cells of both users (slot 1 = cells 2,3; slot 2 = 4,5)
+_SCRATCH_TAG_CELLS = (2, 3, 4, 5)
+
+
+def fault_site_census(shadow_tags: bool = False) -> List[Dict[str, str]]:
+    """The full injectable-site candidate space the seeded generators
+    sample from.
+
+    One entry per ``(family, site)``; ``site`` is a hierarchical signal
+    path, with memory cells written ``path[addr]``.  The coverage
+    observatory diffs this census against the sites a campaign actually
+    injected to find never-injected holes — by construction the smoke
+    campaigns sample a strict subset, so the diff names real holes.
+    """
+    census: List[Dict[str, str]] = []
+    for st in STAGE_NAMES:
+        census.append({"site": f"aes.pipe.{st}.tag_r", "family": "pipe_tag"})
+    for addr in _SCRATCH_TAG_CELLS:
+        census.append({"site": f"aes.scratchpad.tags[{addr}]",
+                       "family": "scratch_tag"})
+    for target in _STALL_SITES:
+        census.append({"site": target, "family": "stall"})
+    for target in _DECLASS_SITES:
+        census.append({"site": target, "family": "declass"})
+    for st in STAGE_NAMES[9:21]:
+        census.append({"site": f"aes.pipe.{st}.data_r", "family": "datapath"})
+    if shadow_tags:
+        for st in STAGE_NAMES:
+            census.append({"site": f"aes.pipe.{st}.data_r__conf",
+                           "family": "shadow_tag"})
+    return census
+
+
+def injected_sites(scenarios: Sequence[FaultScenario]) -> List[str]:
+    """The census-keyed sites a scenario list actually injects."""
+    sites = set()
+    for sc in scenarios:
+        for f in sc.plan.faults:
+            sites.add(f.target if f.addr is None
+                      else f"{f.target}[{f.addr}]")
+    return sorted(sites)
+
+
+def fault_coverage(scenarios: Sequence[FaultScenario],
+                   shadow_tags: bool = False) -> Dict[str, object]:
+    """Injected fraction and per-family hole list for one scenario set."""
+    census = fault_site_census(shadow_tags=shadow_tags)
+    injected = set(injected_sites(scenarios))
+    families: Dict[str, Dict[str, int]] = {}
+    holes: List[Dict[str, str]] = []
+    for entry in census:
+        fam = families.setdefault(entry["family"],
+                                  {"sites": 0, "injected": 0})
+        fam["sites"] += 1
+        if entry["site"] in injected:
+            fam["injected"] += 1
+        else:
+            holes.append(dict(entry))
+    total = len(census)
+    hit = sum(f["injected"] for f in families.values())
+    return {
+        "sites": total,
+        "injected": hit,
+        "fraction": (hit / total) if total else 1.0,
+        "families": families,
+        "holes": holes,
+    }
+
+
+def coverage_scenarios() -> List[Dict[str, object]]:
+    """Which attribution planes the fault gate's scenarios touch.
+
+    The coverage observatory unions these rows with the other campaign
+    modules' registrations into the campaign-plane scenario matrix.
+    """
+    rows: List[Dict[str, object]] = []
+    planes = {
+        "control": ["control"],
+        "pipe_tag": ["datapath", "control"],
+        "scratch_tag": ["scratchpad"],
+        "stall": ["control"],
+        "declass": ["control"],
+        "datapath": ["datapath"],
+        "shadow_tag": ["shadow_tags"],
+    }
+    for sc in protected_fault_scenarios(seed=2026, shadow_tags=True):
+        rows.append({"gate": "faults", "scenario": sc.name,
+                     "planes": planes.get(sc.category, ["datapath"])})
+    return rows
+
+
 # -- campaign execution ----------------------------------------------------------
 
 class _Workload:
@@ -603,7 +701,7 @@ def run_cross_backend_campaign(seed: int = 2026, smoke: bool = False,
 
 def cmd_faults(args) -> int:
     """Implementation of ``python -m repro faults``."""
-    import os
+    from ..gate import gate_epilogue
 
     seed, smoke = args.seed, args.smoke
     shadow = getattr(args, "shadow_tags", False)
@@ -617,30 +715,24 @@ def cmd_faults(args) -> int:
             "backends": {be: r.to_dict() for be, r in results.items()},
         }
         ok = cross["ok"]
-        if not args.json:
+
+        def render() -> str:
             shown = results[cross["backends"][0]]
-            print(shown.render())
-            print()
+            lines = [shown.render(), ""]
             for be, r in results.items():
-                print(f"backend {be:8s}: ok={r.ok} "
-                      f"leaks={r.protected.leaks} "
-                      f"baseline_corrupted={r.baseline.corrupted}")
-            print(f"cross-backend consistent: {cross['consistent']}")
-            print(f"OVERALL: {'PASS' if ok else 'FAIL'}")
+                lines.append(f"backend {be:8s}: ok={r.ok} "
+                             f"leaks={r.protected.leaks} "
+                             f"baseline_corrupted={r.baseline.corrupted}")
+            lines.append(f"cross-backend consistent: {cross['consistent']}")
+            lines.append(f"OVERALL: {'PASS' if ok else 'FAIL'}")
+            return "\n".join(lines)
     else:
         result = run_paired_fault_campaign(seed=seed, backend=args.backend,
                                            smoke=smoke, shadow_tags=shadow)
         payload = {"ok": result.ok, "seed": seed, "smoke": smoke,
                    "backends": {args.backend: result.to_dict()}}
         ok = result.ok
-        if not args.json:
-            print(result.render())
-    if args.json:
-        print(json.dumps(payload, sort_keys=True))
-    if args.out:
-        os.makedirs(args.out, exist_ok=True)
-        path = os.path.join(args.out, "fault_report.json")
-        with open(path, "w") as f:
-            json.dump(payload, f, sort_keys=True, indent=2)
-        print(f"wrote fault report: {path}")
-    return 0 if ok else 1
+        render = result.render
+    return gate_epilogue(
+        args, ok=ok, payload=payload, render=render,
+        artifacts={"fault_report.json": payload})

@@ -1,0 +1,101 @@
+"""Shared epilogue for the CI gate subcommands.
+
+Every gate command (``obs leakage``, ``faults``, ``obs flows``, ``obs
+power``, ``ifc synth``, ``obs coverage``) used to end with the same
+hand-rolled block: print the machine-readable payload under ``--json``
+or the human rendering otherwise, write the report artifacts under
+``--out``, and map the verdict to the process exit code (0 pass, 1 gate
+fail; usage errors return 2 before reaching this point).
+:func:`gate_epilogue` is that block, written once.
+
+:func:`strip_volatile` supports the seeded-determinism contract: gate
+reports are deterministic functions of their seed *except* for a small
+set of wall-clock-derived fields (trace throughput, campaign seconds).
+Stripping those yields the canonical byte-comparable form the
+determinism tests (``tests/obs/test_determinism.py``) hold fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Dict, Optional, Union
+
+#: Report keys whose values derive from wall-clock measurement and are
+#: therefore excluded from the byte-identical determinism contract.
+VOLATILE_KEYS = frozenset({
+    "traces_per_second",
+    "campaign_seconds",
+    "wall_seconds",
+    "cycles_per_second",
+    "timestamp",
+})
+
+ArtifactContent = Union[str, dict, Callable[[], Union[str, dict]]]
+
+
+def strip_volatile(payload):
+    """A deep copy of ``payload`` with every volatile key removed.
+
+    Lists and dicts are walked recursively; scalars pass through.  The
+    result of ``json.dumps(strip_volatile(report), sort_keys=True)`` is
+    byte-identical across runs with the same seed.
+    """
+    if isinstance(payload, dict):
+        return {k: strip_volatile(v) for k, v in sorted(payload.items())
+                if k not in VOLATILE_KEYS}
+    if isinstance(payload, list):
+        return [strip_volatile(v) for v in payload]
+    return payload
+
+
+def canonical_json(payload) -> str:
+    """The determinism-test serialization: volatile keys stripped,
+    keys sorted, no whitespace variation."""
+    return json.dumps(strip_volatile(payload), sort_keys=True)
+
+
+def write_artifact(path: str, content: Union[str, dict]) -> None:
+    """Write one report artifact: dicts as indented sorted JSON,
+    strings verbatim."""
+    with open(path, "w") as f:
+        if isinstance(content, dict):
+            json.dump(content, f, sort_keys=True, indent=2)
+        else:
+            f.write(content)
+
+
+def gate_epilogue(args, *, ok: bool, payload: dict,
+                  render: Union[str, Callable[[], str]],
+                  artifacts: Optional[Dict[str, ArtifactContent]] = None,
+                  writer: Optional[Callable[[str], Dict[str, str]]] = None,
+                  ) -> int:
+    """The shared tail of a gate subcommand.
+
+    ``payload`` is the machine-readable report (printed as one
+    sorted-keys JSON line under ``--json``); ``render`` the human form
+    (a string, or a zero-arg callable evaluated only when needed).
+    ``artifacts`` maps filenames to content (str, dict, or a lazy
+    callable producing either) written under ``--out``.  ``writer`` is
+    an escape hatch for commands with bespoke artifact writers (e.g.
+    ``obs flows``): called with the output directory, returns
+    ``{kind: path}`` for the confirmation lines.  Returns the exit
+    code: 0 when ``ok``, 1 otherwise.
+    """
+    if getattr(args, "json", False):
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(render() if callable(render) else render)
+    out = getattr(args, "out", None)
+    if out:
+        os.makedirs(out, exist_ok=True)
+        for name, content in (artifacts or {}).items():
+            if callable(content):
+                content = content()
+            path = os.path.join(out, name)
+            write_artifact(path, content)
+            print(f"wrote {name}: {path}")
+        if writer is not None:
+            for kind, path in sorted(writer(out).items()):
+                print(f"wrote {kind}: {path}")
+    return 0 if ok else 1

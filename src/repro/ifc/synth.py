@@ -158,6 +158,43 @@ class TagPlan:
             "downgrade_sites": len(self.sites) - flow,
         }
 
+    # -- coverage-observatory enumeration --------------------------------------------
+    def shadow_nets(self) -> List[Tuple[str, str, Signal]]:
+        """Every synthesized shadow net as ``(plane, original_path,
+        shadow_signal)``, sorted by original path.
+
+        ``plane`` is ``"conf"`` or ``"integ"``; the shadow signal is the
+        net whose per-principal bits the coverage observatory watches
+        for taint activity.
+        """
+        out: List[Tuple[str, str, Signal]] = []
+        for plane, table in (("conf", self.conf), ("integ", self.integ)):
+            for orig in sorted(table, key=lambda s: s.path):
+                out.append((plane, orig.path, table[orig]))
+        return out
+
+    def shadow_net_paths(self) -> Dict[str, List[str]]:
+        """Shadow net hierarchical paths grouped by plane."""
+        paths: Dict[str, List[str]] = {"conf": [], "integ": []}
+        for plane, _orig, shadow in self.shadow_nets():
+            paths[plane].append(shadow.path)
+        return paths
+
+    def site_census(self) -> List[Dict[str, str]]:
+        """Static enumeration of every synthesized enforcement site.
+
+        One entry per :class:`TagSite` with the nets the coverage
+        observatory must see armed (``now``) or latched (``sticky``)
+        before the site counts as exercised.
+        """
+        return [{
+            "path": s.path,
+            "kind": s.kind,
+            "declared": s.declared,
+            "now": s.now.path,
+            "sticky": s.sticky.path,
+        } for s in self.sites]
+
 
 def _declared_static_or_bottom(sig: Signal, lattice: SecurityLattice) -> Label:
     if isinstance(sig.label, Label):

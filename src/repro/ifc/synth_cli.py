@@ -19,8 +19,6 @@ usage error.
 
 from __future__ import annotations
 
-import json
-import os
 import sys
 import time
 from typing import Dict, List, Optional
@@ -240,18 +238,12 @@ def cmd_ifc_synth(args) -> int:
                 print("batched backend needs numpy", file=sys.stderr)
                 return 2
 
+    from ..gate import gate_epilogue
+
     cycles = 60 if args.smoke else args.cycles
     check_cycles = 30 if args.smoke else CHECK_CYCLES
     report = build_report(backends, cycles, check_cycles)
-
-    if args.out:
-        os.makedirs(args.out, exist_ok=True)
-        path = os.path.join(args.out, "synth_report.json")
-        with open(path, "w") as f:
-            json.dump(report, f, indent=2)
-        print(f"wrote {path}", file=sys.stderr)
-    if args.json:
-        print(json.dumps(report, indent=2))
-    else:
-        print(render(report))
-    return 0 if report["ok"] else 1
+    return gate_epilogue(
+        args, ok=report["ok"], payload=report,
+        render=lambda: render(report),
+        artifacts={"synth_report.json": report})

@@ -33,6 +33,10 @@ stack, which itself instruments through this package):
   (Welch's t-test + mutual information over paired campaigns);
 * :mod:`repro.obs.profile` — per-module simulation profiler
   (flamegraph / Chrome trace / toggle heatmap);
+* :mod:`repro.obs.power` — Hamming-distance power proxy with TVLA/CPA
+  detectors over the masked-vs-unmasked round pair;
+* :mod:`repro.obs.coverage` — toggle/taint/site/fault coverage
+  observatory with the cross-backend bit-identity gate;
 * :mod:`repro.obs.history` — append-only bench-gauge ledger with a
   regression comparator.
 """

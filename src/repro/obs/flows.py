@@ -428,19 +428,30 @@ def run_flow_scenarios(backend: str = "compiled",
     return FlowReport(backend, seed, results)
 
 
+def coverage_scenarios():
+    """Coverage-observatory registration: which attribution planes the
+    flow-witness gate's scenarios exercise (see ``repro.obs.coverage``)."""
+    return [
+        {"gate": "flows", "scenario": "legal_declass",
+         "planes": ["control", "datapath", "key_schedule"]},
+        {"gate": "flows", "scenario": "debug_leak",
+         "planes": ["control", "datapath"]},
+        {"gate": "flows", "scenario": "scratchpad_overrun",
+         "planes": ["scratchpad", "control"]},
+        {"gate": "flows", "scenario": "stall_guard",
+         "planes": ["control", "key_schedule"]},
+    ]
+
+
 def cmd_obs_flows(args) -> int:
     """Implementation of ``python -m repro obs flows``."""
     from ..obs import capture
     from .report import write_flow_report
 
+    from ..gate import gate_epilogue
+
     with capture() as t:
         report = run_flow_scenarios(backend=args.backend, seed=args.seed)
-    if args.json:
-        print(json.dumps(report.to_dict(), sort_keys=True))
-    else:
-        print(report.render())
-    if args.out:
-        paths = write_flow_report(report, args.out, telemetry=t)
-        for kind, path in sorted(paths.items()):
-            print(f"wrote {kind}: {path}")
-    return 0 if report.ok else 1
+    return gate_epilogue(
+        args, ok=report.ok, payload=report.to_dict(), render=report.render,
+        writer=lambda out: write_flow_report(report, out, telemetry=t))

@@ -169,6 +169,16 @@ class HistoryComparison:
     def improvements(self) -> List[GaugeDelta]:
         return [d for d in self.deltas if d.is_improvement(self.tolerance)]
 
+    @property
+    def missing(self) -> List[GaugeDelta]:
+        """Gauges present in the previous ledger entry but absent now.
+
+        A silently vanished gauge usually means a benchmark was dropped
+        (or renamed) without anyone noticing — the comparator calls each
+        one out explicitly rather than burying it in a count.
+        """
+        return [d for d in self.deltas if d.after is None]
+
     def render(self) -> str:
         lines = []
         if self.previous_entry is None:
@@ -189,14 +199,18 @@ class HistoryComparison:
             lines.append(
                 f"  improved   {d.metric}{d.label_str()}: "
                 f"{d.before:g} -> {d.after:g} ({d.change:+.1%})")
+        miss = self.missing
+        for d in miss:
+            lines.append(
+                f"  MISSING    {d.metric}{d.label_str()}: was {d.before:g} "
+                f"in the previous run, absent from this one")
         steady = sum(1 for d in self.deltas
                      if d.change is not None
                      and not d.is_regression(self.tolerance)
                      and not d.is_improvement(self.tolerance))
         fresh = sum(1 for d in self.deltas if d.before is None)
-        gone = sum(1 for d in self.deltas if d.after is None)
         lines.append(f"  {steady} steady, {len(imps)} improved, "
-                     f"{len(regs)} regressed, {fresh} new, {gone} removed "
+                     f"{len(regs)} regressed, {fresh} new, {len(miss)} missing "
                      f"(tolerance ±{self.tolerance:.0%})")
         return "\n".join(lines)
 
@@ -205,6 +219,7 @@ class HistoryComparison:
             "tolerance": self.tolerance,
             "regressions": [d.to_dict() for d in self.regressions],
             "improvements": [d.to_dict() for d in self.improvements],
+            "missing": [d.to_dict() for d in self.missing],
             "deltas": [d.to_dict() for d in self.deltas],
         }
 

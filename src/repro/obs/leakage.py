@@ -457,9 +457,20 @@ def run_paired_campaign(scenario: str = "stall",
     return PairedCampaignResult(run(False), run(True))
 
 
+def coverage_scenarios():
+    """Coverage-observatory registration: which attribution planes the
+    leakage gate's scenarios exercise (see ``repro.obs.coverage``)."""
+    return [
+        {"gate": "leakage", "scenario": "stall",
+         "planes": ["control", "datapath"]},
+        {"gate": "leakage", "scenario": "soc",
+         "planes": ["control", "scratchpad", "datapath"]},
+    ]
+
+
 def cmd_obs_leakage(args) -> int:
     """Implementation of ``python -m repro obs leakage``."""
-    import os
+    from ..gate import gate_epilogue
 
     # 8 trials (4 per condition) is the smallest campaign whose
     # deterministic baseline separation clears the |t| > 4.5 threshold
@@ -467,14 +478,7 @@ def cmd_obs_leakage(args) -> int:
     result = run_paired_campaign(
         scenario=args.scenario, trials=trials, seed=args.seed,
         backend=args.backend, stall_cycles=args.stall_cycles)
-    if args.json:
-        print(json.dumps(result.to_dict(), sort_keys=True))
-    else:
-        print(result.render())
-    if args.out:
-        os.makedirs(args.out, exist_ok=True)
-        path = os.path.join(args.out, "leakage_report.json")
-        with open(path, "w") as f:
-            json.dump(result.to_dict(), f, sort_keys=True, indent=2)
-        print(f"wrote leakage report: {path}")
-    return 0 if result.ok else 1
+    payload = result.to_dict()
+    return gate_epilogue(
+        args, ok=result.ok, payload=payload, render=result.render,
+        artifacts={"leakage_report.json": payload})

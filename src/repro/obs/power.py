@@ -771,9 +771,23 @@ def run_power_campaign(seed: int = 2026,
 
 # -- CLI -------------------------------------------------------------------------
 
+def coverage_scenarios():
+    """Coverage-observatory registration: which attribution planes the
+    power gate's paired campaign exercises (see ``repro.obs.coverage``)."""
+    return [
+        {"gate": "power", "scenario": "unmasked_round",
+         "planes": ["datapath", "key_schedule"]},
+        {"gate": "power", "scenario": "masked_round",
+         "planes": ["datapath", "key_schedule"]},
+        {"gate": "power", "scenario": "attribution",
+         "planes": ["datapath", "control", "scratchpad", "key_schedule",
+                    "shadow_tags"]},
+    ]
+
+
 def cmd_obs_power(args) -> int:
     """Implementation of ``python -m repro obs power``."""
-    import os
+    from ..gate import gate_epilogue
 
     backend = args.backend
     lanes = args.lanes
@@ -785,18 +799,7 @@ def cmd_obs_power(args) -> int:
         seed=args.seed, backend=backend, traces=traces,
         tvla_traces=args.tvla_traces, lanes=lanes,
         check_protected=not args.no_ifc_check)
-    if args.json:
-        print(json.dumps(result.to_dict(), sort_keys=True))
-    else:
-        print(result.render())
-    if args.out:
-        os.makedirs(args.out, exist_ok=True)
-        jpath = os.path.join(args.out, "power_report.json")
-        with open(jpath, "w") as f:
-            json.dump(result.to_dict(), f, sort_keys=True, indent=2)
-        mpath = os.path.join(args.out, "power_report.md")
-        with open(mpath, "w") as f:
-            f.write(result.render_md())
-        print(f"wrote power report: {jpath}")
-        print(f"wrote power report: {mpath}")
-    return 0 if result.ok else 1
+    return gate_epilogue(
+        args, ok=result.ok, payload=result.to_dict(), render=result.render,
+        artifacts={"power_report.json": result.to_dict(),
+                   "power_report.md": result.render_md})

@@ -1,0 +1,85 @@
+"""Seeded determinism: same seed, byte-identical gate reports.
+
+CI diffing, the bench-history ledger, and the coverage fingerprints all
+assume a seeded campaign is a pure function of its seed.  These tests
+pin that down per gate: two runs with the same seed must produce
+byte-identical canonical JSON (wall-clock-derived gauges stripped), and
+a different seed must actually change the measurements.
+"""
+
+import pytest
+
+from repro.gate import canonical_json, strip_volatile
+
+SEED = 424242
+
+
+def _canon(payload) -> str:
+    return canonical_json(strip_volatile(payload))
+
+
+class TestLeakageDeterminism:
+    def test_same_seed_byte_identical(self):
+        from repro.obs.leakage import run_paired_campaign
+
+        a = run_paired_campaign(trials=6, seed=SEED)
+        b = run_paired_campaign(trials=6, seed=SEED)
+        assert _canon(a.to_dict()) == _canon(b.to_dict())
+
+    def test_different_seed_differs(self):
+        from repro.obs.leakage import run_paired_campaign
+
+        a = run_paired_campaign(trials=6, seed=SEED)
+        b = run_paired_campaign(trials=6, seed=SEED + 1)
+        assert _canon(a.to_dict()) != _canon(b.to_dict())
+
+
+class TestFaultDeterminism:
+    def test_same_seed_byte_identical(self):
+        from repro.faults.campaign import run_paired_fault_campaign
+
+        a = run_paired_fault_campaign(seed=SEED, smoke=True)
+        b = run_paired_fault_campaign(seed=SEED, smoke=True)
+        assert _canon(a.to_dict()) == _canon(b.to_dict())
+
+    def test_scenario_sampling_is_seeded(self):
+        from repro.faults.campaign import protected_fault_scenarios
+
+        a = protected_fault_scenarios(SEED, smoke=True, shadow_tags=True)
+        b = protected_fault_scenarios(SEED, smoke=True, shadow_tags=True)
+        assert [(s.name, [f.target for f in s.plan.faults]) for s in a] \
+            == [(s.name, [f.target for f in s.plan.faults]) for s in b]
+
+
+class TestPowerDeterminism:
+    def test_same_seed_byte_identical(self):
+        from repro.obs.power import run_power_campaign
+
+        kwargs = dict(seed=SEED, traces=24, tvla_traces=12,
+                      check_protected=False, with_attribution=False)
+        a = run_power_campaign(**kwargs)
+        b = run_power_campaign(**kwargs)
+        assert _canon(a.to_dict()) == _canon(b.to_dict())
+
+
+class TestCoverageDeterminism:
+    def test_repeat_collection_bit_identical(self):
+        from repro.obs.coverage import run_coverage_collection
+
+        a, _ = run_coverage_collection(backend="compiled",
+                                       with_fault_arm=False)
+        b, _ = run_coverage_collection(backend="compiled",
+                                       with_fault_arm=False)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.to_dict()["signals"] == b.to_dict()["signals"]
+
+    def test_backends_bit_identical(self):
+        pytest.importorskip("numpy")
+        from repro.obs.coverage import run_coverage_collection
+
+        fps = {}
+        for backend, lanes in (("compiled", 1), ("batched", 2)):
+            cmap, _ = run_coverage_collection(backend=backend, lanes=lanes,
+                                              with_fault_arm=False)
+            fps[backend] = cmap.fingerprint()
+        assert fps["compiled"] == fps["batched"]

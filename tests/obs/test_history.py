@@ -119,3 +119,27 @@ class TestLedger:
         cmp_ = compare_with_history(ledger, {key: 50.0})
         assert len(cmp_.improvements) == 1
         assert not cmp_.regressions
+
+    def test_missing_gauge_called_out_explicitly(self, tmp_path):
+        ledger = str(tmp_path / "h.jsonl")
+        kept = gauge_key("m_gbps", {})
+        gone = gauge_key("m_vanished_gbps", {"backend": "batched"})
+        append_history(ledger, {kept: 1.0, gone: 7.5}, timestamp=1.0)
+        cmp_ = compare_with_history(ledger, {kept: 1.0})
+        assert [d.metric for d in cmp_.missing] == ["m_vanished_gbps"]
+        text = cmp_.render()
+        assert "MISSING    m_vanished_gbps{backend=batched}" in text
+        assert "was 7.5 in the previous run" in text
+        assert "1 missing" in text
+        d = cmp_.to_dict()
+        assert d["missing"][0]["metric"] == "m_vanished_gbps"
+        assert d["missing"][0]["before"] == 7.5
+        assert d["missing"][0]["after"] is None
+
+    def test_no_missing_when_gauges_match(self, tmp_path):
+        ledger = str(tmp_path / "h.jsonl")
+        key = gauge_key("m_gbps", {})
+        append_history(ledger, {key: 1.0}, timestamp=1.0)
+        cmp_ = compare_with_history(ledger, {key: 1.0})
+        assert cmp_.missing == []
+        assert "0 missing" in cmp_.render()
