@@ -1,0 +1,99 @@
+"""Fleet scaling benchmark: goodput vs shard count on one fixed trace.
+
+Replays the identical open-loop traffic trace against 1-, 2-, and
+4-shard fleets (inline workers, no chaos) and exports each fleet's
+**round throughput** — delivered requests per supervisor round — plus
+the 1→4 shard scaling factor.  Admission is capped per shard per round,
+so a fleet that shards well must drain the same load in proportionally
+fewer rounds; the history ledger flags erosion of that scaling (e.g. a
+scheduler change that serializes dispatch).
+
+The PR's acceptance claim, held as a benchmark invariant: 4 shards
+sustain at least 2.5x the single-shard goodput on this trace.
+"""
+
+import random
+import time
+from pathlib import Path
+
+from conftest import report
+
+from repro.obs import MetricsRegistry
+from repro.soc.fleet import AcceleratorFleet, FleetConfig
+from repro.soc.traffic import TenantSpec, generate_trace
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_fleet.json"
+SEED = 2026
+SHARD_COUNTS = (1, 2, 4)
+HORIZON = 512
+
+
+def _tenants():
+    """A balanced population: 8 same-class tenants, no bursts, so the
+    scaling measurement isolates shard parallelism from DRR skew."""
+    rng = random.Random(SEED ^ 0x5EED)
+    return [TenantSpec(f"g{i}", "gold", rate=40.0, burst=1,
+                       key=rng.getrandbits(128))
+            for i in range(8)]
+
+
+def _run_all():
+    specs = _tenants()
+    trace = generate_trace(specs, HORIZON, seed=SEED)
+    results = {}
+    for shards in SHARD_COUNTS:
+        cfg = FleetConfig(shards=shards, workers="inline",
+                          batch_per_round=4, queue_bound=64,
+                          request_deadline=6000, flush_rounds=200)
+        fleet = AcceleratorFleet(cfg, specs, seed=SEED)
+        rep = fleet.run(trace).to_dict()
+        results[shards] = {
+            "delivered": rep["totals"]["by_status"].get("delivered", 0),
+            "requests": rep["totals"]["requests"],
+            "rounds": rep["supervisor"]["rounds_run"],
+            "conservation_ok": rep["conservation_ok"],
+        }
+    return trace, results
+
+
+def test_fleet_shard_scaling(benchmark):
+    t0 = time.perf_counter()
+    trace, results = benchmark.pedantic(_run_all, iterations=1, rounds=1)
+    wall = time.perf_counter() - t0
+
+    throughput = {n: r["delivered"] / r["rounds"]
+                  for n, r in results.items()}
+    scaling = throughput[4] / throughput[1]
+    report(
+        "Fleet shard scaling — one trace, 1/2/4 shards",
+        "\n".join(
+            f"{n} shard(s): {r['delivered']}/{r['requests']} delivered "
+            f"in {r['rounds']} rounds "
+            f"({throughput[n]:.2f} req/round)"
+            for n, r in sorted(results.items()))
+        + f"\n1 -> 4 shard scaling: {scaling:.2f}x "
+        f"(trace {trace.digest()}, {wall:.2f}s wall)",
+    )
+
+    reg = MetricsRegistry()
+    g = reg.gauge("bench_fleet_round_throughput",
+                  "requests delivered per supervisor round on the "
+                  "fixed scaling trace", ("shards",))
+    for n, tp in throughput.items():
+        g.set(tp, shards=str(n))
+    reg.gauge("bench_fleet_scaling_speedup",
+              "1-shard to 4-shard round-throughput ratio "
+              "(acceptance floor 2.5)").set(scaling)
+    reg.gauge("bench_fleet_requests_total",
+              "requests in the scaling trace").set(
+        results[4]["requests"])
+    reg.gauge("bench_fleet_campaign_seconds",
+              "wall time for all three fleet runs").set(wall)
+    reg.write_jsonl(str(BENCH_JSON))
+
+    for n, r in results.items():
+        assert r["conservation_ok"], f"{n}-shard run lost requests"
+        assert r["delivered"] == r["requests"], (
+            f"{n}-shard run failed to deliver everything")
+    assert scaling >= 2.5, (
+        f"4-shard goodput scaling {scaling:.2f}x below the 2.5x floor")

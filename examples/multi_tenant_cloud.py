@@ -16,7 +16,9 @@ The whole run is telemetry-enabled (``repro.obs``): a second phase with
 a slow polling reader exercises the holding buffer and the Fig. 8 stall
 machinery, a third phase injects a single-event upset that freezes the
 pipeline and lets the SoC watchdog/retry/quarantine layer recover the
-in-flight work on a spare accelerator, and the run exports
+in-flight work on a spare accelerator, a fourth phase scales the same
+core out into a two-shard fleet that keeps serving through a worker
+kill and an injected pipeline wedge, and the run exports
 machine-readable evidence — a Prometheus metrics dump, a Chrome
 trace-event timeline (open it in ``chrome://tracing`` or
 https://ui.perfetto.dev), and a security-event JSONL stream showing the
@@ -32,6 +34,7 @@ from repro.aes import encrypt_block
 from repro.faults import Fault, FaultKind, FaultPlan
 from repro.obs.simhooks import publish_sim_metrics
 from repro.soc import SoCSystem, encrypt_stream, mixed_workload, random_blocks
+from repro.soc.fleet import run_fleet_gate
 
 BLOCKS_PER_TENANT = 8
 
@@ -143,6 +146,21 @@ def main(out_dir: str = "telemetry_out") -> None:
           f"(drain 30-cycle pipeline per user switch)")
     print(f"speedup              : {coarse / fine_cycles:.1f}x")
     print(f"security counters    : {soc.counters()}")
+
+    # phase 4: scale out.  The same accelerator core becomes a shard in a
+    # small fleet: seeded open-loop traffic from four tenant classes, a
+    # chaos schedule that kills one worker mid-flight and wedges another,
+    # and a supervisor that must land every request on a terminal status
+    # with the security verdicts unchanged.
+    print("\nphase 4: two-shard fleet under chaos (kill + wedge, "
+          "inline workers)...")
+    fleet_report = run_fleet_gate(
+        seed=2026, shards=2, horizon=512, tenants=4,
+        workers="inline", kills=1, wedges=1, check_ifc=False)
+    for line in fleet_report.render().splitlines():
+        print(f"  {line}")
+    assert fleet_report.conservation_ok and fleet_report.security_ok
+    assert fleet_report.to_dict()["supervisor"]["kills_detected"] >= 1
 
     publish_sim_metrics(soc.driver.sim, telemetry.metrics)
     counts = telemetry.security.counts()

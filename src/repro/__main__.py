@@ -41,6 +41,11 @@ Commands
     Shadow-tag transform report: tag-net counts per design, per-backend
     tagged-vs-plain overhead, and a differential spot-check against the
     interpreted ``LabelTracker`` (see docs/hdl_guide.md).
+``fleet [--smoke] [--workers process|inline] [--out DIR]``
+    Multi-shard fleet under seeded chaos: open-loop tenant traffic over
+    a pool of worker-process shards while the harness kills workers and
+    wedges pipelines; the gate requires zero lost requests, per-class
+    SLOs, and unchanged security verdicts (see docs/robustness.md).
 
 Every subcommand exits 0 on success, 1 when its gate fails (check
 errors, leaky channel, fault escape, witness mismatch), and 2 on a
@@ -251,6 +256,12 @@ def cmd_obs_coverage(args) -> int:
 
 def cmd_ifc_synth(args) -> int:
     from .ifc.synth_cli import cmd_ifc_synth as run
+
+    return run(args)
+
+
+def cmd_fleet(args) -> int:
+    from .soc.fleet import cmd_fleet as run
 
     return run(args)
 
@@ -479,6 +490,35 @@ def main(argv=None) -> int:
     q.add_argument("--json", action="store_true",
                    help="machine-readable report on stdout")
     q.set_defaults(fn=cmd_ifc_synth)
+
+    p = sub.add_parser(
+        "fleet", help="multi-shard fleet under chaos with SLO gate")
+    p.add_argument("--seed", type=int, default=2026,
+                   help="single seed for traffic, chaos schedule, and "
+                        "retry jitter (default 2026)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="shard pool size (default 4)")
+    p.add_argument("--tenants", type=int, default=6,
+                   help="tenant population (default 6)")
+    p.add_argument("--horizon", type=int, default=1536,
+                   help="traffic horizon in fleet cycles (default 1536)")
+    p.add_argument("--workers", default="process",
+                   choices=("process", "inline"),
+                   help="shard hosting: forked worker processes (default) "
+                        "or in-process shards")
+    p.add_argument("--backend", default="compiled",
+                   choices=("interp", "compiled", "batched"))
+    p.add_argument("--kills", type=int, default=2,
+                   help="chaos worker kills to schedule (default 2)")
+    p.add_argument("--wedges", type=int, default=1,
+                   help="chaos pipeline wedges to schedule (default 1)")
+    p.add_argument("--smoke", action="store_true",
+                   help="small inline-worker fleet (CI smoke)")
+    p.add_argument("--out", default=None,
+                   help="directory for fleet_report.json / fleet_report.md")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    p.set_defaults(fn=cmd_fleet)
 
     args = parser.parse_args(argv)
     if not getattr(args, "fn", None):

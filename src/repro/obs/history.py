@@ -31,6 +31,36 @@ from typing import Dict, Iterable, List, Optional, Tuple
 #: Relative change below this is considered noise, not a regression.
 DEFAULT_TOLERANCE = 0.10
 
+#: Gauge families every full bench run is expected to export, as
+#: ``family -> metric-name prefixes``.  The per-entry ``missing`` diff
+#: only sees gauges that existed in the *previous* ledger entry; this
+#: registry catches the other failure mode — a whole benchmark silently
+#: not running (file deleted, import error, CI step dropped) so its
+#: family never reaches the ledger at all.
+EXPECTED_GAUGE_FAMILIES: Dict[str, Tuple[str, ...]] = {
+    "throughput": ("repro_bench_blocks_per_cycle", "repro_bench_gbps",
+                   "repro_bench_latency_cycles"),
+    "sim": ("repro_bench_sim_",),
+    "faults": ("repro_bench_faults_",),
+    "leakage": ("repro_bench_leakage_",),
+    "flows": ("repro_bench_flows_",),
+    "power": ("repro_bench_power_",),
+    "coverage": ("repro_bench_coverage_",),
+    "synth_tags": ("repro_bench_synth_tags_",),
+    "fleet": ("repro_bench_fleet_",),
+}
+
+
+def missing_families(gauges: Dict["GaugeKey", float]) -> List[str]:
+    """Expected families with zero gauges in the loaded set."""
+    missing = []
+    for family, prefixes in sorted(EXPECTED_GAUGE_FAMILIES.items()):
+        if not any(metric.startswith(p)
+                   for metric, _labels in gauges
+                   for p in prefixes):
+            missing.append(family)
+    return missing
+
 #: (metric, sorted label items) → hashable gauge identity.
 GaugeKey = Tuple[str, Tuple[Tuple[str, str], ...]]
 
@@ -156,10 +186,13 @@ class HistoryComparison:
 
     def __init__(self, deltas: List[GaugeDelta],
                  tolerance: float = DEFAULT_TOLERANCE,
-                 previous_entry: Optional[dict] = None):
+                 previous_entry: Optional[dict] = None,
+                 missing_families: Optional[List[str]] = None):
         self.deltas = deltas
         self.tolerance = tolerance
         self.previous_entry = previous_entry
+        #: expected gauge families absent from this run's artifacts
+        self.missing_families = missing_families or []
 
     @property
     def regressions(self) -> List[GaugeDelta]:
@@ -204,6 +237,12 @@ class HistoryComparison:
             lines.append(
                 f"  MISSING    {d.metric}{d.label_str()}: was {d.before:g} "
                 f"in the previous run, absent from this one")
+        for family in self.missing_families:
+            prefixes = ", ".join(
+                p + "*" for p in EXPECTED_GAUGE_FAMILIES[family])
+            lines.append(
+                f"  MISSING    gauge family {family!r}: no {prefixes} "
+                f"gauges loaded — did its benchmark run?")
         steady = sum(1 for d in self.deltas
                      if d.change is not None
                      and not d.is_regression(self.tolerance)
@@ -220,6 +259,7 @@ class HistoryComparison:
             "regressions": [d.to_dict() for d in self.regressions],
             "improvements": [d.to_dict() for d in self.improvements],
             "missing": [d.to_dict() for d in self.missing],
+            "missing_families": list(self.missing_families),
             "deltas": [d.to_dict() for d in self.deltas],
         }
 
@@ -265,7 +305,8 @@ def compare_with_history(history_path: str,
     previous = entries[-1] if entries else None
     before = _entry_gauges(previous) if previous else {}
     return HistoryComparison(diff_gauges(before, gauges),
-                             tolerance=tolerance, previous_entry=previous)
+                             tolerance=tolerance, previous_entry=previous,
+                             missing_families=missing_families(gauges))
 
 
 def cmd_obs_history(args) -> int:

@@ -12,6 +12,7 @@ from .requests import (
     mixed_workload,
     random_blocks,
 )
+from .shard import ShardCore
 from .system import SoCSystem
 from .users import Principal, default_principals, users_of
 
@@ -21,6 +22,7 @@ __all__ = [
     "Principal",
     "Request",
     "SecureCache",
+    "ShardCore",
     "SoCSystem",
     "blocks_to_message",
     "decrypt_stream",

@@ -1,0 +1,129 @@
+"""Seeded chaos harness for the accelerator fleet.
+
+Resilience that is not continuously exercised rots.  The chaos harness
+perturbs a live fleet run with two failure modes, scheduled
+deterministically from a seed so the CI gate replays the exact same
+catastrophe every time:
+
+* ``kill`` — the shard's worker is killed outright (``SIGKILL`` for
+  process workers, state destruction for inline workers) while requests
+  are in flight on it.  The supervisor must detect the death, reclaim
+  and retry the in-flight work, respawn the worker with exponential
+  backoff, and rebalance tenants in the interim.
+* ``wedge`` — a :mod:`repro.faults` plan is injected into the live
+  shard's simulator (the PR 4 single-event-upset model: ``aes.advance``
+  stuck at 0), freezing the pipeline *without* killing the process.
+  The worker still answers probes — only progress stops — so detection
+  must come from the supervisor's no-delivery watchdog, which then
+  quarantines and drains the shard.
+
+Events fire at round boundaries (the supervisor's only deterministic
+decision points); "mid-flight" refers to the requests, which are
+genuinely inside the victim shard when it dies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+#: the PR 4 hang target: stuck-at-0 here freezes the protected pipeline
+HANG_TARGET = "aes.advance"
+
+
+def wedge_plan_dict(duration: int = 10 ** 6) -> dict:
+    """A serialized fault plan freezing the pipeline-advance net.
+
+    Cycle 0 here is relative; the worker re-bases it onto its own
+    simulator clock at injection time (see ``ShardServer.inject``).
+    """
+    return {"faults": [{"target": HANG_TARGET, "kind": "stuck_at_0",
+                        "mask": 1, "cycle": 0, "duration": int(duration),
+                        "lane": None, "addr": None}]}
+
+
+class ChaosEvent:
+    """One scheduled perturbation of the fleet."""
+
+    __slots__ = ("round", "kind", "shard", "plan")
+
+    def __init__(self, round: int, kind: str, shard: int,
+                 plan: Optional[dict] = None):
+        if kind not in ("kill", "wedge"):
+            raise ValueError(f"unknown chaos kind {kind!r}")
+        self.round = int(round)
+        self.kind = kind
+        self.shard = int(shard)
+        self.plan = plan
+
+    def to_dict(self) -> dict:
+        return {"round": self.round, "kind": self.kind,
+                "shard": self.shard}
+
+    def __repr__(self) -> str:
+        return f"ChaosEvent(round={self.round}, {self.kind}, shard={self.shard})"
+
+
+class ChaosSchedule:
+    """An ordered, seeded set of chaos events for one fleet run."""
+
+    def __init__(self, events: List[ChaosEvent] = ()):
+        self.events = sorted(events, key=lambda e: (e.round, e.shard))
+
+    def at(self, round: int) -> List[ChaosEvent]:
+        return [e for e in self.events if e.round == round]
+
+    def kills(self) -> List[ChaosEvent]:
+        return [e for e in self.events if e.kind == "kill"]
+
+    def wedges(self) -> List[ChaosEvent]:
+        return [e for e in self.events if e.kind == "wedge"]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def to_dict(self) -> dict:
+        return {"events": [e.to_dict() for e in self.events]}
+
+    @classmethod
+    def seeded(cls, seed: int, rounds: int, shards: int,
+               kills: int = 2, wedges: int = 1) -> "ChaosSchedule":
+        """Draw a deterministic schedule that cannot self-collide.
+
+        Kills land on distinct (round, shard) pairs inside the middle
+        60% of the run (so there is traffic before *and* after); the
+        wedge targets a shard that is never killed (otherwise the kill
+        would mask the wedge-detection path the gate wants exercised).
+        With fewer shards than requested victims the counts are clamped
+        rather than doubled up.
+        """
+        if shards < 1:
+            raise ValueError("chaos needs at least one shard")
+        rng = random.Random(f"chaos:{seed}")
+        lo = max(1, rounds // 5)
+        hi = max(lo + 1, (4 * rounds) // 5)
+        kills = min(kills, max(0, shards - (1 if wedges else 0)))
+        victims = rng.sample(range(shards), k=min(shards, kills + (1 if wedges else 0)))
+        events: List[ChaosEvent] = []
+        used_rounds: set = set()
+
+        def pick_round() -> int:
+            for _ in range(64):
+                r = rng.randrange(lo, hi)
+                # keep events >=2 rounds apart so each failure is
+                # detected and handled before the next lands
+                if all(abs(r - u) >= 2 for u in used_rounds):
+                    used_rounds.add(r)
+                    return r
+            r = rng.randrange(lo, hi)
+            used_rounds.add(r)
+            return r
+
+        for i in range(kills):
+            events.append(ChaosEvent(pick_round(), "kill", victims[i]))
+        if wedges and len(victims) > kills:
+            wedge_shard = victims[kills]
+            for _ in range(wedges):
+                events.append(ChaosEvent(pick_round(), "wedge", wedge_shard,
+                                         plan=wedge_plan_dict()))
+        return cls(events)

@@ -1,0 +1,589 @@
+"""Per-shard serving core: labelled users sharing one accelerator (Fig. 2).
+
+:class:`ShardCore` binds a set of :class:`~repro.soc.users.Principal`
+objects to one accelerator instance through the transaction driver.
+Requests queue per user and issue round-robin (the software model of
+the arbiter; the HDL :class:`~repro.accel.arbiter.RequestArbiter` is
+verified separately); responses route back by tag — in the protected
+design the hardware enforces the routing, in the baseline the harness
+exposes whatever the hardware hands out, which is how the
+plaintext-disclosure attack shows.
+
+Historically this class *was* ``SoCSystem`` (one SoC, one accelerator,
+plus spares).  The fleet layer (:mod:`repro.soc.fleet`) embeds one
+``ShardCore`` per worker process as the serving engine of each shard,
+so the logic lives here under a shard-neutral name and
+:class:`~repro.soc.system.SoCSystem` remains as the single-shard
+facade.  ``shard_id`` labels this core's metrics so fleet dashboards
+can tell shards apart across failover boundaries.
+
+When telemetry is enabled (:mod:`repro.obs`), the core traces every
+request's lifecycle (submit → issue → deliver) on a per-user track,
+feeds per-user latency/throughput histograms, counts drops, and — on
+the protected design — the driver's security probe streams enforcement
+events.  With telemetry disabled all of that collapses to a single
+``None`` check per operation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..accel.baseline import AesAcceleratorBaseline
+from ..accel.driver import AcceleratorDriver
+from ..accel.protected import AesAcceleratorProtected
+from ..obs import Telemetry, telemetry as _telemetry
+from .requests import Request
+from .users import Principal, default_principals, users_of
+
+
+class ShardCore:
+    """One serving shard: several users, one shared AES accelerator."""
+
+    #: how many exact latency samples each per-user histogram retains for
+    #: quantile gauges (see ``publish_latency_quantiles``)
+    LATENCY_RESERVOIR = 512
+
+    def __init__(self, protected: bool = True,
+                 principals: Optional[Dict[str, Principal]] = None,
+                 backend: str = "compiled",
+                 telemetry: Optional[Telemetry] = None,
+                 reader_stutter: int = 0,
+                 stutter_users: Optional[Iterable[str]] = None,
+                 fault_targets: Optional[Iterable[str]] = None,
+                 request_deadline: Optional[int] = None,
+                 max_retries: int = 2,
+                 retry_base_delay: int = 32,
+                 retry_jitter: int = 16,
+                 retry_seed: int = 1,
+                 quarantine_threshold: int = 3,
+                 max_spares: int = 1,
+                 shard_id: str = "0"):
+        self.protected = protected
+        #: stable identity of this serving core inside a fleet; surfaces
+        #: as the ``shard`` label on per-shard metrics
+        self.shard_id = str(shard_id)
+        self.principals = principals or default_principals()
+        self._backend = backend
+        self._fault_targets = (tuple(fault_targets)
+                               if fault_targets is not None else None)
+        self.driver = self._build_driver()
+        #: default end-to-end budget (cycles from submission) before the
+        #: watchdog trips a request; None disables the watchdog unless a
+        #: request carries its own ``deadline``
+        self.request_deadline = request_deadline
+        #: how many times the watchdog re-queues a tripped request before
+        #: declaring it ``timed_out`` for good
+        self.max_retries = max_retries
+        self.retry_base_delay = retry_base_delay
+        self.retry_jitter = retry_jitter
+        self._retry_rng = random.Random(retry_seed)
+        #: consecutive watchdog trips (no intervening delivery) that
+        #: trigger quarantine of the accelerator
+        self.quarantine_threshold = quarantine_threshold
+        #: spare accelerators available for failover; once exhausted,
+        #: quarantine degrades to the queued-reject path
+        self.max_spares = max_spares
+        self.spares_used = 0
+        self.quarantines = 0
+        self.watchdog_trips = 0
+        self.quarantined = False
+        self._trips_since_progress = 0
+        #: (release_cycle, request) pairs waiting out a retry backoff
+        self._retry_backlog: List[Tuple[int, Request]] = []
+        self.queues: Dict[str, List[Request]] = {
+            name: [] for name in self.principals
+        }
+        self.in_flight: List[Request] = []
+        self.delivered: Dict[str, List[Request]] = {
+            name: [] for name in self.principals
+        }
+        self._rr_users = [p.name for p in users_of(self.principals)]
+        self._rr_issue = 0
+        self._rr_read = 0
+        #: every `reader_stutter` cycles the reader drops out_ready for one
+        #: cycle — a model of a slow polling host that exercises the
+        #: holding buffer / stall machinery (0 = always ready)
+        self.reader_stutter = reader_stutter
+        #: restrict the stutter to these users' readers (None = all
+        #: readers).  A single slow tenant is the leakage-campaign
+        #: scenario: on the baseline their backpressure stalls everyone,
+        #: on the protected design it must not.
+        self.stutter_users: Optional[Set[str]] = (
+            set(stutter_users) if stutter_users is not None else None)
+        self.dropped_requests: List[Request] = []
+        self.timed_out_requests: List[Request] = []
+        self.rejected_requests: List[Request] = []
+        #: every request ever submitted — the terminal-status invariant
+        #: (``no request left non-terminal after drain``) is checked here
+        self.all_requests: List[Request] = []
+        self._vouch_to_user: Dict[int, str] = {}
+        for p in users_of(self.principals):
+            self._vouch_to_user[p.tag & 0xF] = p.name
+
+        self.obs = telemetry if telemetry is not None else _telemetry()
+        self._tids: Dict[str, int] = {}
+        if self.obs is not None:
+            m = self.obs.metrics
+            users = ("user",)
+            self._m_submitted = m.counter(
+                "soc_requests_submitted_total",
+                "requests entering the per-user queues", users)
+            self._m_delivered = m.counter(
+                "soc_requests_delivered_total",
+                "responses routed back to a reader", users)
+            self._m_dropped = m.counter(
+                "soc_requests_dropped_total",
+                "requests abandoned by the holding buffer (availability)",
+                users)
+            self._m_cross = m.counter(
+                "soc_cross_user_deliveries_total",
+                "responses delivered to a reader other than the owner "
+                "(baseline disclosure)", ("owner", "reader"))
+            self._h_latency = m.histogram(
+                "soc_request_latency_cycles",
+                "issue-to-delivery latency per user", users,
+                reservoir=self.LATENCY_RESERVOIR)
+            self._h_queue = m.histogram(
+                "soc_request_queue_cycles",
+                "submit-to-issue queueing delay per user", users,
+                reservoir=self.LATENCY_RESERVOIR)
+            self._g_inflight = m.gauge(
+                "soc_inflight_requests", "requests inside the accelerator")
+            self._m_timeouts = m.counter(
+                "soc_request_timeouts_total",
+                "requests declared timed_out after exhausting retries",
+                users)
+            self._m_retries = m.counter(
+                "soc_request_retries_total",
+                "watchdog-initiated re-queues of tripped requests", users)
+            self._m_watchdog = m.counter(
+                "soc_watchdog_trips_total",
+                "deadline expirations observed by the watchdog", users)
+            self._m_rejected = m.counter(
+                "soc_requests_rejected_total",
+                "requests refused on the queued-reject degradation path",
+                users)
+            self._m_quarantines = m.counter(
+                "soc_quarantines_total",
+                "accelerator quarantine-and-drain events", ("outcome",))
+            self._h_backoff = m.histogram(
+                "soc_retry_backoff_cycles",
+                "exponential backoff delays chosen for retried requests")
+            for i, name in enumerate(sorted(self.principals)):
+                self._tids[name] = i + 1
+                self.obs.tracer.name_track(i + 1, f"user:{name}")
+
+    # -- setup ------------------------------------------------------------------
+    def _build_driver(self) -> AcceleratorDriver:
+        accel = (AesAcceleratorProtected() if self.protected
+                 else AesAcceleratorBaseline())
+        return AcceleratorDriver(accel, backend=self._backend,
+                                 fault_targets=self._fault_targets)
+
+    def provision_keys(self) -> None:
+        """Supervisor allocates slots and users load their keys."""
+        sup = self.principals["supervisor"]
+        for p in users_of(self.principals):
+            if p.slot is None or p.key is None:
+                continue
+            if self.protected:
+                self.driver.allocate_slot(p.slot, p.tag, sup.tag)
+            self.driver.load_key(p.tag, p.slot, p.key)
+
+    # -- request plumbing ----------------------------------------------------------
+    def submit(self, request: Request) -> None:
+        self.all_requests.append(request)
+        if self.quarantined:
+            # accelerator condemned with no spare left: degrade gracefully
+            # by refusing new work instead of queueing it forever
+            self._reject(request)
+            return
+        request.submitted_cycle = self.driver.sim.cycle
+        request.status = "queued"
+        if request.deadline is None:
+            request.deadline = self.request_deadline
+        self.queues[request.user].append(request)
+        if self.obs is not None:
+            self._m_submitted.inc(user=request.user)
+
+    def submit_all(self, requests: List[Request]) -> None:
+        for r in requests:
+            self.submit(r)
+
+    def _next_request(self) -> Optional[Request]:
+        for i in range(len(self._rr_users)):
+            name = self._rr_users[(self._rr_issue + i) % len(self._rr_users)]
+            if self.queues[name]:
+                self._rr_issue = (self._rr_issue + i + 1) % len(self._rr_users)
+                return self.queues[name].pop(0)
+        return None
+
+    def tick(self, cycles: int = 1) -> None:
+        """Advance the system: issue queued requests, deliver responses.
+
+        Each cycle also runs the watchdog: retry backlog release, deadline
+        scan, and (past ``quarantine_threshold`` consecutive trips)
+        quarantine-and-drain failover.  ``top``/``sim`` are re-read every
+        iteration because quarantine can swap the driver mid-call.
+        """
+        obs = self.obs
+        for _ in range(cycles):
+            self._watchdog()
+            top = self.driver.top
+            sim = self.driver.sim
+            # reader side: rotate polling among users with work outstanding
+            candidates = [
+                n for n in self._rr_users
+                if self.queues[n] or any(r.user == n for r in self.in_flight)
+            ] or self._rr_users
+            reader = self.principals[
+                candidates[self._rr_read % len(candidates)]
+            ]
+            self._rr_read += 1
+            ready = 1
+            if (self.reader_stutter
+                    and sim.cycle % self.reader_stutter == 0
+                    and (self.stutter_users is None
+                         or reader.name in self.stutter_users)):
+                ready = 0
+            sim.poke(f"{top}.rd_user", reader.tag)
+            sim.poke(f"{top}.out_ready", ready)
+
+            # collect a response if presented
+            if ready and sim.peek(f"{top}.out_valid"):
+                tag = sim.peek(f"{top}.out_tag")
+                data = sim.peek(f"{top}.out_data")
+                self._deliver(reader, tag, data)
+
+            # request side
+            req = None
+            if sim.peek(f"{top}.in_ready"):
+                req = self._next_request()
+            if req is not None:
+                user = self.principals[req.user]
+                self.driver._poke_cmd(req.cmd, user.tag, slot=req.slot,
+                                      data=req.data)
+                req.issued_cycle = sim.cycle
+                req.status = "issued"
+                req.attempts += 1
+                self.in_flight.append(req)
+            else:
+                self.driver._idle_inputs()
+            if obs is not None:
+                self._g_inflight.set(len(self.in_flight))
+            sim.step()
+
+    # -- watchdog / retry / quarantine ------------------------------------------
+    def _effective_deadline(self, req: Request) -> Optional[int]:
+        return req.deadline if req.deadline is not None else self.request_deadline
+
+    def _watchdog(self) -> None:
+        """Release matured retries and trip requests past their deadline."""
+        now = self.driver.sim.cycle
+        if self._retry_backlog:
+            still: List[Tuple[int, Request]] = []
+            for release, req in self._retry_backlog:
+                if release <= now:
+                    req.status = "queued"
+                    # the retry restarts the end-to-end clock
+                    req.submitted_cycle = now
+                    req.issued_cycle = None
+                    self.queues[req.user].insert(0, req)
+                else:
+                    still.append((release, req))
+            self._retry_backlog = still
+        if self.request_deadline is None and not any(
+                r.deadline is not None for r in self.in_flight) and not any(
+                r.deadline is not None
+                for q in self.queues.values() for r in q):
+            return
+        expired = [r for r in self.in_flight
+                   if self._effective_deadline(r) is not None
+                   and now - r.submitted_cycle > self._effective_deadline(r)]
+        for queue in self.queues.values():
+            expired.extend(
+                r for r in list(queue)
+                if self._effective_deadline(r) is not None
+                and now - r.submitted_cycle > self._effective_deadline(r))
+        for req in expired:
+            self._trip(req)
+        if (self._trips_since_progress >= self.quarantine_threshold
+                and not self.quarantined):
+            self.quarantine()
+
+    def _trip(self, req: Request) -> None:
+        """One watchdog expiration: retry with backoff or give up."""
+        self.watchdog_trips += 1
+        self._trips_since_progress += 1
+        if req in self.in_flight:
+            self.in_flight.remove(req)
+        elif req in self.queues[req.user]:
+            self.queues[req.user].remove(req)
+        obs = self.obs
+        if obs is not None:
+            self._m_watchdog.inc(user=req.user)
+            obs.security.emit(
+                "watchdog_trip", cycle=self.driver.sim.cycle, source="soc",
+                user=req.user, attempts=req.attempts,
+                submitted_cycle=req.submitted_cycle,
+                issued_cycle=req.issued_cycle)
+        if req.retries < self.max_retries:
+            # exponential backoff with seeded jitter, in cycles
+            req.retries += 1
+            delay = (self.retry_base_delay
+                     * (2 ** (req.retries - 1))
+                     + self._retry_rng.randrange(self.retry_jitter + 1))
+            req.status = "backoff"
+            self._retry_backlog.append((self.driver.sim.cycle + delay, req))
+            if obs is not None:
+                self._m_retries.inc(user=req.user)
+                self._h_backoff.observe(delay)
+        else:
+            req.status = "timed_out"
+            self.timed_out_requests.append(req)
+            if obs is not None:
+                self._m_timeouts.inc(user=req.user)
+                obs.tracer.instant(
+                    "request_timed_out", cat="soc",
+                    tid=self._tids.get(req.user, 0),
+                    ts=self.driver.sim.cycle, user=req.user)
+
+    def quarantine(self) -> None:
+        """Condemn the current accelerator and drain its work.
+
+        With a spare left, in-flight and backed-off requests re-queue onto
+        a freshly built (and re-provisioned) accelerator; their submission
+        clocks restart because the new simulator begins at cycle 0.  With
+        no spare, every outstanding request is rejected and the system
+        refuses further submissions — degraded but honest.
+        """
+        self.quarantines += 1
+        self._trips_since_progress = 0
+        outstanding = list(self.in_flight)
+        outstanding.extend(req for _release, req in self._retry_backlog)
+        self.in_flight.clear()
+        self._retry_backlog.clear()
+        spare = self.spares_used < self.max_spares
+        obs = self.obs
+        if obs is not None:
+            self._m_quarantines.inc(outcome="spare" if spare else "reject")
+            obs.security.emit(
+                "accelerator_quarantined", cycle=self.driver.sim.cycle,
+                source="soc", outcome="spare" if spare else "reject",
+                outstanding=len(outstanding), trips=self.watchdog_trips)
+        if not spare:
+            self.quarantined = True
+            for queue in self.queues.values():
+                outstanding.extend(queue)
+                queue.clear()
+            for req in outstanding:
+                self._reject(req)
+            return
+        self.spares_used += 1
+        self.driver = self._build_driver()
+        self.provision_keys()
+        now = self.driver.sim.cycle
+        for req in outstanding:
+            req.status = "queued"
+            req.submitted_cycle = now
+            req.issued_cycle = None
+            self.queues[req.user].insert(0, req)
+        for queue in self.queues.values():
+            for req in queue:
+                req.submitted_cycle = now
+
+    def _reject(self, req: Request) -> None:
+        req.status = "rejected"
+        self.rejected_requests.append(req)
+        if self.obs is not None:
+            self._m_rejected.inc(user=req.user)
+            self.obs.security.emit(
+                "request_rejected", cycle=self.driver.sim.cycle,
+                source="soc", user=req.user, attempts=req.attempts)
+
+    def _deliver(self, reader: Principal, tag: int, data: int) -> None:
+        """Hand the presented block to the polling reader.
+
+        Both datapaths preserve issue order (fixed-latency pipeline, FIFO
+        holding buffer), so the presented block answers the oldest
+        in-flight request.  The protected hardware only presents a block
+        when the poller's label admits it; the baseline presents to
+        whoever polls — which is exactly the cross-user disclosure the
+        experiments measure (``delivered`` then shows another user's
+        request under the reader's name).
+        """
+        owner = self._vouch_to_user.get(tag & 0xF)
+        req = None
+        if owner is not None:
+            for candidate in self.in_flight:
+                if candidate.user == owner:
+                    req = candidate
+                    break
+        if req is None and self.in_flight:
+            # untagged/baseline response: issue order answers the oldest
+            req = self.in_flight[0]
+        if req is None:
+            return
+        self.in_flight.remove(req)
+        req.delivered_cycle = self.driver.sim.cycle
+        req.result = data
+        req.status = "delivered"
+        self._trips_since_progress = 0
+        self.delivered[reader.name].append(req)
+        if self.obs is not None:
+            self._record_delivery(req, reader)
+
+    def _record_delivery(self, req: Request, reader: Principal) -> None:
+        obs = self.obs
+        self._m_delivered.inc(user=req.user)
+        self._h_latency.observe(req.latency, user=req.user)
+        self._h_queue.observe(req.queue_cycles, user=req.user)
+        tid = self._tids.get(req.user, 0)
+        tracer = obs.tracer
+        tracer.complete("request", req.submitted_cycle, req.total_cycles,
+                        cat="soc", tid=tid, slot=req.slot,
+                        reader=reader.name)
+        tracer.complete("queued", req.submitted_cycle, req.queue_cycles,
+                        cat="soc", tid=tid)
+        tracer.complete("service", req.issued_cycle, req.latency,
+                        cat="soc", tid=tid)
+        if reader.name != req.user:
+            self._m_cross.inc(owner=req.user, reader=reader.name)
+            obs.security.emit(
+                "cross_user_delivery", cycle=req.delivered_cycle,
+                source="soc", owner=req.user, reader=reader.name)
+
+    def drain(self, max_cycles: int = 4000, idle_limit: int = 200) -> None:
+        """Run until all requests complete (or are detected as dropped).
+
+        A block whose reader never kept up may have been dropped by the
+        holding buffer (availability, by design); after ``idle_limit``
+        cycles with no progress such requests move to
+        ``dropped_requests`` instead of hanging the harness.
+        """
+        idle = 0
+        last_outstanding = None
+        for _ in range(max_cycles):
+            outstanding = (len(self.in_flight) + len(self._retry_backlog)
+                           + sum(len(q) for q in self.queues.values()))
+            if outstanding == 0:
+                return
+            if outstanding == last_outstanding:
+                idle += 1
+                if (idle >= idle_limit and not any(self.queues.values())
+                        and not self._retry_backlog):
+                    self._drop(self.in_flight)
+                    self.in_flight.clear()
+                    return
+            else:
+                idle = 0
+            last_outstanding = outstanding
+            self.tick()
+        raise TimeoutError("SoC did not drain")
+
+    def _drop(self, requests: List[Request]) -> None:
+        for req in requests:
+            req.status = "dropped"
+        self.dropped_requests.extend(requests)
+        if self.obs is not None:
+            for req in requests:
+                self._m_dropped.inc(user=req.user)
+                self.obs.security.emit(
+                    "request_dropped", cycle=self.driver.sim.cycle,
+                    source="soc", user=req.user,
+                    submitted_cycle=req.submitted_cycle,
+                    issued_cycle=req.issued_cycle)
+                self.obs.tracer.instant(
+                    "request_dropped", cat="soc",
+                    tid=self._tids.get(req.user, 0),
+                    ts=self.driver.sim.cycle, user=req.user)
+
+    # -- queries ------------------------------------------------------------------
+    def results_for(self, user: str) -> List[Request]:
+        return self.delivered[user]
+
+    def completed_requests(self) -> List[Request]:
+        """Every delivered request, regardless of which reader received it.
+
+        On the baseline a block can be handed to another user's reader
+        (the disclosure), so grouping by delivery list under-counts the
+        *owner's* observable timing; this walks all delivery lists.
+        """
+        out: List[Request] = []
+        for reqs in self.delivered.values():
+            out.extend(reqs)
+        return out
+
+    def latency_samples(self) -> Dict[str, List[int]]:
+        """Per-owner issue-to-delivery latencies (leakage-detector feed)."""
+        out: Dict[str, List[int]] = {}
+        for req in self.completed_requests():
+            if req.latency is not None:
+                out.setdefault(req.user, []).append(req.latency)
+        return out
+
+    def queue_delay_samples(self) -> Dict[str, List[int]]:
+        """Per-owner submit-to-issue delays (leakage-detector feed)."""
+        out: Dict[str, List[int]] = {}
+        for req in self.completed_requests():
+            if req.queue_cycles is not None:
+                out.setdefault(req.user, []).append(req.queue_cycles)
+        return out
+
+    def publish_latency_quantiles(self) -> None:
+        """Export p50/p95/p99 per-user latency gauges from the reservoir.
+
+        The bucketed histogram alone can only report upper bucket bounds;
+        the exact-sample reservoir on ``soc_request_latency_cycles``
+        makes these gauges true order statistics.
+
+        Two gauge families are published: the original per-user
+        ``soc_request_latency_quantile_cycles`` (name and labels
+        unchanged for existing dashboards), and the shard-labelled
+        ``soc_shard_request_latency_quantile_cycles`` so fleet
+        dashboards never aggregate latencies across a failover
+        boundary — the quantiles of a respawned shard are a different
+        population than its predecessor's.
+        """
+        if self.obs is None:
+            return
+        g = self.obs.metrics.gauge(
+            "soc_request_latency_quantile_cycles",
+            "exact per-user latency quantiles from the histogram reservoir",
+            ("user", "quantile"))
+        g_shard = self.obs.metrics.gauge(
+            "soc_shard_request_latency_quantile_cycles",
+            "per-shard per-user latency quantiles (shard-labelled so "
+            "fleet views never mix populations across failover)",
+            ("shard", "user", "quantile"))
+        for name in sorted(self.principals):
+            if not self._h_latency.count(user=name):
+                continue
+            for q, label in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                value = self._h_latency.quantile(q, user=name)
+                g.set(value, user=name, quantile=label)
+                g_shard.set(value, shard=self.shard_id, user=name,
+                            quantile=label)
+
+    def counters(self) -> Dict[str, int]:
+        return self.driver.counters()
+
+    def stats(self) -> Dict[str, int]:
+        """Serving-state snapshot (the fleet supervisor's probe payload)."""
+        delivered = sum(len(reqs) for reqs in self.delivered.values())
+        cross = sum(1 for reader, reqs in self.delivered.items()
+                    for r in reqs if r.user != reader)
+        return {
+            "cycle": self.driver.sim.cycle,
+            "queued": sum(len(q) for q in self.queues.values()),
+            "in_flight": len(self.in_flight),
+            "delivered": delivered,
+            "cross_user_deliveries": cross,
+            "dropped": len(self.dropped_requests),
+            "timed_out": len(self.timed_out_requests),
+            "rejected": len(self.rejected_requests),
+            "watchdog_trips": self.watchdog_trips,
+            "quarantines": self.quarantines,
+        }

@@ -1,0 +1,207 @@
+"""Seeded open-loop traffic generation for the accelerator fleet.
+
+Fleet-scale serving is only credible under fleet-scale *load*: not the
+closed-loop "submit N blocks, drain, repeat" of the single-SoC
+experiments, but an **open-loop** arrival process that keeps pushing
+work whether or not the system keeps up — the regime in which admission
+control, fair arbitration, and backpressure actually matter.
+
+Three load shapes, all deterministic per seed:
+
+* **heavy-tailed arrivals** — per-tenant inter-arrival gaps drawn from
+  a Pareto distribution (shape ``alpha`` ≈ 1.6), so most gaps are short
+  but the occasional gap is very long: bursty on every timescale, the
+  classic network/datacenter arrival shape;
+* **bursty tenants** — a tenant with ``burst > 1`` emits geometrically
+  sized back-to-back batches at each arrival instant (think TLS record
+  flurries);
+* **adversarial co-tenants** — a tenant flagged ``adversarial`` is
+  driven by the fleet as a *slow poller* on its shard (its reader
+  drops ``out_ready`` periodically), which is exactly the §3.1 stall
+  covert-channel probe; the protected design must not let that
+  backpressure bleed into other tenants' latency.
+
+A generated :class:`TrafficTrace` is a value object: replaying the same
+trace against 1 shard and 4 shards (``benchmarks/bench_fleet.py``), or
+through two chaos-perturbed fleet runs (the determinism gate), is what
+makes the fleet numbers comparable.  ``digest()`` fingerprints the
+trace so reports can prove they replayed the same load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from typing import Dict, Iterable, List, Optional
+
+from ..accel.common import CMD_ENCRYPT
+
+#: tenant classes, highest priority first; admission control sheds from
+#: the back of this list first (lowest priority), DRR weights come from
+#: CLASS_WEIGHTS
+TENANT_CLASSES = ("gold", "silver", "bronze")
+
+#: deficit-round-robin quantum per class (requests per DRR turn)
+CLASS_WEIGHTS = {"gold": 4, "silver": 2, "bronze": 1}
+
+
+class TenantSpec:
+    """One fleet tenant: identity, service class, and load shape."""
+
+    __slots__ = ("name", "tenant_class", "rate", "burst", "adversarial",
+                 "key")
+
+    def __init__(self, name: str, tenant_class: str = "silver",
+                 rate: float = 8.0, burst: int = 1,
+                 adversarial: bool = False, key: Optional[int] = None):
+        if tenant_class not in TENANT_CLASSES:
+            raise ValueError(f"unknown tenant class {tenant_class!r}; "
+                             f"expected one of {TENANT_CLASSES}")
+        self.name = name
+        self.tenant_class = tenant_class
+        #: mean arrivals per 1000 fleet cycles (before burst expansion)
+        self.rate = float(rate)
+        #: mean burst size at each arrival instant (1 = no bursts)
+        self.burst = int(burst)
+        self.adversarial = bool(adversarial)
+        self.key = key
+
+    @property
+    def priority(self) -> int:
+        """0 is highest; admission sheds the numerically largest first."""
+        return TENANT_CLASSES.index(self.tenant_class)
+
+    @property
+    def weight(self) -> int:
+        return CLASS_WEIGHTS[self.tenant_class]
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "class": self.tenant_class,
+                "rate": self.rate, "burst": self.burst,
+                "adversarial": self.adversarial}
+
+    def __repr__(self) -> str:
+        adv = ", adversarial" if self.adversarial else ""
+        return (f"TenantSpec({self.name}, {self.tenant_class}, "
+                f"rate={self.rate}{adv})")
+
+
+def default_tenants(n: int = 6, seed: int = 0) -> List[TenantSpec]:
+    """A mixed fleet population: gold/silver/bronze, one adversary.
+
+    Tenant ``t<i>`` cycles through the service classes; the last bronze
+    tenant is the adversarial co-tenant (slow poller hammering the
+    stall channel).  Keys are derived deterministically from ``seed``.
+    """
+    rng = random.Random(seed ^ 0x7E4A47)
+    out: List[TenantSpec] = []
+    for i in range(n):
+        cls = TENANT_CLASSES[i % len(TENANT_CLASSES)]
+        burst = 3 if i % 2 else 1
+        rate = {"gold": 10.0, "silver": 7.0, "bronze": 5.0}[cls]
+        out.append(TenantSpec(
+            f"t{i}", cls, rate=rate, burst=burst,
+            adversarial=False, key=rng.getrandbits(128)))
+    # the adversary: lowest class, bursty, slow poller
+    for spec in reversed(out):
+        if spec.tenant_class == "bronze":
+            spec.adversarial = True
+            spec.burst = max(spec.burst, 3)
+            break
+    return out
+
+
+class Arrival:
+    """One open-loop arrival: a block some tenant wants encrypted."""
+
+    __slots__ = ("cycle", "tenant", "cmd", "data")
+
+    def __init__(self, cycle: int, tenant: str, data: int,
+                 cmd: int = CMD_ENCRYPT):
+        self.cycle = int(cycle)
+        self.tenant = tenant
+        self.cmd = cmd
+        self.data = data
+
+    def to_dict(self) -> dict:
+        return {"cycle": self.cycle, "tenant": self.tenant,
+                "cmd": self.cmd, "data": self.data}
+
+    def __repr__(self) -> str:
+        return f"Arrival(cycle={self.cycle}, tenant={self.tenant})"
+
+
+class TrafficTrace:
+    """A replayable arrival schedule (sorted by cycle, then tenant)."""
+
+    def __init__(self, tenants: List[TenantSpec], arrivals: List[Arrival],
+                 horizon: int, seed: int):
+        self.tenants = list(tenants)
+        self.arrivals = sorted(arrivals,
+                               key=lambda a: (a.cycle, a.tenant, a.data))
+        self.horizon = int(horizon)
+        self.seed = int(seed)
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    def per_tenant_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {t.name: 0 for t in self.tenants}
+        for a in self.arrivals:
+            counts[a.tenant] = counts.get(a.tenant, 0) + 1
+        return counts
+
+    def digest(self) -> str:
+        """Stable fingerprint of the full schedule (replay evidence)."""
+        payload = json.dumps(
+            {"horizon": self.horizon, "seed": self.seed,
+             "tenants": [t.to_dict() for t in self.tenants],
+             "arrivals": [a.to_dict() for a in self.arrivals]},
+            sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "arrivals": len(self.arrivals),
+            "digest": self.digest(),
+            "per_tenant": self.per_tenant_counts(),
+            "tenants": [t.to_dict() for t in self.tenants],
+        }
+
+
+def generate_trace(tenants: Iterable[TenantSpec], horizon: int,
+                   seed: int = 2026) -> TrafficTrace:
+    """Open-loop Pareto arrivals over ``horizon`` fleet cycles.
+
+    Each tenant gets an independent ``random.Random`` stream derived
+    from ``(seed, name)`` so adding a tenant never perturbs another
+    tenant's schedule.  Inter-arrival gaps are Pareto with shape 1.6,
+    scaled so the *mean* gap matches ``1000 / rate`` cycles; burst
+    sizes are geometric with mean ``burst``.
+    """
+    tenants = list(tenants)
+    arrivals: List[Arrival] = []
+    alpha = 1.6
+    # E[pareto(alpha)] = alpha / (alpha - 1); divide it out so `rate`
+    # stays the real mean arrival rate despite the heavy tail
+    mean_pareto = alpha / (alpha - 1.0)
+    for spec in tenants:
+        rng = random.Random(f"{seed}:{spec.name}")
+        mean_gap = 1000.0 / spec.rate
+        scale = mean_gap / mean_pareto
+        t = rng.uniform(0, mean_gap)  # desynchronised starts
+        while t < horizon:
+            burst = 1
+            if spec.burst > 1:
+                # geometric with mean `burst`, capped to keep bounded
+                p = 1.0 / spec.burst
+                while burst < 4 * spec.burst and rng.random() > p:
+                    burst += 1
+            for _ in range(burst):
+                arrivals.append(Arrival(int(t), spec.name,
+                                        rng.getrandbits(128)))
+            t += scale * rng.paretovariate(alpha)
+    return TrafficTrace(tenants, arrivals, horizon, seed)

@@ -62,6 +62,30 @@ class TestPowerDeterminism:
         assert _canon(a.to_dict()) == _canon(b.to_dict())
 
 
+class TestFleetDeterminism:
+    """The fleet gate shares one seed across traffic, chaos, and retry
+    jitter; two runs must agree byte-for-byte even though chaos kills
+    shards mid-run (satellite of the fleet PR)."""
+
+    @staticmethod
+    def _run(seed):
+        from repro.soc.fleet import run_fleet_gate
+
+        return run_fleet_gate(seed=seed, shards=2, horizon=512,
+                              tenants=4, workers="inline",
+                              kills=1, wedges=1, check_ifc=False)
+
+    def test_same_seed_byte_identical(self):
+        a = self._run(SEED)
+        b = self._run(SEED)
+        assert _canon(a.to_dict()) == _canon(b.to_dict())
+
+    def test_different_seed_differs(self):
+        a = self._run(SEED)
+        b = self._run(SEED + 1)
+        assert _canon(a.to_dict()) != _canon(b.to_dict())
+
+
 class TestCoverageDeterminism:
     def test_repeat_collection_bit_identical(self):
         from repro.obs.coverage import run_coverage_collection

@@ -3,7 +3,9 @@
 import json
 
 from repro.obs.history import (
+    EXPECTED_GAUGE_FAMILIES,
     GaugeDelta,
+    HistoryComparison,
     append_history,
     compare_with_history,
     diff_gauges,
@@ -11,6 +13,7 @@ from repro.obs.history import (
     gauge_key,
     load_gauges,
     metric_direction,
+    missing_families,
     read_history,
 )
 
@@ -50,6 +53,44 @@ class TestLoadGauges:
         (tmp_path / "BENCH_history.jsonl").write_text("")
         found = find_bench_files(str(tmp_path))
         assert [f.rsplit("/", 1)[-1] for f in found] == ["BENCH_a.json"]
+
+
+class TestExpectedFamilies:
+    """Satellite of the fleet PR: a whole benchmark silently not running
+    must surface as a MISSING-family warning, not vanish quietly."""
+
+    @staticmethod
+    def _full_set():
+        return {gauge_key(prefixes[0] + "x", {}): 1.0
+                for prefixes in EXPECTED_GAUGE_FAMILIES.values()}
+
+    def test_fleet_family_is_registered(self):
+        assert "fleet" in EXPECTED_GAUGE_FAMILIES
+        assert EXPECTED_GAUGE_FAMILIES["fleet"] == ("repro_bench_fleet_",)
+
+    def test_all_families_present_no_warnings(self):
+        assert missing_families(self._full_set()) == []
+
+    def test_absent_family_is_flagged(self):
+        gauges = self._full_set()
+        gauges.pop(gauge_key("repro_bench_fleet_x", {}))
+        assert missing_families(gauges) == ["fleet"]
+
+    def test_comparison_renders_family_warning(self):
+        comparison = HistoryComparison([], missing_families=["fleet"])
+        text = comparison.render()
+        assert "gauge family 'fleet'" in text
+        assert "repro_bench_fleet_" in text
+        assert comparison.to_dict()["missing_families"] == ["fleet"]
+
+    def test_compare_with_history_wires_families(self, tmp_path):
+        ledger = tmp_path / "BENCH_history.jsonl"
+        comparison = compare_with_history(str(ledger), self._full_set())
+        assert comparison.missing_families == []
+        comparison = compare_with_history(
+            str(ledger), {gauge_key("repro_bench_gbps", {}): 1.0})
+        assert "fleet" in comparison.missing_families
+        assert "throughput" not in comparison.missing_families
 
 
 class TestDeltas:

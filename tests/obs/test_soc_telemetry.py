@@ -43,6 +43,26 @@ class TestLifecycleMetrics:
         # users with no traffic get no series
         assert g.value(user="bob", quantile="p50") == 0
 
+    def test_quantile_gauges_carry_shard_label(self):
+        """publish_latency_quantiles exports both the legacy per-user
+        gauge and the shard-labelled family with identical values
+        (satellite of the fleet PR)."""
+        t = obs.Telemetry()
+        soc = _run(telemetry=t, blocks=5, shard_id="7")
+        soc.publish_latency_quantiles()
+        legacy = t.metrics.get("soc_request_latency_quantile_cycles")
+        sharded = t.metrics.get("soc_shard_request_latency_quantile_cycles")
+        for q in ("p50", "p95", "p99"):
+            assert sharded.value(shard="7", user="alice", quantile=q) \
+                == legacy.value(user="alice", quantile=q)
+        # the legacy family keeps its exact name and label set
+        snap = t.metrics.snapshot()
+        assert any('user="alice"' in k and "shard" not in k
+                   for k in snap["repro_soc_request_latency_quantile_cycles"])
+        assert any('shard="7"' in k
+                   for k in
+                   snap["repro_soc_shard_request_latency_quantile_cycles"])
+
     def test_latency_samples_feed_detector(self):
         soc = _run(blocks=4)
         samples = soc.latency_samples()

@@ -1,0 +1,120 @@
+"""Traffic generation and chaos scheduling: seeded, replayable, bounded."""
+
+import pytest
+
+from repro.faults.plan import Fault, FaultPlan
+from repro.soc.chaos import ChaosSchedule, HANG_TARGET, wedge_plan_dict
+from repro.soc.traffic import (
+    CLASS_WEIGHTS,
+    TENANT_CLASSES,
+    TenantSpec,
+    default_tenants,
+    generate_trace,
+)
+
+
+class TestTenants:
+    def test_default_population_shape(self):
+        specs = default_tenants(6, seed=0)
+        assert [s.tenant_class for s in specs] == [
+            "gold", "silver", "bronze", "gold", "silver", "bronze"]
+        assert sum(1 for s in specs if s.adversarial) == 1
+        assert all(s.key is not None for s in specs)
+        assert len({s.key for s in specs}) == 6
+
+    def test_keys_deterministic_per_seed(self):
+        a = [s.key for s in default_tenants(4, seed=3)]
+        b = [s.key for s in default_tenants(4, seed=3)]
+        c = [s.key for s in default_tenants(4, seed=4)]
+        assert a == b
+        assert a != c
+
+    def test_priority_and_weight_follow_class(self):
+        for i, cls in enumerate(TENANT_CLASSES):
+            spec = TenantSpec("x", cls)
+            assert spec.priority == i
+            assert spec.weight == CLASS_WEIGHTS[cls]
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            TenantSpec("x", "platinum")
+
+
+class TestTraceGeneration:
+    def test_same_seed_identical_digest(self):
+        specs = default_tenants(4, seed=1)
+        a = generate_trace(specs, 1024, seed=99)
+        b = generate_trace(specs, 1024, seed=99)
+        assert a.digest() == b.digest()
+        assert len(a) == len(b)
+
+    def test_different_seed_differs(self):
+        specs = default_tenants(4, seed=1)
+        a = generate_trace(specs, 1024, seed=99)
+        b = generate_trace(specs, 1024, seed=100)
+        assert a.digest() != b.digest()
+
+    def test_arrivals_sorted_and_in_horizon(self):
+        trace = generate_trace(default_tenants(4, seed=1), 512, seed=5)
+        cycles = [a.cycle for a in trace.arrivals]
+        assert cycles == sorted(cycles)
+        assert all(0 <= c < 512 for c in cycles)
+
+    def test_per_tenant_streams_independent(self):
+        """Adding a tenant must not perturb existing tenants' schedules
+        (each tenant draws from its own (seed, name) RNG stream)."""
+        specs = default_tenants(4, seed=1)
+        small = generate_trace(specs[:2], 1024, seed=7)
+        big = generate_trace(specs, 1024, seed=7)
+
+        def mine(trace, name):
+            return [(a.cycle, a.data) for a in trace.arrivals
+                    if a.tenant == name]
+
+        for spec in specs[:2]:
+            assert mine(small, spec.name) == mine(big, spec.name)
+
+    def test_rate_scales_arrival_count(self):
+        fast = TenantSpec("fast", "gold", rate=20.0)
+        slow = TenantSpec("slow", "gold", rate=2.0)
+        trace = generate_trace([fast, slow], 4096, seed=11)
+        counts = trace.per_tenant_counts()
+        assert counts["fast"] > 2 * counts["slow"]
+
+
+class TestChaosSchedule:
+    def test_seeded_schedule_deterministic(self):
+        a = ChaosSchedule.seeded(5, rounds=24, shards=4)
+        b = ChaosSchedule.seeded(5, rounds=24, shards=4)
+        assert a.to_dict() == b.to_dict()
+        assert ChaosSchedule.seeded(6, rounds=24, shards=4).to_dict() \
+            != a.to_dict()
+
+    def test_kills_hit_distinct_shards_wedge_elsewhere(self):
+        sched = ChaosSchedule.seeded(9, rounds=30, shards=4,
+                                     kills=2, wedges=1)
+        kill_shards = [e.shard for e in sched.kills()]
+        wedge_shards = {e.shard for e in sched.wedges()}
+        assert len(kill_shards) == len(set(kill_shards)) == 2
+        assert wedge_shards and not wedge_shards & set(kill_shards)
+
+    def test_events_in_middle_of_run(self):
+        sched = ChaosSchedule.seeded(3, rounds=30, shards=4)
+        for e in sched.events:
+            assert 30 // 5 <= e.round < (4 * 30) // 5
+
+    def test_counts_clamped_for_tiny_fleets(self):
+        sched = ChaosSchedule.seeded(1, rounds=20, shards=2,
+                                     kills=2, wedges=1)
+        assert len(sched.kills()) == 1  # one shard must survive for wedge
+        assert len(sched.wedges()) == 1
+
+    def test_wedge_plan_roundtrips_into_fault_plan(self):
+        plan_dict = wedge_plan_dict(duration=500)
+        plan = FaultPlan([Fault(**f) for f in plan_dict["faults"]])
+        assert len(plan) == 1
+        fault = plan.faults[0]
+        assert fault.target == HANG_TARGET
+        assert fault.duration == 500
+        shifted = plan.shifted(100)
+        assert shifted.faults[0].cycle == 100

@@ -106,6 +106,56 @@ class TestQuarantine:
         for r in reqs:
             assert r.result == encrypt_block(r.data, alice.key)
 
+    def test_spare_exhaustion_then_queued_reject(self):
+        """First quarantine burns the only spare; when the spare wedges
+        too, the second quarantine must degrade to queued-reject instead
+        of pretending a third accelerator exists."""
+        soc = _soc(request_deadline=120, max_retries=2,
+                   quarantine_threshold=2, max_spares=1)
+        soc.driver.sim.load_fault_plan(_hang_plan(5))
+        first = encrypt_stream("alice", 1, [0x66 << 96, 0x67 << 96])
+        soc.submit_all(first)
+        soc.drain(max_cycles=8000)
+        assert soc.quarantines == 1
+        assert soc.spares_used == 1
+        assert all(r.status == "delivered" for r in first)
+        # the spare wedges as well: no spare remains for the next ones
+        soc.driver.sim.load_fault_plan(
+            _hang_plan(soc.driver.sim.cycle + 5))
+        second = encrypt_stream("alice", 1, [0x77 << 96, 0x78 << 96])
+        soc.submit_all(second)
+        soc.drain(max_cycles=8000)
+        assert soc.quarantines == 2
+        assert soc.quarantined
+        assert all(r.status == "rejected" for r in second)
+        assert second[0] in soc.rejected_requests
+        late = Request("alice", second[0].cmd, 1, 0x88)
+        soc.submit(late)
+        assert late.status == "rejected"
+        for req in soc.all_requests:
+            assert req.is_terminal
+
+    def test_quarantine_during_backoff_keeps_invariant(self):
+        """A request sitting out a retry backoff when quarantine fires
+        (no spare) must still land terminal — the quarantine drain walks
+        the retry backlog, not just the in-flight list."""
+        soc = _soc(request_deadline=50, max_retries=3,
+                   retry_base_delay=400, retry_jitter=0,
+                   quarantine_threshold=2, max_spares=0)
+        soc.driver.sim.load_fault_plan(_hang_plan(5))
+        reqs = encrypt_stream("alice", 1, [0xAA << 96, 0xBB << 96])
+        soc.submit_all(reqs)
+        soc.drain(max_cycles=8000)
+        assert soc.quarantines == 1
+        assert soc.quarantined
+        # the 400-cycle backoff dwarfs the 50-cycle deadline, so the
+        # tripped requests were necessarily in the backlog at quarantine
+        assert any(r.retries > 0 for r in reqs)
+        for req in soc.all_requests:
+            assert req.is_terminal, (
+                f"{req} left non-terminal: {req.status!r}")
+        assert all(r.status == "rejected" for r in reqs)
+
     def test_no_spare_degrades_to_queued_reject(self):
         soc = _soc(request_deadline=80, max_retries=0,
                    quarantine_threshold=1, max_spares=0)
