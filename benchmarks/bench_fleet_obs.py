@@ -1,0 +1,109 @@
+"""Fleet observatory overhead benchmark: tracing on vs off.
+
+Replays one fixed open-loop trace (inline workers, no chaos) twice —
+once bare, once with a :class:`~repro.obs.fleet.FleetObservatory`
+attached (worker-side spans + metrics, delta harvesting, burn-rate
+evaluation) — and compares **round throughput**, delivered requests per
+supervisor round.  The observatory must never perturb scheduling, so
+the logical throughput is required to stay within 5% (in practice it
+is identical: same rounds, same deliveries); wall-clock overhead is
+exported as an informational gauge for the history ledger.
+"""
+
+import random
+import time
+from pathlib import Path
+
+from conftest import report
+
+from repro.obs import MetricsRegistry
+from repro.obs.fleet import FleetObservatory
+from repro.soc.fleet import AcceleratorFleet, FleetConfig
+from repro.soc.traffic import TenantSpec, generate_trace
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_fleet_obs.json"
+SEED = 2026
+HORIZON = 512
+SHARDS = 2
+
+
+def _tenants():
+    rng = random.Random(SEED ^ 0x0B5)
+    return [TenantSpec(f"g{i}", "gold", rate=40.0, burst=1,
+                       key=rng.getrandbits(128))
+            for i in range(6)]
+
+
+def _run(observe: bool):
+    specs = _tenants()
+    trace = generate_trace(specs, HORIZON, seed=SEED)
+    cfg = FleetConfig(shards=SHARDS, workers="inline",
+                      batch_per_round=4, queue_bound=64,
+                      request_deadline=6000, flush_rounds=200)
+    fobs = FleetObservatory(cfg.slos) if observe else None
+    fleet = AcceleratorFleet(cfg, specs, seed=SEED, observatory=fobs)
+    t0 = time.perf_counter()
+    rep = fleet.run(trace).to_dict()
+    wall = time.perf_counter() - t0
+    return {
+        "delivered": rep["totals"]["by_status"].get("delivered", 0),
+        "requests": rep["totals"]["requests"],
+        "rounds": rep["supervisor"]["rounds_run"],
+        "conservation_ok": rep["conservation_ok"],
+        "wall": wall,
+        "events": len(fobs.all_events()) if fobs is not None else 0,
+        "series": len(fobs.merged) if fobs is not None else 0,
+    }
+
+
+def _run_both():
+    return {"off": _run(False), "on": _run(True)}
+
+
+def test_fleet_obs_overhead(benchmark):
+    results = benchmark.pedantic(_run_both, iterations=1, rounds=1)
+    off, on = results["off"], results["on"]
+
+    tp_off = off["delivered"] / off["rounds"]
+    tp_on = on["delivered"] / on["rounds"]
+    overhead = (on["wall"] / off["wall"] - 1.0) if off["wall"] else 0.0
+    report(
+        "Fleet observatory overhead — tracing on vs off, one trace",
+        f"off: {off['delivered']}/{off['requests']} in {off['rounds']} "
+        f"rounds ({tp_off:.2f} req/round, {off['wall']:.2f}s)\n"
+        f"on:  {on['delivered']}/{on['requests']} in {on['rounds']} "
+        f"rounds ({tp_on:.2f} req/round, {on['wall']:.2f}s, "
+        f"{on['events']} trace events, {on['series']} series)\n"
+        f"wall overhead: {overhead * 100:.1f}%",
+    )
+
+    reg = MetricsRegistry()
+    g = reg.gauge("bench_fleet_obs_round_throughput",
+                  "requests delivered per supervisor round with the "
+                  "observatory on vs off", ("observatory",))
+    g.set(tp_off, observatory="off")
+    g.set(tp_on, observatory="on")
+    reg.gauge("bench_fleet_obs_trace_events",
+              "stitched Chrome trace events for the fixed trace").set(
+        on["events"])
+    reg.gauge("bench_fleet_obs_telemetry_series",
+              "merged shard-labelled telemetry series").set(on["series"])
+    reg.gauge("bench_fleet_obs_wall_overhead_fraction",
+              "wall-clock cost of the observatory (informational; the "
+              "acceptance bound is on logical throughput)").set(
+        max(0.0, overhead))
+    reg.gauge("bench_fleet_obs_campaign_seconds",
+              "wall time for both fleet runs").set(
+        off["wall"] + on["wall"])
+    reg.write_jsonl(str(BENCH_JSON))
+
+    assert off["conservation_ok"] and on["conservation_ok"]
+    # the observatory observes; it must not steer.  Logical throughput
+    # within 5% (identical in practice — same rounds, same deliveries).
+    assert abs(tp_on - tp_off) <= 0.05 * tp_off, (
+        f"observatory perturbed round throughput: "
+        f"{tp_off:.3f} -> {tp_on:.3f} req/round")
+    assert on["rounds"] == off["rounds"], (
+        "observatory changed the round count")
+    assert on["delivered"] == off["delivered"], (
+        "observatory changed delivery outcomes")

@@ -18,15 +18,21 @@ machinery, a third phase injects a single-event upset that freezes the
 pipeline and lets the SoC watchdog/retry/quarantine layer recover the
 in-flight work on a spare accelerator, a fourth phase scales the same
 core out into a two-shard fleet that keeps serving through a worker
-kill and an injected pipeline wedge, and the run exports
-machine-readable evidence — a Prometheus metrics dump, a Chrome
-trace-event timeline (open it in ``chrome://tracing`` or
-https://ui.perfetto.dev), and a security-event JSONL stream showing the
-enforcement points firing.
+kill and an injected pipeline wedge, a fifth phase replays that chaos
+scenario under the **fleet observatory** — trace ids over the shard
+pipes, worker span/metric deltas harvested per round, burn-rate alert
+episodes attributed to the seeded chaos — and the run exports
+machine-readable evidence: a Prometheus metrics dump, Chrome
+trace-event timelines (open them in ``chrome://tracing`` or
+https://ui.perfetto.dev; ``fleet_trace.json`` shows the kill reclaim
+in-flight requests across process tracks), and a security-event JSONL
+stream showing the enforcement points firing.
 
 Run:  python examples/multi_tenant_cloud.py [output-dir]
 """
 
+import json
+import os
 import sys
 
 import repro.obs as obs
@@ -162,6 +168,25 @@ def main(out_dir: str = "telemetry_out") -> None:
     assert fleet_report.conservation_ok and fleet_report.security_ok
     assert fleet_report.to_dict()["supervisor"]["kills_detected"] >= 1
 
+    # phase 5: the same chaos scenario, observed.  Every admitted
+    # request carries a trace id across the shard pipes, workers
+    # piggyback span/metric deltas on their round replies, and the
+    # coordinator stitches one Chrome trace — coordinator and shard
+    # process tracks, flow arrows admission -> shard -> delivery, chaos
+    # kills and wedges as instant annotations — while the burn-rate
+    # engine turns the disruption into alert episodes that must
+    # attribute to the seeded schedule with perfect precision/recall.
+    print("\nphase 5: fleet observatory over the same scenario "
+          "(stitched trace + burn-rate alerts)...")
+    from repro.obs.fleet import run_fleet_obs_gate
+
+    obs_report, fobs = run_fleet_obs_gate(
+        seed=2026, shards=2, horizon=512, tenants=4,
+        workers="inline", kills=1, wedges=1, identity=False)
+    for line in obs_report.render().splitlines():
+        print(f"  {line}")
+    assert obs_report.ok()
+
     publish_sim_metrics(soc.driver.sim, telemetry.metrics)
     counts = telemetry.security.counts()
     print(f"security events      : {counts}")
@@ -173,6 +198,10 @@ def main(out_dir: str = "telemetry_out") -> None:
     paths = telemetry.write_all(out_dir)
     for kind, path in sorted(paths.items()):
         print(f"wrote {kind:15s} {path}")
+    fleet_trace = os.path.join(out_dir, "fleet_trace.json")
+    with open(fleet_trace, "w") as f:
+        json.dump(fobs.to_chrome_trace(), f)
+    print(f"wrote {'fleet_trace':15s} {fleet_trace}")
 
     assert all_ok
     print("OK — isolation held while the pipeline stayed full, and the "

@@ -37,6 +37,12 @@ Commands
     TVLA + CPA detectors; the paired gate requires the unmasked round
     flagged and key-recovered while the masked variant resists
     (see docs/observability.md).
+``obs fleet [--smoke] [--workers process|inline] [--out DIR]``
+    Fleet observatory: cross-process span stitching into one Chrome
+    trace, worker telemetry harvested over the shard pipes, and SLO
+    burn-rate alerts correlated against the seeded chaos schedule —
+    100% span-chain completeness and alert precision/recall of 1.0
+    required (see docs/observability.md).
 ``ifc synth [--backend B|all] [--smoke] [--out DIR]``
     Shadow-tag transform report: tag-net counts per design, per-backend
     tagged-vs-plain overhead, and a differential spot-check against the
@@ -254,6 +260,12 @@ def cmd_obs_coverage(args) -> int:
     return run(args)
 
 
+def cmd_obs_fleet(args) -> int:
+    from .obs.fleet import cmd_obs_fleet as run
+
+    return run(args)
+
+
 def cmd_ifc_synth(args) -> int:
     from .ifc.synth_cli import cmd_ifc_synth as run
 
@@ -335,7 +347,7 @@ def main(argv=None) -> int:
 
     obs_sub = p.add_subparsers(dest="obs_command",
                                metavar="{leakage,profile,history,flows,"
-                                       "power,coverage}")
+                                       "power,coverage,fleet}")
 
     q = obs_sub.add_parser(
         "leakage", help="statistical timing-channel detector")
@@ -470,6 +482,41 @@ def main(argv=None) -> int:
     q.add_argument("--json", action="store_true",
                    help="machine-readable report on stdout")
     q.set_defaults(fn=cmd_obs_coverage)
+
+    q = obs_sub.add_parser(
+        "fleet",
+        help="fleet observatory (cross-process trace stitching, worker "
+             "telemetry harvest, SLO burn-rate alerts vs seeded chaos)")
+    q.add_argument("--seed", type=int, default=2026,
+                   help="single seed for traffic, chaos, and jitter "
+                        "(default 2026)")
+    q.add_argument("--shards", type=int, default=4,
+                   help="shard pool size (default 4)")
+    q.add_argument("--tenants", type=int, default=6,
+                   help="tenant population (default 6)")
+    q.add_argument("--horizon", type=int, default=1536,
+                   help="traffic horizon in fleet cycles (default 1536)")
+    q.add_argument("--workers", default="process",
+                   choices=("process", "inline"),
+                   help="primary run's shard hosting (default process; "
+                        "the identity twin always runs inline)")
+    q.add_argument("--backend", default="compiled",
+                   choices=("interp", "compiled", "batched"))
+    q.add_argument("--kills", type=int, default=2,
+                   help="chaos worker kills to schedule (default 2)")
+    q.add_argument("--wedges", type=int, default=1,
+                   help="chaos pipeline wedges to schedule (default 1)")
+    q.add_argument("--no-identity", action="store_true",
+                   dest="no_identity",
+                   help="skip the cross-host identity twin run")
+    q.add_argument("--smoke", action="store_true",
+                   help="small inline-worker fleet (CI smoke)")
+    q.add_argument("--out", default=None,
+                   help="directory for fleet_obs_report.json / .md / "
+                        "fleet_trace.json")
+    q.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    q.set_defaults(fn=cmd_obs_fleet)
 
     p = sub.add_parser("ifc", help="information-flow tooling")
     ifc_sub = p.add_subparsers(dest="ifc_command", metavar="{synth}")

@@ -55,6 +55,7 @@ from .metrics import (
     NullRegistry,
     NULL_INSTRUMENT,
     escape_label_value,
+    sample_quantile,
     unescape_label_value,
 )
 from .security import (
@@ -85,6 +86,7 @@ __all__ = [
     "enable",
     "enabled",
     "escape_label_value",
+    "sample_quantile",
     "telemetry",
     "unescape_label_value",
 ]

@@ -1,0 +1,749 @@
+"""Fleet observatory: distributed tracing, telemetry harvest, SLO alerts.
+
+The fleet layer (:mod:`repro.soc.fleet`) runs shard workers in separate
+OS processes, so the single-process telemetry story of :mod:`repro.obs`
+stops at the pipe.  This module closes that gap with three pieces, all
+deterministic functions of ``(trace, chaos, config, seed)``:
+
+* **cross-process distributed tracing** — every
+  :class:`~repro.soc.fleet.FleetRequest` carries a ``trace_id`` over the
+  shard pipe protocol; workers record spans (seat provisioning, sim
+  rounds, wedge stalls, declassifier waits, per-request service) in
+  their own cycle domain and piggyback the deltas on round replies; the
+  coordinator shifts them into **fleet logical cycles** with the slot's
+  ``cycle_offset`` and stitches one Chrome trace: pid 1 is the
+  coordinator (per-tenant tracks + a lifecycle track), pid
+  ``SHARD_PID_BASE + i`` is shard ``i`` (per-seat tracks), flow events
+  link admission → shard service → delivery, and every chaos kill,
+  wedge, quarantine, respawn, and rebalance lands as an instant
+  annotation;
+* **worker telemetry harvesting** — each observed worker runs its own
+  :class:`~repro.obs.MetricsRegistry`; a cursor-based delta protocol
+  ships ``(op, name, labels, value)`` rows with each reply (counters
+  and histogram samples additive so respawn epochs accumulate, gauges
+  overwrite) and the coordinator merges them into shard-labelled
+  families — bit-identical between inline and process hosts;
+* **SLO burn-rate alerting** — a streaming multi-window evaluator
+  (:class:`BurnRateEngine`) consumes request outcomes per round,
+  compares fast/slow-window burn rates against each class's error
+  budget from the fleet SLO table, and opens alert episodes that the
+  gate correlates against the *seeded* chaos schedule: precision and
+  recall must both be 1.0, which is only possible because the ground
+  truth is replayable.
+
+``python -m repro obs fleet`` runs the whole thing as a CI gate: 100%
+span-chain completeness over every terminal request (shed and dropped
+included), perfect alert precision/recall, and the cross-host identity
+check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, List, Optional, Tuple
+
+from .tracing import Tracer
+
+#: Chrome trace pid of the fleet coordinator
+FLEET_PID = 1
+#: shard ``i``'s events render under pid ``SHARD_PID_BASE + i``
+SHARD_PID_BASE = 10
+
+#: default burn-rate engine tuning (rounds); see :class:`BurnRateEngine`
+FAST_WINDOW = 4
+SLOW_WINDOW = 16
+BURN_THRESHOLD = 2.0
+MIN_EVENTS = 4
+#: an alert episode starting within this many rounds after a chaos
+#: event is attributed to it (covers reclaim, respawn backoff, and the
+#: retry round-trips a kill or wedge inflicts on its victims)
+MATCH_ROUNDS = 40
+
+
+def _digest(obj) -> str:
+    return hashlib.sha256(
+        json.dumps(obj, sort_keys=True).encode()).hexdigest()[:16]
+
+
+class BurnRateEngine:
+    """Streaming multi-window SLO burn-rate alerting.
+
+    The classic SRE construction: with an error budget of
+    ``1 - goodput_target``, the *burn rate* of a window is the bad
+    fraction observed in it divided by the budget (1.0 = exactly
+    spending the budget).  An episode opens for a class when **both**
+    the fast and the slow window burn at or above ``threshold`` (fast
+    window for reaction time, slow window so a single bad round on thin
+    traffic cannot page) and the slow window holds at least
+    ``min_events`` bad events; it closes when either condition lapses.
+
+    "Bad" is an input decision, not the engine's: the fleet observatory
+    feeds it terminal outcomes (not delivered, or delivered above the
+    class p99) *and* chaos disruptions (in-flight work reclaimed from a
+    dead shard), so a kill whose retries all eventually deliver still
+    burns — the disruption was real even if the deadline saved the
+    request.
+    """
+
+    def __init__(self, slos: Dict[str, Dict[str, float]],
+                 fast_window: int = FAST_WINDOW,
+                 slow_window: int = SLOW_WINDOW,
+                 threshold: float = BURN_THRESHOLD,
+                 min_events: int = MIN_EVENTS):
+        self.slos = slos
+        self.fast_window = int(fast_window)
+        self.slow_window = int(slow_window)
+        self.threshold = float(threshold)
+        self.min_events = int(min_events)
+        #: round -> class -> [bad, total]
+        self._by_round: Dict[int, Dict[str, List[int]]] = {}
+        self._active: Dict[str, dict] = {}
+        self.episodes: List[dict] = []
+        self.samples_total = 0
+        self._last_eval = -1
+
+    def budget(self, slo_class: str) -> float:
+        return max(1e-9, 1.0 - self.slos[slo_class]["goodput"])
+
+    def observe(self, rnd: int, slo_class: str, bad: bool) -> None:
+        rec = self._by_round.setdefault(rnd, {}).setdefault(
+            slo_class, [0, 0])
+        rec[1] += 1
+        if bad:
+            rec[0] += 1
+        self.samples_total += 1
+
+    def _window(self, slo_class: str, rnd: int, width: int) -> Tuple[int, int]:
+        bad = total = 0
+        for r in range(max(0, rnd - width + 1), rnd + 1):
+            rec = self._by_round.get(r, {}).get(slo_class)
+            if rec is not None:
+                bad += rec[0]
+                total += rec[1]
+        return bad, total
+
+    def burn(self, bad: int, total: int, slo_class: str) -> float:
+        if total == 0:
+            return 0.0
+        return (bad / total) / self.budget(slo_class)
+
+    def evaluate(self, rnd: int) -> None:
+        """Close one round: update burn windows and episode state."""
+        self._last_eval = rnd
+        for slo_class in sorted(self.slos):
+            fb, ft = self._window(slo_class, rnd, self.fast_window)
+            sb, st = self._window(slo_class, rnd, self.slow_window)
+            fast = self.burn(fb, ft, slo_class)
+            slow = self.burn(sb, st, slo_class)
+            burning = (fast >= self.threshold and slow >= self.threshold
+                       and sb >= self.min_events)
+            active = self._active.get(slo_class)
+            if burning and active is None:
+                self._active[slo_class] = {
+                    "slo_class": slo_class, "start": rnd, "end": rnd,
+                    "peak_fast": round(fast, 4),
+                    "peak_slow": round(slow, 4), "bad_events": sb}
+            elif burning:
+                active["end"] = rnd
+                active["peak_fast"] = max(active["peak_fast"],
+                                          round(fast, 4))
+                active["peak_slow"] = max(active["peak_slow"],
+                                          round(slow, 4))
+                active["bad_events"] = max(active["bad_events"], sb)
+            elif active is not None:
+                self.episodes.append(active)
+                del self._active[slo_class]
+
+    def finalize(self) -> List[dict]:
+        """Flush still-open episodes; returns all episodes, start order."""
+        for slo_class in sorted(self._active):
+            self.episodes.append(self._active[slo_class])
+        self._active.clear()
+        self.episodes.sort(key=lambda e: (e["start"], e["slo_class"]))
+        return self.episodes
+
+    def params(self) -> dict:
+        return {"fast_window": self.fast_window,
+                "slow_window": self.slow_window,
+                "threshold": self.threshold,
+                "min_events": self.min_events}
+
+
+def correlate_alerts(episodes: List[dict], chaos_fired: List[dict],
+                     match_rounds: int = MATCH_ROUNDS) -> dict:
+    """Attribute alert episodes to fired chaos events.
+
+    An episode matches a chaos event when it starts inside
+    ``[event.round, event.round + match_rounds]``.  Precision is the
+    fraction of episodes attributable to at least one event (a false
+    alert is an episode nothing explains); recall is the fraction of
+    fired events covered by at least one episode (a missed page).  Both
+    must be 1.0 for the gate.
+    """
+    matched = []
+    covered = {i: False for i in range(len(chaos_fired))}
+    for ep in episodes:
+        hits = [i for i, ev in enumerate(chaos_fired)
+                if ev["round"] <= ep["start"] <= ev["round"] + match_rounds]
+        for i in hits:
+            covered[i] = True
+        matched.append(bool(hits))
+    precision = (sum(matched) / len(matched)) if matched else 1.0
+    recall = ((sum(covered.values()) / len(covered))
+              if covered else 1.0)
+    return {
+        "episodes": [dict(ep, matched=m)
+                     for ep, m in zip(episodes, matched)],
+        "chaos_fired": [dict(ev, covered=covered[i])
+                        for i, ev in enumerate(chaos_fired)],
+        "match_rounds": match_rounds,
+        "precision": round(precision, 4),
+        "recall": round(recall, 4),
+    }
+
+
+class FleetObservatory:
+    """Coordinator-side observer wired into :class:`AcceleratorFleet`.
+
+    Construct one, pass it as ``observatory=`` to the fleet, run — the
+    fleet calls the ``on_*`` hooks at every lifecycle point and
+    :meth:`harvest` with each worker reply's piggybacked span/metric
+    deltas.  After the run, :meth:`to_chrome_trace` renders the
+    stitched cross-process trace, :attr:`merged` holds the
+    shard-labelled telemetry, and :attr:`correlation` the alert
+    verdict.
+    """
+
+    def __init__(self, slos: Dict[str, Dict[str, float]],
+                 fast_window: int = FAST_WINDOW,
+                 slow_window: int = SLOW_WINDOW,
+                 threshold: float = BURN_THRESHOLD,
+                 min_events: int = MIN_EVENTS,
+                 match_rounds: int = MATCH_ROUNDS):
+        self.engine = BurnRateEngine(slos, fast_window, slow_window,
+                                     threshold, min_events)
+        self.match_rounds = int(match_rounds)
+        self.tracer = Tracer(pid=FLEET_PID)
+        self.tracer.events.append({
+            "name": "process_name", "ph": "M", "pid": FLEET_PID, "tid": 0,
+            "args": {"name": "fleet coordinator"}})
+        self.tracer.name_track(0, "fleet lifecycle")
+        #: request id -> span-chain bookkeeping
+        self.chains: Dict[int, dict] = {}
+        #: Chrome events harvested from workers (fleet cycle domain)
+        self.shard_events: List[dict] = []
+        #: merged worker telemetry: (name, labels) -> value
+        self.merged: Dict[Tuple[str, tuple], float] = {}
+        self.merged_kind: Dict[str, str] = {}
+        self.chaos_fired: List[dict] = []
+        self.trace_mismatches = 0
+        self.harvests = 0
+        self._tids: Dict[str, int] = {}
+        self._meta_seen: set = set()
+        self._named_shards: set = set()
+        self.cpr = 64
+        self._slos = slos
+        self.completeness: Optional[dict] = None
+        self.correlation: Optional[dict] = None
+
+    # -- wiring ---------------------------------------------------------------
+    def bind(self, fleet) -> None:
+        """Called by the fleet at the top of :meth:`run`."""
+        self.cpr = fleet.cfg.cycles_per_round
+        for i, name in enumerate(sorted(fleet.tenants)):
+            self._tids[name] = i + 1
+            self.tracer.name_track(i + 1, f"tenant:{name}")
+
+    def _tid(self, tenant: str) -> int:
+        return self._tids.get(tenant, 0)
+
+    def _slo_bad(self, req) -> bool:
+        if req.status != "delivered":
+            return True
+        lat = req.latency
+        return lat is not None and lat > self._slos[req.slo_class]["p99"]
+
+    # -- lifecycle hooks (called by AcceleratorFleet) -------------------------
+    def on_admit(self, req, cycle: int) -> None:
+        self.chains[req.id] = {
+            "trace": req.trace_id, "tenant": req.tenant,
+            "slo_class": req.slo_class, "admitted": True,
+            "dispatches": 0, "worker": False, "reply": False,
+            "terminal": False, "status": None}
+        self.tracer.instant("admitted", cat="fleet", tid=self._tid(req.tenant),
+                            ts=cycle, trace=req.trace_id, rid=req.id)
+
+    def on_shed(self, req, cycle: int, for_tenant: str) -> None:
+        ch = self.chains.get(req.id)
+        if ch is not None:
+            ch["terminal"] = True
+            ch["status"] = "rejected"
+        self.tracer.instant("shed", cat="fleet", tid=self._tid(req.tenant),
+                            ts=cycle, trace=req.trace_id, rid=req.id,
+                            for_tenant=for_tenant)
+        rnd = cycle // self.cpr
+        self.engine.observe(rnd, req.slo_class, True)
+
+    def on_dispatch(self, req, shard: int, fleet_cycle: int) -> None:
+        ch = self.chains.get(req.id)
+        if ch is not None:
+            ch["dispatches"] += 1
+        tid = self._tid(req.tenant)
+        self.tracer.instant("dispatched", cat="fleet", tid=tid,
+                            ts=fleet_cycle, trace=req.trace_id, rid=req.id,
+                            shard=shard, attempt=req.attempts)
+        self.tracer.events.append({
+            "name": "req", "cat": "flow", "ph": "s", "id": req.id,
+            "ts": float(fleet_cycle), "pid": FLEET_PID, "tid": tid})
+
+    def on_defer(self, req, shard: int, rnd: int) -> None:
+        self.tracer.instant("deferred", cat="fleet",
+                            tid=self._tid(req.tenant),
+                            ts=(rnd + 1) * self.cpr, trace=req.trace_id,
+                            rid=req.id, shard=shard)
+
+    def on_requeue(self, req, rnd: int, cause: str) -> None:
+        self.tracer.instant("reclaimed", cat="chaos",
+                            tid=self._tid(req.tenant),
+                            ts=rnd * self.cpr, trace=req.trace_id,
+                            rid=req.id, cause=cause, retry=req.retries)
+        # the disruption itself burns budget: the tenant's request was
+        # on a shard that died or wedged, whatever happens to it later
+        self.engine.observe(rnd, req.slo_class, True)
+
+    def on_backoff(self, req, rnd: int, delay: int) -> None:
+        self.tracer.instant("retry_backoff", cat="fleet",
+                            tid=self._tid(req.tenant),
+                            ts=rnd * self.cpr, trace=req.trace_id,
+                            rid=req.id, delay_rounds=delay)
+
+    def on_timeout(self, req, rnd: int) -> None:
+        self._terminal(req, rnd, from_worker=False)
+
+    def on_terminal(self, req, rnd: int, from_worker: bool) -> None:
+        self._terminal(req, rnd, from_worker=from_worker)
+
+    def _terminal(self, req, rnd: int, from_worker: bool) -> None:
+        ch = self.chains.get(req.id)
+        tid = self._tid(req.tenant)
+        end = (req.delivered_cycle if req.delivered_cycle is not None
+               else (rnd + 1) * self.cpr)
+        if ch is not None:
+            ch["terminal"] = True
+            ch["status"] = req.status
+            if from_worker:
+                ch["reply"] = True
+        self.tracer.complete(
+            "fleet_request", req.submitted_cycle,
+            max(0, end - req.submitted_cycle), cat="fleet", tid=tid,
+            trace=req.trace_id, rid=req.id, status=req.status,
+            attempts=req.attempts, retries=req.retries)
+        self.tracer.instant(f"terminal_{req.status}", cat="fleet", tid=tid,
+                            ts=end, trace=req.trace_id, rid=req.id)
+        if req.status == "delivered":
+            self.tracer.events.append({
+                "name": "req", "cat": "flow", "ph": "f", "bp": "e",
+                "id": req.id, "ts": float(end), "pid": FLEET_PID,
+                "tid": tid})
+        self.engine.observe(rnd, req.slo_class, self._slo_bad(req))
+
+    def on_chaos(self, ev, rnd: int) -> None:
+        self.chaos_fired.append({"round": rnd, "kind": ev.kind,
+                                 "shard": ev.shard})
+        self.tracer.instant(f"chaos_{ev.kind}", cat="chaos", tid=0,
+                            ts=rnd * self.cpr, shard=ev.shard)
+
+    def on_spawn(self, shard: int, epoch: int, rnd: int) -> None:
+        pid = SHARD_PID_BASE + shard
+        if shard not in self._named_shards:
+            self._named_shards.add(shard)
+            self.shard_events.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": f"shard {shard}"}})
+        name = "shard_respawn" if epoch > 1 else "shard_spawn"
+        self.tracer.instant(name, cat="chaos" if epoch > 1 else "fleet",
+                            tid=0, ts=rnd * self.cpr, shard=shard,
+                            epoch=epoch)
+
+    def on_down(self, shard: int, rnd: int, cause: str, reclaimed: int,
+                rebalanced: int, respawn_round: int) -> None:
+        self.tracer.instant("shard_down", cat="chaos", tid=0,
+                            ts=rnd * self.cpr, shard=shard, cause=cause,
+                            reclaimed=reclaimed, rebalanced=rebalanced,
+                            respawn_round=respawn_round)
+
+    def on_rebalance(self, shard: int, rnd: int, moved: int) -> None:
+        if moved:
+            self.tracer.instant("rebalance", cat="chaos", tid=0,
+                                ts=rnd * self.cpr, onto=shard, moved=moved)
+
+    def on_round_end(self, rnd: int) -> None:
+        self.engine.evaluate(rnd)
+
+    # -- worker payloads -------------------------------------------------------
+    def harvest(self, shard: int, epoch: int, cycle_offset: int,
+                payload: dict) -> None:
+        """Fold one reply's span/metric deltas into the fleet view.
+
+        Spans arrive in the worker's own cycle domain and are shifted by
+        the slot's ``cycle_offset`` into fleet logical cycles; events are
+        *copied* before mutation because the inline host shares objects
+        with the worker tracer.  Worker-side ``shard_request`` spans and
+        ``shard_terminal`` instants carry the request id and trace id,
+        which is what closes the cross-process half of each span chain.
+        """
+        self.harvests += 1
+        pid = SHARD_PID_BASE + shard
+        for raw in payload.get("spans", ()):
+            ev = dict(raw)
+            ev["pid"] = pid
+            args = ev.get("args")
+            if args:
+                args = dict(args)
+                ev["args"] = args
+            if ev.get("ph") == "M":
+                key = (pid, ev.get("tid"), ev.get("name"),
+                       tuple(sorted((args or {}).items())))
+                if key in self._meta_seen:
+                    continue
+                self._meta_seen.add(key)
+                self.shard_events.append(ev)
+                continue
+            if "ts" in ev:
+                ev["ts"] = float(ev["ts"]) + cycle_offset
+            self.shard_events.append(ev)
+            name = ev.get("name")
+            if name in ("shard_request", "shard_terminal") and args:
+                rid = args.get("rid")
+                ch = self.chains.get(rid)
+                if ch is not None:
+                    ch["worker"] = True
+                    if args.get("trace") != ch["trace"]:
+                        self.trace_mismatches += 1
+                if name == "shard_request":
+                    self.shard_events.append({
+                        "name": "req", "cat": "flow", "ph": "t",
+                        "id": rid, "ts": ev["ts"], "pid": pid,
+                        "tid": ev.get("tid", 0)})
+        for op, name, key, value in payload.get("metrics", ()):
+            labels = tuple(sorted(tuple(key)
+                                  + (("shard", str(shard)),)))
+            if op == "set":
+                self.merged[(name, labels)] = float(value)
+            else:
+                self.merged[(name, labels)] = (
+                    self.merged.get((name, labels), 0.0) + float(value))
+            self.merged_kind[name] = "gauge" if op == "set" else "sum"
+
+    # -- wrap-up ---------------------------------------------------------------
+    def finalize(self, fleet) -> None:
+        """Called by the fleet after drain: close the books."""
+        self.engine.evaluate(fleet.rounds_run)
+        episodes = self.engine.finalize()
+        self.correlation = correlate_alerts(episodes, self.chaos_fired,
+                                            self.match_rounds)
+        incomplete: List[dict] = []
+        total = 0
+        for req in fleet.requests:
+            total += 1
+            ch = self.chains.get(req.id)
+            missing: List[str] = []
+            if ch is None:
+                missing.append("chain")
+            else:
+                if not ch["admitted"]:
+                    missing.append("admitted")
+                if not ch["terminal"]:
+                    missing.append("terminal")
+                if ch["status"] != req.status:
+                    missing.append("status_match")
+                if req.status == "delivered":
+                    if ch["dispatches"] < 1:
+                        missing.append("dispatch")
+                    if not ch["worker"]:
+                        missing.append("worker_span")
+                    if not ch["reply"]:
+                        missing.append("reply")
+            if missing:
+                incomplete.append({"rid": req.id, "status": req.status,
+                                   "missing": missing})
+        self.completeness = {
+            "total": total,
+            "complete": total - len(incomplete),
+            "fraction": round((total - len(incomplete)) / total, 6)
+            if total else 1.0,
+            "trace_mismatches": self.trace_mismatches,
+            "incomplete": incomplete[:20],
+        }
+
+    def all_events(self) -> List[dict]:
+        return list(self.tracer.events) + list(self.shard_events)
+
+    def to_chrome_trace(self) -> dict:
+        return {
+            "traceEvents": self.all_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {"clock": "fleet logical cycles as microseconds"},
+        }
+
+    def telemetry_rows(self) -> List[list]:
+        return [[name, [list(p) for p in labels], value]
+                for (name, labels), value in sorted(self.merged.items())]
+
+    def telemetry_digest(self) -> str:
+        return _digest(self.telemetry_rows())
+
+    def trace_digest(self) -> str:
+        """Digest over the *sorted* event set.
+
+        Inline and process hosts detect a killed shard at different
+        points in the round (send vs. collect), so raw event order can
+        differ even though the event *set* is identical; sorting makes
+        the digest a function of content, not detection interleaving.
+        """
+        canon = sorted(json.dumps(ev, sort_keys=True)
+                       for ev in self.all_events())
+        return _digest(canon)
+
+
+# ---------------------------------------------------------------------------
+# report + gate
+# ---------------------------------------------------------------------------
+
+class FleetObsReport:
+    """The fleet observatory gate's verdict."""
+
+    def __init__(self, fobs: FleetObservatory, fleet_report, chaos,
+                 identity: Optional[dict] = None):
+        self.fleet = fleet_report
+        self.seed = fleet_report.seed
+        self.config = fleet_report.config
+        self.completeness = fobs.completeness
+        self.correlation = fobs.correlation
+        self.engine_params = fobs.engine.params()
+        self.samples = fobs.engine.samples_total
+        self.chaos_injected = len(chaos.events)
+        self.chaos_fired = len(fobs.chaos_fired)
+        self.identity = identity
+        self.harvests = fobs.harvests
+        events = fobs.all_events()
+        by_name: Dict[str, int] = {}
+        for ev in events:
+            if ev.get("ph") in ("X", "i"):
+                by_name[ev["name"]] = by_name.get(ev["name"], 0) + 1
+        self.trace_stats = {
+            "events": len(events),
+            "spans": sum(1 for ev in events if ev.get("ph") == "X"),
+            "instants": sum(1 for ev in events if ev.get("ph") == "i"),
+            "flows": sum(1 for ev in events
+                         if ev.get("ph") in ("s", "t", "f")),
+            "by_name": dict(sorted(by_name.items())),
+            "digest": fobs.trace_digest(),
+        }
+        self.telemetry = {
+            "series": len(fobs.merged),
+            "families": len({name for name, _ in fobs.merged}),
+            "digest": fobs.telemetry_digest(),
+        }
+
+    def ok(self) -> bool:
+        comp = self.completeness
+        corr = self.correlation
+        identity_ok = (self.identity is None
+                       or (self.identity["telemetry_ok"]
+                           and self.identity["trace_ok"]))
+        return (self.fleet.ok()
+                and comp is not None and comp["fraction"] == 1.0
+                and comp["trace_mismatches"] == 0
+                and corr is not None
+                and corr["precision"] == 1.0 and corr["recall"] == 1.0
+                and self.chaos_fired == self.chaos_injected
+                and identity_ok)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok(),
+            "seed": self.seed,
+            "config": self.config,
+            "fleet_ok": self.fleet.ok(),
+            "completeness": self.completeness,
+            "alerts": dict(self.correlation or {},
+                           engine=self.engine_params,
+                           samples=self.samples),
+            "chaos": {"injected": self.chaos_injected,
+                      "fired": self.chaos_fired},
+            "trace": self.trace_stats,
+            "telemetry": self.telemetry,
+            "harvests": self.harvests,
+            "identity": self.identity,
+        }
+
+    def render(self) -> str:
+        comp = self.completeness or {}
+        corr = self.correlation or {}
+        lines = [
+            "Fleet observatory gate " + ("PASS" if self.ok() else "FAIL"),
+            f"  shards={self.config['shards']} "
+            f"workers={self.config['workers']} seed={self.seed} "
+            f"fleet_ok={self.fleet.ok()}",
+            f"  span chains: {comp.get('complete')}/{comp.get('total')} "
+            f"complete ({comp.get('fraction'):.4f}), "
+            f"trace mismatches={comp.get('trace_mismatches')}",
+            f"  trace: {self.trace_stats['events']} events "
+            f"({self.trace_stats['spans']} spans, "
+            f"{self.trace_stats['instants']} instants, "
+            f"{self.trace_stats['flows']} flows) "
+            f"digest {self.trace_stats['digest']}",
+            f"  telemetry: {self.telemetry['series']} series in "
+            f"{self.telemetry['families']} shard-labelled families, "
+            f"digest {self.telemetry['digest']} "
+            f"({self.harvests} harvests)",
+            f"  alerts: {len(corr.get('episodes', []))} episodes vs "
+            f"{self.chaos_fired}/{self.chaos_injected} chaos events "
+            f"fired -> precision={corr.get('precision')} "
+            f"recall={corr.get('recall')}",
+        ]
+        for ep in corr.get("episodes", []):
+            lines.append(
+                f"    [{ep['slo_class']}] rounds {ep['start']}-{ep['end']} "
+                f"peak burn fast={ep['peak_fast']:g} "
+                f"slow={ep['peak_slow']:g} "
+                + ("matched" if ep["matched"] else "UNMATCHED"))
+        if self.identity is not None:
+            lines.append(
+                f"  identity ({'/'.join(self.identity['workers_compared'])})"
+                f": telemetry "
+                f"{'OK' if self.identity['telemetry_ok'] else 'DIVERGED'}, "
+                f"trace "
+                f"{'OK' if self.identity['trace_ok'] else 'DIVERGED'}")
+        return "\n".join(lines)
+
+    def render_md(self) -> str:
+        comp = self.completeness or {}
+        corr = self.correlation or {}
+        lines = [
+            "# Fleet observatory gate",
+            "",
+            f"Verdict: **{'PASS' if self.ok() else 'FAIL'}** "
+            f"(seed {self.seed}, {self.config['shards']} shards, "
+            f"{self.config['workers']} workers)",
+            "",
+            "## Span-chain completeness",
+            "",
+            f"- terminal requests: {comp.get('total')}",
+            f"- complete chains: {comp.get('complete')} "
+            f"({comp.get('fraction'):.4f})",
+            f"- trace-id mismatches: {comp.get('trace_mismatches')}",
+            "",
+            "## Stitched trace",
+            "",
+            f"- events: {self.trace_stats['events']} "
+            f"({self.trace_stats['spans']} spans, "
+            f"{self.trace_stats['instants']} instants, "
+            f"{self.trace_stats['flows']} flow events)",
+            f"- digest: `{self.trace_stats['digest']}`",
+            "",
+            "## Harvested telemetry",
+            "",
+            f"- shard-labelled series: {self.telemetry['series']} in "
+            f"{self.telemetry['families']} families",
+            f"- digest: `{self.telemetry['digest']}` "
+            f"over {self.harvests} delta harvests",
+            "",
+            "## Burn-rate alerts vs seeded chaos",
+            "",
+            f"- chaos events fired: {self.chaos_fired} / "
+            f"{self.chaos_injected} injected",
+            f"- precision: {corr.get('precision')}, "
+            f"recall: {corr.get('recall')}",
+            "",
+            "| class | rounds | peak fast | peak slow | matched |",
+            "|---|---|---|---|---|",
+        ]
+        for ep in corr.get("episodes", []):
+            lines.append(
+                f"| {ep['slo_class']} | {ep['start']}–{ep['end']} "
+                f"| {ep['peak_fast']:g} | {ep['peak_slow']:g} "
+                f"| {'yes' if ep['matched'] else 'NO'} |")
+        if self.identity is not None:
+            lines += [
+                "",
+                "## Cross-host identity",
+                "",
+                f"- compared: {' vs '.join(self.identity['workers_compared'])}",
+                f"- merged telemetry: "
+                f"{'identical' if self.identity['telemetry_ok'] else 'DIVERGED'}",
+                f"- stitched trace: "
+                f"{'identical' if self.identity['trace_ok'] else 'DIVERGED'}",
+            ]
+        lines.append("")
+        return "\n".join(lines)
+
+
+def run_fleet_obs_gate(seed: int = 2026, shards: int = 4,
+                       horizon: int = 1536, tenants: int = 6,
+                       workers: str = "process",
+                       backend: str = "compiled",
+                       kills: int = 2, wedges: int = 1,
+                       identity: bool = True):
+    """One observed fleet-under-chaos run plus the cross-host twin.
+
+    Returns ``(report, observatory)``.  The primary run uses
+    ``workers``; when ``identity`` is set a secondary run repeats the
+    same seeded scenario on inline workers and the gate requires the
+    merged telemetry and the stitched trace to be bit-identical — the
+    observatory may not depend on which side of a pipe a shard lives.
+    """
+    from ..soc.chaos import ChaosSchedule
+    from ..soc.fleet import AcceleratorFleet, FleetConfig
+    from ..soc.traffic import default_tenants, generate_trace
+
+    specs = default_tenants(tenants, seed=seed)
+
+    def one(worker_kind: str):
+        cfg = FleetConfig(shards=shards, backend=backend,
+                          workers=worker_kind)
+        trace = generate_trace(specs, horizon, seed=seed)
+        rounds = -(-horizon // cfg.cycles_per_round)
+        chaos = ChaosSchedule.seeded(seed, rounds, cfg.shards,
+                                     kills=kills, wedges=wedges)
+        fobs = FleetObservatory(cfg.slos)
+        fleet = AcceleratorFleet(cfg, specs, seed=seed, observatory=fobs)
+        report = fleet.run(trace, chaos)
+        return fobs, report, chaos
+
+    fobs, report, chaos = one(workers)
+    identity_info = None
+    if identity:
+        twin_kind = "inline"
+        twin, _twin_report, _ = one(twin_kind)
+        identity_info = {
+            "workers_compared": [workers, twin_kind],
+            "telemetry_ok":
+                fobs.telemetry_digest() == twin.telemetry_digest(),
+            "trace_ok": fobs.trace_digest() == twin.trace_digest(),
+        }
+    return FleetObsReport(fobs, report, chaos, identity_info), fobs
+
+
+def cmd_obs_fleet(args) -> int:
+    """``python -m repro obs fleet`` — the fleet observatory CI gate."""
+    from ..gate import gate_epilogue
+
+    if args.smoke:
+        shards, horizon, tenants, workers = 2, 512, 4, "inline"
+    else:
+        shards, horizon, tenants = args.shards, args.horizon, args.tenants
+        workers = args.workers
+    report, fobs = run_fleet_obs_gate(
+        seed=args.seed, shards=shards, horizon=horizon, tenants=tenants,
+        workers=workers, backend=args.backend,
+        kills=args.kills, wedges=args.wedges,
+        identity=not args.no_identity)
+    return gate_epilogue(
+        args, ok=report.ok(), payload=report.to_dict(),
+        render=report.render,
+        artifacts={"fleet_obs_report.json": report.to_dict(),
+                   "fleet_obs_report.md": report.render_md,
+                   "fleet_trace.json": fobs.to_chrome_trace})

@@ -48,16 +48,28 @@ EXPECTED_GAUGE_FAMILIES: Dict[str, Tuple[str, ...]] = {
     "coverage": ("repro_bench_coverage_",),
     "synth_tags": ("repro_bench_synth_tags_",),
     "fleet": ("repro_bench_fleet_",),
+    "fleet_obs": ("repro_bench_fleet_obs_",),
 }
 
 
 def missing_families(gauges: Dict["GaugeKey", float]) -> List[str]:
-    """Expected families with zero gauges in the loaded set."""
+    """Expected families with zero gauges in the loaded set.
+
+    Prefixes can nest (``repro_bench_fleet_`` vs
+    ``repro_bench_fleet_obs_``); a gauge counts only toward the family
+    with the *longest* matching prefix, so the fleet-observatory gauges
+    cannot mask a silently-missing fleet benchmark.
+    """
+    all_prefixes = [p for prefixes in EXPECTED_GAUGE_FAMILIES.values()
+                    for p in prefixes]
+    owned = set()
+    for metric, _labels in gauges:
+        hits = [p for p in all_prefixes if metric.startswith(p)]
+        if hits:
+            owned.add(max(hits, key=len))
     missing = []
     for family, prefixes in sorted(EXPECTED_GAUGE_FAMILIES.items()):
-        if not any(metric.startswith(p)
-                   for metric, _labels in gauges
-                   for p in prefixes):
+        if not any(p in owned for p in prefixes):
             missing.append(family)
     return missing
 

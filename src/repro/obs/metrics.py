@@ -42,6 +42,25 @@ def _label_key(labels: Dict[str, object]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def sample_quantile(samples: Iterable[float], q: float) -> Optional[float]:
+    """Quantile ``q`` (0..1) of an exact sample set, interpolated.
+
+    The one order-statistic implementation shared by the histogram
+    reservoir path and the fleet report summaries: sort the samples and
+    linearly interpolate between the two neighbouring order statistics
+    (the numpy ``linear`` convention).  Returns ``None`` on an empty
+    sample set so callers can distinguish "no data" from a zero
+    quantile.
+    """
+    ordered = sorted(samples)
+    if not ordered:
+        return None
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    return float(ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo))
+
+
 def escape_label_value(value: str) -> str:
     """Escape a label value per the Prometheus exposition format.
 
@@ -223,11 +242,7 @@ class Histogram(_Instrument):
         key = self._key(labels)
         kept = self._samples.get(key)
         if kept:
-            ordered = sorted(kept)
-            pos = q * (len(ordered) - 1)
-            lo = int(pos)
-            hi = min(lo + 1, len(ordered) - 1)
-            return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+            return sample_quantile(kept, q)
         series = self._series.get(key)
         if not series or not series[2]:
             return 0.0

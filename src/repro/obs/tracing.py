@@ -140,7 +140,37 @@ class Tracer:
     def span_count(self) -> int:
         return sum(1 for e in self.events if e["ph"] == "X")
 
+    def open_spans(self) -> List[Span]:
+        """Spans begun but not yet ended (diagnostic view)."""
+        return list(self._open)
+
+    def close_open_spans(self, ts: Optional[float] = None) -> int:
+        """Force-close every open span at ``ts`` (default: the clock now).
+
+        A span left open at export time used to vanish silently — its
+        ``begin`` never emitted anything, so a crashed or forgotten
+        ``end`` erased the interval from the trace.  Export now calls
+        this instead: each dangling span is closed at the current clock
+        (never before its own start), emitted with an
+        ``autoclosed: true`` arg, and flagged with a warning instant
+        event so the viewer shows exactly where instrumentation lost
+        track.  Returns the number of spans closed.
+        """
+        if not self._open:
+            return 0
+        now = self.clock() if ts is None else ts
+        closed = 0
+        for span in list(self._open):
+            end = max(float(now), float(span.start))
+            span.args["autoclosed"] = True
+            self.instant("unclosed_span_autoclosed", cat="warning",
+                         tid=span.tid, ts=end, span=span.name)
+            self.end(span, ts=end)
+            closed += 1
+        return closed
+
     def to_chrome_trace(self) -> dict:
+        self.close_open_spans()
         return {
             "traceEvents": list(self.events),
             "displayTimeUnit": "ms",

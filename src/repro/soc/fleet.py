@@ -49,7 +49,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..accel.common import CMD_ENCRYPT
 from ..aes.cipher import encrypt_block
-from ..obs import Telemetry, telemetry as _telemetry
+from ..obs import Telemetry, capture as _obs_capture, telemetry as _telemetry
+from ..obs.metrics import sample_quantile
 from .chaos import ChaosSchedule
 from .requests import TERMINAL_STATUSES, Request
 from .shard import ShardCore
@@ -153,12 +154,16 @@ class FleetRequest:
     __slots__ = ("id", "tenant", "tenant_class", "slo_class", "priority",
                  "cmd", "data", "status", "submitted_cycle",
                  "delivered_cycle", "result", "verified", "attempts",
-                 "retries", "release_round", "shard")
+                 "retries", "release_round", "shard", "trace_id")
 
     def __init__(self, id: int, tenant: str, tenant_class: str,
                  slo_class: str, priority: int, cmd: int, data: int,
                  submitted_cycle: int):
         self.id = id
+        #: cross-process trace context: stamped at admission, carried in
+        #: every shard submission, echoed in worker span args so the
+        #: fleet observatory can stitch the full span chain back together
+        self.trace_id: Optional[str] = None
         self.tenant = tenant
         self.tenant_class = tenant_class
         self.slo_class = slo_class
@@ -211,12 +216,27 @@ class ShardServer:
     """
 
     def __init__(self, index: int, backend: str = "compiled",
-                 fault_targets: Iterable[str] = ("aes.advance",)):
+                 fault_targets: Iterable[str] = ("aes.advance",),
+                 observe: bool = False):
         self.index = index
-        self.core = ShardCore(
-            protected=True, backend=backend,
-            fault_targets=list(fault_targets),
-            request_deadline=None, shard_id=str(index))
+        #: worker-local telemetry (fleet-observatory mode): the core, its
+        #: driver, and the security probe all instrument into this bundle;
+        #: ``_drain_obs`` ships span/metric deltas with every round reply
+        self.wtel: Optional[Telemetry] = None
+        if observe:
+            self.wtel = Telemetry()
+            with _obs_capture(self.wtel):
+                self.core = ShardCore(
+                    protected=True, backend=backend,
+                    fault_targets=list(fault_targets),
+                    request_deadline=None, shard_id=str(index),
+                    telemetry=self.wtel)
+            self.wtel.tracer.name_track(0, "shard control")
+        else:
+            self.core = ShardCore(
+                protected=True, backend=backend,
+                fault_targets=list(fault_targets),
+                request_deadline=None, shard_id=str(index))
         self._sup_tag = self.core.principals["supervisor"].tag
         #: seat principal -> tenant name (None = free)
         self.seats: Dict[str, Optional[str]] = {s: None for s, _ in SEATS}
@@ -224,6 +244,10 @@ class ShardServer:
         #: request id -> (core Request, tenant, key)
         self.tracked: Dict[int, Tuple[Request, str, int]] = {}
         self._adversarial_seats: set = set()
+        #: request id -> fleet trace id (observe mode)
+        self._traces: Dict[int, Optional[str]] = {}
+        self._ev_cursor = 0
+        self._m_sent: Dict[Tuple[str, tuple], float] = {}
 
     # -- seating --------------------------------------------------------------
     def _seat_of(self, tenant: str) -> Optional[str]:
@@ -256,6 +280,7 @@ class ShardServer:
         # out_ready is held low for the duration so no in-flight block
         # of another seat is consumed by the driver's own step loop.
         sim, top = self.core.driver.sim, self.core.driver.top
+        prov_start = sim.cycle
         sim.poke(f"{top}.out_ready", 0)
         try:
             principal = self.core.principals[target]
@@ -265,6 +290,11 @@ class ShardServer:
                                       self._slot_of[target], key)
         finally:
             sim.poke(f"{top}.out_ready", 1)
+        if self.wtel is not None:
+            self.wtel.tracer.complete(
+                "seat_provision", prov_start, sim.cycle - prov_start,
+                cat="fleet", tid=self.core.track_of(target),
+                tenant=tenant, seat=target)
         principal.key = key
         self.seats[target] = tenant
         if adversarial:
@@ -291,6 +321,7 @@ class ShardServer:
 
     def run_round(self, submissions: List[dict], cycles: int) -> dict:
         core = self.core
+        wtel = self.wtel
         start = core.driver.sim.cycle
         deferred: List[int] = []
         # group by tenant so one seat operation covers a whole burst
@@ -310,10 +341,13 @@ class ShardServer:
                           spec["data"])
             core.submit(req)
             self.tracked[spec["id"]] = (req, spec["tenant"], spec["key"])
+            if wtel is not None:
+                self._traces[spec["id"]] = spec.get("trace")
         used = core.driver.sim.cycle - start
         if used < cycles:
             core.tick(cycles - used)
         events: List[dict] = []
+        delivered_now = 0
         for rid in sorted(self.tracked):
             req, tenant, key = self.tracked[rid]
             if not req.is_terminal:
@@ -325,10 +359,75 @@ class ShardServer:
             if req.status == "delivered" and req.cmd == CMD_ENCRYPT:
                 ev["verified"] = (req.result == encrypt_block(req.data, key))
             events.append(ev)
+            if req.status == "delivered":
+                delivered_now += 1
+            if wtel is not None:
+                self._span_terminal(rid, req, tenant)
             del self.tracked[rid]
         core.driver.responses.clear()  # phantom copies; core owns routing
-        return {"events": events, "deferred": deferred,
-                "stats": core.stats()}
+        reply = {"events": events, "deferred": deferred,
+                 "stats": core.stats()}
+        if wtel is not None:
+            now = core.driver.sim.cycle
+            tr = wtel.tracer
+            tr.complete("sim_round", start, now - start, cat="fleet", tid=0,
+                        submitted=len(submissions), delivered=delivered_now)
+            if self.tracked and delivered_now == 0:
+                # in-flight work, nothing came out: the worker-side view
+                # of a wedge (or just pipeline fill on a fresh batch)
+                tr.complete("wedge_stall", start, now - start, cat="stall",
+                            tid=0, in_flight=len(self.tracked))
+            reply["obs"] = self._drain_obs()
+        return reply
+
+    def _span_terminal(self, rid: int, req: Request, tenant: str) -> None:
+        """Record the worker half of a request's span chain."""
+        tr = self.wtel.tracer
+        tid = self.core.track_of(req.user)
+        trace = self._traces.pop(rid, None)
+        if req.status == "delivered" and req.delivered_cycle is not None:
+            begin = (req.issued_cycle if req.issued_cycle is not None
+                     else req.submitted_cycle)
+            tr.complete("shard_request", begin,
+                        max(0, req.delivered_cycle - begin), cat="fleet",
+                        tid=tid, trace=trace, rid=rid, tenant=tenant,
+                        status=req.status)
+        else:
+            tr.instant("shard_terminal", cat="fleet", tid=tid,
+                       ts=self.core.driver.sim.cycle, trace=trace,
+                       rid=rid, tenant=tenant, status=req.status)
+
+    def _drain_obs(self) -> dict:
+        """Ship the span/metric deltas accumulated since the last reply.
+
+        Spans travel as raw Chrome events in the worker's own cycle
+        domain — the coordinator shifts them into fleet cycles with the
+        slot's ``cycle_offset``.  Metric rows are ``(op, name, labels,
+        value)``: counters and histogram samples are additive (``add``)
+        so respawn epochs accumulate instead of double-counting, gauges
+        overwrite (``set``).  Cursor state makes successive payloads
+        disjoint, so the coordinator's merge is reply-order independent
+        and bit-identical between inline and process hosts.
+        """
+        wtel = self.wtel
+        events = wtel.tracer.events
+        spans = events[self._ev_cursor:]
+        self._ev_cursor = len(events)
+        rows: List[tuple] = []
+        for inst in wtel.metrics.instruments():
+            op = "set" if inst.kind == "gauge" else "add"
+            for name, key, value in inst.samples():
+                sent = self._m_sent.get((name, key))
+                if op == "set":
+                    if sent is None or value != sent:
+                        rows.append(("set", name, key, value))
+                        self._m_sent[(name, key)] = value
+                else:
+                    delta = value - (sent if sent is not None else 0.0)
+                    if delta:
+                        rows.append(("add", name, key, delta))
+                        self._m_sent[(name, key)] = value
+        return {"spans": spans, "metrics": rows}
 
     def inject(self, plan_dict: dict) -> dict:
         from ..faults.plan import Fault, FaultPlan
@@ -339,10 +438,11 @@ class ShardServer:
         return {"injected_at": base, "faults": len(plan)}
 
 
-def _shard_worker_main(conn, index: int, backend: str) -> None:
+def _shard_worker_main(conn, index: int, backend: str,
+                       observe: bool = False) -> None:
     """Entry point of one forked shard worker process."""
     try:
-        server = ShardServer(index, backend=backend)
+        server = ShardServer(index, backend=backend, observe=observe)
     except Exception as exc:  # build failure: report and die visibly
         try:
             conn.send(("err", f"shard {index} failed to build: {exc!r}"))
@@ -381,8 +481,9 @@ class _InlineHost:
 
     kind = "inline"
 
-    def __init__(self, index: int, backend: str, reply_timeout: float):
-        self.server = ShardServer(index, backend=backend)
+    def __init__(self, index: int, backend: str, reply_timeout: float,
+                 observe: bool = False):
+        self.server = ShardServer(index, backend=backend, observe=observe)
         self.dead = False
 
     def request(self, msg: tuple):
@@ -408,14 +509,16 @@ class _ProcessHost:
 
     kind = "process"
 
-    def __init__(self, index: int, backend: str, reply_timeout: float):
+    def __init__(self, index: int, backend: str, reply_timeout: float,
+                 observe: bool = False):
         ctx = multiprocessing.get_context(
             "fork" if "fork" in multiprocessing.get_all_start_methods()
             else "spawn")
         self._conn, child = ctx.Pipe(duplex=True)
         self._timeout = reply_timeout
         self.proc = ctx.Process(target=_shard_worker_main,
-                                args=(child, index, backend), daemon=True)
+                                args=(child, index, backend, observe),
+                                daemon=True)
         self.proc.start()
         child.close()
         self._recv()  # ready handshake
@@ -489,16 +592,6 @@ class ShardSlot:
         return self.state == "live"
 
 
-def _quantile(samples: List[int], q: float) -> Optional[float]:
-    """Exact order statistic (nearest-rank) of a sample list."""
-    if not samples:
-        return None
-    ordered = sorted(samples)
-    rank = max(0, min(len(ordered) - 1,
-                      int(q * len(ordered) + 0.999999) - 1))
-    return float(ordered[rank])
-
-
 # ---------------------------------------------------------------------------
 # supervisor
 # ---------------------------------------------------------------------------
@@ -509,7 +602,8 @@ class AcceleratorFleet:
     def __init__(self, config: FleetConfig,
                  tenants: Iterable[TenantSpec],
                  seed: int = 2026,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 observatory=None):
         self.cfg = config
         self.tenants: Dict[str, TenantSpec] = {t.name: t for t in tenants}
         self.seed = int(seed)
@@ -540,12 +634,18 @@ class AcceleratorFleet:
         self.rounds_run = 0
         self.cross_user_total = 0
         self.obs = telemetry if telemetry is not None else _telemetry()
+        #: fleet observatory (:mod:`repro.obs.fleet`): cross-process
+        #: trace stitching, worker telemetry harvesting, burn-rate
+        #: alerting.  When set, workers run with ``observe=True`` and
+        #: piggyback span/metric deltas on every round reply.
+        self.fobs = observatory
 
     # -- shard lifecycle ------------------------------------------------------
     def _spawn(self, slot: ShardSlot, rnd: int) -> None:
         host_cls = _HOSTS[self.cfg.workers]
         slot.host = host_cls(slot.index, self.cfg.backend,
-                             self.cfg.reply_timeout)
+                             self.cfg.reply_timeout,
+                             observe=self.fobs is not None)
         stats = slot.host.request(("probe",))
         slot.cycle_offset = rnd * self.cfg.cycles_per_round - stats["cycle"]
         slot.state = "live"
@@ -559,6 +659,8 @@ class AcceleratorFleet:
                 "fleet_shard_spawned", source="fleet",
                 cycle=rnd * self.cfg.cycles_per_round,
                 shard=slot.index, epoch=slot.epoch)
+        if self.fobs is not None:
+            self.fobs.on_spawn(slot.index, slot.epoch, rnd)
 
     def _live_slots(self) -> List[ShardSlot]:
         return [s for s in self.slots if s.live]
@@ -603,10 +705,18 @@ class AcceleratorFleet:
             self.retries += 1
             if req.retries > self.cfg.max_retries:
                 req.status = "timed_out"
+                if self.fobs is not None:
+                    self.fobs.on_timeout(req, rnd)
             else:
                 survivors.append(req)
+                if self.fobs is not None:
+                    self.fobs.on_requeue(req, rnd, cause)
         self._requeue_front(survivors)
         moved = self._rebalance_from(slot)
+        if self.fobs is not None:
+            self.fobs.on_down(slot.index, rnd, cause,
+                              reclaimed=len(reclaimed), rebalanced=moved,
+                              respawn_round=slot.respawn_round)
         if self.obs is not None:
             self.obs.security.emit(
                 "fleet_shard_down", source="fleet",
@@ -658,7 +768,10 @@ class AcceleratorFleet:
         slo_class = "adversarial" if spec.adversarial else spec.tenant_class
         req = FleetRequest(len(self.requests), tenant, spec.tenant_class,
                            slo_class, spec.priority, cmd, data, cycle)
+        req.trace_id = f"{self.seed & 0xFFFFFFFF:08x}-{req.id:06d}"
         self.requests.append(req)
+        if self.fobs is not None:
+            self.fobs.on_admit(req, cycle)
         if len(self.queues[tenant]) >= self.cfg.queue_bound:
             # backpressure: shed the lowest-priority queued request in
             # the fleet — possibly the incoming one itself — and record
@@ -670,10 +783,14 @@ class AcceleratorFleet:
             if (req.priority, tenant) >= (victim_spec.priority, victim_name):
                 req.status = "rejected"
                 self.shed += 1
+                if self.fobs is not None:
+                    self.fobs.on_shed(req, cycle, for_tenant=tenant)
                 return
             victim = self.queues[victim_name].pop()
             victim.status = "rejected"
             self.shed += 1
+            if self.fobs is not None:
+                self.fobs.on_shed(victim, cycle, for_tenant=tenant)
             if self.obs is not None:
                 self.obs.security.emit(
                     "fleet_request_shed", source="fleet", cycle=cycle,
@@ -708,11 +825,15 @@ class AcceleratorFleet:
             req.status = "backoff"
             req.release_round = rnd + delay
             self._backoff.append(req)
+            if self.fobs is not None:
+                self.fobs.on_backoff(req, rnd, delay)
         else:
             req.status = "timed_out"
+            if self.fobs is not None:
+                self.fobs.on_timeout(req, rnd)
 
     # -- dispatch -------------------------------------------------------------
-    def _build_batch(self, slot: ShardSlot) -> List[dict]:
+    def _build_batch(self, slot: ShardSlot, fleet_cycle: int) -> List[dict]:
         assigned = sorted(
             (t for t, s in self.assignment.items() if s == slot.index),
             key=lambda t: (self.tenants[t].priority, t))
@@ -743,10 +864,16 @@ class AcceleratorFleet:
                 batch.append({"id": req.id, "tenant": name,
                               "cmd": req.cmd, "data": req.data,
                               "key": spec.key,
-                              "adversarial": spec.adversarial})
+                              "adversarial": spec.adversarial,
+                              "trace": req.trace_id})
+                if self.fobs is not None:
+                    self.fobs.on_dispatch(req, slot.index, fleet_cycle)
         return batch
 
-    def _apply_reply(self, slot: ShardSlot, reply: dict) -> None:
+    def _apply_reply(self, slot: ShardSlot, reply: dict, rnd: int) -> None:
+        if self.fobs is not None and "obs" in reply:
+            self.fobs.harvest(slot.index, slot.epoch, slot.cycle_offset,
+                              reply["obs"])
         delivered_now = 0
         for ev in reply["events"]:
             req = slot.inflight.pop(ev["id"], None)
@@ -761,10 +888,15 @@ class AcceleratorFleet:
             else:
                 # the core reached a terminal verdict itself; mirror it
                 req.status = ev["status"]
+            if self.fobs is not None:
+                self.fobs.on_terminal(req, rnd, from_worker=True)
         deferred = [slot.inflight.pop(rid) for rid in reply["deferred"]
                     if rid in slot.inflight]
         if deferred:
             self.deferrals += len(deferred)
+            if self.fobs is not None:
+                for req in deferred:
+                    self.fobs.on_defer(req, slot.index, rnd)
             self._requeue_front(deferred)
         stats = reply["stats"]
         slot.delivered_total = stats["delivered"]
@@ -782,6 +914,8 @@ class AcceleratorFleet:
         cpr = cfg.cycles_per_round
         horizon_rounds = -(-trace.horizon // cpr)
         limit = horizon_rounds + cfg.flush_rounds
+        if self.fobs is not None:
+            self.fobs.bind(self)
         # initial placement: tenants striped over the pool
         names = sorted(self.tenants,
                        key=lambda t: (self.tenants[t].priority, t))
@@ -803,11 +937,16 @@ class AcceleratorFleet:
                     continue
                 if ev.kind == "kill":
                     slot.host.kill()   # detection comes from the pipe
+                    if self.fobs is not None:
+                        self.fobs.on_chaos(ev, rnd)
                 elif ev.kind == "wedge":
                     try:
                         slot.host.request(("inject", ev.plan))
                     except ShardDead:
                         self._on_death(slot, rnd, "death")
+                    else:
+                        if self.fobs is not None:
+                            self.fobs.on_chaos(ev, rnd)
             # 2. admit this round's arrivals
             while (cursor < len(arrivals)
                    and arrivals[cursor].cycle < fleet_cycle + cpr):
@@ -821,7 +960,9 @@ class AcceleratorFleet:
                 if slot.state == "down" and rnd >= slot.respawn_round:
                     self._spawn(slot, rnd)
                     self.respawns += 1
-                    self._rebalance_onto(slot)
+                    moved = self._rebalance_onto(slot)
+                    if self.fobs is not None:
+                        self.fobs.on_rebalance(slot.index, rnd, moved)
             # 5. dispatch: build + send every live shard's round first,
             # then collect replies in index order — process workers all
             # simulate concurrently between the two passes
@@ -830,7 +971,7 @@ class AcceleratorFleet:
                 self.degraded_rounds += 1
             pending: List[Tuple[ShardSlot, tuple]] = []
             for slot in live:
-                msg = ("run", self._build_batch(slot), cpr)
+                msg = ("run", self._build_batch(slot, fleet_cycle), cpr)
                 if slot.host.kind == "process":
                     try:
                         slot.host.send(msg)
@@ -846,12 +987,14 @@ class AcceleratorFleet:
                 except ShardDead:
                     self._on_death(slot, rnd, "death")
                     continue
-                self._apply_reply(slot, reply)
+                self._apply_reply(slot, reply, rnd)
                 # 6. no-progress watchdog: a live shard holding work
                 # that delivers nothing for wedge_rounds rounds is
                 # wedged — quarantine and drain it
                 if slot.rounds_idle >= cfg.wedge_rounds:
                     self._on_death(slot, rnd, "wedge")
+            if self.fobs is not None:
+                self.fobs.on_round_end(rnd)
             rnd += 1
             self.rounds_run = rnd
             if (cursor >= len(arrivals) and not self._backoff
@@ -864,6 +1007,8 @@ class AcceleratorFleet:
             if not req.is_terminal:
                 req.status = "timed_out"
                 self.forced += 1
+                if self.fobs is not None:
+                    self.fobs.on_timeout(req, self.rounds_run)
         for slot in self.slots:
             if slot.live:
                 self.cross_user_total += slot.cross_user
@@ -879,6 +1024,8 @@ class AcceleratorFleet:
                 slot.state = "down"
         if self.obs is not None:
             self._publish_metrics()
+        if self.fobs is not None:
+            self.fobs.finalize(self)
         return FleetReport(self, trace, chaos)
 
     def _publish_metrics(self) -> None:
@@ -974,7 +1121,7 @@ class FleetReport:
             slo_class = "adversarial" if spec.adversarial else spec.tenant_class
             slo = slos[slo_class]
             goodput = (len(done) / len(mine)) if mine else 1.0
-            p99 = _quantile(lats, 0.99)
+            p99 = sample_quantile(lats, 0.99)
             slo_ok = (goodput >= slo["goodput"]
                       and (p99 is not None and p99 <= slo["p99"]
                            if mine else True))
@@ -988,8 +1135,8 @@ class FleetReport:
                 "timed_out": sum(1 for r in mine
                                  if r.status == "timed_out"),
                 "retries": sum(r.retries for r in mine),
-                "p50": _quantile(lats, 0.50),
-                "p95": _quantile(lats, 0.95),
+                "p50": sample_quantile(lats, 0.50),
+                "p95": sample_quantile(lats, 0.95),
                 "p99": p99,
                 "goodput": round(goodput, 4),
                 "slo_p99": slo["p99"],

@@ -27,6 +27,7 @@ events.  With telemetry disabled all of that collapses to a single
 
 from __future__ import annotations
 
+import bisect
 import random
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
@@ -123,6 +124,10 @@ class ShardCore:
             self._vouch_to_user[p.tag & 0xF] = p.name
 
         self.obs = telemetry if telemetry is not None else _telemetry()
+        #: incremental cursor + sorted cycle list over the security log's
+        #: ``declassification`` events (feeds the ``declass_wait`` span)
+        self._sec_scan = 0
+        self._declass_cycles: List[int] = []
         self._tids: Dict[str, int] = {}
         if self.obs is not None:
             m = self.obs.metrics
@@ -174,6 +179,10 @@ class ShardCore:
             for i, name in enumerate(sorted(self.principals)):
                 self._tids[name] = i + 1
                 self.obs.tracer.name_track(i + 1, f"user:{name}")
+
+    def track_of(self, user: str) -> int:
+        """Tracer track (tid) assigned to ``user`` (0 = system track)."""
+        return self._tids.get(user, 0)
 
     # -- setup ------------------------------------------------------------------
     def _build_driver(self) -> AcceleratorDriver:
@@ -383,6 +392,11 @@ class ShardCore:
             return
         self.spares_used += 1
         self.driver = self._build_driver()
+        # the spare's simulator restarts at cycle 0: drop the old sim's
+        # declassification cycle index so the bisect stays sorted
+        self._declass_cycles.clear()
+        if self.obs is not None:
+            self._sec_scan = len(self.obs.security.events)
         self.provision_keys()
         now = self.driver.sim.cycle
         for req in outstanding:
@@ -435,6 +449,26 @@ class ShardCore:
         if self.obs is not None:
             self._record_delivery(req, reader)
 
+    def _latest_declass_cycle(self, before: int) -> Optional[int]:
+        """Most recent ``declassification`` event at or before ``before``.
+
+        The security probe emits one event per nonmalleable release at
+        the pipeline exit; deliveries are FIFO per design, so the latest
+        release not after the delivery cycle is the declassifier's
+        hand-off of the delivered block.  An incremental cursor keeps
+        the scan amortized O(1) per delivery.
+        """
+        events = self.obs.security.events
+        while self._sec_scan < len(events):
+            ev = events[self._sec_scan]
+            if ev.kind == "declassification" and ev.cycle is not None:
+                self._declass_cycles.append(ev.cycle)
+            self._sec_scan += 1
+        idx = bisect.bisect_right(self._declass_cycles, before)
+        if idx == 0:
+            return None
+        return self._declass_cycles[idx - 1]
+
     def _record_delivery(self, req: Request, reader: Principal) -> None:
         obs = self.obs
         self._m_delivered.inc(user=req.user)
@@ -449,6 +483,13 @@ class ShardCore:
                         cat="soc", tid=tid)
         tracer.complete("service", req.issued_cycle, req.latency,
                         cat="soc", tid=tid)
+        # declassifier wait: the gap between the nonmalleable release at
+        # the pipeline exit and the reader actually collecting the block
+        dc = self._latest_declass_cycle(req.delivered_cycle)
+        if (dc is not None and req.issued_cycle is not None
+                and dc >= req.issued_cycle):
+            tracer.complete("declass_wait", dc, req.delivered_cycle - dc,
+                            cat="declass", tid=tid, user=req.user)
         if reader.name != req.user:
             self._m_cross.inc(owner=req.user, reader=reader.name)
             obs.security.emit(

@@ -86,6 +86,31 @@ class TestFleetDeterminism:
         assert _canon(a.to_dict()) != _canon(b.to_dict())
 
 
+class TestFleetObsDeterminism:
+    """The fleet observatory report hashes the stitched trace and the
+    merged worker telemetry; two same-seed runs must agree byte-for-byte,
+    digests included (satellite of the fleet-observatory PR)."""
+
+    @staticmethod
+    def _run(seed):
+        from repro.obs.fleet import run_fleet_obs_gate
+
+        report, _fobs = run_fleet_obs_gate(
+            seed=seed, shards=2, horizon=512, tenants=4,
+            workers="inline", kills=1, wedges=1, identity=False)
+        return report
+
+    def test_same_seed_byte_identical(self):
+        a = self._run(SEED)
+        b = self._run(SEED)
+        assert _canon(a.to_dict()) == _canon(b.to_dict())
+
+    def test_different_seed_differs(self):
+        a = self._run(SEED)
+        b = self._run(SEED + 1)
+        assert _canon(a.to_dict()) != _canon(b.to_dict())
+
+
 class TestCoverageDeterminism:
     def test_repeat_collection_bit_identical(self):
         from repro.obs.coverage import run_coverage_collection

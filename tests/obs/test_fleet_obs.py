@@ -1,0 +1,248 @@
+"""Fleet observatory: burn-rate engine, alert correlation, harvest, gate."""
+
+import pytest
+
+from repro.obs.fleet import (
+    FLEET_PID,
+    SHARD_PID_BASE,
+    BurnRateEngine,
+    FleetObservatory,
+    correlate_alerts,
+    run_fleet_obs_gate,
+)
+
+#: 10% error budget makes the burn arithmetic legible by hand
+SLOS = {"gold": {"p99": 100.0, "goodput": 0.9}}
+
+#: the CI gate's seed — the one scenario pinned end-to-end
+GATE_SEED = 2026
+
+
+class _Req:
+    """Minimal stand-in for a FleetRequest in hook-level tests."""
+
+    def __init__(self, rid, tenant="t0", slo_class="gold", trace="abc"):
+        self.id = rid
+        self.tenant = tenant
+        self.slo_class = slo_class
+        self.trace_id = trace
+        self.status = "queued"
+        self.latency = None
+        self.submitted_cycle = 0
+        self.delivered_cycle = None
+        self.attempts = 0
+        self.retries = 0
+
+
+class TestBurnRateEngine:
+    def _engine(self, **kw):
+        kw.setdefault("fast_window", 2)
+        kw.setdefault("slow_window", 4)
+        kw.setdefault("threshold", 2.0)
+        kw.setdefault("min_events", 2)
+        return BurnRateEngine(SLOS, **kw)
+
+    def test_budget_and_burn_math(self):
+        e = self._engine()
+        assert e.budget("gold") == pytest.approx(0.1)
+        # 1 bad of 5 = 20% bad fraction = 2x the 10% budget
+        assert e.burn(1, 5, "gold") == pytest.approx(2.0)
+        assert e.burn(0, 5, "gold") == 0.0
+        assert e.burn(0, 0, "gold") == 0.0  # empty window never burns
+
+    def test_episode_opens_and_closes_with_the_burn(self):
+        e = self._engine()
+        for _ in range(4):
+            e.observe(0, "gold", False)
+        e.evaluate(0)
+        for bad in (True, True, False, False):
+            e.observe(1, "gold", bad)
+        e.evaluate(1)  # fast window 0-1: 2/8 bad -> burn 2.5, opens
+        assert "gold" in e._active
+        for _ in range(4):
+            e.observe(2, "gold", False)
+        e.evaluate(2)  # slow window 0-2: 2/12 -> burn 1.67, lapses
+        episodes = e.finalize()
+        assert len(episodes) == 1
+        ep = episodes[0]
+        assert ep["slo_class"] == "gold"
+        assert ep["start"] == 1 and ep["end"] == 1
+        assert ep["peak_fast"] == pytest.approx(2.5)
+        assert ep["bad_events"] == 2
+
+    def test_min_events_suppresses_thin_traffic_pages(self):
+        # one bad request on an otherwise idle class burns at 10x but
+        # must not page: a single event is not an outage signal
+        e = self._engine(min_events=4)
+        e.observe(0, "gold", True)
+        e.evaluate(0)
+        assert e.finalize() == []
+
+    def test_windows_are_per_class(self):
+        slos = dict(SLOS, bronze={"p99": 500.0, "goodput": 0.5})
+        e = BurnRateEngine(slos, fast_window=2, slow_window=4,
+                           threshold=2.0, min_events=2)
+        for _ in range(4):
+            e.observe(0, "gold", True)
+            e.observe(0, "bronze", False)
+        e.evaluate(0)
+        episodes = e.finalize()
+        assert [ep["slo_class"] for ep in episodes] == ["gold"]
+
+
+class TestCorrelateAlerts:
+    def test_perfect_attribution(self):
+        out = correlate_alerts([{"slo_class": "gold", "start": 10}],
+                               [{"round": 8, "kind": "kill", "shard": 0}],
+                               match_rounds=5)
+        assert out["precision"] == 1.0 and out["recall"] == 1.0
+        assert out["episodes"][0]["matched"] is True
+        assert out["chaos_fired"][0]["covered"] is True
+
+    def test_false_alert_costs_precision(self):
+        out = correlate_alerts([{"slo_class": "gold", "start": 50}],
+                               [{"round": 0, "kind": "kill", "shard": 0}],
+                               match_rounds=5)
+        assert out["precision"] == 0.0 and out["recall"] == 0.0
+
+    def test_missed_event_costs_recall(self):
+        out = correlate_alerts(
+            [{"slo_class": "gold", "start": 2}],
+            [{"round": 0, "kind": "kill", "shard": 0},
+             {"round": 30, "kind": "wedge", "shard": 1}],
+            match_rounds=5)
+        assert out["precision"] == 1.0
+        assert out["recall"] == 0.5
+
+    def test_match_window_is_inclusive(self):
+        ev = [{"round": 10, "kind": "kill", "shard": 0}]
+        for start, hit in ((10, True), (15, True), (9, False), (16, False)):
+            out = correlate_alerts([{"slo_class": "g", "start": start}],
+                                   ev, match_rounds=5)
+            assert out["episodes"][0]["matched"] is hit, start
+
+    def test_empty_is_vacuously_perfect(self):
+        out = correlate_alerts([], [])
+        assert out["precision"] == 1.0 and out["recall"] == 1.0
+
+
+class TestHarvest:
+    def test_counters_accumulate_across_epochs(self):
+        fobs = FleetObservatory(SLOS)
+        row = ("add", "repro_x_total", (("user", "a"),), 3.0)
+        fobs.harvest(0, 1, 0, {"metrics": [row]})
+        fobs.harvest(0, 2, 0,
+                     {"metrics": [("add", "repro_x_total",
+                                   (("user", "a"),), 2.0)]})
+        key = ("repro_x_total", (("shard", "0"), ("user", "a")))
+        assert fobs.merged[key] == 5.0
+        assert fobs.merged_kind["repro_x_total"] == "sum"
+
+    def test_gauges_overwrite(self):
+        fobs = FleetObservatory(SLOS)
+        fobs.harvest(0, 1, 0, {"metrics": [("set", "repro_g", (), 5.0)]})
+        fobs.harvest(0, 1, 0, {"metrics": [("set", "repro_g", (), 7.0)]})
+        assert fobs.merged[("repro_g", (("shard", "0"),))] == 7.0
+        assert fobs.merged_kind["repro_g"] == "gauge"
+
+    def test_shard_label_keeps_shards_distinct(self):
+        fobs = FleetObservatory(SLOS)
+        for shard in (0, 1):
+            fobs.harvest(shard, 1, 0,
+                         {"metrics": [("add", "repro_x_total", (), 1.0)]})
+        assert len(fobs.merged) == 2
+        assert all(("shard", str(s)) in labels
+                   for s, (_n, labels) in enumerate(sorted(fobs.merged)))
+
+    def test_spans_shift_into_fleet_cycles_without_mutating_source(self):
+        fobs = FleetObservatory(SLOS)
+        raw = {"name": "sim_round", "cat": "fleet", "ph": "X", "ts": 10.0,
+               "dur": 4.0, "pid": 1, "tid": 0, "args": {"round": 3}}
+        fobs.harvest(2, 1, 100, {"spans": [raw]})
+        (ev,) = fobs.shard_events
+        assert ev["pid"] == SHARD_PID_BASE + 2
+        assert ev["ts"] == 110.0
+        # the inline host hands over its live event objects — harvest
+        # must copy, never mutate
+        assert raw["pid"] == 1 and raw["ts"] == 10.0
+
+    def test_worker_span_closes_the_chain(self):
+        fobs = FleetObservatory(SLOS)
+        req = _Req(7, trace="abc")
+        fobs.on_admit(req, cycle=0)
+        fobs.harvest(1, 1, 0, {"spans": [
+            {"name": "shard_request", "ph": "X", "ts": 5.0, "dur": 2.0,
+             "pid": 9, "tid": 1, "args": {"rid": 7, "trace": "abc"}}]})
+        assert fobs.chains[7]["worker"] is True
+        assert fobs.trace_mismatches == 0
+        flows = [e for e in fobs.shard_events if e.get("ph") == "t"]
+        assert len(flows) == 1 and flows[0]["id"] == 7
+        assert flows[0]["pid"] == SHARD_PID_BASE + 1
+
+    def test_trace_id_mismatch_is_counted(self):
+        fobs = FleetObservatory(SLOS)
+        fobs.on_admit(_Req(7, trace="abc"), cycle=0)
+        fobs.harvest(1, 1, 0, {"spans": [
+            {"name": "shard_terminal", "ph": "i", "ts": 5.0,
+             "pid": 9, "tid": 1, "args": {"rid": 7, "trace": "zzz"}}]})
+        assert fobs.trace_mismatches == 1
+
+    def test_metadata_dedupes_across_respawn_epochs(self):
+        fobs = FleetObservatory(SLOS)
+        meta = {"name": "thread_name", "ph": "M", "pid": 0, "tid": 1,
+                "args": {"name": "user:alice"}}
+        fobs.harvest(0, 1, 0, {"spans": [dict(meta, args=dict(meta["args"]))]})
+        fobs.harvest(0, 2, 0, {"spans": [dict(meta, args=dict(meta["args"]))]})
+        metas = [e for e in fobs.shard_events if e.get("ph") == "M"]
+        assert len(metas) == 1
+
+
+@pytest.fixture(scope="module")
+def smoke_gate():
+    return run_fleet_obs_gate(seed=GATE_SEED, shards=2, horizon=512,
+                              tenants=4, workers="inline",
+                              kills=1, wedges=1, identity=False)
+
+
+class TestGateSmoke:
+    def test_gate_passes(self, smoke_gate):
+        report, _ = smoke_gate
+        assert report.ok()
+        assert report.completeness["fraction"] == 1.0
+        assert report.completeness["trace_mismatches"] == 0
+        assert report.completeness["incomplete"] == []
+
+    def test_alerts_attribute_to_seeded_chaos(self, smoke_gate):
+        report, _ = smoke_gate
+        assert report.correlation["precision"] == 1.0
+        assert report.correlation["recall"] == 1.0
+        assert report.chaos_fired == report.chaos_injected >= 2
+
+    def test_trace_spans_both_sides_of_the_pipe(self, smoke_gate):
+        _, fobs = smoke_gate
+        events = fobs.all_events()
+        pids = {e["pid"] for e in events}
+        assert FLEET_PID in pids
+        assert {SHARD_PID_BASE, SHARD_PID_BASE + 1} <= pids
+        phases = {e["ph"] for e in events}
+        assert {"s", "t", "f"} <= phases  # admission -> shard -> delivery
+        names = {e["name"] for e in events}
+        assert any(n.startswith("chaos_") for n in names)
+        assert {"seat_provision", "sim_round", "fleet_request"} <= names
+
+    def test_all_harvested_series_carry_a_shard_label(self, smoke_gate):
+        _, fobs = smoke_gate
+        assert fobs.merged
+        for _name, labels in fobs.merged:
+            assert any(k == "shard" for k, _v in labels)
+
+
+class TestCrossHostIdentity:
+    def test_process_workers_match_inline(self):
+        report, _ = run_fleet_obs_gate(
+            seed=GATE_SEED, shards=2, horizon=512, tenants=4,
+            workers="process", kills=1, wedges=1, identity=True)
+        assert report.identity["workers_compared"] == ["process", "inline"]
+        assert report.identity["telemetry_ok"]
+        assert report.identity["trace_ok"]
+        assert report.ok()

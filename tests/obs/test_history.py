@@ -76,6 +76,14 @@ class TestExpectedFamilies:
         gauges.pop(gauge_key("repro_bench_fleet_x", {}))
         assert missing_families(gauges) == ["fleet"]
 
+    def test_overlapping_prefixes_resolve_to_longest(self):
+        # repro_bench_fleet_obs_* satisfies only the fleet_obs family —
+        # it must never mask a missing "fleet" benchmark
+        gauges = {gauge_key("repro_bench_fleet_obs_x", {}): 1.0}
+        missing = missing_families(gauges)
+        assert "fleet" in missing
+        assert "fleet_obs" not in missing
+
     def test_comparison_renders_family_warning(self):
         comparison = HistoryComparison([], missing_families=["fleet"])
         text = comparison.render()

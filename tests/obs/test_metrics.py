@@ -9,6 +9,7 @@ from repro.obs import MetricsRegistry, NullRegistry, NULL_INSTRUMENT
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     escape_label_value,
+    sample_quantile,
     unescape_label_value,
 )
 
@@ -157,6 +158,34 @@ class TestHistogramReservoir:
         assert h.samples_seen(user="alice") == [30.0]
         assert h.samples_seen(user="bob") == [99.0]
         assert h.quantile(0.5, user="alice") == 30.0
+
+
+class TestSampleQuantile:
+    def test_empty_and_single(self):
+        assert sample_quantile([], 0.5) is None
+        assert sample_quantile([42.0], 0.0) == 42.0
+        assert sample_quantile([42.0], 0.5) == 42.0
+        assert sample_quantile([42.0], 1.0) == 42.0
+
+    def test_linear_interpolation(self):
+        vals = [10.0, 20.0, 30.0, 40.0]
+        assert sample_quantile(vals, 0.5) == pytest.approx(25.0)
+        assert sample_quantile(vals, 0.25) == pytest.approx(17.5)
+        assert sample_quantile(vals, 0.0) == 10.0
+        assert sample_quantile(vals, 1.0) == 40.0
+
+    def test_input_order_is_irrelevant(self):
+        assert sample_quantile([40.0, 10.0, 30.0, 20.0], 0.5) == \
+            sample_quantile([10.0, 20.0, 30.0, 40.0], 0.5)
+
+    def test_matches_histogram_reservoir_quantile(self):
+        # the histogram's exact-quantile path must be the same function
+        h = MetricsRegistry().histogram("lat", reservoir=256)
+        vals = [float(v) for v in range(1, 101)]
+        for v in vals:
+            h.observe(v)
+        for q in (0.5, 0.95, 0.99):
+            assert h.quantile(q) == pytest.approx(sample_quantile(vals, q))
 
 
 class TestRegistry:

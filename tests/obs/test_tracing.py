@@ -65,6 +65,31 @@ def test_chrome_trace_export_is_valid_json(tmp_path):
         assert {"name", "ph", "pid", "tid"} <= set(ev)
 
 
+def test_unclosed_span_is_autoclosed_at_export():
+    clock = iter([10.0, 25.0, 25.0])
+    t = Tracer(clock=lambda: next(clock))
+    t.begin("dangling", cat="soc", tid=2, user="alice")
+    doc = t.to_chrome_trace()
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    warns = [e for e in doc["traceEvents"]
+             if e["ph"] == "i" and e["name"] == "unclosed_span_autoclosed"]
+    assert len(spans) == 1, "open span must not vanish from the export"
+    assert spans[0]["ts"] == 10.0 and spans[0]["dur"] == 15.0
+    assert spans[0]["args"]["autoclosed"] is True
+    assert len(warns) == 1 and warns[0]["args"]["span"] == "dangling"
+    assert t.open_spans() == []
+
+
+def test_autoclose_never_ends_before_start():
+    t = Tracer(clock=lambda: 5.0)
+    t.begin("future", ts=100.0)
+    assert t.close_open_spans() == 1
+    (warn, span) = t.events
+    assert span["ph"] == "X" and span["ts"] == 100.0 and span["dur"] == 0.0
+    # repeated export is idempotent: nothing left open to close again
+    assert t.close_open_spans() == 0
+
+
 def test_null_tracer_records_nothing():
     t = NullTracer()
     span = t.begin("x")
